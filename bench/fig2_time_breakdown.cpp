@@ -1,0 +1,41 @@
+// Reproduces Figure 2: "where does the time go" — the serialized view of
+// all work performed by each benchmark application, grouped by the
+// Table I operation taxonomy and normalized to 100%.
+//
+// Paper shape to verify: user code (map_user + combine + reduce_user) is
+// below ~50% for every application except WordPOSTag (map-dominated) and
+// AccessLogJoin (borderline); post-map operations scale with intermediate
+// volume.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace textmr;
+
+int main() {
+  std::printf("Figure 2 — serialized work breakdown per operation (baseline)\n");
+  std::printf("All threads, all tasks; normalized per app. Idle excluded, as\n");
+  std::printf("in the paper (Fig. 2 shows work volume, not parallelism).\n\n");
+
+  for (const auto& app : bench::bench_apps()) {
+    const auto result = bench::run_bench_job(app, bench::kBaseline);
+    const auto& work = result.metrics.work;
+    std::printf("%-14s (input %.1f MB, %llu map tasks)\n", app.name.c_str(),
+                static_cast<double>(work.input_bytes) / 1e6,
+                static_cast<unsigned long long>(result.metrics.map_tasks));
+    bench::print_rule();
+    for (const auto& [name, share] : bench::op_shares(work)) {
+      const int bar = static_cast<int>(share * 60);
+      std::printf("  %-13s %6s |", name, bench::pct(share).c_str());
+      for (int i = 0; i < bar; ++i) std::putchar('#');
+      std::putchar('\n');
+    }
+    const double user =
+        static_cast<double>(work.user_ns()) /
+        static_cast<double>(work.total_ns());
+    std::printf("  => user code %s, framework abstraction cost %s\n\n",
+                bench::pct(user).c_str(), bench::pct(1.0 - user).c_str());
+  }
+  return 0;
+}

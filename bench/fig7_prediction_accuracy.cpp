@@ -1,0 +1,118 @@
+// Reproduces Figure 7: the percentage of intermediate data values that
+// frequency-buffering can remove (combine in memory instead of sorting
+// and spilling), as a function of the frequent-key buffer size k, with
+// the profiling fraction s = 0.1 — compared against the Ideal predictor
+// (oracle knowledge of key frequencies) and the LRU baseline, on both the
+// text corpus (WordCount keys) and the access log (AccessLogSum keys).
+//
+// Paper shape: Space-Saving within ~6% of Ideal on the corpus and ~10%
+// on the access log; LRU clearly worse at small k.
+
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <set>
+
+#include "bench_util.hpp"
+
+using namespace textmr;
+
+namespace {
+
+using KeyStream = std::function<void(const std::function<void(std::string_view)>&)>;
+
+/// Ideal: buffered keys are the exact top-k; every occurrence beyond the
+/// one aggregate record per key is removed.
+double ideal_removed(const sketch::ExactCounter& counts, std::size_t k) {
+  const auto top = counts.top(k);
+  std::uint64_t covered = 0;
+  for (const auto& [key, count] : top) covered += count;
+  const std::uint64_t removed =
+      covered > top.size() ? covered - top.size() : 0;
+  return static_cast<double>(removed) /
+         static_cast<double>(counts.observed());
+}
+
+/// Frequency-buffering: Space-Saving profile over the first s*n records
+/// (which all flow through unremoved), then a frozen top-k set absorbs
+/// hits for the rest of the stream.
+double freqbuf_removed(const KeyStream& stream, std::uint64_t n,
+                       std::size_t k, double s) {
+  sketch::SpaceSaving sketch(4 * k);  // realistic sub-guarantee budget (§V-B1)
+  const std::uint64_t profile_until =
+      static_cast<std::uint64_t>(s * static_cast<double>(n));
+  std::set<std::string> frozen;
+  std::uint64_t seen = 0;
+  std::uint64_t removed = 0;
+  stream([&](std::string_view key) {
+    ++seen;
+    if (seen <= profile_until) {
+      sketch.offer(key);
+      if (seen == profile_until) {
+        for (auto& entry : sketch.top(k)) frozen.insert(std::move(entry.key));
+      }
+      return;
+    }
+    if (frozen.count(std::string(key)) > 0) ++removed;
+  });
+  const std::uint64_t kept_aggregates = frozen.size();
+  removed = removed > kept_aggregates ? removed - kept_aggregates : 0;
+  return static_cast<double>(removed) / static_cast<double>(seen);
+}
+
+/// LRU baseline: every arriving tuple enters the buffer; hits are
+/// removed, evicted aggregates are written out.
+double lru_removed(const KeyStream& stream, std::size_t k) {
+  sketch::LruTracker lru(k);
+  stream([&](std::string_view key) { lru.offer(key); });
+  return lru.hit_rate();
+}
+
+void run_dataset(const char* title, const KeyStream& stream) {
+  sketch::ExactCounter counts;
+  stream([&](std::string_view key) { counts.offer(key); });
+  std::printf("%s: %llu values, %llu distinct keys\n", title,
+              static_cast<unsigned long long>(counts.observed()),
+              static_cast<unsigned long long>(counts.distinct()));
+  std::printf("%-10s %-10s %-14s %-10s\n", "k", "Ideal", "FreqBuf(s=.1)",
+              "LRU");
+  bench::print_rule();
+  for (const std::size_t k : {10, 30, 100, 300, 1000, 3000, 10000}) {
+    std::printf("%-10zu %-10s %-14s %-10s\n", k,
+                bench::pct(ideal_removed(counts, k)).c_str(),
+                bench::pct(freqbuf_removed(stream, counts.observed(), k, 0.1))
+                    .c_str(),
+                bench::pct(lru_removed(stream, k)).c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 7 — removable intermediate values vs buffer size k\n\n");
+  const auto& data = bench::datasets();
+
+  const KeyStream corpus_keys = [&](const std::function<void(std::string_view)>& fn) {
+    std::ifstream in(data.corpus);
+    std::string line, scratch;
+    while (std::getline(in, line)) {
+      apps::for_each_token(line, scratch, fn);
+    }
+  };
+  const KeyStream url_keys = [&](const std::function<void(std::string_view)>& fn) {
+    std::ifstream in(data.user_visits);
+    std::string line;
+    while (std::getline(in, line)) {
+      auto visit = apps::parse_user_visit(line);
+      if (visit.has_value()) fn(visit->dest_url);
+    }
+  };
+
+  run_dataset("Text corpus (WordCount keys)", corpus_keys);
+  run_dataset("Access log (AccessLogSum keys)", url_keys);
+  std::printf(
+      "Paper shape: FreqBuf within ~6%% of Ideal on the corpus and ~10%% on\n"
+      "the access log; LRU clearly below both at small k.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Reproduces Figure 8: per-operation abstraction-cost breakdown for each
+// application, baseline vs. frequency-buffering (k and s per §V-B2, 30%
+// of the spill buffer devoted to the frequent-key table).
+//
+// Paper shape: ~40% of abstraction cost removed for WordCount, ~30% for
+// InvertedIndex, ~45% for WordPOSTag; ≤7% for the relational apps (whose
+// emit cost *rises* slightly from profiling/hashing overhead); PageRank
+// in between.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace textmr;
+
+int main() {
+  std::printf(
+      "Figure 8 — abstraction costs: baseline vs frequency-buffering\n"
+      "(absolute seconds of serialized framework work; user code excluded)\n\n");
+
+  for (const auto& app : bench::bench_apps()) {
+    const auto base = bench::run_bench_job(app, bench::kBaseline);
+    const auto freq = bench::run_bench_job(app, bench::kFreqOpt);
+    const auto& base_work = base.metrics.work;
+    const auto& freq_work = freq.metrics.work;
+
+    std::printf("%-14s  k=%zu s=%.2f\n", app.name.c_str(), app.freq_top_k,
+                app.freq_sampling_fraction);
+    bench::print_rule();
+    std::printf("  %-13s %12s %12s\n", "operation", "baseline", "freqbuf");
+    for (std::size_t i = 0; i < mr::kNumOps; ++i) {
+      const auto op = static_cast<mr::Op>(i);
+      if (op == mr::Op::kMapIdle || op == mr::Op::kSupportIdle) continue;
+      if (mr::is_user_code(op)) continue;
+      const double b = static_cast<double>(base_work.op_ns(op)) * 1e-9;
+      const double f = static_cast<double>(freq_work.op_ns(op)) * 1e-9;
+      if (b == 0.0 && f == 0.0) continue;
+      std::printf("  %-13s %11.3fs %11.3fs\n", mr::op_name(op), b, f);
+    }
+    const double base_abs =
+        static_cast<double>(base_work.abstraction_ns()) * 1e-9;
+    const double freq_abs =
+        static_cast<double>(freq_work.abstraction_ns()) * 1e-9;
+    std::printf("  %-13s %11.3fs %11.3fs   -> %s of abstraction cost removed\n",
+                "TOTAL abstr.", base_abs, freq_abs,
+                bench::pct(base_abs > 0 ? (base_abs - freq_abs) / base_abs : 0)
+                    .c_str());
+    std::printf(
+        "  spill-path records: %llu -> %llu (%s absorbed by the table)\n\n",
+        static_cast<unsigned long long>(base_work.spill_input_records),
+        static_cast<unsigned long long>(freq_work.spill_input_records),
+        bench::pct(base_work.spill_input_records > 0
+                       ? 1.0 - static_cast<double>(
+                                   freq_work.spill_input_records) /
+                                   static_cast<double>(
+                                       base_work.spill_input_records)
+                       : 0.0)
+            .c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Example: iterative PageRank by chaining MapReduce jobs — each
+// iteration's output is the next iteration's input, exactly how the
+// paper-era Hadoop ran graph algorithms. Demonstrates job chaining,
+// rank-mass conservation checks, and convergence tracking.
+//
+//   ./pagerank_iterations [pages] [iterations]
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+
+#include "textmr.hpp"
+
+using namespace textmr;
+
+namespace {
+
+/// Reads url -> rank from one iteration's part files, and rewrites them
+/// into the next iteration's input file (url \t rank \t links).
+std::map<std::string, double> collect_ranks(
+    const std::vector<std::filesystem::path>& parts,
+    const std::filesystem::path& next_input) {
+  std::map<std::string, double> ranks;
+  std::ofstream out(next_input);
+  for (const auto& part : parts) {
+    std::ifstream in(part);
+    std::string line;
+    while (std::getline(in, line)) {
+      const auto tab = line.find('\t');
+      ranks[line.substr(0, tab)] =
+          std::strtod(line.c_str() + tab + 1, nullptr);
+      out << line << "\n";
+    }
+  }
+  return ranks;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t pages =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 20'000;
+  const int iterations = argc > 2 ? std::atoi(argv[2]) : 4;
+
+  TempDir workdir("textmr-pagerank");
+  textgen::WebGraphSpec graph_spec;
+  graph_spec.num_pages = pages;
+  graph_spec.link_alpha = 1.0;  // Adamic & Huberman in-link skew
+  auto input = workdir.file("iter0.txt");
+  const auto stats = textgen::generate_web_graph(graph_spec, input.string());
+  std::printf("graph: %llu pages, %llu edges\n",
+              static_cast<unsigned long long>(stats.pages),
+              static_cast<unsigned long long>(stats.edges));
+
+  mr::LocalEngine engine;
+  std::map<std::string, double> previous;
+  for (int iter = 1; iter <= iterations; ++iter) {
+    mr::JobSpec job;
+    job.name = "pagerank-iter" + std::to_string(iter);
+    job.inputs = io::make_splits(input.string(), 1 << 20);
+    job.mapper = [] { return std::make_unique<apps::PageRankMapper>(); };
+    job.combiner = [] { return std::make_unique<apps::PageRankCombiner>(); };
+    job.reducer = [] { return std::make_unique<apps::PageRankReducer>(); };
+    job.num_reducers = 2;
+    job.use_spill_matcher = true;
+    job.freqbuf.enabled = true;  // popular pages dominate rank traffic
+    job.freqbuf.top_k = 500;
+    job.freqbuf.sampling_fraction = 0.1;
+    job.scratch_dir = workdir.file("s" + std::to_string(iter));
+    job.output_dir = workdir.file("o" + std::to_string(iter));
+    const auto result = engine.run(job);
+
+    input = workdir.file("iter" + std::to_string(iter) + ".txt");
+    const auto ranks = collect_ranks(result.outputs, input);
+
+    double total = 0;
+    double delta = 0;
+    double top_rank = 0;
+    std::string top_page;
+    for (const auto& [url, rank] : ranks) {
+      total += rank;
+      if (rank > top_rank) {
+        top_rank = rank;
+        top_page = url;
+      }
+      auto it = previous.find(url);
+      delta += std::fabs(rank - (it == previous.end() ? 1.0 : it->second));
+    }
+    std::printf(
+        "iter %d: %.2fs wall | rank mass %.1f | L1 delta %.2f | top %s "
+        "(%.2f)\n",
+        iter, result.metrics.job_wall_ns * 1e-9, total, delta,
+        top_page.c_str(), top_rank);
+    previous = ranks;
+  }
+  std::printf("\nL1 delta should shrink every iteration (power iteration\n"
+              "convergence); the top page should stabilize early.\n");
+  return 0;
+}

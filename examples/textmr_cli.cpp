@@ -1,0 +1,191 @@
+// textmr_cli — command-line driver: generate datasets and run any of the
+// paper's applications over them with the optimizations toggled by flags.
+// The "hadoop jar"-equivalent entry point for trying the system without
+// writing code.
+//
+// Usage:
+//   textmr_cli gen corpus OUT.txt [--words N] [--vocab V] [--alpha A] [--seed S]
+//   textmr_cli gen log VISITS.log RANKINGS.txt [--visits N] [--urls U]
+//   textmr_cli gen graph OUT.txt [--pages N]
+//   textmr_cli run APP INPUT... --out DIR [--reducers R] [--freq] [--matcher]
+//              [--topk K] [--sample S] [--buffer MB] [--report]
+//   APP = wordcount | invertedindex | wordpostag | accesslogsum |
+//         accesslogjoin | pagerank
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <set>
+#include <optional>
+
+#include "mr/report.hpp"
+#include "textmr.hpp"
+
+using namespace textmr;
+
+namespace {
+
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> options;
+  std::set<std::string> flags;
+
+  static Args parse(int argc, char** argv) {
+    Args args;
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) == 0) {
+        const std::string name = arg.substr(2);
+        if (i + 1 < argc && argv[i + 1][0] != '-') {
+          args.options[name] = argv[++i];
+        } else {
+          args.flags.insert(name);
+        }
+      } else {
+        args.positional.push_back(std::move(arg));
+      }
+    }
+    return args;
+  }
+
+  std::uint64_t u64(const std::string& name, std::uint64_t fallback) const {
+    auto it = options.find(name);
+    return it == options.end() ? fallback
+                               : std::strtoull(it->second.c_str(), nullptr, 10);
+  }
+  double f64(const std::string& name, double fallback) const {
+    auto it = options.find(name);
+    return it == options.end() ? fallback
+                               : std::strtod(it->second.c_str(), nullptr);
+  }
+  bool flag(const std::string& name) const { return flags.count(name) > 0; }
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  textmr_cli gen corpus OUT [--words N] [--vocab V] "
+               "[--alpha A] [--seed S]\n"
+               "  textmr_cli gen log VISITS RANKINGS [--visits N] [--urls U]\n"
+               "  textmr_cli gen graph OUT [--pages N]\n"
+               "  textmr_cli run APP INPUT... --out DIR [--reducers R]\n"
+               "             [--freq] [--matcher] [--topk K] [--sample S]\n"
+               "             [--buffer MB] [--report]\n"
+               "  APP: wordcount invertedindex wordpostag accesslogsum\n"
+               "       accesslogjoin pagerank\n");
+  return 2;
+}
+
+std::optional<apps::AppBundle> bundle_for(const std::string& name) {
+  if (name == "wordcount") return apps::wordcount_app();
+  if (name == "invertedindex") return apps::inverted_index_app();
+  if (name == "wordpostag") return apps::word_pos_tag_app();
+  if (name == "accesslogsum") return apps::access_log_sum_app();
+  if (name == "accesslogjoin") return apps::access_log_join_app();
+  if (name == "pagerank") return apps::pagerank_app();
+  return std::nullopt;
+}
+
+int cmd_gen(const Args& args) {
+  const std::string& kind = args.positional[1];
+  if (kind == "corpus" && args.positional.size() >= 3) {
+    textgen::CorpusSpec spec;
+    spec.total_words = args.u64("words", 1'000'000);
+    spec.vocabulary = args.u64("vocab", 100'000);
+    spec.alpha = args.f64("alpha", 1.0);
+    spec.seed = args.u64("seed", 42);
+    const auto stats = textgen::generate_corpus(spec, args.positional[2]);
+    std::printf("wrote %s: %llu words, %llu lines, %.1f MB\n",
+                args.positional[2].c_str(),
+                static_cast<unsigned long long>(stats.words),
+                static_cast<unsigned long long>(stats.lines),
+                static_cast<double>(stats.bytes) / 1e6);
+    return 0;
+  }
+  if (kind == "log" && args.positional.size() >= 4) {
+    textgen::AccessLogSpec spec;
+    spec.num_visits = args.u64("visits", 200'000);
+    spec.num_urls = args.u64("urls", 20'000);
+    spec.seed = args.u64("seed", 7);
+    const auto stats = textgen::generate_access_log(spec, args.positional[2],
+                                                    args.positional[3]);
+    std::printf("wrote %llu visits (%.1f MB) + %llu rankings\n",
+                static_cast<unsigned long long>(stats.visit_records),
+                static_cast<double>(stats.visit_bytes) / 1e6,
+                static_cast<unsigned long long>(stats.ranking_records));
+    return 0;
+  }
+  if (kind == "graph" && args.positional.size() >= 3) {
+    textgen::WebGraphSpec spec;
+    spec.num_pages = args.u64("pages", 100'000);
+    spec.seed = args.u64("seed", 13);
+    const auto stats = textgen::generate_web_graph(spec, args.positional[2]);
+    std::printf("wrote %s: %llu pages, %llu edges, %.1f MB\n",
+                args.positional[2].c_str(),
+                static_cast<unsigned long long>(stats.pages),
+                static_cast<unsigned long long>(stats.edges),
+                static_cast<double>(stats.bytes) / 1e6);
+    return 0;
+  }
+  return usage();
+}
+
+int cmd_run(const Args& args) {
+  const auto bundle = bundle_for(args.positional[1]);
+  if (!bundle.has_value()) return usage();
+  auto out_it = args.options.find("out");
+  if (out_it == args.options.end() || args.positional.size() < 3) {
+    return usage();
+  }
+
+  mr::JobSpec spec;
+  spec.name = bundle->name;
+  for (std::size_t i = 2; i < args.positional.size(); ++i) {
+    const auto splits = io::make_splits(
+        args.positional[i], args.u64("split-mb", 8) * 1024 * 1024);
+    spec.inputs.insert(spec.inputs.end(), splits.begin(), splits.end());
+  }
+  spec.mapper = bundle->mapper;
+  spec.reducer = bundle->reducer;
+  spec.combiner = bundle->combiner;
+  spec.num_reducers = static_cast<std::uint32_t>(args.u64("reducers", 2));
+  spec.spill_buffer_bytes =
+      static_cast<std::size_t>(args.u64("buffer", 16)) << 20;
+  spec.use_spill_matcher = args.flag("matcher");
+  if (args.flag("freq")) {
+    spec.freqbuf.enabled = true;
+    spec.freqbuf.top_k = args.u64("topk", bundle->freq_top_k);
+    spec.freqbuf.sampling_fraction =
+        args.f64("sample", bundle->freq_sampling_fraction);
+  }
+  const std::filesystem::path out_dir = out_it->second;
+  spec.output_dir = out_dir / "out";
+  spec.scratch_dir = out_dir / "scratch";
+
+  mr::LocalEngine engine;
+  const auto result = engine.run(spec);
+  if (args.flag("report")) {
+    std::fputs(mr::format_job_report(result, spec.name).c_str(), stdout);
+  } else {
+    std::printf("%s\n", mr::format_job_summary(result).c_str());
+  }
+  std::printf("output: %zu part files under %s\n", result.outputs.size(),
+              spec.output_dir.string().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = Args::parse(argc, argv);
+  if (args.positional.size() < 2) return usage();
+  try {
+    if (args.positional[0] == "gen") return cmd_gen(args);
+    if (args.positional[0] == "run") return cmd_run(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

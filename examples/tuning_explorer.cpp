@@ -1,0 +1,103 @@
+// Example: explore the two optimizations' tuning space on your own
+// workload — the tool a downstream user runs before enabling them in
+// production. Sweeps the spill threshold (showing why a static value is
+// fragile and what the spill-matcher converges to), then the
+// frequency-buffering k, printing measured work and absorption.
+//
+//   ./tuning_explorer [words]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "textmr.hpp"
+
+using namespace textmr;
+
+namespace {
+
+mr::JobSpec base_job(const TempDir& workdir,
+                     const std::filesystem::path& corpus, int run_id) {
+  mr::JobSpec job;
+  job.name = "tuning";
+  job.inputs = io::make_splits(corpus.string(), 1 << 20);
+  job.mapper = [] { return std::make_unique<apps::WordCountMapper>(); };
+  job.combiner = [] { return std::make_unique<apps::WordCountCombiner>(); };
+  job.reducer = [] { return std::make_unique<apps::WordCountReducer>(); };
+  job.num_reducers = 2;
+  job.spill_buffer_bytes = 512 << 10;
+  job.scratch_dir = workdir.file("s" + std::to_string(run_id));
+  job.output_dir = workdir.file("o" + std::to_string(run_id));
+  return job;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t words =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 600'000;
+
+  TempDir workdir("textmr-tuning");
+  textgen::CorpusSpec corpus_spec;
+  corpus_spec.total_words = words;
+  corpus_spec.vocabulary = 50'000;
+  const auto corpus = workdir.file("corpus.txt");
+  textgen::generate_corpus(corpus_spec, corpus.string());
+
+  mr::LocalEngine engine;
+  int run_id = 0;
+
+  std::printf("1. spill threshold sweep (fixed x) vs spill-matcher\n");
+  std::printf("   %-12s %-12s %-12s %-12s\n", "x", "map idle", "sup idle",
+              "pipeline");
+  for (const double x : {0.2, 0.5, 0.8, 0.95}) {
+    auto job = base_job(workdir, corpus, run_id++);
+    job.spill_threshold = x;
+    const auto result = engine.run(job);
+    std::uint64_t pipeline_ns = 0;
+    for (const auto& task : result.map_tasks) {
+      pipeline_ns += task.pipeline_wall_ns;
+    }
+    std::printf("   %-12.2f %-12.3f %-12.3f %-12.3f\n", x,
+                result.metrics.map_thread_idle_ns * 1e-9,
+                result.metrics.support_thread_idle_ns * 1e-9,
+                pipeline_ns * 1e-9);
+  }
+  {
+    auto job = base_job(workdir, corpus, run_id++);
+    job.use_spill_matcher = true;
+    const auto result = engine.run(job);
+    std::uint64_t pipeline_ns = 0;
+    double final_x = 0;
+    for (const auto& task : result.map_tasks) {
+      pipeline_ns += task.pipeline_wall_ns;
+      final_x = std::max(final_x, task.final_spill_threshold);
+    }
+    std::printf("   %-12s %-12.3f %-12.3f %-12.3f (converged x ~ %.2f)\n",
+                "matcher", result.metrics.map_thread_idle_ns * 1e-9,
+                result.metrics.support_thread_idle_ns * 1e-9,
+                pipeline_ns * 1e-9, final_x);
+  }
+
+  std::printf("\n2. frequency-buffering k sweep (s auto-tuned)\n");
+  std::printf("   %-12s %-14s %-14s %-12s\n", "k", "absorbed", "spill recs",
+              "work (s)");
+  for (const std::size_t k : {0, 50, 200, 1000, 5000}) {
+    auto job = base_job(workdir, corpus, run_id++);
+    if (k > 0) {
+      job.freqbuf.enabled = true;
+      job.freqbuf.top_k = k;
+      job.freqbuf.sampling_fraction = 0.0;  // auto-tune s (§III-C)
+    }
+    const auto result = engine.run(job);
+    const auto& work = result.metrics.work;
+    std::printf("   %-12zu %-14llu %-14llu %-12.2f\n", k,
+                static_cast<unsigned long long>(work.freq_hits),
+                static_cast<unsigned long long>(work.spill_input_records),
+                work.total_ns() * 1e-9);
+  }
+  std::printf(
+      "\nReading the tables: the matcher should sit near the best fixed x\n"
+      "without being told; absorption should saturate once k covers the\n"
+      "corpus' heavy hitters (Zipf mass ~ ln k).\n");
+  return 0;
+}

@@ -1,0 +1,186 @@
+#include "apps/access_log.hpp"
+
+#include <cstdio>
+
+#include "common/varint.hpp"
+#include "apps/tokenizer.hpp"
+
+namespace textmr::apps {
+namespace {
+
+constexpr char kSep = '|';
+
+/// Parses "123.45" into cents without floating point.
+std::optional<std::uint64_t> parse_cents(std::string_view text) {
+  std::uint64_t dollars = 0;
+  std::size_t i = 0;
+  if (i >= text.size()) return std::nullopt;
+  while (i < text.size() && text[i] != '.') {
+    if (text[i] < '0' || text[i] > '9') return std::nullopt;
+    dollars = dollars * 10 + static_cast<std::uint64_t>(text[i] - '0');
+    ++i;
+  }
+  std::uint64_t cents = 0;
+  if (i < text.size()) {
+    ++i;  // skip '.'
+    std::uint64_t scale = 10;
+    while (i < text.size()) {
+      if (text[i] < '0' || text[i] > '9') return std::nullopt;
+      if (scale > 0) {
+        cents += static_cast<std::uint64_t>(text[i] - '0') * scale;
+        scale /= 10;
+      }
+      ++i;
+    }
+  }
+  return dollars * 100 + cents;
+}
+
+std::optional<std::uint64_t> parse_u64(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  std::uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return std::nullopt;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value;
+}
+
+void split_fields(std::string_view line, std::vector<std::string_view>& out) {
+  out.clear();
+  for_each_field(line, kSep, [&](std::size_t, std::string_view field) {
+    out.push_back(field);
+  });
+}
+
+std::string format_dollars(std::uint64_t cents) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%llu.%02llu",
+                static_cast<unsigned long long>(cents / 100),
+                static_cast<unsigned long long>(cents % 100));
+  return buf;
+}
+
+thread_local std::vector<std::string_view> t_fields;
+
+}  // namespace
+
+std::optional<UserVisit> parse_user_visit(std::string_view line) {
+  split_fields(line, t_fields);
+  if (t_fields.size() != 9) return std::nullopt;
+  auto cents = parse_cents(t_fields[3]);
+  if (!cents.has_value()) return std::nullopt;
+  return UserVisit{t_fields[0], t_fields[1], *cents};
+}
+
+std::optional<Ranking> parse_ranking(std::string_view line) {
+  split_fields(line, t_fields);
+  if (t_fields.size() != 3) return std::nullopt;
+  auto rank = parse_u64(t_fields[1]);
+  if (!rank.has_value()) return std::nullopt;
+  return Ranking{t_fields[0], *rank};
+}
+
+void AccessLogSumMapper::map(std::uint64_t /*offset*/, std::string_view line,
+                             mr::EmitSink& out) {
+  auto visit = parse_user_visit(line);
+  if (!visit.has_value()) {
+    if (counters_ != nullptr) counters_->increment(log_counters::kMalformed);
+    return;
+  }
+  if (counters_ != nullptr) counters_->increment(log_counters::kVisits);
+  value_.clear();
+  put_varint(value_, visit->ad_revenue_cents);
+  out.emit(visit->dest_url, value_);
+}
+
+void AccessLogSumCombiner::reduce(std::string_view key,
+                                  mr::ValueStream& values, mr::EmitSink& out) {
+  std::uint64_t total = 0;
+  while (auto value = values.next()) {
+    std::size_t pos = 0;
+    total += get_varint(*value, pos);
+  }
+  value_.clear();
+  put_varint(value_, total);
+  out.emit(key, value_);
+}
+
+void AccessLogSumReducer::reduce(std::string_view key, mr::ValueStream& values,
+                                 mr::EmitSink& out) {
+  std::uint64_t total = 0;
+  while (auto value = values.next()) {
+    std::size_t pos = 0;
+    total += get_varint(*value, pos);
+  }
+  out.emit(key, format_dollars(total));
+}
+
+void AccessLogJoinMapper::map(std::uint64_t /*offset*/, std::string_view line,
+                              mr::EmitSink& out) {
+  // Dispatch by schema: 9 fields = UserVisits, 3 fields = Rankings.
+  if (auto visit = parse_user_visit(line); visit.has_value()) {
+    if (counters_ != nullptr) counters_->increment(log_counters::kVisits);
+    value_.clear();
+    value_.push_back('V');
+    value_.append(visit->source_ip);
+    value_.push_back(kSep);
+    put_varint(value_, visit->ad_revenue_cents);
+    out.emit(visit->dest_url, value_);
+    return;
+  }
+  if (auto ranking = parse_ranking(line); ranking.has_value()) {
+    if (counters_ != nullptr) counters_->increment(log_counters::kRankings);
+    value_.clear();
+    value_.push_back('R');
+    put_varint(value_, ranking->page_rank);
+    out.emit(ranking->page_url, value_);
+    return;
+  }
+  if (counters_ != nullptr) counters_->increment(log_counters::kMalformed);
+}
+
+void AccessLogJoinReducer::reduce(std::string_view key,
+                                  mr::ValueStream& values, mr::EmitSink& out) {
+  (void)key;
+  std::optional<std::uint64_t> page_rank;
+  pending_visits_.clear();
+
+  auto emit_joined = [&](std::string_view visit_payload) {
+    // visit_payload: sourceIP | varint(cents)
+    const std::size_t sep = visit_payload.find(kSep);
+    if (sep == std::string_view::npos) return;
+    std::size_t pos = sep + 1;
+    const std::uint64_t cents = get_varint(visit_payload, pos);
+    text_.clear();
+    text_ += format_dollars(cents);
+    text_.push_back(kSep);
+    text_ += std::to_string(*page_rank);
+    out.emit(visit_payload.substr(0, sep), text_);
+    if (counters_ != nullptr) counters_->increment(log_counters::kJoinedRows);
+  };
+
+  while (auto value = values.next()) {
+    if (value->empty()) continue;
+    if ((*value)[0] == 'R') {
+      std::size_t pos = 1;
+      page_rank = get_varint(*value, pos);
+      // Drain buffered visits now that the dimension row arrived.
+      for (const auto& visit : pending_visits_) emit_joined(visit);
+      pending_visits_.clear();
+    } else if ((*value)[0] == 'V') {
+      if (page_rank.has_value()) {
+        emit_joined(value->substr(1));
+      } else {
+        pending_visits_.emplace_back(value->substr(1));
+      }
+    }
+  }
+  // Visits without a ranking row are dropped (inner join semantics).
+  if (counters_ != nullptr && !pending_visits_.empty()) {
+    counters_->increment(log_counters::kOrphanVisits,
+                         pending_visits_.size());
+  }
+}
+
+}  // namespace textmr::apps

@@ -1,0 +1,133 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/access_log.hpp"
+#include "apps/inverted_index.hpp"
+#include "apps/pagerank.hpp"
+#include "apps/pos_tag.hpp"
+#include "apps/syntext.hpp"
+#include "apps/wordcount.hpp"
+#include "mr/types.hpp"
+
+namespace textmr::apps {
+
+/// Which of the paper's datasets an application consumes.
+enum class Dataset { kCorpus, kAccessLog, kAccessLogWithRankings, kWebGraph };
+
+/// One of the paper's six benchmark applications, packaged as the
+/// factories a JobSpec needs plus the paper's per-app frequency-buffering
+/// parameters (§V-B2: k=3000, s=0.01 for the text apps; k=10000, s=0.1
+/// for the log apps; PageRank grouped with the log side).
+struct AppBundle {
+  std::string name;
+  bool text_centric = false;
+  Dataset dataset = Dataset::kCorpus;
+  mr::MapperFactory mapper;
+  mr::ReducerFactory reducer;
+  mr::ReducerFactory combiner;  // empty if the app has none
+  std::size_t freq_top_k = 3000;
+  double freq_sampling_fraction = 0.01;
+};
+
+inline AppBundle wordcount_app() {
+  return AppBundle{
+      "WordCount",
+      true,
+      Dataset::kCorpus,
+      [] { return std::make_unique<WordCountMapper>(); },
+      [] { return std::make_unique<WordCountReducer>(); },
+      [] { return std::make_unique<WordCountCombiner>(); },
+      3000,
+      0.01,
+  };
+}
+
+inline AppBundle inverted_index_app() {
+  return AppBundle{
+      "InvertedIndex",
+      true,
+      Dataset::kCorpus,
+      [] { return std::make_unique<InvertedIndexMapper>(); },
+      [] { return std::make_unique<InvertedIndexReducer>(); },
+      [] { return std::make_unique<InvertedIndexCombiner>(); },
+      3000,
+      0.01,
+  };
+}
+
+inline AppBundle word_pos_tag_app(std::uint32_t work_passes = 24) {
+  return AppBundle{
+      "WordPOSTag",
+      true,
+      Dataset::kCorpus,
+      [work_passes] { return std::make_unique<WordPosTagMapper>(work_passes); },
+      [] { return std::make_unique<WordPosTagReducer>(); },
+      [] { return std::make_unique<WordPosTagCombiner>(); },
+      3000,
+      0.01,
+  };
+}
+
+inline AppBundle access_log_sum_app() {
+  return AppBundle{
+      "AccessLogSum",
+      false,
+      Dataset::kAccessLog,
+      [] { return std::make_unique<AccessLogSumMapper>(); },
+      [] { return std::make_unique<AccessLogSumReducer>(); },
+      [] { return std::make_unique<AccessLogSumCombiner>(); },
+      10000,
+      0.1,
+  };
+}
+
+inline AppBundle access_log_join_app() {
+  return AppBundle{
+      "AccessLogJoin",
+      false,
+      Dataset::kAccessLogWithRankings,
+      [] { return std::make_unique<AccessLogJoinMapper>(); },
+      [] { return std::make_unique<AccessLogJoinReducer>(); },
+      nullptr,
+      10000,
+      0.1,
+  };
+}
+
+inline AppBundle pagerank_app() {
+  return AppBundle{
+      "PageRank",
+      false,
+      Dataset::kWebGraph,
+      [] { return std::make_unique<PageRankMapper>(); },
+      [] { return std::make_unique<PageRankReducer>(); },
+      [] { return std::make_unique<PageRankCombiner>(); },
+      10000,
+      0.1,
+  };
+}
+
+inline AppBundle syntext_app(SynTextParams params) {
+  return AppBundle{
+      "SynText",
+      true,
+      Dataset::kCorpus,
+      [params] { return std::make_unique<SynTextMapper>(params); },
+      [params] { return std::make_unique<SynTextReducer>(params); },
+      [params] { return std::make_unique<SynTextCombiner>(params); },
+      3000,
+      0.01,
+  };
+}
+
+/// All six paper applications in the paper's presentation order.
+inline std::vector<AppBundle> paper_apps(std::uint32_t pos_work_passes = 24) {
+  return {wordcount_app(),      inverted_index_app(),
+          word_pos_tag_app(pos_work_passes), access_log_sum_app(),
+          access_log_join_app(), pagerank_app()};
+}
+
+}  // namespace textmr::apps

@@ -1,0 +1,119 @@
+#include "apps/pagerank.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+#include "apps/tokenizer.hpp"
+
+namespace textmr::apps {
+namespace {
+
+struct GraphLine {
+  std::string_view url;
+  double rank = 0.0;
+  std::string_view links;  // comma-separated, may be empty
+  bool ok = false;
+};
+
+GraphLine parse_graph_line(std::string_view line) {
+  GraphLine result;
+  const std::size_t tab1 = line.find('\t');
+  if (tab1 == std::string_view::npos) return result;
+  const std::size_t tab2 = line.find('\t', tab1 + 1);
+  if (tab2 == std::string_view::npos) return result;
+  result.url = line.substr(0, tab1);
+  const std::string_view rank_text = line.substr(tab1 + 1, tab2 - tab1 - 1);
+  const auto [ptr, ec] = std::from_chars(
+      rank_text.data(), rank_text.data() + rank_text.size(), result.rank);
+  if (ec != std::errc()) return result;
+  result.links = line.substr(tab2 + 1);
+  result.ok = true;
+  return result;
+}
+
+void format_rank(std::string& out, double rank) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6f", rank);
+  out += buf;
+}
+
+double parse_rank(std::string_view text) {
+  double value = 0.0;
+  std::from_chars(text.data(), text.data() + text.size(), value);
+  return value;
+}
+
+}  // namespace
+
+void PageRankMapper::map(std::uint64_t /*offset*/, std::string_view line,
+                         mr::EmitSink& out) {
+  const GraphLine graph = parse_graph_line(line);
+  if (!graph.ok) return;
+
+  // Graph reconstruction record.
+  value_.clear();
+  value_.push_back('G');
+  value_.append(graph.links);
+  out.emit(graph.url, value_);
+
+  if (graph.links.empty()) return;
+  std::size_t out_degree = 1;
+  for (char c : graph.links) {
+    if (c == ',') ++out_degree;
+  }
+  const double share = graph.rank / static_cast<double>(out_degree);
+  for_each_field(graph.links, ',', [&](std::size_t, std::string_view target) {
+    if (target.empty()) return;
+    value_.clear();
+    value_.push_back('R');
+    format_rank(value_, share);
+    out.emit(target, value_);
+  });
+}
+
+void PageRankCombiner::reduce(std::string_view key, mr::ValueStream& values,
+                              mr::EmitSink& out) {
+  double rank_sum = 0.0;
+  bool saw_rank = false;
+  while (auto value = values.next()) {
+    if (value->empty()) continue;
+    if ((*value)[0] == 'R') {
+      rank_sum += parse_rank(value->substr(1));
+      saw_rank = true;
+    } else {
+      out.emit(key, *value);  // pass graph records through
+    }
+  }
+  if (saw_rank) {
+    value_.clear();
+    value_.push_back('R');
+    format_rank(value_, rank_sum);
+    out.emit(key, value_);
+  }
+}
+
+void PageRankReducer::reduce(std::string_view key, mr::ValueStream& values,
+                             mr::EmitSink& out) {
+  double rank_sum = 0.0;
+  std::string links;
+  bool saw_graph = false;
+  while (auto value = values.next()) {
+    if (value->empty()) continue;
+    if ((*value)[0] == 'R') {
+      rank_sum += parse_rank(value->substr(1));
+    } else if ((*value)[0] == 'G') {
+      links.assign(value->substr(1));
+      saw_graph = true;
+    }
+  }
+  const double new_rank = (1.0 - kPageRankDamping) + kPageRankDamping * rank_sum;
+  text_.clear();
+  format_rank(text_, new_rank);
+  text_.push_back('\t');
+  // Pages that only appear as link targets (no graph record) get an empty
+  // adjacency list, keeping the output a valid next-iteration input.
+  if (saw_graph) text_ += links;
+  out.emit(key, text_);
+}
+
+}  // namespace textmr::apps

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "mr/types.hpp"
+
+namespace textmr::apps {
+
+/// One PageRank iteration (paper §II-B) over the web graph format
+/// `url \t rank \t out1,out2,...`:
+///
+///   map:    (url, 'G' + outlinks)             — graph reconstruction
+///           (target, 'R' + rank/out_degree)   — one share per outlink
+///   combine: sums 'R' shares per key, passes 'G' records through
+///   reduce: rank' = (1-d) + d * sum(shares); emits url \t rank' \t links
+///
+/// Damping factor d = 0.85. Rank shares are carried as decimal text (the
+/// era-appropriate Hadoop representation — deserialization cost is part
+/// of what Fig. 2 measures).
+inline constexpr double kPageRankDamping = 0.85;
+
+class PageRankMapper final : public mr::Mapper {
+ public:
+  void map(std::uint64_t offset, std::string_view line,
+           mr::EmitSink& out) override;
+
+ private:
+  std::string value_;
+};
+
+/// Sums rank shares; forwards graph records unchanged. Key-preserving.
+class PageRankCombiner final : public mr::Reducer {
+ public:
+  void reduce(std::string_view key, mr::ValueStream& values,
+              mr::EmitSink& out) override;
+
+ private:
+  std::string value_;
+};
+
+class PageRankReducer final : public mr::Reducer {
+ public:
+  void reduce(std::string_view key, mr::ValueStream& values,
+              mr::EmitSink& out) override;
+
+ private:
+  std::string text_;
+};
+
+}  // namespace textmr::apps

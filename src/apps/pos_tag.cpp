@@ -1,0 +1,237 @@
+#include "apps/pos_tag.hpp"
+
+#include <cmath>
+
+#include "common/hash.hpp"
+#include "common/varint.hpp"
+#include "apps/tokenizer.hpp"
+
+namespace textmr::apps {
+namespace {
+
+struct LexiconEntry {
+  std::string_view word;
+  PosTag tag;
+};
+
+/// Closed-class words: unambiguous high-frequency function words.
+constexpr LexiconEntry kLexicon[] = {
+    {"the", PosTag::kDeterminer},   {"a", PosTag::kDeterminer},
+    {"an", PosTag::kDeterminer},    {"this", PosTag::kDeterminer},
+    {"that", PosTag::kDeterminer},  {"these", PosTag::kDeterminer},
+    {"of", PosTag::kPreposition},   {"in", PosTag::kPreposition},
+    {"on", PosTag::kPreposition},   {"at", PosTag::kPreposition},
+    {"by", PosTag::kPreposition},   {"for", PosTag::kPreposition},
+    {"with", PosTag::kPreposition}, {"from", PosTag::kPreposition},
+    {"to", PosTag::kPreposition},   {"and", PosTag::kConjunction},
+    {"or", PosTag::kConjunction},   {"but", PosTag::kConjunction},
+    {"nor", PosTag::kConjunction},  {"i", PosTag::kPronoun},
+    {"you", PosTag::kPronoun},      {"he", PosTag::kPronoun},
+    {"she", PosTag::kPronoun},      {"it", PosTag::kPronoun},
+    {"we", PosTag::kPronoun},       {"they", PosTag::kPronoun},
+    {"is", PosTag::kVerb},          {"are", PosTag::kVerb},
+    {"was", PosTag::kVerbPast},     {"were", PosTag::kVerbPast},
+    {"be", PosTag::kVerb},          {"been", PosTag::kVerbPast},
+    {"very", PosTag::kAdverb},      {"not", PosTag::kAdverb},
+};
+
+bool ends_with(std::string_view word, std::string_view suffix) {
+  return word.size() >= suffix.size() &&
+         word.substr(word.size() - suffix.size()) == suffix;
+}
+
+bool is_numeric(std::string_view word) {
+  for (char c : word) {
+    if (c < '0' || c > '9') return false;
+  }
+  return !word.empty();
+}
+
+}  // namespace
+
+const char* pos_tag_name(PosTag tag) {
+  switch (tag) {
+    case PosTag::kNoun: return "NN";
+    case PosTag::kPluralNoun: return "NNS";
+    case PosTag::kProperNoun: return "NNP";
+    case PosTag::kVerb: return "VB";
+    case PosTag::kVerbPast: return "VBD";
+    case PosTag::kVerbGerund: return "VBG";
+    case PosTag::kAdjective: return "JJ";
+    case PosTag::kAdverb: return "RB";
+    case PosTag::kDeterminer: return "DT";
+    case PosTag::kPreposition: return "IN";
+    case PosTag::kPronoun: return "PRP";
+    case PosTag::kConjunction: return "CC";
+    case PosTag::kNumber: return "CD";
+    case PosTag::kOther: return "X";
+    case PosTag::kNumTags: break;
+  }
+  return "?";
+}
+
+PosTagger::PosTagger(std::uint32_t work_passes)
+    : work_passes_(work_passes == 0 ? 1 : work_passes) {}
+
+PosTag PosTagger::tag_word(std::string_view word) const {
+  for (const auto& entry : kLexicon) {
+    if (entry.word == word) return entry.tag;
+  }
+  if (is_numeric(word)) return PosTag::kNumber;
+  if (ends_with(word, "ing")) return PosTag::kVerbGerund;
+  if (ends_with(word, "ed")) return PosTag::kVerbPast;
+  if (ends_with(word, "ly")) return PosTag::kAdverb;
+  if (ends_with(word, "tion") || ends_with(word, "ment") ||
+      ends_with(word, "ness") || ends_with(word, "ity")) {
+    return PosTag::kNoun;
+  }
+  if (ends_with(word, "ous") || ends_with(word, "ful") ||
+      ends_with(word, "ive") || ends_with(word, "able")) {
+    return PosTag::kAdjective;
+  }
+  if (ends_with(word, "s")) return PosTag::kPluralNoun;
+  return PosTag::kNoun;
+}
+
+double PosTagger::lexical_score(std::string_view word, PosTag tag) const {
+  // Deterministic pseudo-emission score: a hash-derived base biased toward
+  // the suffix-rule tag. This is the per-(word, tag) feature evaluation
+  // that makes tagging CPU-bound, as with a real statistical tagger.
+  const std::uint64_t h = mix64(
+      fnv1a64(word) ^ (0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(tag) + 1)));
+  double score = static_cast<double>(h & 0xffff) / 65536.0;
+  if (tag_word(word) == tag) score += 1.5;
+  return score;
+}
+
+double PosTagger::transition_score(PosTag prev, PosTag cur) const {
+  // Hand-written bigram preferences (the contextual knowledge a trained
+  // model would encode).
+  if (prev == PosTag::kDeterminer &&
+      (cur == PosTag::kNoun || cur == PosTag::kAdjective ||
+       cur == PosTag::kPluralNoun)) {
+    return 1.0;
+  }
+  if (prev == PosTag::kPreposition &&
+      (cur == PosTag::kDeterminer || cur == PosTag::kNoun)) {
+    return 0.8;
+  }
+  if (prev == PosTag::kPronoun &&
+      (cur == PosTag::kVerb || cur == PosTag::kVerbPast)) {
+    return 0.9;
+  }
+  if (prev == PosTag::kAdjective && cur == PosTag::kNoun) return 0.7;
+  if (prev == PosTag::kAdverb &&
+      (cur == PosTag::kVerb || cur == PosTag::kAdjective)) {
+    return 0.6;
+  }
+  if (prev == PosTag::kDeterminer && cur == PosTag::kDeterminer) return -1.0;
+  return 0.0;
+}
+
+void PosTagger::tag_sentence(const std::vector<std::string>& tokens,
+                             std::vector<PosTag>& tags_out) const {
+  tags_out.resize(tokens.size());
+  if (tokens.empty()) return;
+
+  // Initial assignment from lexicon + suffix rules.
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    tags_out[i] = tag_word(tokens[i]);
+  }
+
+  // Iterative contextual re-scoring: each pass re-evaluates every token
+  // against all candidate tags given its neighbours' current tags and
+  // keeps the argmax. Multiple passes let changes propagate, and also set
+  // the application's CPU intensity (paper: WordPOSTag's map() is
+  // "extremely computationally intensive").
+  for (std::uint32_t pass = 0; pass < work_passes_; ++pass) {
+    bool changed = false;
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+      const PosTag prev = (i > 0) ? tags_out[i - 1] : PosTag::kOther;
+      const PosTag next =
+          (i + 1 < tokens.size()) ? tags_out[i + 1] : PosTag::kOther;
+      PosTag best = tags_out[i];
+      double best_score = -1e9;
+      for (std::size_t t = 0; t < kNumPosTags - 1; ++t) {
+        const PosTag candidate = static_cast<PosTag>(t);
+        const double score = lexical_score(tokens[i], candidate) +
+                             transition_score(prev, candidate) +
+                             transition_score(candidate, next);
+        if (score > best_score) {
+          best_score = score;
+          best = candidate;
+        }
+      }
+      if (best != tags_out[i]) {
+        tags_out[i] = best;
+        changed = true;
+      }
+    }
+    if (changed && pass + 1 == work_passes_) {
+      // Converged or out of budget; either way we stop (fixed work per
+      // sentence keeps the benchmark deterministic).
+      break;
+    }
+  }
+}
+
+namespace tagcounts {
+
+void encode(std::string& out,
+            const std::array<std::uint64_t, kNumPosTags>& counts) {
+  out.clear();
+  for (const std::uint64_t count : counts) put_varint(out, count);
+}
+
+void decode_add(std::string_view bytes,
+                std::array<std::uint64_t, kNumPosTags>& counts) {
+  std::size_t pos = 0;
+  for (auto& count : counts) count += get_varint(bytes, pos);
+}
+
+}  // namespace tagcounts
+
+void WordPosTagMapper::map(std::uint64_t /*offset*/, std::string_view line,
+                           mr::EmitSink& out) {
+  tokens_.clear();
+  for_each_token(line, scratch_, [&](std::string_view token) {
+    tokens_.emplace_back(token);
+  });
+  tagger_.tag_sentence(tokens_, tags_);
+  std::array<std::uint64_t, kNumPosTags> counts{};
+  for (std::size_t i = 0; i < tokens_.size(); ++i) {
+    counts.fill(0);
+    counts[static_cast<std::size_t>(tags_[i])] = 1;
+    tagcounts::encode(value_, counts);
+    out.emit(tokens_[i], value_);
+  }
+}
+
+void WordPosTagCombiner::reduce(std::string_view key, mr::ValueStream& values,
+                                mr::EmitSink& out) {
+  std::array<std::uint64_t, kNumPosTags> counts{};
+  while (auto value = values.next()) {
+    tagcounts::decode_add(*value, counts);
+  }
+  tagcounts::encode(value_, counts);
+  out.emit(key, value_);
+}
+
+void WordPosTagReducer::reduce(std::string_view key, mr::ValueStream& values,
+                               mr::EmitSink& out) {
+  std::array<std::uint64_t, kNumPosTags> counts{};
+  while (auto value = values.next()) {
+    tagcounts::decode_add(*value, counts);
+  }
+  text_.clear();
+  for (std::size_t t = 0; t < kNumPosTags; ++t) {
+    if (counts[t] == 0) continue;
+    if (!text_.empty()) text_.push_back(' ');
+    text_ += pos_tag_name(static_cast<PosTag>(t));
+    text_.push_back(':');
+    text_ += std::to_string(counts[t]);
+  }
+  out.emit(key, text_);
+}
+
+}  // namespace textmr::apps

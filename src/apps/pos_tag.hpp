@@ -1,0 +1,116 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mr/types.hpp"
+
+namespace textmr::apps {
+
+/// Part-of-speech tag set (a compact Penn-Treebank-style inventory).
+enum class PosTag : std::uint8_t {
+  kNoun = 0,
+  kPluralNoun,
+  kProperNoun,
+  kVerb,
+  kVerbPast,
+  kVerbGerund,
+  kAdjective,
+  kAdverb,
+  kDeterminer,
+  kPreposition,
+  kPronoun,
+  kConjunction,
+  kNumber,
+  kOther,
+  kNumTags,
+};
+
+constexpr std::size_t kNumPosTags = static_cast<std::size_t>(PosTag::kNumTags);
+
+const char* pos_tag_name(PosTag tag);
+
+/// Rule-based POS tagger: a closed-class lexicon, suffix/shape rules, and
+/// an iterative contextual re-scoring pass over each sentence (in the
+/// spirit of Brill's transformation rules).
+///
+/// This substitutes for the paper's Apache OpenNLP tagger (WordPOSTag,
+/// §II-B footnote 1). Its experimental role there is to be the
+/// CPU-intensive extreme among the benchmarks — map() dominating all
+/// framework costs — so the tagger exposes `work_passes`: the number of
+/// contextual re-scoring iterations, each a real O(sentence × tags)
+/// scoring sweep. The default is calibrated to make tagging cost dominate
+/// tokenization by roughly the OpenNLP/WordCount ratio in the paper's
+/// Fig. 2.
+class PosTagger {
+ public:
+  explicit PosTagger(std::uint32_t work_passes = 24);
+
+  /// Tags every token of a sentence. `tokens` views must stay valid for
+  /// the call. Returns one tag per token.
+  void tag_sentence(const std::vector<std::string>& tokens,
+                    std::vector<PosTag>& tags_out) const;
+
+  /// Tags one word with no sentence context (lexicon + suffix rules only).
+  PosTag tag_word(std::string_view word) const;
+
+ private:
+  double lexical_score(std::string_view word, PosTag tag) const;
+  double transition_score(PosTag prev, PosTag cur) const;
+
+  std::uint32_t work_passes_;
+};
+
+/// WordPOSTag application (paper §II-B): map() tags each word of the line
+/// and emits (word, counter-array) where the array counts how many times
+/// the word was assigned each tag; combine and reduce sum the arrays.
+///
+/// Intermediate value encoding: kNumPosTags varints.
+namespace tagcounts {
+
+void encode(std::string& out, const std::array<std::uint64_t, kNumPosTags>& counts);
+void decode_add(std::string_view bytes,
+                std::array<std::uint64_t, kNumPosTags>& counts);
+
+}  // namespace tagcounts
+
+class WordPosTagMapper final : public mr::Mapper {
+ public:
+  explicit WordPosTagMapper(std::uint32_t work_passes = 24)
+      : tagger_(work_passes) {}
+
+  void map(std::uint64_t offset, std::string_view line,
+           mr::EmitSink& out) override;
+
+ private:
+  PosTagger tagger_;
+  std::string scratch_;
+  std::vector<std::string> tokens_;
+  std::vector<PosTag> tags_;
+  std::string value_;
+};
+
+/// Sums counter arrays; combiner form (binary output).
+class WordPosTagCombiner final : public mr::Reducer {
+ public:
+  void reduce(std::string_view key, mr::ValueStream& values,
+              mr::EmitSink& out) override;
+
+ private:
+  std::string value_;
+};
+
+/// Final reducer: emits "TAG:count TAG:count ..." for nonzero tags.
+class WordPosTagReducer final : public mr::Reducer {
+ public:
+  void reduce(std::string_view key, mr::ValueStream& values,
+              mr::EmitSink& out) override;
+
+ private:
+  std::string text_;
+};
+
+}  // namespace textmr::apps

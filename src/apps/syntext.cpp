@@ -1,0 +1,87 @@
+#include "apps/syntext.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/hash.hpp"
+#include "apps/tokenizer.hpp"
+
+namespace textmr::apps {
+namespace {
+
+/// Deterministic compute kernel: `rounds` iterations of 64-bit mixing.
+/// The result is folded into the output so the optimizer cannot elide it.
+std::uint64_t burn_cpu(std::uint64_t seed, std::uint64_t rounds) {
+  std::uint64_t x = seed | 1;
+  for (std::uint64_t i = 0; i < rounds; ++i) {
+    x = textmr::mix64(x + i);
+  }
+  return x;
+}
+
+/// Fills `out` with `size` deterministic bytes derived from `seed`.
+void fill_payload(std::string& out, std::uint64_t seed, std::uint64_t size) {
+  out.clear();
+  out.reserve(size);
+  std::uint64_t x = seed;
+  while (out.size() < size) {
+    x = textmr::mix64(x);
+    const std::size_t take =
+        std::min<std::size_t>(8, static_cast<std::size_t>(size) - out.size());
+    for (std::size_t b = 0; b < take; ++b) {
+      out.push_back(static_cast<char>('a' + ((x >> (8 * b)) % 26)));
+    }
+  }
+}
+
+/// Rounds of mixing per token at cpu_intensity == 1, roughly matching
+/// WordCount's per-token map cost so intensities read as multiples of it.
+constexpr std::uint64_t kBaseRounds = 8;
+
+}  // namespace
+
+void SynTextMapper::map(std::uint64_t /*offset*/, std::string_view line,
+                        mr::EmitSink& out) {
+  const std::uint64_t rounds = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(params_.cpu_intensity *
+                                    static_cast<double>(kBaseRounds)));
+  for_each_token(line, scratch_, [&](std::string_view token) {
+    const std::uint64_t mixed = burn_cpu(textmr::fnv1a64(token), rounds);
+    fill_payload(value_, mixed, params_.base_value_bytes);
+    out.emit(token, value_);
+  });
+}
+
+void SynTextCombiner::reduce(std::string_view key, mr::ValueStream& values,
+                             mr::EmitSink& out) {
+  std::uint64_t total_bytes = 0;
+  std::uint64_t checksum = textmr::fnv1a64(key);
+  while (auto value = values.next()) {
+    total_bytes += value->size();
+    checksum = textmr::mix64(checksum ^ textmr::fnv1a64(*value));
+  }
+  // Output size models the app's aggregation behaviour: base bytes plus a
+  // storage_intensity share of the excess (paper's "average growth in
+  // output size when two records are aggregated").
+  const std::uint64_t base = params_.base_value_bytes;
+  const std::uint64_t excess =
+      total_bytes > base ? total_bytes - base : 0;
+  const std::uint64_t out_size =
+      base + static_cast<std::uint64_t>(params_.storage_intensity *
+                                        static_cast<double>(excess));
+  fill_payload(value_, checksum, out_size);
+  out.emit(key, value_);
+}
+
+void SynTextReducer::reduce(std::string_view key, mr::ValueStream& values,
+                            mr::EmitSink& out) {
+  std::uint64_t total_bytes = 0;
+  std::uint64_t count = 0;
+  while (auto value = values.next()) {
+    total_bytes += value->size();
+    ++count;
+  }
+  out.emit(key, std::to_string(count) + ":" + std::to_string(total_bytes));
+}
+
+}  // namespace textmr::apps

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "mr/types.hpp"
+
+namespace textmr::apps {
+
+/// SynText (paper §V-D, Fig. 10): a parameterizable text-centric job that
+/// sweeps the space between WordCount (cheap map, shrinking combine) and
+/// the hard cases.
+///
+/// * `cpu_intensity` — multiplicative map() compute factor over
+///   WordCount: each token pays `cpu_intensity` rounds of a deterministic
+///   mixing loop (1 ~ WordCount's trivial map; large values approach
+///   WordPOSTag).
+/// * `storage_intensity` — growth of combine() output: combining values
+///   with total payload T yields one value of size
+///   base + storage_intensity * (T - base). 0 collapses to a fixed-size
+///   aggregate (WordCount-like); 1 concatenates (InvertedIndex-like).
+struct SynTextParams {
+  double cpu_intensity = 1.0;
+  double storage_intensity = 0.0;
+  std::uint32_t base_value_bytes = 8;
+};
+
+class SynTextMapper final : public mr::Mapper {
+ public:
+  explicit SynTextMapper(SynTextParams params) : params_(params) {}
+
+  void map(std::uint64_t offset, std::string_view line,
+           mr::EmitSink& out) override;
+
+ private:
+  SynTextParams params_;
+  std::string scratch_;
+  std::string value_;
+};
+
+class SynTextCombiner final : public mr::Reducer {
+ public:
+  explicit SynTextCombiner(SynTextParams params) : params_(params) {}
+
+  void reduce(std::string_view key, mr::ValueStream& values,
+              mr::EmitSink& out) override;
+
+ private:
+  SynTextParams params_;
+  std::string value_;
+};
+
+/// Final reducer reports the aggregated payload size per key (the
+/// output's content does not matter for the benchmark; its size does).
+class SynTextReducer final : public mr::Reducer {
+ public:
+  explicit SynTextReducer(SynTextParams params) : params_(params) {}
+
+  void reduce(std::string_view key, mr::ValueStream& values,
+              mr::EmitSink& out) override;
+
+ private:
+  SynTextParams params_;
+};
+
+}  // namespace textmr::apps

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace textmr::apps {
+
+/// Streaming word tokenizer used by the text-centric applications:
+/// splits on any non-alphanumeric byte and lowercases ASCII letters.
+/// `fn` receives each normalized token as a view into `scratch`, valid
+/// only during the call.
+template <typename Fn>
+void for_each_token(std::string_view line, std::string& scratch, Fn&& fn) {
+  scratch.clear();
+  for (std::size_t i = 0; i <= line.size(); ++i) {
+    const char c = (i < line.size()) ? line[i] : ' ';
+    if ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')) {
+      scratch.push_back(c);
+    } else if (c >= 'A' && c <= 'Z') {
+      scratch.push_back(static_cast<char>(c - 'A' + 'a'));
+    } else {
+      if (!scratch.empty()) {
+        fn(std::string_view(scratch));
+        scratch.clear();
+      }
+    }
+  }
+}
+
+/// Splits `line` on `sep`, invoking `fn(index, field)` per field.
+/// Returns the number of fields.
+template <typename Fn>
+std::size_t for_each_field(std::string_view line, char sep, Fn&& fn) {
+  std::size_t index = 0;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t end = line.find(sep, start);
+    const std::string_view field =
+        line.substr(start, end == std::string_view::npos ? std::string_view::npos
+                                                         : end - start);
+    fn(index, field);
+    ++index;
+    if (end == std::string_view::npos) break;
+    start = end + 1;
+  }
+  return index;
+}
+
+}  // namespace textmr::apps

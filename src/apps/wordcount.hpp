@@ -1,0 +1,63 @@
+#pragma once
+
+#include <string>
+
+#include "common/varint.hpp"
+#include "apps/tokenizer.hpp"
+#include "mr/types.hpp"
+
+namespace textmr::apps {
+
+/// WordCount (paper §II-B): map emits (word, 1); combine and reduce sum.
+/// Intermediate counts are varint-encoded; the final reducer formats
+/// decimal text.
+class WordCountMapper final : public mr::Mapper {
+ public:
+  void map(std::uint64_t /*offset*/, std::string_view line,
+           mr::EmitSink& out) override {
+    for_each_token(line, scratch_, [&](std::string_view token) {
+      value_.clear();
+      put_varint(value_, 1);
+      out.emit(token, value_);
+    });
+  }
+
+ private:
+  std::string scratch_;
+  std::string value_;
+};
+
+/// Sums varint-encoded counts; used as the combiner (re-emits varint).
+class WordCountCombiner final : public mr::Reducer {
+ public:
+  void reduce(std::string_view key, mr::ValueStream& values,
+              mr::EmitSink& out) override {
+    std::uint64_t total = 0;
+    while (auto value = values.next()) {
+      std::size_t pos = 0;
+      total += get_varint(*value, pos);
+    }
+    value_.clear();
+    put_varint(value_, total);
+    out.emit(key, value_);
+  }
+
+ private:
+  std::string value_;
+};
+
+/// Final reducer: sums and emits decimal text.
+class WordCountReducer final : public mr::Reducer {
+ public:
+  void reduce(std::string_view key, mr::ValueStream& values,
+              mr::EmitSink& out) override {
+    std::uint64_t total = 0;
+    while (auto value = values.next()) {
+      std::size_t pos = 0;
+      total += get_varint(*value, pos);
+    }
+    out.emit(key, std::to_string(total));
+  }
+};
+
+}  // namespace textmr::apps

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace textmr {
+
+/// Base class for all errors thrown by the textmr library.
+///
+/// The library follows the C++ Core Guidelines convention of using
+/// exceptions for error handling: failures that a caller cannot reasonably
+/// recover from locally (I/O failures, configuration errors, invariant
+/// violations) throw subclasses of `Error`.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when an on-disk or in-memory record stream is malformed.
+class FormatError : public Error {
+ public:
+  explicit FormatError(const std::string& what) : Error("format error: " + what) {}
+};
+
+/// Thrown on filesystem / OS-level I/O failures.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error("io error: " + what) {}
+};
+
+/// Thrown when a JobSpec or component configuration is invalid.
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error("config error: " + what) {}
+};
+
+/// Internal invariant violation; indicates a bug in textmr itself.
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error("internal error: " + what) {}
+};
+
+#define TEXTMR_CHECK(cond, msg)                       \
+  do {                                                \
+    if (!(cond)) {                                    \
+      throw ::textmr::InternalError(                  \
+          std::string(__FILE__) + ":" +               \
+          std::to_string(__LINE__) + ": " + (msg));   \
+    }                                                 \
+  } while (0)
+
+}  // namespace textmr

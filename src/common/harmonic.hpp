@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/error.hpp"
+
+namespace textmr {
+
+/// Generalized harmonic number H_{m,alpha} = sum_{j=1..m} j^{-alpha}.
+///
+/// Used by the auto-tuning profiler (paper §III-C) to pick the sampling
+/// fraction s from  n*s >= k^alpha * H_{m,alpha}.  For large m the direct
+/// sum is replaced by an Euler–Maclaurin tail approximation so the profiler
+/// can evaluate it for vocabulary sizes in the tens of millions at
+/// negligible cost.
+inline double generalized_harmonic(std::uint64_t m, double alpha) {
+  TEXTMR_CHECK(m >= 1, "harmonic number needs m >= 1");
+  // Exact summation for the head; it dominates the value for alpha ~ 1.
+  constexpr std::uint64_t kExactTerms = 100000;
+  const std::uint64_t head = (m < kExactTerms) ? m : kExactTerms;
+  double sum = 0.0;
+  for (std::uint64_t j = 1; j <= head; ++j) {
+    sum += std::pow(static_cast<double>(j), -alpha);
+  }
+  if (head == m) return sum;
+
+  // Euler–Maclaurin for the tail sum_{j=head+1..m} j^-alpha:
+  //   integral_{head}^{m} x^-alpha dx
+  //   + (m^-alpha - head^-alpha)/2 + alpha*(head^-(alpha+1) - m^-(alpha+1))/12
+  const double a = static_cast<double>(head);
+  const double b = static_cast<double>(m);
+  double integral;
+  if (std::fabs(alpha - 1.0) < 1e-12) {
+    integral = std::log(b) - std::log(a);
+  } else {
+    integral = (std::pow(b, 1.0 - alpha) - std::pow(a, 1.0 - alpha)) / (1.0 - alpha);
+  }
+  const double trapezoid = 0.5 * (std::pow(b, -alpha) - std::pow(a, -alpha));
+  const double bernoulli =
+      alpha / 12.0 * (std::pow(a, -alpha - 1.0) - std::pow(b, -alpha - 1.0));
+  return sum + integral + trapezoid + bernoulli;
+}
+
+}  // namespace textmr

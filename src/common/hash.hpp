@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace textmr {
+
+/// 64-bit FNV-1a over a byte string. Deterministic across platforms, which
+/// matters for the hash Partitioner: a job's partition assignment (and hence
+/// its output layout) must be reproducible run to run.
+constexpr std::uint64_t fnv1a64(std::string_view bytes) noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (char c : bytes) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+/// Finalizer from splitmix64; used to decorrelate fnv1a output bits before
+/// taking a modulus (fnv1a's low bits are weak for short keys).
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+constexpr std::uint64_t hash_key(std::string_view key) noexcept {
+  return mix64(fnv1a64(key));
+}
+
+}  // namespace textmr

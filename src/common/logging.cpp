@@ -1,0 +1,40 @@
+#include "common/logging.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace textmr {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_level(LogLevel level) { level_ = level; }
+
+void Logger::write(LogLevel level, const std::string& message) {
+  static const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fprintf(stderr, "[textmr %s] %s\n",
+               kNames[static_cast<int>(level)], message.c_str());
+}
+
+void set_log_level(LogLevel level) { Logger::instance().set_level(level); }
+
+namespace detail {
+
+LogLine::LogLine(LogLevel level, const char* file, int line)
+    : level_(level),
+      enabled_(level >= Logger::instance().level() && level != LogLevel::kOff) {
+  if (enabled_) {
+    const char* base = std::strrchr(file, '/');
+    stream_ << (base ? base + 1 : file) << ":" << line << " ";
+  }
+}
+
+LogLine::~LogLine() {
+  if (enabled_) Logger::instance().write(level_, stream_.str());
+}
+
+}  // namespace detail
+}  // namespace textmr

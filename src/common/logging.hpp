@@ -1,0 +1,57 @@
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace textmr {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Minimal thread-safe leveled logger writing to stderr.
+///
+/// The runtime is instrumented heavily; logging is off by default in tests
+/// and benchmarks so that measured abstraction costs are not polluted by
+/// logging I/O. Control globally with `set_log_level`.
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level);
+  LogLevel level() const { return level_; }
+
+  void write(LogLevel level, const std::string& message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+  std::mutex mu_;
+};
+
+void set_log_level(LogLevel level);
+
+namespace detail {
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line);
+  ~LogLine();
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+#define TEXTMR_LOG(level) \
+  ::textmr::detail::LogLine(::textmr::LogLevel::level, __FILE__, __LINE__)
+
+}  // namespace textmr

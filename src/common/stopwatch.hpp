@@ -1,0 +1,34 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace textmr {
+
+/// Monotonic nanosecond clock used by all instrumentation.
+inline std::uint64_t monotonic_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Simple accumulate-able stopwatch.
+class Stopwatch {
+ public:
+  void start() { start_ns_ = monotonic_ns(); }
+
+  /// Stops and adds the elapsed interval to the accumulated total.
+  void stop() { total_ns_ += monotonic_ns() - start_ns_; }
+
+  std::uint64_t total_ns() const { return total_ns_; }
+  double total_seconds() const { return static_cast<double>(total_ns_) * 1e-9; }
+
+  void reset() { total_ns_ = 0; }
+
+ private:
+  std::uint64_t start_ns_ = 0;
+  std::uint64_t total_ns_ = 0;
+};
+
+}  // namespace textmr

@@ -1,0 +1,54 @@
+#include "common/tempdir.hpp"
+
+#include <atomic>
+#include <random>
+
+#include "common/error.hpp"
+
+namespace textmr {
+namespace {
+
+std::atomic<std::uint64_t> g_counter{0};
+
+}  // namespace
+
+TempDir::TempDir(const std::string& prefix) {
+  const auto base = std::filesystem::temp_directory_path();
+  std::random_device rd;
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    const auto name = prefix + "-" + std::to_string(rd()) + "-" +
+                      std::to_string(g_counter.fetch_add(1));
+    const auto candidate = base / name;
+    std::error_code ec;
+    if (std::filesystem::create_directory(candidate, ec)) {
+      path_ = candidate;
+      return;
+    }
+  }
+  throw IoError("could not create temporary directory under " + base.string());
+}
+
+TempDir::~TempDir() {
+  if (!path_.empty()) {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);  // best effort
+  }
+}
+
+TempDir::TempDir(TempDir&& other) noexcept : path_(std::move(other.path_)) {
+  other.path_.clear();
+}
+
+TempDir& TempDir::operator=(TempDir&& other) noexcept {
+  if (this != &other) {
+    if (!path_.empty()) {
+      std::error_code ec;
+      std::filesystem::remove_all(path_, ec);
+    }
+    path_ = std::move(other.path_);
+    other.path_.clear();
+  }
+  return *this;
+}
+
+}  // namespace textmr

@@ -1,0 +1,76 @@
+#include "common/zipf.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/harmonic.hpp"
+
+namespace textmr {
+namespace {
+
+/// helper(x) = (exp(x) - 1) / x, numerically stable near 0.
+double expm1_over_x(double x) {
+  if (std::fabs(x) > 1e-8) return std::expm1(x) / x;
+  return 1.0 + x / 2.0 * (1.0 + x / 3.0);
+}
+
+/// helper(x) = log1p(x) / x, numerically stable near 0.
+double log1p_over_x(double x) {
+  if (std::fabs(x) > 1e-8) return std::log1p(x) / x;
+  return 1.0 - x / 2.0 + x * x / 3.0;
+}
+
+}  // namespace
+
+ZipfDistribution::ZipfDistribution(std::uint64_t n, double alpha)
+    : n_(n), alpha_(alpha) {
+  TEXTMR_CHECK(n >= 1, "Zipf needs n >= 1");
+  TEXTMR_CHECK(alpha >= 0.0, "Zipf needs alpha >= 0");
+  h_integral_x1_ = h_integral(1.5) - 1.0;
+  h_integral_num_ = h_integral(static_cast<double>(n) + 0.5);
+  s_ = 2.0 - h_integral_inverse(h_integral(2.5) - h(2.0));
+  harmonic_ = generalized_harmonic(n, alpha);
+}
+
+double ZipfDistribution::h(double x) const {
+  return std::exp(-alpha_ * std::log(x));  // x^-alpha
+}
+
+// H(x) = integral of h, chosen with H(1) such that the rejection-inversion
+// identities hold: for alpha != 1, H(x) = (x^(1-alpha) - 1)/(1-alpha);
+// for alpha == 1, H(x) = log(x). Written via the stable helpers so the
+// alpha -> 1 limit is continuous.
+double ZipfDistribution::h_integral(double x) const {
+  const double log_x = std::log(x);
+  return expm1_over_x((1.0 - alpha_) * log_x) * log_x;
+}
+
+double ZipfDistribution::h_integral_inverse(double u) const {
+  double t = u * (1.0 - alpha_);
+  if (t < -1.0) t = -1.0;  // guard against rounding below the pole
+  return std::exp(log1p_over_x(t) * u);
+}
+
+std::uint64_t ZipfDistribution::operator()(Xoshiro256& rng) const {
+  // Hörmann & Derflinger (1996), "Rejection-inversion to generate variates
+  // from monotone discrete distributions".
+  while (true) {
+    const double u =
+        h_integral_num_ + rng.next_double() * (h_integral_x1_ - h_integral_num_);
+    const double x = h_integral_inverse(u);
+    std::uint64_t k = static_cast<std::uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    const double kd = static_cast<double>(k);
+    if (kd - x <= s_ || u >= h_integral(kd + 0.5) - h(kd)) {
+      return k;
+    }
+  }
+}
+
+double ZipfDistribution::pmf(std::uint64_t rank) const {
+  TEXTMR_CHECK(rank >= 1 && rank <= n_, "rank out of range");
+  return std::pow(static_cast<double>(rank), -alpha_) / harmonic_;
+}
+
+}  // namespace textmr

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace textmr {
+
+/// Zipf(alpha) sampler over ranks {1, ..., n}:  P(rank = i) ∝ i^-alpha.
+///
+/// Implements Hörmann & Derflinger's rejection-inversion method, which has
+/// O(1) setup-independent sampling cost and supports n up to 2^62 — needed
+/// because the paper's corpora have vocabularies in the tens of millions
+/// and URL universes in the hundreds of thousands.
+///
+/// alpha == 0 degenerates to the uniform distribution over ranks.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(std::uint64_t n, double alpha);
+
+  std::uint64_t n() const noexcept { return n_; }
+  double alpha() const noexcept { return alpha_; }
+
+  /// Draw one rank in [1, n].
+  std::uint64_t operator()(Xoshiro256& rng) const;
+
+  /// Exact probability of a rank (for tests; O(1) using cached H_{n,alpha}).
+  double pmf(std::uint64_t rank) const;
+
+ private:
+  double h(double x) const;
+  double h_integral(double x) const;
+  double h_integral_inverse(double u) const;
+
+  std::uint64_t n_;
+  double alpha_;
+  double h_integral_x1_;   // H(1.5) shifted
+  double h_integral_num_;  // H(n + 0.5)
+  double s_;
+  double harmonic_;        // H_{n,alpha} for pmf()
+};
+
+}  // namespace textmr

@@ -1,0 +1,159 @@
+#include "freqbuf/controller.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace textmr::freqbuf {
+
+FreqBufferController::FreqBufferController(const FreqBufConfig& config,
+                                           std::uint64_t table_budget_bytes,
+                                           mr::Reducer* combiner,
+                                           mr::EmitSink& spill_sink,
+                                           mr::TaskMetrics& metrics,
+                                           NodeKeyCache* node_cache)
+    : config_(config),
+      table_budget_bytes_(table_budget_bytes),
+      combiner_(combiner),
+      spill_sink_(spill_sink),
+      metrics_(metrics),
+      node_cache_(node_cache) {
+  TEXTMR_CHECK(config.enabled, "controller built with freqbuf disabled");
+  TEXTMR_CHECK(config.top_k >= 1, "freqbuf needs top_k >= 1");
+
+  if (config_.share_across_tasks && node_cache_ != nullptr) {
+    if (auto cached = node_cache_->get(); cached.has_value()) {
+      // A sibling task on this node already froze the set: skip straight
+      // to the optimization stage (paper §III-B).
+      start_optimize(std::move(*cached));
+      return;
+    }
+  }
+  if (config_.sampling_fraction > 0.0) {
+    // Fixed s: no pre-profiling step needed.
+    effective_s_ = std::min(config_.sampling_fraction, 1.0);
+    enter_profile_stage();
+  }
+  // Otherwise start in kPreProfile with the exact counter.
+}
+
+void FreqBufferController::set_progress(double fraction) {
+  progress_ = std::clamp(fraction, 0.0, 1.0);
+  switch (stage_) {
+    case Stage::kPreProfile:
+      if (progress_ >= config_.pre_profile_fraction && records_seen_ > 0) {
+        // Fit alpha from the exact pre-profile counts (paper §III-C).
+        auto top = pre_counts_.top(pre_counts_.distinct());
+        std::vector<std::uint64_t> freqs;
+        freqs.reserve(top.size());
+        for (const auto& [key, count] : top) freqs.push_back(count);
+        fit_ = sketch::fit_zipf(freqs);
+
+        // n: expected total intermediate records, extrapolated from the
+        // records-per-progress rate seen so far. m: distinct keys,
+        // linearly extrapolated (an upper-bound-ish heuristic; H_{m,a}
+        // is only logarithmically sensitive to it for a ~ 1).
+        const double n_estimate =
+            static_cast<double>(records_seen_) / std::max(progress_, 1e-9);
+        const double m_estimate =
+            static_cast<double>(pre_counts_.distinct()) /
+            std::max(progress_, 1e-9);
+        effective_s_ = sketch::sampling_fraction(
+            config_.top_k, fit_->alpha,
+            static_cast<std::uint64_t>(std::max(1.0, m_estimate)),
+            static_cast<std::uint64_t>(std::max(1.0, n_estimate)));
+        // The pre-profiled records count toward the sample.
+        effective_s_ = std::max(effective_s_, config_.pre_profile_fraction);
+        enter_profile_stage();
+        // Seed the Space-Saving sketch with what the exact counter knows,
+        // so the pre-profiled prefix is not wasted.
+        for (const auto& [key, count] : top) {
+          if (sketch_->size() < sketch_->capacity()) {
+            for (std::uint64_t i = 0; i < count; ++i) sketch_->offer(key);
+          }
+        }
+      }
+      break;
+    case Stage::kProfile:
+      if (progress_ >= effective_s_) freeze_keys();
+      break;
+    case Stage::kOptimize:
+      break;
+  }
+}
+
+void FreqBufferController::enter_profile_stage() {
+  const std::size_t capacity = config_.sketch_capacity != 0
+                                   ? config_.sketch_capacity
+                                   : config_.top_k * 4;
+  sketch_ = std::make_unique<sketch::SpaceSaving>(
+      std::max<std::size_t>(capacity, config_.top_k));
+  stage_ = Stage::kProfile;
+}
+
+void FreqBufferController::freeze_keys() {
+  auto entries = sketch_->top(config_.top_k);
+  std::vector<std::string> keys;
+  keys.reserve(entries.size());
+  for (auto& entry : entries) keys.push_back(std::move(entry.key));
+  if (config_.share_across_tasks && node_cache_ != nullptr) {
+    node_cache_->put(keys);
+  }
+  sketch_.reset();
+  start_optimize(std::move(keys));
+}
+
+void FreqBufferController::start_optimize(std::vector<std::string> keys) {
+  if (combiner_ == nullptr) {
+    // Without a combiner the table could only delay data, not shrink it
+    // (pure overhead); keep the profiling cost honest but absorb nothing,
+    // matching the paper's ~100% runtime for AccessLogJoin (Table III).
+    keys.clear();
+  }
+  FrequentKeyTable::Options options;
+  options.budget_bytes = table_budget_bytes_;
+  options.per_key_limit_bytes = config_.per_key_limit_bytes;
+  table_ = std::make_unique<FrequentKeyTable>(
+      std::move(keys), options, combiner_, spill_sink_, metrics_);
+  stage_ = Stage::kOptimize;
+}
+
+bool FreqBufferController::offer(std::string_view key,
+                                 std::string_view value) {
+  ++records_seen_;
+  switch (stage_) {
+    case Stage::kPreProfile: {
+      mr::ScopedTimer timer(metrics_, mr::Op::kProfile);
+      pre_counts_.offer(key);
+      return false;
+    }
+    case Stage::kProfile: {
+      mr::ScopedTimer timer(metrics_, mr::Op::kProfile);
+      sketch_->offer(key);
+      return false;
+    }
+    case Stage::kOptimize:
+      // No timer here: the table accounts its fast path to kFreqTable and
+      // its combine/evict slow paths to kCombine/kEmit themselves.
+      return table_->offer(key, value);
+  }
+  return false;
+}
+
+void FreqBufferController::finish() {
+  if (stage_ != Stage::kOptimize) {
+    // Input ended before profiling completed (tiny split): freeze now so
+    // the node cache is still populated for sibling tasks.
+    if (stage_ == Stage::kPreProfile) {
+      if (records_seen_ == 0) return;
+      enter_profile_stage();
+      for (const auto& [key, count] : pre_counts_.top(pre_counts_.distinct())) {
+        for (std::uint64_t i = 0; i < count; ++i) sketch_->offer(key);
+      }
+    }
+    freeze_keys();
+  }
+  if (table_ != nullptr) table_->flush();
+}
+
+}  // namespace textmr::freqbuf

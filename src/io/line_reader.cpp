@@ -1,0 +1,137 @@
+#include "io/line_reader.hpp"
+
+#include <cstring>
+#include <filesystem>
+
+#include "common/error.hpp"
+
+namespace textmr::io {
+
+LineReader::LineReader(const InputSplit& split, std::size_t buffer_size)
+    : buffer_(buffer_size), remaining_(split.length) {
+  TEXTMR_CHECK(buffer_size > 0, "line reader buffer must be non-empty");
+  file_ = std::fopen(split.path.c_str(), "rb");
+  if (file_ == nullptr) {
+    throw IoError("cannot open " + split.path);
+  }
+  // Hadoop's LineRecordReader trick: for a non-zero offset, seek one byte
+  // early and discard through the first newline. If a line ends exactly at
+  // offset-1 the discarded "line" is empty, so the real line starting at
+  // offset is kept; otherwise the partial line (owned by the previous
+  // split, which reads past its end to finish it) is dropped.
+  const std::uint64_t seek_to = split.offset > 0 ? split.offset - 1 : 0;
+  if (std::fseek(file_, static_cast<long>(seek_to), SEEK_SET) != 0) {
+    std::fclose(file_);
+    throw IoError("cannot seek to split offset in " + split.path);
+  }
+  if (split.offset > 0) {
+    remaining_ += 1;  // account for the extra byte at offset-1
+    while (remaining_ > 0) {
+      if (buf_begin_ == buf_end_ && !fill()) {
+        remaining_ = 0;
+        break;
+      }
+      const char* nl = static_cast<const char*>(std::memchr(
+          buffer_.data() + buf_begin_, '\n', buf_end_ - buf_begin_));
+      const std::size_t avail = buf_end_ - buf_begin_;
+      const std::size_t skip =
+          (nl != nullptr)
+              ? static_cast<std::size_t>(nl - (buffer_.data() + buf_begin_)) + 1
+              : avail;
+      const std::size_t counted =
+          static_cast<std::size_t>(std::min<std::uint64_t>(skip, remaining_));
+      buf_begin_ += skip;
+      remaining_ -= counted;
+      if (nl != nullptr) break;
+      if (counted < skip) {
+        // Newline found beyond the range end: the whole split was one
+        // partial line.
+        remaining_ = 0;
+        break;
+      }
+    }
+  }
+  initial_range_ = remaining_;  // the byte range this split's lines occupy
+}
+
+LineReader::~LineReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+bool LineReader::fill() {
+  if (at_eof_) return false;
+  buf_begin_ = 0;
+  buf_end_ = std::fread(buffer_.data(), 1, buffer_.size(), file_);
+  bytes_read_ += buf_end_;
+  if (buf_end_ == 0) {
+    at_eof_ = true;
+    return false;
+  }
+  return true;
+}
+
+std::optional<std::string_view> LineReader::next_line() {
+  // A line belongs to this split iff its first byte is inside the range.
+  if (remaining_ == 0) return std::nullopt;
+
+  line_.clear();
+  bool spanning = false;
+  while (true) {
+    if (buf_begin_ == buf_end_ && !fill()) {
+      // EOF: a final line without trailing newline still counts.
+      remaining_ = 0;
+      if (spanning && !line_.empty()) {
+        if (!line_.empty() && line_.back() == '\r') line_.pop_back();
+        return std::string_view(line_);
+      }
+      return std::nullopt;
+    }
+    const char* base = buffer_.data() + buf_begin_;
+    const std::size_t avail = buf_end_ - buf_begin_;
+    const char* nl = static_cast<const char*>(std::memchr(base, '\n', avail));
+    if (nl == nullptr) {
+      line_.append(base, avail);
+      spanning = true;
+      const std::uint64_t counted = std::min<std::uint64_t>(avail, remaining_);
+      remaining_ -= counted;
+      buf_begin_ = buf_end_;
+      continue;
+    }
+    const std::size_t line_len = static_cast<std::size_t>(nl - base);
+    const std::uint64_t consumed = line_len + 1;  // include '\n'
+    remaining_ -= std::min<std::uint64_t>(consumed, remaining_);
+    buf_begin_ += line_len + 1;
+    if (spanning) {
+      line_.append(base, line_len);
+      if (!line_.empty() && line_.back() == '\r') line_.pop_back();
+      return std::string_view(line_);
+    }
+    std::string_view view(base, line_len);
+    if (!view.empty() && view.back() == '\r') view.remove_suffix(1);
+    return view;
+  }
+}
+
+std::vector<InputSplit> make_splits(const std::string& path,
+                                    std::uint64_t target_split_bytes) {
+  TEXTMR_CHECK(target_split_bytes > 0, "split size must be positive");
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  if (ec) throw IoError("cannot stat " + path + ": " + ec.message());
+
+  std::vector<InputSplit> splits;
+  if (size == 0) return splits;
+  std::uint64_t offset = 0;
+  while (offset < size) {
+    std::uint64_t length = std::min<std::uint64_t>(target_split_bytes, size - offset);
+    // Absorb a short tail into the last split instead of creating a sliver.
+    if (size - (offset + length) < target_split_bytes / 2) {
+      length = size - offset;
+    }
+    splits.push_back(InputSplit{path, offset, length});
+    offset += length;
+  }
+  return splits;
+}
+
+}  // namespace textmr::io

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace textmr::io {
+
+/// Byte-range description of a portion of an input file. Splits follow
+/// Hadoop semantics: a reader assigned [offset, offset+length) skips the
+/// first (partial) line unless offset == 0, and reads past the end of the
+/// range until it completes the line that straddles the boundary. Together
+/// the splits of a file therefore cover every line exactly once.
+struct InputSplit {
+  std::string path;
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+
+  friend bool operator==(const InputSplit&, const InputSplit&) = default;
+};
+
+/// Buffered line reader over an InputSplit.
+///
+/// Lines are returned without their trailing '\n'. A trailing '\r' (CRLF
+/// input) is also stripped. The returned string_view is valid until the
+/// next call to `next_line`.
+class LineReader {
+ public:
+  explicit LineReader(const InputSplit& split,
+                      std::size_t buffer_size = 1 << 16);
+  ~LineReader();
+
+  LineReader(const LineReader&) = delete;
+  LineReader& operator=(const LineReader&) = delete;
+
+  /// Returns the next full line owned by this split, or nullopt at end.
+  std::optional<std::string_view> next_line();
+
+  /// Bytes consumed from the underlying file so far (includes newline
+  /// bytes and any boundary-straddling tail line). Advances in buffer-
+  /// sized jumps; use `fraction_consumed` for smooth progress.
+  std::uint64_t bytes_read() const { return bytes_read_; }
+
+  /// Fraction of the split's byte range logically consumed so far, in
+  /// [0, 1]. Record-accurate (advances per line), which the
+  /// frequency-buffering profiler relies on for its stage transitions.
+  double fraction_consumed() const {
+    if (initial_range_ == 0) return 1.0;
+    return 1.0 - static_cast<double>(remaining_) /
+                     static_cast<double>(initial_range_);
+  }
+
+ private:
+  bool fill();
+
+  std::FILE* file_ = nullptr;
+  std::vector<char> buffer_;
+  std::size_t buf_begin_ = 0;   // first unconsumed byte in buffer_
+  std::size_t buf_end_ = 0;     // one past last valid byte in buffer_
+  std::string line_;            // backing store when a line spans refills
+  std::uint64_t remaining_ = 0; // bytes of the split range not yet consumed
+  std::uint64_t initial_range_ = 0;
+  std::uint64_t bytes_read_ = 0;
+  bool at_eof_ = false;
+  bool past_range_ = false;     // consumed the full range; finishing last line
+};
+
+/// Compute splits of roughly `target_split_bytes` for a file. The final
+/// split absorbs any remainder smaller than half a split.
+std::vector<InputSplit> make_splits(const std::string& path,
+                                    std::uint64_t target_split_bytes);
+
+}  // namespace textmr::io

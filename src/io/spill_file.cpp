@@ -1,0 +1,250 @@
+#include "io/spill_file.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/varint.hpp"
+
+namespace textmr::io {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x54585252;  // "TXRR"
+constexpr std::size_t kWriteBufferBytes = 1 << 18;
+constexpr std::size_t kReadChunkBytes = 1 << 16;
+
+std::size_t varint_size(std::uint64_t v) {
+  std::size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+void encode_record(std::string& out, std::string_view key,
+                   std::string_view value, SpillFormat format) {
+  if (format == SpillFormat::kCompactVarint) {
+    textmr::put_varint(out, key.size());
+    textmr::put_varint(out, value.size());
+  } else {
+    textmr::put_fixed32(out, static_cast<std::uint32_t>(key.size()));
+    textmr::put_fixed32(out, static_cast<std::uint32_t>(value.size()));
+  }
+  out.append(key.data(), key.size());
+  out.append(value.data(), value.size());
+}
+
+std::size_t encoded_record_size(std::size_t key_size, std::size_t value_size,
+                                SpillFormat format) {
+  const std::size_t header = (format == SpillFormat::kCompactVarint)
+                                 ? varint_size(key_size) + varint_size(value_size)
+                                 : 8;
+  return header + key_size + value_size;
+}
+
+SpillRunWriter::SpillRunWriter(std::string path, std::uint32_t num_partitions,
+                               SpillFormat format)
+    : path_(std::move(path)), format_(format) {
+  TEXTMR_CHECK(num_partitions > 0, "run file needs >= 1 partition");
+  file_ = std::fopen(path_.c_str(), "wb");
+  if (file_ == nullptr) throw IoError("cannot create run file " + path_);
+  partitions_.resize(num_partitions);
+  buffer_.reserve(kWriteBufferBytes + 4096);
+}
+
+SpillRunWriter::~SpillRunWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void SpillRunWriter::flush_buffer() {
+  if (buffer_.empty()) return;
+  if (std::fwrite(buffer_.data(), 1, buffer_.size(), file_) != buffer_.size()) {
+    throw IoError("short write to " + path_);
+  }
+  buffer_.clear();
+}
+
+void SpillRunWriter::append(std::uint32_t partition, std::string_view key,
+                            std::string_view value) {
+  TEXTMR_CHECK(!finished_, "append after finish");
+  TEXTMR_CHECK(partition < partitions_.size(), "partition out of range");
+  TEXTMR_CHECK(static_cast<std::int64_t>(partition) >= current_partition_,
+               "partitions must be appended in nondecreasing order");
+  if (static_cast<std::int64_t>(partition) != current_partition_) {
+    current_partition_ = partition;
+    partitions_[partition].offset = bytes_;
+  }
+  const std::size_t before = buffer_.size();
+  encode_record(buffer_, key, value, format_);
+  const std::uint64_t record_bytes = buffer_.size() - before;
+  bytes_ += record_bytes;
+  records_ += 1;
+  partitions_[partition].bytes += record_bytes;
+  partitions_[partition].records += 1;
+  if (buffer_.size() >= kWriteBufferBytes) flush_buffer();
+}
+
+SpillRunInfo SpillRunWriter::finish() {
+  TEXTMR_CHECK(!finished_, "finish called twice");
+  finished_ = true;
+  // Partitions that received no records still need a consistent offset:
+  // point them at the position where their records would have begun.
+  std::uint64_t running = 0;
+  for (auto& extent : partitions_) {
+    if (extent.records == 0) extent.offset = running;
+    running = extent.offset + extent.bytes;
+  }
+  for (const auto& extent : partitions_) {
+    textmr::put_fixed64(buffer_, extent.offset);
+    textmr::put_fixed64(buffer_, extent.bytes);
+    textmr::put_fixed64(buffer_, extent.records);
+  }
+  textmr::put_fixed32(buffer_, static_cast<std::uint32_t>(partitions_.size()));
+  textmr::put_fixed32(buffer_, kMagic);
+  flush_buffer();
+  if (std::fclose(file_) != 0) {
+    file_ = nullptr;
+    throw IoError("close failed for " + path_);
+  }
+  file_ = nullptr;
+  return SpillRunInfo{path_, bytes_, records_, partitions_};
+}
+
+SpillRunReader::SpillRunReader(std::string path, SpillFormat format)
+    : path_(std::move(path)), format_(format) {
+  std::FILE* f = std::fopen(path_.c_str(), "rb");
+  if (f == nullptr) throw IoError("cannot open run file " + path_);
+  if (std::fseek(f, -8, SEEK_END) != 0) {
+    std::fclose(f);
+    throw FormatError("run file too small: " + path_);
+  }
+  char tail[8];
+  if (std::fread(tail, 1, 8, f) != 8) {
+    std::fclose(f);
+    throw FormatError("cannot read run footer: " + path_);
+  }
+  std::size_t pos = 0;
+  const std::string_view tail_view(tail, 8);
+  const std::uint32_t num_partitions = textmr::get_fixed32(tail_view, pos);
+  const std::uint32_t magic = textmr::get_fixed32(tail_view, pos);
+  if (magic != kMagic) {
+    std::fclose(f);
+    throw FormatError("bad magic in run file " + path_);
+  }
+  const long footer_bytes = static_cast<long>(num_partitions) * 24 + 8;
+  if (std::fseek(f, -footer_bytes, SEEK_END) != 0) {
+    std::fclose(f);
+    throw FormatError("run footer exceeds file size: " + path_);
+  }
+  std::string footer(static_cast<std::size_t>(footer_bytes) - 8, '\0');
+  if (std::fread(footer.data(), 1, footer.size(), f) != footer.size()) {
+    std::fclose(f);
+    throw FormatError("short footer read: " + path_);
+  }
+  std::fclose(f);
+  partitions_.resize(num_partitions);
+  pos = 0;
+  for (auto& extent : partitions_) {
+    extent.offset = textmr::get_fixed64(footer, pos);
+    extent.bytes = textmr::get_fixed64(footer, pos);
+    extent.records = textmr::get_fixed64(footer, pos);
+  }
+}
+
+const PartitionExtent& SpillRunReader::extent(std::uint32_t partition) const {
+  TEXTMR_CHECK(partition < partitions_.size(), "partition out of range");
+  return partitions_[partition];
+}
+
+RunCursor SpillRunReader::open(std::uint32_t partition) const {
+  return RunCursor(path_, extent(partition), format_);
+}
+
+RunCursor::RunCursor(const std::string& path, const PartitionExtent& extent,
+                     SpillFormat format)
+    : format_(format),
+      remaining_bytes_(extent.bytes),
+      remaining_records_(extent.records) {
+  if (extent.records == 0) return;  // never opens the file
+  file_ = std::fopen(path.c_str(), "rb");
+  if (file_ == nullptr) throw IoError("cannot open run file " + path);
+  if (std::fseek(file_, static_cast<long>(extent.offset), SEEK_SET) != 0) {
+    std::fclose(file_);
+    file_ = nullptr;
+    throw IoError("cannot seek in run file " + path);
+  }
+}
+
+RunCursor::~RunCursor() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+RunCursor::RunCursor(RunCursor&& other) noexcept
+    : file_(other.file_),
+      format_(other.format_),
+      buffer_(std::move(other.buffer_)),
+      pos_(other.pos_),
+      remaining_bytes_(other.remaining_bytes_),
+      remaining_records_(other.remaining_records_),
+      bytes_consumed_(other.bytes_consumed_) {
+  other.file_ = nullptr;
+  other.remaining_records_ = 0;
+}
+
+bool RunCursor::ensure(std::size_t needed) {
+  if (buffer_.size() - pos_ >= needed) return true;
+  // Compact consumed prefix, then top up from the file.
+  buffer_.erase(0, pos_);
+  pos_ = 0;
+  while (buffer_.size() < needed && remaining_bytes_ > 0) {
+    const std::size_t want = static_cast<std::size_t>(
+        std::min<std::uint64_t>(kReadChunkBytes, remaining_bytes_));
+    const std::size_t old = buffer_.size();
+    buffer_.resize(old + want);
+    const std::size_t got = std::fread(buffer_.data() + old, 1, want, file_);
+    buffer_.resize(old + got);
+    remaining_bytes_ -= got;
+    if (got == 0) throw FormatError("unexpected EOF in run file");
+  }
+  return buffer_.size() - pos_ >= needed;
+}
+
+std::optional<RecordView> RunCursor::next() {
+  if (remaining_records_ == 0) return std::nullopt;
+  std::uint64_t klen;
+  std::uint64_t vlen;
+  if (format_ == SpillFormat::kCompactVarint) {
+    // Varint headers are at most 10+10 bytes; make sure enough is buffered
+    // to decode them, then the payload.
+    ensure(20);
+    std::size_t p = pos_;
+    const std::string_view view(buffer_);
+    klen = textmr::get_varint(view, p);
+    vlen = textmr::get_varint(view, p);
+    const std::size_t header = p - pos_;
+    if (!ensure(header + klen + vlen)) throw FormatError("truncated record");
+    pos_ += header;
+    bytes_consumed_ += header;
+  } else {
+    if (!ensure(8)) throw FormatError("truncated record header");
+    std::size_t p = pos_;
+    const std::string_view view(buffer_);
+    klen = textmr::get_fixed32(view, p);
+    vlen = textmr::get_fixed32(view, p);
+    if (!ensure(8 + klen + vlen)) throw FormatError("truncated record");
+    pos_ += 8;
+    bytes_consumed_ += 8;
+  }
+  RecordView record{
+      std::string_view(buffer_).substr(pos_, klen),
+      std::string_view(buffer_).substr(pos_ + klen, vlen),
+  };
+  pos_ += klen + vlen;
+  bytes_consumed_ += klen + vlen;
+  remaining_records_ -= 1;
+  return record;
+}
+
+}  // namespace textmr::io

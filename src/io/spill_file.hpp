@@ -1,0 +1,134 @@
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "io/record.hpp"
+
+namespace textmr::io {
+
+/// On-disk format for one sorted run produced by a spill (or by the final
+/// map-side merge). Records are grouped by partition, and within each
+/// partition sorted by key — the invariant the shuffle and merge phases
+/// rely on.
+///
+/// Layout:
+///   record stream:  per record  [varint klen][varint vlen][key][value]
+///   footer:         per partition [fixed64 offset][fixed64 bytes][fixed64 count]
+///                   [fixed32 num_partitions][fixed32 magic]
+///
+/// The varint framing is deliberately the compact choice; the
+/// `SpillFormat::kFixed32` ablation (DESIGN.md §6) swaps it for fixed-width
+/// framing to expose serialization-cost sensitivity.
+enum class SpillFormat : std::uint8_t { kCompactVarint, kFixed32 };
+
+struct PartitionExtent {
+  std::uint64_t offset = 0;  // byte offset of first record
+  std::uint64_t bytes = 0;   // total record-stream bytes
+  std::uint64_t records = 0;
+};
+
+struct SpillRunInfo {
+  std::string path;
+  std::uint64_t bytes = 0;    // record-stream bytes (excludes footer)
+  std::uint64_t records = 0;
+  std::vector<PartitionExtent> partitions;
+};
+
+/// Sequential writer. `append` must be called with nondecreasing partition
+/// ids; key order within a partition is the caller's responsibility (the
+/// spill sorter guarantees it).
+class SpillRunWriter {
+ public:
+  SpillRunWriter(std::string path, std::uint32_t num_partitions,
+                 SpillFormat format = SpillFormat::kCompactVarint);
+  ~SpillRunWriter();
+
+  SpillRunWriter(const SpillRunWriter&) = delete;
+  SpillRunWriter& operator=(const SpillRunWriter&) = delete;
+
+  void append(std::uint32_t partition, std::string_view key,
+              std::string_view value);
+
+  /// Writes the footer and closes the file. Must be called exactly once.
+  SpillRunInfo finish();
+
+ private:
+  void flush_buffer();
+
+  std::string path_;
+  std::FILE* file_;
+  SpillFormat format_;
+  std::string buffer_;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t records_ = 0;
+  std::int64_t current_partition_ = -1;
+  std::vector<PartitionExtent> partitions_;
+  bool finished_ = false;
+};
+
+/// Streaming cursor over one partition's records in a run file. Each cursor
+/// owns an independent file handle, so many cursors (k-way merge inputs)
+/// can be open on the same run.
+class RunCursor {
+ public:
+  RunCursor(const std::string& path, const PartitionExtent& extent,
+            SpillFormat format);
+  ~RunCursor();
+
+  RunCursor(const RunCursor&) = delete;
+  RunCursor& operator=(const RunCursor&) = delete;
+  RunCursor(RunCursor&&) noexcept;
+
+  /// Next record, or nullopt at the end of the partition. The view is
+  /// valid until the next call.
+  std::optional<RecordView> next();
+
+  std::uint64_t bytes_read() const { return bytes_consumed_; }
+
+ private:
+  bool ensure(std::size_t needed);
+
+  std::FILE* file_ = nullptr;
+  SpillFormat format_;
+  std::string buffer_;
+  std::size_t pos_ = 0;
+  std::uint64_t remaining_bytes_ = 0;   // record-stream bytes not yet buffered
+  std::uint64_t remaining_records_ = 0;
+  std::uint64_t bytes_consumed_ = 0;
+};
+
+/// Opens a run file's footer.
+class SpillRunReader {
+ public:
+  explicit SpillRunReader(std::string path,
+                          SpillFormat format = SpillFormat::kCompactVarint);
+
+  std::uint32_t num_partitions() const {
+    return static_cast<std::uint32_t>(partitions_.size());
+  }
+  const PartitionExtent& extent(std::uint32_t partition) const;
+
+  /// Cursor over one partition.
+  RunCursor open(std::uint32_t partition) const;
+
+ private:
+  std::string path_;
+  SpillFormat format_;
+  std::vector<PartitionExtent> partitions_;
+};
+
+/// Serialize one record into `out` using `format`; shared by writer and
+/// the in-memory spill sorter (for exact size accounting).
+void encode_record(std::string& out, std::string_view key,
+                   std::string_view value, SpillFormat format);
+
+/// Size in bytes `encode_record` would produce.
+std::size_t encoded_record_size(std::size_t key_size, std::size_t value_size,
+                                SpillFormat format);
+
+}  // namespace textmr::io

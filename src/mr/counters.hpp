@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace textmr::mr {
+
+/// Hadoop-style user counters: named monotonically increasing values that
+/// user map/combine/reduce code can bump, aggregated across all tasks
+/// into JobResult::counters. Each task owns its instance (no locks);
+/// the engine merges after the task finishes.
+///
+/// Counter names are created on first use. Typical uses: malformed
+/// records skipped, domain events observed (see AccessLogSumMapper).
+class Counters {
+ public:
+  void increment(std::string_view name, std::uint64_t by = 1) {
+    auto it = values_.find(name);
+    if (it == values_.end()) {
+      values_.emplace(std::string(name), by);
+    } else {
+      it->second += by;
+    }
+  }
+
+  std::uint64_t value(std::string_view name) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? 0 : it->second;
+  }
+
+  bool empty() const { return values_.empty(); }
+
+  /// Merge another task's counters into this aggregate.
+  Counters& operator+=(const Counters& other) {
+    for (const auto& [name, value] : other.values_) {
+      values_[name] += value;
+    }
+    return *this;
+  }
+
+  const std::map<std::string, std::uint64_t, std::less<>>& all() const {
+    return values_;
+  }
+
+ private:
+  std::map<std::string, std::uint64_t, std::less<>> values_;
+};
+
+}  // namespace textmr::mr

@@ -1,0 +1,224 @@
+#include "mr/engine.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "common/stopwatch.hpp"
+
+namespace textmr::mr {
+namespace {
+
+void validate(const JobSpec& spec) {
+  if (spec.inputs.empty()) throw ConfigError("job has no input splits");
+  if (!spec.mapper) throw ConfigError("job has no mapper");
+  if (!spec.reducer) throw ConfigError("job has no reducer");
+  if (spec.num_reducers == 0) throw ConfigError("num_reducers must be >= 1");
+  if (spec.map_parallelism == 0 || spec.reduce_parallelism == 0) {
+    throw ConfigError("parallelism must be >= 1");
+  }
+  if (spec.support_threads == 0 || spec.support_threads > 64) {
+    throw ConfigError("support_threads must be in [1, 64]");
+  }
+  if (spec.scratch_dir.empty()) throw ConfigError("scratch_dir is required");
+  if (spec.output_dir.empty()) throw ConfigError("output_dir is required");
+  if (spec.spill_threshold <= 0.0 || spec.spill_threshold >= 1.0) {
+    throw ConfigError("spill_threshold must be in (0, 1)");
+  }
+  if (spec.freqbuf.enabled) {
+    if (spec.freqbuf.table_budget_fraction <= 0.0 ||
+        spec.freqbuf.table_budget_fraction >= 1.0) {
+      throw ConfigError("freqbuf table_budget_fraction must be in (0, 1)");
+    }
+    if (!spec.combiner) {
+      TEXTMR_LOG(kWarn) << "frequency-buffering without a combiner cannot "
+                           "shrink intermediate data";
+    }
+  }
+}
+
+std::string part_name(std::uint32_t partition) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "part-r-%05u", partition);
+  return buf;
+}
+
+}  // namespace
+
+JobResult LocalEngine::run(const JobSpec& spec) {
+  validate(spec);
+  std::filesystem::create_directories(spec.scratch_dir);
+  std::filesystem::create_directories(spec.output_dir);
+
+  JobResult result;
+  const std::uint64_t job_start = monotonic_ns();
+
+  // Memory split between the spill buffer and the frequent-key table
+  // (total fixed, paper §V-B2).
+  std::size_t spill_bytes = spec.spill_buffer_bytes;
+  std::uint64_t table_budget = 0;
+  if (spec.freqbuf.enabled) {
+    table_budget = static_cast<std::uint64_t>(
+        static_cast<double>(spec.spill_buffer_bytes) *
+        spec.freqbuf.table_budget_fraction);
+    spill_bytes -= static_cast<std::size_t>(table_budget);
+  }
+
+  // ---- map phase ---------------------------------------------------------
+  const std::uint64_t map_phase_start = monotonic_ns();
+  const std::uint32_t num_map_tasks =
+      static_cast<std::uint32_t>(spec.inputs.size());
+  std::vector<MapTaskResult> map_results(num_map_tasks);
+  {
+    const std::uint32_t workers =
+        std::min<std::uint32_t>(spec.map_parallelism, num_map_tasks);
+    // One NodeKeyCache per worker: a worker models one node's map slot,
+    // so tasks it runs share the frozen frequent-key set (§III-B).
+    std::vector<freqbuf::NodeKeyCache> caches(workers);
+    std::atomic<std::uint32_t> next_task{0};
+    std::exception_ptr first_error;
+    std::mutex error_mu;
+
+    auto worker_body = [&](std::uint32_t worker_id) {
+      while (true) {
+        const std::uint32_t task = next_task.fetch_add(1);
+        if (task >= num_map_tasks) return;
+        try {
+          MapTaskConfig config;
+          config.task_id = task;
+          config.split = spec.inputs[task];
+          config.num_partitions = spec.num_reducers;
+          config.mapper = spec.mapper;
+          config.combiner = spec.combiner;
+          config.spill_buffer_bytes = spill_bytes;
+          config.spill_format = spec.spill_format;
+          config.support_threads = spec.support_threads;
+          config.scratch_dir = spec.scratch_dir;
+          if (spec.use_spill_matcher) {
+            config.spill_policy = [] {
+              return std::make_unique<spillmatch::SpillMatcher>();
+            };
+          } else {
+            const double threshold = spec.spill_threshold;
+            config.spill_policy = [threshold] {
+              return std::make_unique<spillmatch::FixedSpillPolicy>(threshold);
+            };
+          }
+          config.freqbuf = spec.freqbuf;
+          config.freq_table_budget_bytes = table_budget;
+          config.node_cache = &caches[worker_id];
+          config.keep_spill_runs = spec.keep_intermediates;
+          map_results[task] = run_map_task(config);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (!first_error) first_error = std::current_exception();
+          return;
+        }
+      }
+    };
+
+    if (workers == 1) {
+      worker_body(0);
+    } else {
+      std::vector<std::thread> threads;
+      threads.reserve(workers);
+      for (std::uint32_t w = 0; w < workers; ++w) {
+        threads.emplace_back(worker_body, w);
+      }
+      for (auto& t : threads) t.join();
+    }
+    if (first_error) std::rethrow_exception(first_error);
+  }
+  result.metrics.map_phase_wall_ns = monotonic_ns() - map_phase_start;
+  result.metrics.map_tasks = num_map_tasks;
+
+  std::vector<io::SpillRunInfo> map_outputs;
+  map_outputs.reserve(num_map_tasks);
+  for (auto& task_result : map_results) {
+    map_outputs.push_back(task_result.output);
+    result.metrics.work += task_result.map_thread;
+    result.metrics.work += task_result.support_thread;
+    result.metrics.map_work += task_result.map_thread;
+    result.metrics.support_work += task_result.support_thread;
+    result.counters += task_result.counters;
+    result.metrics.map_thread_wall_ns += task_result.pipeline_wall_ns;
+    result.metrics.support_thread_wall_ns += task_result.pipeline_wall_ns;
+    result.metrics.map_thread_idle_ns +=
+        task_result.map_thread.op_ns(Op::kMapIdle);
+    result.metrics.support_thread_idle_ns +=
+        task_result.support_thread.op_ns(Op::kSupportIdle);
+    result.map_tasks.push_back(JobResult::MapTaskSummary{
+        task_result.wall_ns, task_result.pipeline_wall_ns,
+        task_result.map_thread.op_ns(Op::kMapIdle),
+        task_result.support_thread.op_ns(Op::kSupportIdle),
+        task_result.spills, task_result.final_spill_threshold,
+        task_result.freq_sampling_fraction});
+  }
+
+  // ---- reduce phase --------------------------------------------------------
+  const std::uint64_t reduce_phase_start = monotonic_ns();
+  std::vector<ReduceTaskResult> reduce_results(spec.num_reducers);
+  {
+    std::atomic<std::uint32_t> next_partition{0};
+    std::exception_ptr first_error;
+    std::mutex error_mu;
+
+    auto worker_body = [&] {
+      while (true) {
+        const std::uint32_t partition = next_partition.fetch_add(1);
+        if (partition >= spec.num_reducers) return;
+        try {
+          ReduceTaskConfig config;
+          config.partition = partition;
+          config.map_outputs = map_outputs;
+          config.reducer = spec.reducer;
+          config.grouping = spec.grouping;
+          config.spill_format = spec.spill_format;
+          config.output_path = spec.output_dir / part_name(partition);
+          reduce_results[partition] = run_reduce_task(config);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (!first_error) first_error = std::current_exception();
+          return;
+        }
+      }
+    };
+
+    const std::uint32_t workers =
+        std::min<std::uint32_t>(spec.reduce_parallelism, spec.num_reducers);
+    if (workers == 1) {
+      worker_body();
+    } else {
+      std::vector<std::thread> threads;
+      threads.reserve(workers);
+      for (std::uint32_t w = 0; w < workers; ++w) {
+        threads.emplace_back(worker_body);
+      }
+      for (auto& t : threads) t.join();
+    }
+    if (first_error) std::rethrow_exception(first_error);
+  }
+  result.metrics.reduce_phase_wall_ns = monotonic_ns() - reduce_phase_start;
+  result.metrics.reduce_tasks = spec.num_reducers;
+
+  for (auto& reduce_result : reduce_results) {
+    result.outputs.push_back(reduce_result.output_path);
+    result.metrics.work += reduce_result.metrics;
+    result.metrics.reduce_work += reduce_result.metrics;
+    result.counters += reduce_result.counters;
+  }
+
+  if (!spec.keep_intermediates) {
+    for (const auto& run : map_outputs) {
+      std::error_code ec;
+      std::filesystem::remove(run.path, ec);
+    }
+  }
+
+  result.metrics.job_wall_ns = monotonic_ns() - job_start;
+  return result;
+}
+
+}  // namespace textmr::mr

@@ -1,0 +1,20 @@
+#pragma once
+
+#include "mr/job.hpp"
+
+namespace textmr::mr {
+
+/// Executes MapReduce jobs on the local machine with real threads: up to
+/// `map_parallelism` concurrent map tasks (each with its own support
+/// thread) followed by up to `reduce_parallelism` concurrent reduce
+/// tasks. This is the measurement substrate for all per-operation
+/// instrumentation; cluster-scale wall clocks are produced by textmr::sim
+/// on top of the work quantities this engine measures.
+class LocalEngine {
+ public:
+  /// Validates `spec`, runs the job, returns outputs + metrics.
+  /// Throws ConfigError for invalid specs and propagates task errors.
+  JobResult run(const JobSpec& spec);
+};
+
+}  // namespace textmr::mr

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "freqbuf/controller.hpp"
+#include "io/line_reader.hpp"
+#include "io/spill_file.hpp"
+#include "mr/map_task.hpp"
+#include "mr/metrics.hpp"
+#include "mr/reduce_task.hpp"
+#include "mr/types.hpp"
+#include "spillmatch/spill_matcher.hpp"
+
+namespace textmr::mr {
+
+/// Complete description of one MapReduce job. This is the library's main
+/// public configuration surface; see examples/quickstart.cpp.
+struct JobSpec {
+  std::string name = "job";
+
+  /// Input splits (one map task each). Use io::make_splits / SimDfs to
+  /// build them.
+  std::vector<io::InputSplit> inputs;
+
+  MapperFactory mapper;
+  ReducerFactory reducer;
+  /// Optional combiner (empty = none). Must be key-preserving and
+  /// associative/commutative over values.
+  ReducerFactory combiner;
+
+  std::uint32_t num_reducers = 1;
+
+  /// Total map-side memory budget per task. When frequency-buffering is
+  /// enabled, `freqbuf.table_budget_fraction` of this is carved out for
+  /// the frequent-key table and the spill buffer gets the rest, keeping
+  /// the total fixed (paper §V-B2).
+  std::size_t spill_buffer_bytes = 16u << 20;
+
+  /// Fixed spill threshold (Hadoop's io.sort.spill.percent default 0.8);
+  /// ignored when `use_spill_matcher` is true.
+  double spill_threshold = 0.8;
+
+  /// Enable the spill-matcher adaptive threshold (paper §IV).
+  bool use_spill_matcher = false;
+
+  /// Support (sort/combine/spill) threads per map task — the paper's
+  /// "one or more support threads" (§IV-A). Default 1 matches Hadoop's
+  /// 1-map/1-support structure and the §IV-C analysis; more threads let
+  /// consume-bound apps overlap several spills.
+  std::uint32_t support_threads = 1;
+
+  /// Frequency-buffering configuration (paper §III).
+  freqbuf::FreqBufConfig freqbuf;
+
+  Grouping grouping = Grouping::kSorted;
+  io::SpillFormat spill_format = io::SpillFormat::kCompactVarint;
+
+  /// Concurrent map tasks / reduce tasks. Each concurrent map worker
+  /// models one node's map slot and gets its own NodeKeyCache.
+  std::uint32_t map_parallelism = 1;
+  std::uint32_t reduce_parallelism = 1;
+
+  std::filesystem::path scratch_dir;  // required; intermediate runs live here
+  std::filesystem::path output_dir;   // required; part-r-* files land here
+
+  bool keep_intermediates = false;
+};
+
+/// Everything a job run produced.
+struct JobResult {
+  std::vector<std::filesystem::path> outputs;  // part-r-00000 ... in order
+  JobMetrics metrics;
+  Counters counters;  // user counters aggregated over all tasks
+
+  /// Per-task details (for the instrumentation figures).
+  struct MapTaskSummary {
+    std::uint64_t wall_ns = 0;
+    std::uint64_t pipeline_wall_ns = 0;
+    std::uint64_t map_idle_ns = 0;
+    std::uint64_t support_idle_ns = 0;
+    std::uint64_t spills = 0;
+    double final_spill_threshold = 0.0;
+    double freq_sampling_fraction = 0.0;
+  };
+  std::vector<MapTaskSummary> map_tasks;
+};
+
+}  // namespace textmr::mr

@@ -1,0 +1,262 @@
+#include "mr/map_task.hpp"
+
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/stopwatch.hpp"
+#include "mr/merger.hpp"
+#include "mr/partitioner.hpp"
+#include "mr/spill_buffer.hpp"
+#include "mr/spill_sorter.hpp"
+
+namespace textmr::mr {
+namespace {
+
+/// Sink that serializes records into the spill buffer — the tail of the
+/// standard dataflow. Used directly by the frequency table's overflow /
+/// flush path and by the user-facing router below.
+class DirectSpillSink final : public EmitSink {
+ public:
+  DirectSpillSink(SpillBuffer& buffer, const HashPartitioner& partitioner,
+                  TaskMetrics& metrics)
+      : buffer_(buffer), partitioner_(partitioner), metrics_(metrics) {}
+
+  void emit(std::string_view key, std::string_view value) override {
+    ScopedTimer timer(metrics_, Op::kEmit);
+    metrics_.spill_input_records += 1;
+    metrics_.spill_input_bytes += key.size() + value.size();
+    buffer_.put(partitioner_(key), key, value);
+  }
+
+ private:
+  SpillBuffer& buffer_;
+  const HashPartitioner& partitioner_;
+  TaskMetrics& metrics_;
+};
+
+/// The sink handed to user map() code: counts output volume, routes
+/// through frequency-buffering when active, and otherwise forwards to the
+/// spill buffer.
+class EmitRouter final : public EmitSink {
+ public:
+  EmitRouter(DirectSpillSink& spill_sink, freqbuf::FreqBufferController* freq,
+             TaskMetrics& metrics)
+      : spill_sink_(spill_sink), freq_(freq), metrics_(metrics) {}
+
+  void emit(std::string_view key, std::string_view value) override {
+    const std::uint64_t t0 = monotonic_ns();
+    metrics_.map_output_records += 1;
+    metrics_.map_output_bytes += key.size() + value.size();
+    if (freq_ == nullptr || !freq_->offer(key, value)) {
+      spill_sink_.emit(key, value);
+    }
+    // Total time inside emit, used by the task to subtract framework time
+    // from the surrounding kMapUser interval (emit ops self-account).
+    inside_emit_ns_ += monotonic_ns() - t0;
+  }
+
+  std::uint64_t inside_emit_ns() const { return inside_emit_ns_; }
+
+ private:
+  DirectSpillSink& spill_sink_;
+  freqbuf::FreqBufferController* freq_;
+  TaskMetrics& metrics_;
+  std::uint64_t inside_emit_ns_ = 0;
+};
+
+}  // namespace
+
+MapTaskResult run_map_task(const MapTaskConfig& config) {
+  TEXTMR_CHECK(static_cast<bool>(config.mapper), "map task needs a mapper");
+  TEXTMR_CHECK(config.num_partitions >= 1, "map task needs >= 1 partition");
+  std::filesystem::create_directories(config.scratch_dir);
+
+  MapTaskResult result;
+  const std::uint64_t task_start = monotonic_ns();
+
+  // Spill policy (fixed 0.8 unless the job installed the spill-matcher).
+  std::unique_ptr<spillmatch::SpillPolicy> policy =
+      config.spill_policy ? config.spill_policy()
+                          : std::make_unique<spillmatch::FixedSpillPolicy>();
+
+  const std::uint32_t num_support = std::max<std::uint32_t>(
+      1, config.support_threads);
+  SpillBuffer buffer(config.spill_buffer_bytes, policy->initial_threshold(),
+                     num_support);
+  HashPartitioner partitioner(config.num_partitions);
+
+  // ---- support threads ----------------------------------------------------
+  // Each thread gets its own Counters and metrics (no locks on the hot
+  // path); merged after join. The runs list, the spill policy and (with
+  // several threads) run ordering are guarded by `support_mu`.
+  Counters map_counters;
+  std::mutex support_mu;
+  std::map<std::uint64_t, io::SpillRunInfo> runs_by_sequence;
+  std::exception_ptr support_error;
+
+  struct SupportState {
+    Counters counters;
+    TaskMetrics metrics;
+    std::unique_ptr<Reducer> combiner;
+  };
+  std::vector<SupportState> support_states(num_support);
+  std::vector<std::thread> support_pool;
+  support_pool.reserve(num_support);
+  for (std::uint32_t s = 0; s < num_support; ++s) {
+    SupportState& state = support_states[s];
+    if (config.combiner) {
+      state.combiner = config.combiner();
+      state.combiner->begin_task(TaskInfo{config.task_id, &state.counters});
+    }
+    support_pool.emplace_back([&, s] {
+      SupportState& local = support_states[s];
+      try {
+        while (auto spill = buffer.take()) {
+          const std::uint64_t consume_start = monotonic_ns();
+          const std::string run_path =
+              (config.scratch_dir /
+               ("map" + std::to_string(config.task_id) + "_spill" +
+                std::to_string(spill->sequence) + ".run"))
+                  .string();
+          auto info = sort_and_spill(*spill, local.combiner.get(), run_path,
+                                     config.num_partitions,
+                                     config.spill_format, local.metrics);
+          const std::uint64_t consume_ns = monotonic_ns() - consume_start;
+          buffer.release(*spill, consume_ns);
+          std::lock_guard<std::mutex> lock(support_mu);
+          runs_by_sequence.emplace(spill->sequence, std::move(info));
+          if (auto timing = buffer.last_timing(); timing.has_value()) {
+            buffer.set_threshold(policy->next_threshold(spillmatch::Timing{
+                timing->produce_ns, timing->consume_ns, timing->data_bytes}));
+          }
+        }
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(support_mu);
+        if (!support_error) support_error = std::current_exception();
+        // Unblock the producer: its puts would otherwise wait forever for
+        // releases that will never come.
+        buffer.abort();
+      }
+    });
+  }
+
+  // ---- map thread (this thread) ------------------------------------------
+  DirectSpillSink spill_sink(buffer, partitioner, result.map_thread);
+  std::unique_ptr<Reducer> map_combiner =
+      config.combiner ? config.combiner() : nullptr;
+  if (map_combiner != nullptr) {
+    map_combiner->begin_task(TaskInfo{config.task_id, &map_counters});
+  }
+  std::unique_ptr<freqbuf::FreqBufferController> freq;
+  if (config.freqbuf.enabled) {
+    freq = std::make_unique<freqbuf::FreqBufferController>(
+        config.freqbuf, config.freq_table_budget_bytes, map_combiner.get(),
+        spill_sink, result.map_thread, config.node_cache);
+  }
+  EmitRouter router(spill_sink, freq.get(), result.map_thread);
+
+  try {
+    std::unique_ptr<Mapper> mapper = config.mapper();
+    mapper->begin_task(TaskInfo{config.task_id, &map_counters});
+    io::LineReader reader(config.split);
+    std::uint64_t offset = 0;
+    while (true) {
+      std::optional<std::string_view> line;
+      {
+        ScopedTimer read_timer(result.map_thread, Op::kMapRead);
+        line = reader.next_line();
+      }
+      if (!line.has_value()) break;
+      result.map_thread.input_records += 1;
+      result.map_thread.input_bytes += line->size() + 1;
+      if (freq != nullptr) {
+        freq->set_progress(reader.fraction_consumed());
+      }
+      {
+        ScopedTimer map_timer(result.map_thread, Op::kMapUser);
+        mapper->map(offset, *line, router);
+      }
+      ++offset;
+    }
+    if (freq != nullptr) {
+      freq->finish();
+      result.freq_stage_at_end = freq->stage();
+      result.freq_sampling_fraction = freq->effective_sampling_fraction();
+    }
+    // map() wall time included everything emit() did (serialization,
+    // profiling, table work, buffer waits); those self-accounted, so
+    // subtract them to leave pure user code in kMapUser.
+    std::uint64_t& map_user_ns = result.map_thread.op_ns(Op::kMapUser);
+    map_user_ns -= std::min(map_user_ns, router.inside_emit_ns());
+  } catch (...) {
+    // Map-side failure (user code or a support-thread abort surfacing
+    // through put()): shut the pipeline down, join, and report the root
+    // cause — a support thread's error wins if both failed.
+    buffer.abort();
+    for (auto& thread : support_pool) thread.join();
+    if (support_error) std::rethrow_exception(support_error);
+    throw;
+  }
+  buffer.close();
+  for (auto& thread : support_pool) thread.join();
+  if (support_error) std::rethrow_exception(support_error);
+  for (auto& state : support_states) {
+    result.support_thread += state.metrics;
+    result.counters += state.counters;
+  }
+  std::vector<io::SpillRunInfo> runs;
+  runs.reserve(runs_by_sequence.size());
+  for (auto& [sequence, info] : runs_by_sequence) {
+    runs.push_back(std::move(info));
+  }
+  result.pipeline_wall_ns = monotonic_ns() - task_start;
+
+  // Map-thread emit time currently includes buffer-full waits; move them
+  // to the idle bucket (paper Table II's "map thread idle").
+  const std::uint64_t map_wait = buffer.producer_wait_ns();
+  std::uint64_t& emit_ns = result.map_thread.op_ns(Op::kEmit);
+  emit_ns -= std::min(emit_ns, map_wait);
+  result.map_thread.op_ns(Op::kMapIdle) += map_wait;
+  result.support_thread.op_ns(Op::kSupportIdle) += buffer.consumer_wait_ns();
+  result.spills = buffer.spills_sealed();
+  result.final_spill_threshold = buffer.threshold();
+
+  // ---- final merge --------------------------------------------------------
+  const std::string out_path =
+      (config.scratch_dir /
+       ("map" + std::to_string(config.task_id) + "_output.run"))
+          .string();
+  if (runs.empty()) {
+    // No output at all: write an empty run so downstream cursors work.
+    io::SpillRunWriter writer(out_path, config.num_partitions,
+                              config.spill_format);
+    result.output = writer.finish();
+  } else if (runs.size() == 1) {
+    // Single spill: it is already sorted and combined; adopt it (Hadoop
+    // does the same rename).
+    std::filesystem::rename(runs.front().path, out_path);
+    result.output = runs.front();
+    result.output.path = out_path;
+    result.map_thread.merged_records += result.output.records;
+    result.map_thread.merged_bytes += result.output.bytes;
+  } else {
+    result.output =
+        merge_runs(runs, map_combiner.get(), out_path, config.num_partitions,
+                   config.spill_format, result.map_thread);
+    if (!config.keep_spill_runs) {
+      for (const auto& run : runs) {
+        std::error_code ec;
+        std::filesystem::remove(run.path, ec);
+      }
+    }
+  }
+
+  result.counters += map_counters;
+  result.wall_ns = monotonic_ns() - task_start;
+  return result;
+}
+
+}  // namespace textmr::mr

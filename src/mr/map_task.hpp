@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+
+#include "freqbuf/controller.hpp"
+#include "io/line_reader.hpp"
+#include "io/spill_file.hpp"
+#include "mr/metrics.hpp"
+#include "mr/types.hpp"
+#include "spillmatch/spill_matcher.hpp"
+
+namespace textmr::mr {
+
+/// Everything a single map task needs. The engine builds one of these per
+/// input split.
+struct MapTaskConfig {
+  std::uint32_t task_id = 0;
+  io::InputSplit split;
+  std::uint32_t num_partitions = 1;
+
+  MapperFactory mapper;
+  ReducerFactory combiner;  // may be null
+
+  std::size_t spill_buffer_bytes = 16u << 20;
+  io::SpillFormat spill_format = io::SpillFormat::kCompactVarint;
+  /// Number of support (sort/combine/spill) threads — the paper's
+  /// "one or more support threads" (§IV-A). 1 reproduces Hadoop's
+  /// 1-map/1-support pipeline that the spill-matcher analysis assumes.
+  std::uint32_t support_threads = 1;
+  std::filesystem::path scratch_dir;
+
+  /// Spill threshold policy; if null, Hadoop's fixed 0.8 is used.
+  spillmatch::SpillPolicyFactory spill_policy;
+
+  /// Frequency-buffering; `freqbuf.enabled` gates it. When enabled, the
+  /// engine has already carved `table_budget_bytes` out of the memory
+  /// budget (spill_buffer_bytes excludes it).
+  freqbuf::FreqBufConfig freqbuf;
+  std::uint64_t freq_table_budget_bytes = 0;
+  freqbuf::NodeKeyCache* node_cache = nullptr;  // may be null
+
+  bool keep_spill_runs = false;  // keep intermediate spill files on disk
+};
+
+/// Result of one map task: its merged, partition-indexed output run plus
+/// both threads' metrics.
+struct MapTaskResult {
+  io::SpillRunInfo output;
+  TaskMetrics map_thread;      // includes Op::kMapIdle
+  TaskMetrics support_thread;  // includes Op::kSupportIdle
+  Counters counters;           // user counters from mapper + combiners
+  std::uint64_t wall_ns = 0;   // task wall time (map phase incl. merge)
+  std::uint64_t pipeline_wall_ns = 0;  // wall time of the produce/consume pipeline
+  std::uint64_t spills = 0;
+  double final_spill_threshold = 0.8;
+  freqbuf::FreqBufferController::Stage freq_stage_at_end =
+      freqbuf::FreqBufferController::Stage::kPreProfile;
+  double freq_sampling_fraction = 0.0;
+};
+
+/// Runs one map task: map thread (caller's thread) + one support thread,
+/// exactly Hadoop's 1-map 1-support structure that the paper instruments
+/// (§II-C2) and optimizes (§III, §IV).
+MapTaskResult run_map_task(const MapTaskConfig& config);
+
+}  // namespace textmr::mr

@@ -1,0 +1,122 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "io/record.hpp"
+#include "io/spill_file.hpp"
+#include "mr/metrics.hpp"
+#include "mr/types.hpp"
+
+namespace textmr::mr {
+
+/// Minimal sorted-record source abstraction, so the k-way merge works the
+/// same over spill-run files (map-side merge), fetched in-memory runs
+/// (reduce-side merge) and test fixtures.
+class RecordCursor {
+ public:
+  virtual ~RecordCursor() = default;
+  /// Next record in key order; the view is valid until the next call on
+  /// this cursor.
+  virtual std::optional<io::RecordView> next() = 0;
+};
+
+/// Cursor over one partition of a spill-run file.
+class FileRunCursor final : public RecordCursor {
+ public:
+  explicit FileRunCursor(io::RunCursor cursor) : cursor_(std::move(cursor)) {}
+  std::optional<io::RecordView> next() override { return cursor_.next(); }
+  std::uint64_t bytes_read() const { return cursor_.bytes_read(); }
+
+ private:
+  io::RunCursor cursor_;
+};
+
+/// Cursor over a sorted in-memory vector of records (shuffle fetches).
+class VectorRunCursor final : public RecordCursor {
+ public:
+  explicit VectorRunCursor(const std::vector<io::Record>* records)
+      : records_(records) {}
+  std::optional<io::RecordView> next() override {
+    if (index_ >= records_->size()) return std::nullopt;
+    const auto& r = (*records_)[index_++];
+    return io::RecordView{r.key, r.value};
+  }
+
+ private:
+  const std::vector<io::Record>* records_;
+  std::size_t index_ = 0;
+};
+
+/// K-way merge of sorted cursors into one key-ordered stream.
+/// Stability across cursors follows cursor index, which callers arrange
+/// to be deterministic (spill sequence / map task id).
+class MergeStream {
+ public:
+  explicit MergeStream(std::vector<std::unique_ptr<RecordCursor>> cursors);
+
+  /// Next record in global key order; view valid until the next call.
+  std::optional<io::RecordView> next();
+
+ private:
+  struct Head {
+    io::RecordView record;
+    std::size_t cursor;
+  };
+  // `heap_` is a binary min-heap on (key, cursor index).
+  bool less(const Head& a, const Head& b) const;
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+
+  std::vector<std::unique_ptr<RecordCursor>> cursors_;
+  std::vector<Head> heap_;
+  std::optional<std::size_t> pending_advance_;  // cursor to refill on next()
+};
+
+/// Iterates a MergeStream one key group at a time. The group's values are
+/// streamed (never materialized), which keeps reduce-side memory constant
+/// even for keys with millions of values.
+class KeyGroups {
+ public:
+  explicit KeyGroups(MergeStream& stream) : stream_(stream) {}
+
+  /// Advances to the next key group (draining any unconsumed values of
+  /// the previous group). Returns the key, or nullopt at end of stream.
+  /// The returned view is owned by KeyGroups and stable for the group's
+  /// lifetime.
+  std::optional<std::string_view> next_group();
+
+  /// Value stream of the current group. Valid until next_group().
+  ValueStream& values() { return value_stream_; }
+
+ private:
+  class GroupValueStream final : public ValueStream {
+   public:
+    explicit GroupValueStream(KeyGroups& owner) : owner_(owner) {}
+    std::optional<std::string_view> next() override;
+
+   private:
+    KeyGroups& owner_;
+  };
+
+  MergeStream& stream_;
+  GroupValueStream value_stream_{*this};
+  std::string current_key_;
+  std::string pending_value_;        // first value of the current group
+  bool pending_value_ready_ = false; // pending_value_ not yet handed out
+  std::optional<io::RecordView> lookahead_;
+  bool group_exhausted_ = true;
+  bool stream_done_ = false;
+};
+
+/// Map-side final merge: merges `runs` partition by partition, applying
+/// the combiner once per key group, into a single output run file.
+/// Timing: structural work to Op::kMerge, user combine to Op::kCombine.
+io::SpillRunInfo merge_runs(const std::vector<io::SpillRunInfo>& runs,
+                            Reducer* combiner, const std::string& out_path,
+                            std::uint32_t num_partitions,
+                            io::SpillFormat format, TaskMetrics& metrics);
+
+}  // namespace textmr::mr

@@ -1,0 +1,72 @@
+#include "mr/metrics.hpp"
+
+namespace textmr::mr {
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kMapRead: return "map_read";
+    case Op::kMapUser: return "map_user";
+    case Op::kEmit: return "emit";
+    case Op::kProfile: return "profile";
+    case Op::kFreqTable: return "freq_table";
+    case Op::kSort: return "sort";
+    case Op::kCombine: return "combine";
+    case Op::kSpillWrite: return "spill_write";
+    case Op::kMerge: return "merge";
+    case Op::kMergeCombine: return "merge_combine";
+    case Op::kShuffle: return "shuffle";
+    case Op::kReduceMerge: return "reduce_merge";
+    case Op::kReduceUser: return "reduce_user";
+    case Op::kOutputWrite: return "output_write";
+    case Op::kMapIdle: return "map_idle";
+    case Op::kSupportIdle: return "support_idle";
+    case Op::kNumOps: break;
+  }
+  return "unknown";
+}
+
+TaskMetrics& TaskMetrics::operator+=(const TaskMetrics& other) {
+  for (std::size_t i = 0; i < kNumOps; ++i) ns[i] += other.ns[i];
+  input_records += other.input_records;
+  input_bytes += other.input_bytes;
+  map_output_records += other.map_output_records;
+  map_output_bytes += other.map_output_bytes;
+  freq_hits += other.freq_hits;
+  freq_flushes += other.freq_flushes;
+  spill_input_records += other.spill_input_records;
+  spill_input_bytes += other.spill_input_bytes;
+  spilled_records += other.spilled_records;
+  spilled_bytes += other.spilled_bytes;
+  spill_count += other.spill_count;
+  merged_records += other.merged_records;
+  merged_bytes += other.merged_bytes;
+  shuffled_bytes += other.shuffled_bytes;
+  reduce_input_records += other.reduce_input_records;
+  reduce_groups += other.reduce_groups;
+  output_records += other.output_records;
+  output_bytes += other.output_bytes;
+  return *this;
+}
+
+std::uint64_t TaskMetrics::total_ns(bool include_idle) const {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kNumOps; ++i) {
+    const Op op = static_cast<Op>(i);
+    if (!include_idle && (op == Op::kMapIdle || op == Op::kSupportIdle)) {
+      continue;
+    }
+    total += ns[i];
+  }
+  return total;
+}
+
+std::uint64_t TaskMetrics::user_ns() const {
+  return op_ns(Op::kMapUser) + op_ns(Op::kCombine) +
+         op_ns(Op::kMergeCombine) + op_ns(Op::kReduceUser);
+}
+
+std::uint64_t TaskMetrics::abstraction_ns(bool include_idle) const {
+  return total_ns(include_idle) - user_ns();
+}
+
+}  // namespace textmr::mr

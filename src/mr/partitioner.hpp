@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/hash.hpp"
+
+namespace textmr::mr {
+
+/// Hadoop-style hash partitioner: deterministic across runs and platforms
+/// so output layouts are reproducible.
+class HashPartitioner {
+ public:
+  explicit HashPartitioner(std::uint32_t num_partitions)
+      : num_partitions_(num_partitions) {}
+
+  std::uint32_t operator()(std::string_view key) const noexcept {
+    return static_cast<std::uint32_t>(hash_key(key) % num_partitions_);
+  }
+
+  std::uint32_t num_partitions() const noexcept { return num_partitions_; }
+
+ private:
+  std::uint32_t num_partitions_;
+};
+
+}  // namespace textmr::mr

@@ -1,0 +1,164 @@
+#include "mr/reduce_task.hpp"
+
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+
+#include "common/error.hpp"
+#include "common/stopwatch.hpp"
+#include "mr/merger.hpp"
+
+namespace textmr::mr {
+namespace {
+
+/// Buffered text output writer for final results: `key \t value \n`.
+class PartFileWriter final : public EmitSink {
+ public:
+  PartFileWriter(const std::filesystem::path& path, TaskMetrics& metrics)
+      : metrics_(metrics) {
+    file_ = std::fopen(path.string().c_str(), "wb");
+    if (file_ == nullptr) {
+      throw IoError("cannot create output file " + path.string());
+    }
+    buffer_.reserve(kFlushBytes + 4096);
+  }
+
+  ~PartFileWriter() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  void emit(std::string_view key, std::string_view value) override {
+    const std::uint64_t t0 = monotonic_ns();
+    buffer_.append(key.data(), key.size());
+    buffer_.push_back('\t');
+    buffer_.append(value.data(), value.size());
+    buffer_.push_back('\n');
+    metrics_.output_records += 1;
+    metrics_.output_bytes += key.size() + value.size() + 2;
+    if (buffer_.size() >= kFlushBytes) flush();
+    metrics_.op_ns(Op::kOutputWrite) += monotonic_ns() - t0;
+  }
+
+  void close() {
+    const std::uint64_t t0 = monotonic_ns();
+    flush();
+    if (std::fclose(file_) != 0) {
+      file_ = nullptr;
+      throw IoError("close failed for reduce output");
+    }
+    file_ = nullptr;
+    metrics_.op_ns(Op::kOutputWrite) += monotonic_ns() - t0;
+  }
+
+ private:
+  static constexpr std::size_t kFlushBytes = 1 << 18;
+
+  void flush() {
+    if (buffer_.empty()) return;
+    if (std::fwrite(buffer_.data(), 1, buffer_.size(), file_) !=
+        buffer_.size()) {
+      throw IoError("short write to reduce output");
+    }
+    buffer_.clear();
+  }
+
+  std::FILE* file_;
+  std::string buffer_;
+  TaskMetrics& metrics_;
+};
+
+/// Calls reduce() attributing sink time to kOutputWrite (self-accounted)
+/// and the remainder to kReduceUser.
+void call_reduce(Reducer& reducer, std::string_view key, ValueStream& values,
+                 PartFileWriter& out, TaskMetrics& metrics) {
+  const std::uint64_t before_sink = metrics.op_ns(Op::kOutputWrite);
+  const std::uint64_t t0 = monotonic_ns();
+  reducer.reduce(key, values, out);
+  const std::uint64_t elapsed = monotonic_ns() - t0;
+  const std::uint64_t sink_delta =
+      metrics.op_ns(Op::kOutputWrite) - before_sink;
+  metrics.op_ns(Op::kReduceUser) += elapsed - std::min(elapsed, sink_delta);
+  metrics.reduce_groups += 1;
+}
+
+}  // namespace
+
+ReduceTaskResult run_reduce_task(const ReduceTaskConfig& config) {
+  TEXTMR_CHECK(static_cast<bool>(config.reducer), "reduce task needs reducer");
+  ReduceTaskResult result;
+  result.output_path = config.output_path;
+  const std::uint64_t task_start = monotonic_ns();
+  TaskMetrics& metrics = result.metrics;
+
+  // ---- shuffle: fetch this partition from every map output --------------
+  // In a cluster this is the over-the-network copy phase; here it is a
+  // local read whose byte volume the simulator later prices as network
+  // transfer. Records arrive sorted per map output.
+  std::vector<std::vector<io::Record>> fetched;
+  fetched.reserve(config.map_outputs.size());
+  {
+    ScopedTimer shuffle_timer(metrics, Op::kShuffle);
+    for (const auto& run : config.map_outputs) {
+      io::SpillRunReader reader(run.path, config.spill_format);
+      auto cursor = reader.open(config.partition);
+      std::vector<io::Record> records;
+      records.reserve(reader.extent(config.partition).records);
+      while (auto record = cursor.next()) {
+        records.push_back(record->to_record());
+      }
+      metrics.shuffled_bytes += cursor.bytes_read();
+      metrics.reduce_input_records += records.size();
+      fetched.push_back(std::move(records));
+    }
+  }
+
+  std::unique_ptr<Reducer> reducer = config.reducer();
+  reducer->begin_task(TaskInfo{config.partition, &result.counters});
+  PartFileWriter out(config.output_path, metrics);
+
+  if (config.grouping == Grouping::kSorted) {
+    std::vector<std::unique_ptr<RecordCursor>> cursors;
+    cursors.reserve(fetched.size());
+    for (const auto& records : fetched) {
+      cursors.push_back(std::make_unique<VectorRunCursor>(&records));
+    }
+    // Merge + group structural time is kReduceMerge; the group iteration
+    // interleaves with reduce() calls, so we accumulate it as
+    // total − (reduce user + output) deltas.
+    const std::uint64_t merge_start = monotonic_ns();
+    std::uint64_t user_and_output_before =
+        metrics.op_ns(Op::kReduceUser) + metrics.op_ns(Op::kOutputWrite);
+    MergeStream stream(std::move(cursors));
+    KeyGroups groups(stream);
+    while (auto key = groups.next_group()) {
+      call_reduce(*reducer, *key, groups.values(), out, metrics);
+    }
+    const std::uint64_t elapsed = monotonic_ns() - merge_start;
+    const std::uint64_t user_and_output =
+        metrics.op_ns(Op::kReduceUser) + metrics.op_ns(Op::kOutputWrite) -
+        user_and_output_before;
+    metrics.op_ns(Op::kReduceMerge) +=
+        elapsed - std::min(elapsed, user_and_output);
+  } else {
+    // Hash grouping (§VII future work): no global order; reduce() is
+    // called per key in hash-iteration order.
+    const std::uint64_t build_start = monotonic_ns();
+    std::unordered_map<std::string, std::vector<std::string>> groups;
+    for (const auto& records : fetched) {
+      for (const auto& record : records) {
+        groups[record.key].push_back(record.value);
+      }
+    }
+    metrics.op_ns(Op::kReduceMerge) += monotonic_ns() - build_start;
+    for (const auto& [key, values] : groups) {
+      VectorValueStream<std::vector<std::string>> stream(values);
+      call_reduce(*reducer, key, stream, out, metrics);
+    }
+  }
+
+  out.close();
+  result.wall_ns = monotonic_ns() - task_start;
+  return result;
+}
+
+}  // namespace textmr::mr

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <vector>
+
+#include "io/spill_file.hpp"
+#include "mr/metrics.hpp"
+#include "mr/types.hpp"
+
+namespace textmr::mr {
+
+/// How reduce input is grouped. kSorted is the MapReduce model the paper
+/// assumes ("we assume that sorting is a required part of the MapReduce
+/// model", §II-A): reduce sees keys in sorted order. kHash is the §VII
+/// future-work alternative for reducers that only need grouping.
+enum class Grouping : std::uint8_t { kSorted, kHash };
+
+struct ReduceTaskConfig {
+  std::uint32_t partition = 0;
+  std::vector<io::SpillRunInfo> map_outputs;  // one per map task
+  ReducerFactory reducer;
+  Grouping grouping = Grouping::kSorted;
+  io::SpillFormat spill_format = io::SpillFormat::kCompactVarint;
+  std::filesystem::path output_path;  // final part file (text, key \t value)
+};
+
+struct ReduceTaskResult {
+  std::filesystem::path output_path;
+  TaskMetrics metrics;
+  Counters counters;
+  std::uint64_t wall_ns = 0;
+};
+
+/// Runs one reduce task: fetches its partition from every map output
+/// (shuffle), merges/groups, applies reduce(), writes the part file.
+ReduceTaskResult run_reduce_task(const ReduceTaskConfig& config);
+
+}  // namespace textmr::mr

@@ -1,0 +1,107 @@
+#include "mr/report.hpp"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+
+namespace textmr::mr {
+namespace {
+
+void appendf(std::string& out, const char* format, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void appendf(std::string& out, const char* format, ...) {
+  char buffer[512];
+  va_list args;
+  va_start(args, format);
+  const int n = std::vsnprintf(buffer, sizeof(buffer), format, args);
+  va_end(args);
+  if (n > 0) out.append(buffer, std::min<std::size_t>(n, sizeof(buffer) - 1));
+}
+
+double seconds(std::uint64_t ns) { return static_cast<double>(ns) * 1e-9; }
+
+}  // namespace
+
+std::string format_job_summary(const JobResult& result) {
+  const auto& work = result.metrics.work;
+  const double total = seconds(work.total_ns());
+  const double user = seconds(work.user_ns());
+  std::string out;
+  appendf(out,
+          "wall %.2fs | work %.2fs (user %.0f%%, framework %.0f%%) | "
+          "%llu map + %llu reduce tasks",
+          seconds(result.metrics.job_wall_ns), total,
+          total > 0 ? 100.0 * user / total : 0.0,
+          total > 0 ? 100.0 * (total - user) / total : 0.0,
+          static_cast<unsigned long long>(result.metrics.map_tasks),
+          static_cast<unsigned long long>(result.metrics.reduce_tasks));
+  return out;
+}
+
+std::string format_job_report(const JobResult& result,
+                              const std::string& job_name) {
+  const auto& m = result.metrics;
+  const auto& work = m.work;
+  std::string out;
+  appendf(out, "=== job report: %s ===\n", job_name.c_str());
+  appendf(out, "wall: total %.2fs (map phase %.2fs, reduce phase %.2fs)\n",
+          seconds(m.job_wall_ns), seconds(m.map_phase_wall_ns),
+          seconds(m.reduce_phase_wall_ns));
+
+  appendf(out, "serialized work by operation:\n");
+  const double total = static_cast<double>(work.total_ns());
+  for (std::size_t i = 0; i < kNumOps; ++i) {
+    const auto op = static_cast<Op>(i);
+    if (op == Op::kMapIdle || op == Op::kSupportIdle) continue;
+    const std::uint64_t ns = work.op_ns(op);
+    if (ns == 0) continue;
+    appendf(out, "  %-14s %8.3fs %5.1f%%%s\n", op_name(op), seconds(ns),
+            total > 0 ? 100.0 * static_cast<double>(ns) / total : 0.0,
+            is_user_code(op) ? "  [user code]" : "");
+  }
+  appendf(out, "  user code %.1f%%, abstraction cost %.1f%%\n",
+          total > 0 ? 100.0 * static_cast<double>(work.user_ns()) / total : 0.0,
+          total > 0
+              ? 100.0 * static_cast<double>(work.abstraction_ns()) / total
+              : 0.0);
+
+  appendf(out, "intra-map parallelism: map thread idle %.1f%%, "
+               "support thread idle %.1f%%\n",
+          100.0 * m.map_idle_fraction(), 100.0 * m.support_idle_fraction());
+
+  appendf(out, "volumes:\n");
+  appendf(out, "  input            %10llu records %12.1f KB\n",
+          static_cast<unsigned long long>(work.input_records),
+          static_cast<double>(work.input_bytes) / 1024.0);
+  appendf(out, "  map output       %10llu records %12.1f KB\n",
+          static_cast<unsigned long long>(work.map_output_records),
+          static_cast<double>(work.map_output_bytes) / 1024.0);
+  if (work.freq_hits > 0) {
+    appendf(out, "  freq-table hits  %10llu records (flushed back: %llu)\n",
+            static_cast<unsigned long long>(work.freq_hits),
+            static_cast<unsigned long long>(work.freq_flushes));
+  }
+  appendf(out, "  spilled          %10llu records %12.1f KB in %llu spills\n",
+          static_cast<unsigned long long>(work.spilled_records),
+          static_cast<double>(work.spilled_bytes) / 1024.0,
+          static_cast<unsigned long long>(work.spill_count));
+  appendf(out, "  map output (merged) %7llu records %12.1f KB\n",
+          static_cast<unsigned long long>(work.merged_records),
+          static_cast<double>(work.merged_bytes) / 1024.0);
+  appendf(out, "  shuffled         %23.1f KB\n",
+          static_cast<double>(work.shuffled_bytes) / 1024.0);
+  appendf(out, "  output           %10llu records %12.1f KB\n",
+          static_cast<unsigned long long>(work.output_records),
+          static_cast<double>(work.output_bytes) / 1024.0);
+  if (!result.counters.empty()) {
+    appendf(out, "user counters:\n");
+    for (const auto& [name, value] : result.counters.all()) {
+      appendf(out, "  %-28s %llu\n", name.c_str(),
+              static_cast<unsigned long long>(value));
+    }
+  }
+  return out;
+}
+
+}  // namespace textmr::mr

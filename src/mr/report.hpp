@@ -1,0 +1,19 @@
+#pragma once
+
+#include <string>
+
+#include "mr/job.hpp"
+
+namespace textmr::mr {
+
+/// Renders a human-readable report of a finished job: phase wall clocks,
+/// the Table-I-style per-operation breakdown of serialized work, volume
+/// counters, and the intra-map parallelism summary (busy/idle per thread
+/// role). Used by the CLI driver and handy in tests/examples.
+std::string format_job_report(const JobResult& result,
+                              const std::string& job_name = "job");
+
+/// One-line summary: wall, work, user/framework split.
+std::string format_job_summary(const JobResult& result);
+
+}  // namespace textmr::mr

@@ -1,0 +1,201 @@
+#include "mr/spill_buffer.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/stopwatch.hpp"
+
+namespace textmr::mr {
+namespace {
+
+constexpr double kMinThreshold = 0.01;
+constexpr double kMaxThreshold = 0.99;
+
+}  // namespace
+
+SpillBuffer::SpillBuffer(std::size_t capacity_bytes, double initial_threshold,
+                         std::uint32_t max_outstanding)
+    : capacity_(capacity_bytes),
+      ring_(capacity_bytes),
+      max_outstanding_(max_outstanding) {
+  TEXTMR_CHECK(capacity_bytes >= 1024, "spill buffer must be >= 1 KiB");
+  TEXTMR_CHECK(max_outstanding >= 1, "need >= 1 outstanding spill slot");
+  threshold_ = std::clamp(initial_threshold, kMinThreshold, kMaxThreshold);
+}
+
+void SpillBuffer::set_threshold(double threshold) {
+  std::lock_guard<std::mutex> lock(mu_);
+  threshold_ = std::clamp(threshold, kMinThreshold, kMaxThreshold);
+}
+
+double SpillBuffer::threshold() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return threshold_;
+}
+
+void SpillBuffer::seal_locked() {
+  if (current_records_.empty()) return;
+  Spill spill;
+  spill.records = std::move(current_records_);
+  spill.ring_bytes = current_ring_bytes_;
+  spill.data_bytes = current_data_bytes_;
+  spill.produce_ns = monotonic_ns() - current_started_ns_ - current_wait_ns_;
+  spill.sequence = sequence_++;
+  current_records_ = {};
+  current_ring_bytes_ = 0;
+  current_data_bytes_ = 0;
+  current_wait_ns_ = 0;
+  sealed_.push_back(std::move(spill));
+  ++outstanding_;
+  spill_available_.notify_one();
+}
+
+void SpillBuffer::put(std::uint32_t partition, std::string_view key,
+                      std::string_view value) {
+  const std::uint64_t need = key.size() + value.size();
+  if (need > capacity_) {
+    throw ConfigError("record of " + std::to_string(need) +
+                      " bytes exceeds spill buffer capacity " +
+                      std::to_string(capacity_));
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  TEXTMR_CHECK(!closed_, "put after close");
+  if (aborted_) throw InternalError("spill buffer aborted (consumer failed)");
+  if (current_records_.empty()) {
+    current_started_ns_ = monotonic_ns();
+  }
+
+  // Reserve `need` contiguous bytes, padding past the wrap point if the
+  // tail gap is too small. Blocks while the ring is full.
+  std::uint64_t pad = 0;
+  while (true) {
+    if (used_ == 0) {
+      head_ = tail_ = 0;  // empty: restart at the origin for max contiguity
+    }
+    pad = (tail_ + need <= capacity_) ? 0 : capacity_ - tail_;
+    if (free_bytes_locked() >= need + pad) break;
+    // Hadoop behaviour: a full buffer forces a spill of the current region
+    // regardless of the threshold (otherwise producer and consumer would
+    // deadlock waiting on each other).
+    if (outstanding_ < max_outstanding_) seal_locked();
+    const std::uint64_t wait_start = monotonic_ns();
+    space_available_.wait(lock);
+    const std::uint64_t waited = monotonic_ns() - wait_start;
+    producer_wait_ns_ += waited;
+    current_wait_ns_ += waited;
+    if (aborted_) throw InternalError("spill buffer aborted (consumer failed)");
+  }
+
+  if (pad > 0) {
+    used_ += pad;
+    current_ring_bytes_ += pad;
+    tail_ = 0;
+  }
+  char* dest = ring_.data() + tail_;
+  std::memcpy(dest, key.data(), key.size());
+  std::memcpy(dest + key.size(), value.data(), value.size());
+  current_records_.push_back(RecordRef{
+      dest,
+      dest + key.size(),
+      static_cast<std::uint32_t>(key.size()),
+      static_cast<std::uint32_t>(value.size()),
+      partition,
+  });
+  tail_ += need;
+  if (tail_ == capacity_) tail_ = 0;
+  used_ += need;
+  current_ring_bytes_ += need;
+  current_data_bytes_ += need;
+
+  // Threshold-based seal. The paper's model (§IV-C) seals a region only
+  // when a support thread is free: while all consumers are busy the
+  // region keeps growing (with one support thread that is what makes
+  // m_i = max{xM, min{(p/c)·m_{i-1}, M − m_{i-1}}}).
+  if (outstanding_ < max_outstanding_ &&
+      current_ring_bytes_ >= threshold_ * static_cast<double>(capacity_)) {
+    seal_locked();
+  }
+}
+
+void SpillBuffer::close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  TEXTMR_CHECK(!closed_, "close called twice");
+  if (!current_records_.empty()) {
+    seal_locked();
+    sealed_.back().is_final = true;
+  }
+  closed_ = true;
+  spill_available_.notify_all();
+}
+
+void SpillBuffer::abort() {
+  std::lock_guard<std::mutex> lock(mu_);
+  aborted_ = true;
+  space_available_.notify_all();
+  spill_available_.notify_all();
+}
+
+std::optional<Spill> SpillBuffer::take() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (sealed_.empty() && !closed_ && !aborted_) {
+    const std::uint64_t wait_start = monotonic_ns();
+    spill_available_.wait(lock);
+    consumer_wait_ns_ += monotonic_ns() - wait_start;
+  }
+  if (aborted_ || sealed_.empty()) return std::nullopt;
+  Spill spill = std::move(sealed_.front());
+  sealed_.pop_front();
+  return spill;
+}
+
+void SpillBuffer::release(const Spill& spill, std::uint64_t consume_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TEXTMR_CHECK(outstanding_ > 0, "release without outstanding spill");
+  --outstanding_;
+  // Ring space is reclaimed in seal order; a spill released ahead of an
+  // earlier one parks until the frontier reaches it.
+  released_.emplace(spill.sequence, spill.ring_bytes);
+  while (!released_.empty() &&
+         released_.begin()->first == next_free_sequence_) {
+    const std::uint64_t bytes = released_.begin()->second;
+    TEXTMR_CHECK(used_ >= bytes, "release exceeds ring usage");
+    head_ = (head_ + bytes) % capacity_;
+    used_ -= bytes;
+    released_.erase(released_.begin());
+    ++next_free_sequence_;
+  }
+  last_timing_ = SpillTiming{spill.sequence, spill.produce_ns, consume_ns,
+                             spill.data_bytes};
+  // A consumer just became free; if the producer's region already passed
+  // the threshold, seal it now so that consumer does not idle until the
+  // next put().
+  if (!closed_ && outstanding_ < max_outstanding_ &&
+      current_ring_bytes_ >= threshold_ * static_cast<double>(capacity_) &&
+      !current_records_.empty()) {
+    seal_locked();
+  }
+  space_available_.notify_one();
+}
+
+std::uint64_t SpillBuffer::producer_wait_ns() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return producer_wait_ns_;
+}
+
+std::uint64_t SpillBuffer::consumer_wait_ns() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return consumer_wait_ns_;
+}
+
+std::uint64_t SpillBuffer::spills_sealed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sequence_;
+}
+
+std::optional<SpillTiming> SpillBuffer::last_timing() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_timing_;
+}
+
+}  // namespace textmr::mr

@@ -1,0 +1,161 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace textmr::mr {
+
+/// A reference to one serialized record inside the ring. Valid until the
+/// spill containing it is released.
+struct RecordRef {
+  const char* key_data;
+  const char* value_data;
+  std::uint32_t key_size;
+  std::uint32_t value_size;
+  std::uint32_t partition;
+
+  std::string_view key() const { return {key_data, key_size}; }
+  std::string_view value() const { return {value_data, value_size}; }
+};
+
+/// One sealed spill region handed to the support thread.
+struct Spill {
+  std::vector<RecordRef> records;
+  std::uint64_t ring_bytes = 0;   // ring bytes (incl. wrap padding) to free
+  std::uint64_t data_bytes = 0;   // payload bytes (keys + values)
+  std::uint64_t produce_ns = 0;   // wall time the map thread took to fill it
+  std::uint64_t sequence = 0;
+  bool is_final = false;          // the flush spill at end of input
+};
+
+/// Timing of one completed produce/consume pair, fed to the spill policy.
+struct SpillTiming {
+  std::uint64_t sequence = 0;
+  std::uint64_t produce_ns = 0;
+  std::uint64_t consume_ns = 0;
+  std::uint64_t data_bytes = 0;
+};
+
+/// Circular in-memory buffer between the map thread (producer) and the
+/// support thread (consumer), modeled on Hadoop's map-side kvbuffer
+/// (paper §IV-A, Fig. 4).
+///
+/// The producer appends serialized records; once the bytes accumulated in
+/// the current (unsealed) region reach `threshold * capacity`, the region
+/// is sealed into a `Spill` and queued for the consumer. The producer
+/// keeps producing into the remaining free space and blocks only when the
+/// ring is full — that blocked time is the paper's "map thread idle".
+/// The consumer blocks when no sealed spill is pending — "support thread
+/// idle". Both waits are measured and exposed.
+///
+/// Records never wrap: if a record does not fit in the tail gap, the gap
+/// is padded and accounted to the current spill, and the record is placed
+/// at the ring start. Spills are freed strictly FIFO, which makes the
+/// ring bookkeeping a head/tail pair plus a used-byte count.
+///
+/// Thread contract: exactly one producer thread; up to `max_outstanding`
+/// consumer ("support") threads, each cycling take() -> release(). With
+/// more than one consumer, spills are sealed as soon as any consumer
+/// could accept one (outstanding < max_outstanding), generalizing the
+/// paper's 1-map/1-support pipeline to its "one or more support threads"
+/// form (§IV-A). Releases may arrive out of order; ring space is
+/// reclaimed in seal order as the release frontier advances.
+class SpillBuffer {
+ public:
+  explicit SpillBuffer(std::size_t capacity_bytes,
+                       double initial_threshold = 0.8,
+                       std::uint32_t max_outstanding = 1);
+
+  std::size_t capacity() const { return capacity_; }
+
+  // ---- producer side -------------------------------------------------
+
+  /// Appends a record. Blocks while the ring is full (the wait is added
+  /// to `producer_wait_ns`). Throws ConfigError if a single record can
+  /// never fit.
+  void put(std::uint32_t partition, std::string_view key,
+           std::string_view value);
+
+  /// Sets the spill threshold used for the *next* seal decision
+  /// (clamped to [0.01, 0.99]). Called by the spill policy.
+  void set_threshold(double threshold);
+  double threshold() const;
+
+  /// Seals whatever remains as a final spill (may be empty, in which case
+  /// no spill is queued) and wakes the consumer, which will see
+  /// end-of-stream after draining. Producer must call exactly once.
+  void close();
+
+  /// Poisons the buffer after a failure on either side: the producer's
+  /// next put() throws, the consumer's next take() returns nullopt, and
+  /// any blocked thread wakes. Idempotent; safe after close().
+  void abort();
+
+  // ---- consumer side -------------------------------------------------
+
+  /// Blocks until a sealed spill is available (wait added to
+  /// `consumer_wait_ns`) or the buffer is closed and drained (returns
+  /// nullopt).
+  std::optional<Spill> take();
+
+  /// Frees the ring space of the oldest outstanding spill. `consume_ns`
+  /// is the wall time the support thread spent processing it; the pair
+  /// (produce_ns, consume_ns) becomes the SpillTiming the policy sees.
+  void release(const Spill& spill, std::uint64_t consume_ns);
+
+  // ---- instrumentation -------------------------------------------------
+
+  std::uint64_t producer_wait_ns() const;
+  std::uint64_t consumer_wait_ns() const;
+  std::uint64_t spills_sealed() const;
+
+  /// Timing of the most recently released spill, if any.
+  std::optional<SpillTiming> last_timing() const;
+
+ private:
+  std::uint64_t free_bytes_locked() const { return capacity_ - used_; }
+  void seal_locked();  // move current region to the sealed queue
+
+  const std::size_t capacity_;
+  std::vector<char> ring_;
+
+  mutable std::mutex mu_;
+  std::condition_variable space_available_;
+  std::condition_variable spill_available_;
+
+  // Ring state (guarded by mu_).
+  std::size_t head_ = 0;  // oldest live byte
+  std::size_t tail_ = 0;  // next allocation point
+  std::uint64_t used_ = 0;
+
+  // Current (unsealed) region, owned by the producer.
+  std::vector<RecordRef> current_records_;
+  std::uint64_t current_ring_bytes_ = 0;
+  std::uint64_t current_data_bytes_ = 0;
+  std::uint64_t current_started_ns_ = 0;  // first put after previous seal
+  std::uint64_t current_wait_ns_ = 0;     // producer wait during this region
+
+  std::deque<Spill> sealed_;
+  std::uint64_t outstanding_ = 0;  // sealed or taken-but-unreleased spills
+  std::uint32_t max_outstanding_ = 1;
+  // Out-of-order release bookkeeping: ring bytes of released spills that
+  // are still blocked behind an unreleased earlier spill.
+  std::map<std::uint64_t, std::uint64_t> released_;
+  std::uint64_t next_free_sequence_ = 0;
+  double threshold_;
+  bool closed_ = false;
+  bool aborted_ = false;
+  std::uint64_t sequence_ = 0;
+
+  std::uint64_t producer_wait_ns_ = 0;
+  std::uint64_t consumer_wait_ns_ = 0;
+  std::optional<SpillTiming> last_timing_;
+};
+
+}  // namespace textmr::mr

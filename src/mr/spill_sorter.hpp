@@ -1,0 +1,23 @@
+#pragma once
+
+#include "io/spill_file.hpp"
+#include "mr/metrics.hpp"
+#include "mr/spill_buffer.hpp"
+#include "mr/types.hpp"
+
+namespace textmr::mr {
+
+/// Sorts one sealed spill by (partition, key), applies the combiner to
+/// each key group, and writes the resulting sorted run. This is the
+/// support thread's workload (paper §II-C2 / §IV-A): its cost is what the
+/// spill-matcher balances against map-thread production.
+///
+/// `combiner` may be null. Returns the run info from the writer's
+/// `finish()`. Sort time goes to Op::kSort, user combine time to
+/// Op::kCombine, and writing (including framing) to Op::kSpillWrite.
+io::SpillRunInfo sort_and_spill(Spill& spill, Reducer* combiner,
+                                const std::string& run_path,
+                                std::uint32_t num_partitions,
+                                io::SpillFormat format, TaskMetrics& metrics);
+
+}  // namespace textmr::mr

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/pipeline.hpp"
+#include "sim/profile.hpp"
+
+namespace textmr::sim {
+
+/// Hardware model of the simulated cluster. Defaults approximate the
+/// paper's local cluster: 6 worker machines (2×quad-core 1.86 GHz Xeon,
+/// 16 GB RAM, spinning disks), 12 mappers + 12 reducers total, GbE.
+struct ClusterSpec {
+  std::uint32_t nodes = 6;
+  std::uint32_t map_slots_per_node = 2;
+  std::uint32_t reduce_slots_per_node = 2;
+
+  double disk_read_mbps = 90.0;    // per node, sequential
+  double disk_write_mbps = 70.0;
+  double network_mbps_per_node = 110.0;  // GbE payload rate
+
+  /// Per-task fixed overhead (JVM start, scheduling heartbeat) — the
+  /// constant that dominates tiny jobs on real Hadoop.
+  double task_startup_s = 1.5;
+  /// Per-job fixed overhead (job setup/teardown).
+  double job_overhead_s = 6.0;
+
+  /// Ratio of simulated-node CPU time to measuring-machine CPU time for
+  /// the same work. >1 means the simulated node is slower. The paper's
+  /// 2008-era 1.86 GHz Xeons vs. a modern core; the default is a rough
+  /// but documented factor (EXPERIMENTS.md).
+  double cpu_scale = 3.0;
+
+  std::uint32_t map_slots() const { return nodes * map_slots_per_node; }
+  std::uint32_t reduce_slots() const { return nodes * reduce_slots_per_node; }
+};
+
+/// Job-level knobs for a simulated run.
+struct SimJobConfig {
+  double input_bytes = 0.0;          // total job input
+  /// Defaults sized so a text-centric map task spills several times per
+  /// task (the regime the paper's Table II idle numbers imply): 256 MB
+  /// splits over a 64 MB sort buffer give ~4-10 spills for map-output
+  /// ratios near 1-2.5x.
+  double split_bytes = 256.0 * 1024 * 1024;
+  std::uint32_t num_reducers = 12;
+  double spill_buffer_bytes = 64.0 * 1024 * 1024;
+  double spill_threshold = 0.8;
+  bool use_spill_matcher = false;
+  /// Fraction of the buffer carved out for the frequent-key table; the
+  /// pipeline's effective M shrinks by this much (the profile already
+  /// reflects the absorbed volume).
+  double freq_table_fraction = 0.0;
+};
+
+struct SimJobResult {
+  double total_s = 0.0;
+  double map_phase_s = 0.0;
+  double reduce_phase_s = 0.0;
+
+  // Per-map-task internals (all tasks are statistically identical).
+  double map_task_wall_s = 0.0;
+  double map_pipeline_s = 0.0;
+  double map_merge_s = 0.0;
+  double map_idle_fraction = 0.0;      // of pipeline wall
+  double support_idle_fraction = 0.0;  // of pipeline wall
+  std::uint64_t map_tasks = 0;
+  std::uint64_t map_waves = 0;
+  std::uint64_t spills_per_task = 0;
+
+  double reduce_task_wall_s = 0.0;
+  double shuffle_s = 0.0;  // per reduce task
+  std::uint64_t reduce_waves = 0;
+};
+
+/// Composes a measured AppProfile over a simulated cluster: map tasks in
+/// waves over the map slots (each task's produce/consume pipeline run
+/// through the §IV-C fluid model, plus merge and I/O), then reduce tasks
+/// in waves (shuffle over the shared network, merge, reduce, write).
+SimJobResult simulate_job(const AppProfile& profile, const ClusterSpec& cluster,
+                          const SimJobConfig& job);
+
+}  // namespace textmr::sim

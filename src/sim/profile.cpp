@@ -1,0 +1,59 @@
+#include "sim/profile.hpp"
+
+#include "common/error.hpp"
+
+namespace textmr::sim {
+namespace {
+
+double ratio(double num, double den) { return den > 0.0 ? num / den : 0.0; }
+
+}  // namespace
+
+AppProfile AppProfile::from_job(const mr::JobMetrics& metrics) {
+  using mr::Op;
+  const auto& map = metrics.map_work;
+  const auto& support = metrics.support_work;
+  const auto& reduce = metrics.reduce_work;
+
+  const double input_bytes = static_cast<double>(map.input_bytes);
+  TEXTMR_CHECK(input_bytes > 0.0, "profile needs a job that read input");
+
+  AppProfile profile;
+  profile.map_output_bytes =
+      ratio(static_cast<double>(map.map_output_bytes), input_bytes);
+  profile.spill_input_bytes =
+      ratio(static_cast<double>(map.spill_input_bytes), input_bytes);
+  profile.spilled_bytes =
+      ratio(static_cast<double>(support.spilled_bytes), input_bytes);
+  profile.merged_bytes =
+      ratio(static_cast<double>(map.merged_bytes), input_bytes);
+  profile.output_bytes =
+      ratio(static_cast<double>(reduce.output_bytes), input_bytes);
+
+  const double produce_ns = static_cast<double>(
+      map.op_ns(Op::kMapRead) + map.op_ns(Op::kMapUser) + map.op_ns(Op::kEmit) +
+      map.op_ns(Op::kProfile) + map.op_ns(Op::kFreqTable) +
+      map.op_ns(Op::kCombine));
+  profile.produce_cpu_ns_per_input_byte = ratio(produce_ns, input_bytes);
+
+  const double consume_ns = static_cast<double>(
+      support.op_ns(Op::kSort) + support.op_ns(Op::kCombine) +
+      support.op_ns(Op::kSpillWrite));
+  profile.consume_cpu_ns_per_spill_byte =
+      ratio(consume_ns, static_cast<double>(map.spill_input_bytes));
+
+  const double merge_ns = static_cast<double>(map.op_ns(Op::kMerge) +
+                                              map.op_ns(Op::kMergeCombine));
+  profile.merge_cpu_ns_per_spilled_byte =
+      ratio(merge_ns, static_cast<double>(support.spilled_bytes));
+
+  const double reduce_ns = static_cast<double>(
+      reduce.op_ns(Op::kReduceMerge) + reduce.op_ns(Op::kReduceUser) +
+      reduce.op_ns(Op::kOutputWrite));
+  profile.reduce_cpu_ns_per_shuffled_byte =
+      ratio(reduce_ns, static_cast<double>(reduce.shuffled_bytes));
+
+  return profile;
+}
+
+}  // namespace textmr::sim

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+
+#include "mr/metrics.hpp"
+
+namespace textmr::sim {
+
+/// Per-unit characterization of one application under one optimization
+/// setting, extracted from a real (scaled-down) LocalEngine run. All CPU
+/// costs are nanoseconds per byte on the measuring machine; the cluster
+/// simulator rescales them with ClusterSpec::cpu_scale.
+///
+/// This is the calibration boundary between the real runtime and the
+/// cluster simulator (DESIGN.md §2): volumes and per-byte costs are
+/// *measured*, only their composition at cluster scale is simulated.
+struct AppProfile {
+  // ---- volumes, normalized per input byte ----
+  double map_output_bytes = 0.0;   // emitted by map()
+  double spill_input_bytes = 0.0;  // entering the spill buffer (post-freqbuf)
+  double spilled_bytes = 0.0;      // written to spill runs (post-combine)
+  double merged_bytes = 0.0;       // final map output = shuffle volume
+  double output_bytes = 0.0;       // final reduce output
+
+  // ---- CPU costs ----
+  /// Map-thread cost per *input* byte: read + user map + emit + profile +
+  /// frequency-table work + in-table combine.
+  double produce_cpu_ns_per_input_byte = 0.0;
+  /// Support-thread cost per spill-input byte: sort + combine + run write.
+  double consume_cpu_ns_per_spill_byte = 0.0;
+  /// Map-side merge cost per spilled byte (merge + merge-path combine).
+  double merge_cpu_ns_per_spilled_byte = 0.0;
+  /// Reduce cost per shuffled byte: merge/group + user reduce + output.
+  double reduce_cpu_ns_per_shuffled_byte = 0.0;
+
+  /// Builds a profile from a finished job's metrics. The job must have
+  /// processed a representative input (same generator family, smaller
+  /// size); per-byte normalization removes the scale.
+  static AppProfile from_job(const mr::JobMetrics& metrics);
+};
+
+}  // namespace textmr::sim

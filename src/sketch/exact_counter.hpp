@@ -1,0 +1,66 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace textmr::sketch {
+
+/// Exact frequency counter — the "Ideal" predictor of the paper's Fig. 7.
+/// Memory is proportional to the number of distinct keys, so this is a
+/// measurement tool, not something the runtime could afford online.
+class ExactCounter {
+ public:
+  void offer(std::string_view key) {
+    ++observed_;
+    auto it = counts_.find(key);
+    if (it == counts_.end()) {
+      counts_.emplace(std::string(key), 1);
+    } else {
+      ++it->second;
+    }
+  }
+
+  std::uint64_t observed() const { return observed_; }
+  std::size_t distinct() const { return counts_.size(); }
+
+  std::uint64_t count(std::string_view key) const {
+    auto it = counts_.find(key);
+    return it == counts_.end() ? 0 : it->second;
+  }
+
+  /// Top-k keys by true frequency (ties broken by key for determinism).
+  std::vector<std::pair<std::string, std::uint64_t>> top(std::size_t k) const {
+    std::vector<std::pair<std::string, std::uint64_t>> all(counts_.begin(),
+                                                           counts_.end());
+    const std::size_t take = std::min(k, all.size());
+    std::partial_sort(all.begin(), all.begin() + static_cast<long>(take),
+                      all.end(), [](const auto& a, const auto& b) {
+                        if (a.second != b.second) return a.second > b.second;
+                        return a.first < b.first;
+                      });
+    all.resize(take);
+    return all;
+  }
+
+ private:
+  struct ShHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  struct ShEq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const noexcept {
+      return a == b;
+    }
+  };
+  std::unordered_map<std::string, std::uint64_t, ShHash, ShEq> counts_;
+  std::uint64_t observed_ = 0;
+};
+
+}  // namespace textmr::sketch

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace textmr::sketch {
+
+/// LRU frequent-key predictor — the baseline of the paper's Fig. 7.
+/// "LRU always adds each new tuple to the buffer, expelling the
+/// least-recently-used key."
+///
+/// Usage as a predictor: each offered key is a hit (the tuple would be
+/// combined in place) or a miss (the tuple displaces the LRU entry, whose
+/// aggregate is emitted to the spill path).
+class LruTracker {
+ public:
+  explicit LruTracker(std::size_t capacity) : capacity_(capacity) {}
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return index_.size(); }
+
+  /// Offers one key; returns true on hit (key was resident).
+  bool offer(std::string_view key) {
+    ++observed_;
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      ++hits_;
+      order_.splice(order_.begin(), order_, it->second);
+      return true;
+    }
+    if (index_.size() == capacity_) {
+      ++evictions_;
+      index_.erase(order_.back());
+      order_.pop_back();
+    }
+    order_.push_front(std::string(key));
+    index_.emplace(order_.front(), order_.begin());
+    return false;
+  }
+
+  std::uint64_t observed() const { return observed_; }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t evictions() const { return evictions_; }
+
+  /// Fraction of offered tuples that were combined in place.
+  double hit_rate() const {
+    return observed_ == 0 ? 0.0
+                          : static_cast<double>(hits_) /
+                                static_cast<double>(observed_);
+  }
+
+ private:
+  struct ShHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  struct ShEq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const noexcept {
+      return a == b;
+    }
+  };
+
+  std::size_t capacity_;
+  std::uint64_t observed_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::list<std::string> order_;  // MRU at front
+  std::unordered_map<std::string_view, std::list<std::string>::iterator,
+                     ShHash, ShEq>
+      index_;
+};
+
+}  // namespace textmr::sketch

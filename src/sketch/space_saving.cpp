@@ -1,0 +1,80 @@
+#include "sketch/space_saving.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace textmr::sketch {
+
+SpaceSaving::SpaceSaving(std::size_t capacity) : capacity_(capacity) {
+  TEXTMR_CHECK(capacity >= 1, "SpaceSaving capacity must be >= 1");
+  index_.reserve(capacity);
+}
+
+void SpaceSaving::offer(std::string_view key) {
+  ++observed_;
+  if (auto it = index_.find(key); it != index_.end()) {
+    increment(it->second);
+    return;
+  }
+  if (index_.size() < capacity_) {
+    // Fresh key into a (possibly new) count-1 bucket at the front.
+    if (buckets_.empty() || buckets_.front().count != 1) {
+      buckets_.emplace_front(Bucket{1, {}});
+    }
+    auto bucket_it = buckets_.begin();
+    bucket_it->counters.push_front(Counter{std::string(key), 0, bucket_it});
+    index_.emplace(bucket_it->counters.front().key,
+                   bucket_it->counters.begin());
+    return;
+  }
+  // Replace the minimum-count key: newcomer inherits min count as error,
+  // then gets the +1 for its own occurrence.
+  auto min_bucket = buckets_.begin();
+  auto victim = min_bucket->counters.begin();
+  index_.erase(victim->key);
+  victim->key.assign(key.data(), key.size());
+  victim->error = min_bucket->count;
+  index_.emplace(victim->key, victim);
+  increment(victim);
+}
+
+void SpaceSaving::increment(std::list<Counter>::iterator counter_it) {
+  auto bucket_it = counter_it->bucket;
+  const std::uint64_t new_count = bucket_it->count + 1;
+  auto next_bucket = std::next(bucket_it);
+  if (next_bucket == buckets_.end() || next_bucket->count != new_count) {
+    next_bucket = buckets_.insert(next_bucket, Bucket{new_count, {}});
+  }
+  // Splice the counter node across buckets; iterators (and the index_ map
+  // entries pointing at them) stay valid.
+  next_bucket->counters.splice(next_bucket->counters.begin(),
+                               bucket_it->counters, counter_it);
+  counter_it->bucket = next_bucket;
+  if (bucket_it->counters.empty()) buckets_.erase(bucket_it);
+}
+
+std::vector<SpaceSaving::Entry> SpaceSaving::top(std::size_t top_k) const {
+  std::vector<Entry> result;
+  result.reserve(index_.size());
+  for (auto bucket_it = buckets_.rbegin(); bucket_it != buckets_.rend();
+       ++bucket_it) {
+    for (const auto& counter : bucket_it->counters) {
+      result.push_back(Entry{counter.key, bucket_it->count, counter.error});
+      if (top_k != 0 && result.size() == top_k) return result;
+    }
+  }
+  return result;
+}
+
+bool SpaceSaving::contains(std::string_view key) const {
+  return index_.find(key) != index_.end();
+}
+
+void SpaceSaving::clear() {
+  buckets_.clear();
+  index_.clear();
+  observed_ = 0;
+}
+
+}  // namespace textmr::sketch

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace textmr::sketch {
+
+/// Space-Saving top-k sketch (Metwally, Agrawal & El Abbadi, ICDT 2005) —
+/// the profiling algorithm the paper uses to find frequent map() output
+/// keys (§III-B).
+///
+/// The structure is the classic "stream summary": counters live in buckets
+/// ordered by count; all counters in a bucket share the same count, so both
+/// the increment and the min-replacement are O(1) amortized (plus one hash
+/// lookup).
+///
+/// Semantics per the paper: when a new key arrives and the table is full,
+/// the key with the lowest count is evicted and the newcomer inherits that
+/// count + 1 ("slightly higher than the lowest frequency to avoid
+/// thrashing"), with the inherited part tracked as `error`.
+class SpaceSaving {
+ public:
+  struct Entry {
+    std::string key;
+    std::uint64_t count = 0;  // upper bound on the key's true frequency
+    std::uint64_t error = 0;  // count inherited at insertion
+  };
+
+  explicit SpaceSaving(std::size_t capacity);
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return index_.size(); }
+  std::uint64_t observed() const { return observed_; }
+
+  /// Process one key occurrence.
+  void offer(std::string_view key);
+
+  /// The current monitored set, ordered by decreasing count. If
+  /// `top_k` > 0 only that many entries are returned.
+  std::vector<Entry> top(std::size_t top_k = 0) const;
+
+  /// True if `key` is currently monitored with count - error > 0 at a
+  /// guaranteed rank <= k (conservative: uses the guaranteed-count
+  /// ordering). Cheap helper for tests.
+  bool contains(std::string_view key) const;
+
+  void clear();
+
+ private:
+  struct Bucket;
+  struct Counter {
+    std::string key;
+    std::uint64_t error = 0;
+    std::list<Bucket>::iterator bucket;
+  };
+  struct Bucket {
+    std::uint64_t count = 0;
+    std::list<Counter> counters;
+  };
+
+  void increment(std::list<Counter>::iterator counter_it);
+
+  std::size_t capacity_;
+  std::uint64_t observed_ = 0;
+  // Buckets in increasing count order; begin() is the minimum bucket.
+  std::list<Bucket> buckets_;
+  // Heterogeneous lookup: key bytes -> counter node.
+  struct ShHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  struct ShEq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const noexcept {
+      return a == b;
+    }
+  };
+  std::unordered_map<std::string, std::list<Counter>::iterator, ShHash, ShEq>
+      index_;
+};
+
+}  // namespace textmr::sketch

@@ -1,0 +1,64 @@
+#include "sketch/zipf_estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/harmonic.hpp"
+
+namespace textmr::sketch {
+
+ZipfFit fit_zipf(const std::vector<std::uint64_t>& descending_frequencies) {
+  TEXTMR_CHECK(std::is_sorted(descending_frequencies.begin(),
+                              descending_frequencies.end(),
+                              std::greater<std::uint64_t>()),
+               "frequencies must be sorted in descending order");
+  // Collect (log rank, log frequency) points.
+  std::vector<double> xs;
+  std::vector<double> ys;
+  xs.reserve(descending_frequencies.size());
+  ys.reserve(descending_frequencies.size());
+  for (std::size_t i = 0; i < descending_frequencies.size(); ++i) {
+    if (descending_frequencies[i] == 0) break;  // sorted: rest are zero too
+    xs.push_back(std::log(static_cast<double>(i + 1)));
+    ys.push_back(std::log(static_cast<double>(descending_frequencies[i])));
+  }
+
+  ZipfFit fit;
+  fit.points = xs.size();
+  if (xs.size() < 2) return fit;
+
+  const double n = static_cast<double>(xs.size());
+  double sum_x = 0, sum_y = 0, sum_xx = 0, sum_xy = 0, sum_yy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sum_x += xs[i];
+    sum_y += ys[i];
+    sum_xx += xs[i] * xs[i];
+    sum_xy += xs[i] * ys[i];
+    sum_yy += ys[i] * ys[i];
+  }
+  const double var_x = sum_xx - sum_x * sum_x / n;
+  if (var_x <= 0) return fit;  // all points share one rank?! degenerate
+  const double cov_xy = sum_xy - sum_x * sum_y / n;
+  const double slope = cov_xy / var_x;
+  fit.alpha = std::max(0.0, -slope);
+  fit.log_c = (sum_y - slope * sum_x) / n;
+  const double var_y = sum_yy - sum_y * sum_y / n;
+  fit.r_squared = (var_y > 0) ? (cov_xy * cov_xy) / (var_x * var_y) : 1.0;
+  return fit;
+}
+
+double sampling_fraction(std::uint64_t k, double alpha, std::uint64_t m,
+                         std::uint64_t n, double floor_s) {
+  TEXTMR_CHECK(k >= 1, "sampling_fraction needs k >= 1");
+  TEXTMR_CHECK(n >= 1, "sampling_fraction needs n >= 1");
+  if (m < 1) m = 1;
+  // Expected records until the k-th ranked key appears once:
+  //   1 / p_k = k^alpha * H_{m,alpha}
+  const double expected_until_kth =
+      std::pow(static_cast<double>(k), alpha) * generalized_harmonic(m, alpha);
+  const double s = expected_until_kth / static_cast<double>(n);
+  return std::clamp(s, floor_s, 1.0);
+}
+
+}  // namespace textmr::sketch

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace textmr::sketch {
+
+/// Estimate of a Zipfian key distribution, fitted from observed
+/// (rank, frequency) points (paper §III-C).
+struct ZipfFit {
+  double alpha = 0.0;      // fitted exponent
+  double log_c = 0.0;      // fitted intercept (log C)
+  double r_squared = 0.0;  // goodness of fit of the log-log regression
+  std::size_t points = 0;  // number of (rank, frequency) points used
+};
+
+/// Fits `log f_i = -alpha * log i + log C` by ordinary least squares over
+/// the frequencies of the keys seen in the pre-profiling step, sorted in
+/// descending order. Frequencies of zero are skipped. Requires at least
+/// two distinct positive frequencies; otherwise returns alpha = 0 with
+/// points reflecting what was usable.
+ZipfFit fit_zipf(const std::vector<std::uint64_t>& descending_frequencies);
+
+/// The paper's sampling-fraction rule (§III-C):
+///
+///   n*s >= k^alpha * H_{m,alpha}
+///
+/// where n is the expected number of intermediate records, k the frequent
+/// table capacity, and m the (estimated) number of distinct keys. Returns
+/// s clamped to [floor_s, 1.0]. The floor guards against degenerate fits
+/// (alpha ~ 0 on a tiny pre-profile) disabling profiling entirely.
+double sampling_fraction(std::uint64_t k, double alpha, std::uint64_t m,
+                         std::uint64_t n, double floor_s = 0.001);
+
+}  // namespace textmr::sketch

@@ -1,0 +1,96 @@
+#include "textgen/corpus_gen.hpp"
+
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace textmr::textgen {
+
+std::string word_for_rank(std::uint64_t rank) {
+  TEXTMR_CHECK(rank >= 1, "word ranks are 1-based");
+  // Bijective base-26 ('a'..'z'), so every rank has a unique word and
+  // short words belong to frequent ranks.
+  std::string word;
+  std::uint64_t n = rank;
+  while (n > 0) {
+    const std::uint64_t digit = (n - 1) % 26;
+    word.push_back(static_cast<char>('a' + digit));
+    n = (n - 1) / 26;
+  }
+  return word;  // digits are reversed, but uniqueness is all that matters
+}
+
+CorpusStream::CorpusStream(const CorpusSpec& spec)
+    : spec_(spec), zipf_(spec.vocabulary, spec.alpha), rng_(spec.seed) {
+  TEXTMR_CHECK(spec.min_words_per_line >= 1 &&
+                   spec.min_words_per_line <= spec.max_words_per_line,
+               "bad words-per-line range");
+}
+
+bool CorpusStream::next_line(std::string& line) {
+  line.clear();
+  if (words_emitted_ >= spec_.total_words) return false;
+  const std::uint32_t span =
+      spec_.max_words_per_line - spec_.min_words_per_line + 1;
+  std::uint32_t words_in_line =
+      spec_.min_words_per_line +
+      static_cast<std::uint32_t>(rng_.next_below(span));
+  words_in_line = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+      words_in_line, spec_.total_words - words_emitted_));
+  for (std::uint32_t i = 0; i < words_in_line; ++i) {
+    if (i > 0) line.push_back(' ');
+    const std::uint64_t rank = zipf_(rng_);
+    std::string word = word_for_rank(rank);
+    if (spec_.decoration_rate > 0.0 &&
+        rng_.next_double() < spec_.decoration_rate) {
+      // Decorations exercise tokenizer normalization without changing
+      // the underlying word distribution.
+      word[0] = static_cast<char>(word[0] - 'a' + 'A');
+      switch (rng_.next_below(4)) {
+        case 0: word.push_back('.'); break;
+        case 1: word.push_back(','); break;
+        case 2: word.push_back('!'); break;
+        default: break;
+      }
+    }
+    line += word;
+  }
+  words_emitted_ += words_in_line;
+  return true;
+}
+
+CorpusStats generate_corpus(const CorpusSpec& spec, const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) throw IoError("cannot create corpus file " + path);
+
+  CorpusStream stream(spec);
+  CorpusStats stats;
+  std::string line;
+  std::string buffer;
+  buffer.reserve(1 << 18);
+  while (stream.next_line(line)) {
+    buffer += line;
+    buffer.push_back('\n');
+    stats.lines += 1;
+    if (buffer.size() >= (1 << 18)) {
+      if (std::fwrite(buffer.data(), 1, buffer.size(), file) != buffer.size()) {
+        std::fclose(file);
+        throw IoError("short write to corpus file " + path);
+      }
+      stats.bytes += buffer.size();
+      buffer.clear();
+    }
+  }
+  if (!buffer.empty()) {
+    if (std::fwrite(buffer.data(), 1, buffer.size(), file) != buffer.size()) {
+      std::fclose(file);
+      throw IoError("short write to corpus file " + path);
+    }
+    stats.bytes += buffer.size();
+  }
+  std::fclose(file);
+  stats.words = stream.words_emitted();
+  return stats;
+}
+
+}  // namespace textmr::textgen

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.hpp"
+#include "common/zipf.hpp"
+
+namespace textmr::textgen {
+
+/// Deterministic synthetic text corpus with a Zipfian word distribution —
+/// the stand-in for the paper's 8.52 GB Wikipedia 2008 dump (1.45 B words,
+/// 24.7 M distinct, Fig. 3). The frequency *distribution* is what the
+/// paper's optimizations exploit, and this generator matches it: word
+/// ranks are drawn Zipf(alpha), and the word for rank r is a unique
+/// base-26 token (so low ranks get short words, like real text).
+struct CorpusSpec {
+  std::uint64_t total_words = 1'000'000;
+  std::uint64_t vocabulary = 50'000;
+  double alpha = 1.0;          // Zipf exponent (Fig. 3 shows ~1 for text)
+  std::uint64_t seed = 42;
+  std::uint32_t min_words_per_line = 8;
+  std::uint32_t max_words_per_line = 16;
+  /// Fraction of words that get sentence-like decoration (capitalization,
+  /// trailing punctuation) so tokenizers have something to normalize.
+  double decoration_rate = 0.1;
+};
+
+struct CorpusStats {
+  std::uint64_t words = 0;
+  std::uint64_t lines = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// The canonical word for a vocabulary rank (1-based): 'a'..'z' base-26
+/// encoding, optionally padded. rank 1 -> "a", 27 -> "aa", etc.
+std::string word_for_rank(std::uint64_t rank);
+
+/// Streaming corpus source: next_line() produces lines until the word
+/// budget is exhausted. Useful for feeding sketches directly in tests.
+class CorpusStream {
+ public:
+  explicit CorpusStream(const CorpusSpec& spec);
+
+  /// Appends the next line (without '\n') to `line`; returns false when
+  /// the corpus is complete. `line` is cleared first.
+  bool next_line(std::string& line);
+
+  std::uint64_t words_emitted() const { return words_emitted_; }
+
+ private:
+  CorpusSpec spec_;
+  ZipfDistribution zipf_;
+  Xoshiro256 rng_;
+  std::uint64_t words_emitted_ = 0;
+};
+
+/// Writes the whole corpus to a file.
+CorpusStats generate_corpus(const CorpusSpec& spec, const std::string& path);
+
+}  // namespace textmr::textgen

@@ -1,0 +1,72 @@
+#include "textgen/graphgen.hpp"
+
+#include <cstdio>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/zipf.hpp"
+
+namespace textmr::textgen {
+
+std::string page_url(std::uint64_t page_id) {
+  return "www.page" + std::to_string(page_id) + ".example.org";
+}
+
+WebGraphStats generate_web_graph(const WebGraphSpec& spec,
+                                 const std::string& path) {
+  TEXTMR_CHECK(spec.num_pages >= 2, "web graph needs >= 2 pages");
+  TEXTMR_CHECK(spec.min_out_degree >= 1 &&
+                   spec.min_out_degree <= spec.max_out_degree,
+               "bad out-degree range");
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) throw IoError("cannot create graph file " + path);
+
+  WebGraphStats stats;
+  Xoshiro256 rng(spec.seed);
+  ZipfDistribution target_zipf(spec.num_pages, spec.link_alpha);
+
+  std::string buffer;
+  buffer.reserve(1 << 18);
+  char rank_buf[32];
+  std::snprintf(rank_buf, sizeof(rank_buf), "%.6f", spec.initial_rank);
+
+  const std::uint32_t degree_span =
+      spec.max_out_degree - spec.min_out_degree + 1;
+  for (std::uint64_t page = 1; page <= spec.num_pages; ++page) {
+    buffer += page_url(page);
+    buffer.push_back('\t');
+    buffer += rank_buf;
+    buffer.push_back('\t');
+    const std::uint32_t degree =
+        spec.min_out_degree +
+        static_cast<std::uint32_t>(rng.next_below(degree_span));
+    for (std::uint32_t e = 0; e < degree; ++e) {
+      std::uint64_t target = target_zipf(rng);
+      if (target == page) target = (target % spec.num_pages) + 1;
+      if (e > 0) buffer.push_back(',');
+      buffer += page_url(target);
+      stats.edges += 1;
+    }
+    buffer.push_back('\n');
+    if (buffer.size() >= (1 << 18)) {
+      if (std::fwrite(buffer.data(), 1, buffer.size(), file) != buffer.size()) {
+        std::fclose(file);
+        throw IoError("short write to graph file " + path);
+      }
+      stats.bytes += buffer.size();
+      buffer.clear();
+    }
+  }
+  if (!buffer.empty()) {
+    if (std::fwrite(buffer.data(), 1, buffer.size(), file) != buffer.size()) {
+      std::fclose(file);
+      throw IoError("short write to graph file " + path);
+    }
+    stats.bytes += buffer.size();
+  }
+  std::fclose(file);
+  stats.pages = spec.num_pages;
+  return stats;
+}
+
+}  // namespace textmr::textgen

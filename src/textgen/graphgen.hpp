@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace textmr::textgen {
+
+/// Synthetic web-graph generator for PageRank — the stand-in for the
+/// paper's 10 M-page crawl built with Pavlo et al.'s tools. Link targets
+/// follow Zipf(alpha = 1) per Adamic & Huberman (§V-A2), i.e. popular
+/// pages attract most in-links.
+///
+/// Record format (one page per line):
+///   url \t pagerank \t outlink1,outlink2,...
+struct WebGraphSpec {
+  std::uint64_t num_pages = 100'000;
+  double link_alpha = 1.0;
+  std::uint32_t min_out_degree = 1;
+  std::uint32_t max_out_degree = 20;
+  std::uint64_t seed = 13;
+  double initial_rank = 1.0;  // uniform initial PageRank mass per page
+};
+
+struct WebGraphStats {
+  std::uint64_t pages = 0;
+  std::uint64_t edges = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// URL naming shared with the PageRank application.
+std::string page_url(std::uint64_t page_id);
+
+WebGraphStats generate_web_graph(const WebGraphSpec& spec,
+                                 const std::string& path);
+
+}  // namespace textmr::textgen

@@ -1,0 +1,138 @@
+#include "textgen/loggen.hpp"
+
+#include <cstdio>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/zipf.hpp"
+
+namespace textmr::textgen {
+namespace {
+
+const char* kUserAgents[] = {"Mozilla/5.0", "Opera/9.80", "Lynx/2.8",
+                             "Chrome/35.0", "Safari/537"};
+const char* kCountries[] = {"USA", "DEU", "JPN", "BRA", "IND", "GBR", "FRA"};
+const char* kLanguages[] = {"en", "de", "ja", "pt", "hi", "fr"};
+const char* kSearchWords[] = {"map", "reduce", "spill", "buffer", "index",
+                              "corpus", "rank", "query"};
+
+class BufferedFile {
+ public:
+  explicit BufferedFile(const std::string& path) : path_(path) {
+    file_ = std::fopen(path.c_str(), "wb");
+    if (file_ == nullptr) throw IoError("cannot create " + path);
+    buffer_.reserve((1 << 18) + 4096);
+  }
+  ~BufferedFile() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  void append(const std::string& line) {
+    buffer_ += line;
+    buffer_.push_back('\n');
+    if (buffer_.size() >= (1 << 18)) flush();
+  }
+
+  std::uint64_t close() {
+    flush();
+    if (std::fclose(file_) != 0) {
+      file_ = nullptr;
+      throw IoError("close failed for " + path_);
+    }
+    file_ = nullptr;
+    return bytes_;
+  }
+
+ private:
+  void flush() {
+    if (buffer_.empty()) return;
+    if (std::fwrite(buffer_.data(), 1, buffer_.size(), file_) !=
+        buffer_.size()) {
+      throw IoError("short write to " + path_);
+    }
+    bytes_ += buffer_.size();
+    buffer_.clear();
+  }
+
+  std::string path_;
+  std::FILE* file_;
+  std::string buffer_;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace
+
+std::string url_for_rank(std::uint64_t rank) {
+  return "http://www.site" + std::to_string(rank) + ".example.com/page" +
+         std::to_string(rank % 97) + ".html";
+}
+
+AccessLogStats generate_access_log(const AccessLogSpec& spec,
+                                   const std::string& user_visits_path,
+                                   const std::string& rankings_path) {
+  TEXTMR_CHECK(spec.num_urls >= 1, "need at least one URL");
+  AccessLogStats stats;
+  Xoshiro256 rng(spec.seed);
+  ZipfDistribution url_zipf(spec.num_urls, spec.url_alpha);
+
+  {
+    BufferedFile visits(user_visits_path);
+    std::string line;
+    for (std::uint64_t i = 0; i < spec.num_visits; ++i) {
+      line.clear();
+      const std::uint64_t url_rank = url_zipf(rng);
+      // sourceIP
+      line += std::to_string(1 + rng.next_below(254)) + "." +
+              std::to_string(rng.next_below(256)) + "." +
+              std::to_string(rng.next_below(256)) + "." +
+              std::to_string(1 + rng.next_below(254));
+      line.push_back(kLogFieldSep);
+      line += url_for_rank(url_rank);
+      line.push_back(kLogFieldSep);
+      // visitDate within 2008, matching the paper's corpus era
+      line += "2008-" + std::to_string(1 + rng.next_below(12)) + "-" +
+              std::to_string(1 + rng.next_below(28));
+      line.push_back(kLogFieldSep);
+      // adRevenue in cents-precision dollars
+      const double revenue =
+          static_cast<double>(1 + rng.next_below(99999)) / 100.0;
+      char revenue_buf[32];
+      std::snprintf(revenue_buf, sizeof(revenue_buf), "%.2f", revenue);
+      line += revenue_buf;
+      line.push_back(kLogFieldSep);
+      line += kUserAgents[rng.next_below(std::size(kUserAgents))];
+      line.push_back(kLogFieldSep);
+      line += kCountries[rng.next_below(std::size(kCountries))];
+      line.push_back(kLogFieldSep);
+      line += kLanguages[rng.next_below(std::size(kLanguages))];
+      line.push_back(kLogFieldSep);
+      line += kSearchWords[rng.next_below(std::size(kSearchWords))];
+      line.push_back(kLogFieldSep);
+      line += std::to_string(1 + rng.next_below(600));  // duration seconds
+      visits.append(line);
+    }
+    stats.visit_bytes = visits.close();
+    stats.visit_records = spec.num_visits;
+  }
+
+  {
+    BufferedFile rankings(rankings_path);
+    std::string line;
+    for (std::uint64_t rank = 1; rank <= spec.num_urls; ++rank) {
+      line.clear();
+      line += url_for_rank(rank);
+      line.push_back(kLogFieldSep);
+      // pageRank loosely anti-correlated with popularity rank.
+      line += std::to_string(1 + (spec.num_urls - rank) % 10000);
+      line.push_back(kLogFieldSep);
+      line += std::to_string(1 + rng.next_below(600));
+      rankings.append(line);
+    }
+    stats.ranking_bytes = rankings.close();
+    stats.ranking_records = spec.num_urls;
+  }
+
+  return stats;
+}
+
+}  // namespace textmr::textgen

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace textmr::textgen {
+
+/// Pavlo-et-al.-style web server access log generator — the stand-in for
+/// the benchmark data of "A Comparison of Approaches to Large-Scale Data
+/// Analysis" used by AccessLogSum and AccessLogJoin. Two files:
+///
+///   UserVisits: sourceIP|destURL|visitDate|adRevenue|userAgent|
+///               countryCode|languageCode|searchWord|duration
+///   Rankings:   pageURL|pageRank|avgDuration
+///
+/// destURL popularity follows Zipf(0.8) per Breslau et al., exactly the
+/// modification the paper makes to the original generator (§V-A2).
+struct AccessLogSpec {
+  std::uint64_t num_visits = 1'000'000;
+  std::uint64_t num_urls = 600'000;   // paper: ~600,000 URLs
+  double url_alpha = 0.8;             // Breslau et al. web-request skew
+  std::uint64_t seed = 7;
+};
+
+struct AccessLogStats {
+  std::uint64_t visit_records = 0;
+  std::uint64_t visit_bytes = 0;
+  std::uint64_t ranking_records = 0;
+  std::uint64_t ranking_bytes = 0;
+};
+
+/// The canonical URL string for a URL id (1-based rank in the popularity
+/// order).
+std::string url_for_rank(std::uint64_t rank);
+
+AccessLogStats generate_access_log(const AccessLogSpec& spec,
+                                   const std::string& user_visits_path,
+                                   const std::string& rankings_path);
+
+/// Field accessors shared with the AccessLog applications (they parse
+/// the same format).
+inline constexpr char kLogFieldSep = '|';
+
+}  // namespace textmr::textgen

@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "mr/report.hpp"
+
+namespace textmr {
+namespace {
+
+TEST(Counters, BasicIncrementAndMerge) {
+  mr::Counters a;
+  a.increment("x");
+  a.increment("x", 4);
+  a.increment("y", 2);
+  EXPECT_EQ(a.value("x"), 5u);
+  EXPECT_EQ(a.value("y"), 2u);
+  EXPECT_EQ(a.value("missing"), 0u);
+
+  mr::Counters b;
+  b.increment("x", 10);
+  b.increment("z");
+  a += b;
+  EXPECT_EQ(a.value("x"), 15u);
+  EXPECT_EQ(a.value("z"), 1u);
+  EXPECT_EQ(a.all().size(), 3u);
+}
+
+TEST(Counters, EmptyByDefault) {
+  mr::Counters counters;
+  EXPECT_TRUE(counters.empty());
+  counters.increment("a");
+  EXPECT_FALSE(counters.empty());
+}
+
+TEST(Counters, AggregatedAcrossMapAndReduceTasks) {
+  TempDir dir;
+  textgen::CorpusSpec corpus_spec;
+  corpus_spec.total_words = 10000;
+  corpus_spec.vocabulary = 200;
+  const auto corpus = dir.file("c.txt");
+  textgen::generate_corpus(corpus_spec, corpus.string());
+
+  auto spec = test::make_job(apps::wordcount_app(),
+                             io::make_splits(corpus.string(), 64 * 1024),
+                             dir.file("s"), dir.file("o"));
+  // Counting mapper + counting reducer via lambdas.
+  spec.mapper = [] {
+    class CountingMapper final : public mr::Mapper {
+     public:
+      void begin_task(const mr::TaskInfo& info) override {
+        counters_ = info.counters;
+      }
+      void map(std::uint64_t, std::string_view line,
+               mr::EmitSink& out) override {
+        counters_->increment("lines_seen");
+        std::string scratch;
+        apps::for_each_token(line, scratch, [&](std::string_view token) {
+          std::string value;
+          put_varint(value, 1);
+          out.emit(token, value);
+        });
+      }
+
+     private:
+      mr::Counters* counters_ = nullptr;
+    };
+    return std::make_unique<CountingMapper>();
+  };
+  spec.reducer = [] {
+    class CountingReducer final : public mr::Reducer {
+     public:
+      void begin_task(const mr::TaskInfo& info) override {
+        counters_ = info.counters;
+      }
+      void reduce(std::string_view key, mr::ValueStream& values,
+                  mr::EmitSink& out) override {
+        counters_->increment("groups_reduced");
+        std::uint64_t total = 0;
+        while (auto v = values.next()) {
+          std::size_t pos = 0;
+          total += get_varint(*v, pos);
+        }
+        out.emit(key, std::to_string(total));
+      }
+
+     private:
+      mr::Counters* counters_ = nullptr;
+    };
+    return std::make_unique<CountingReducer>();
+  };
+  mr::LocalEngine engine;
+  const auto result = engine.run(spec);
+  EXPECT_EQ(result.counters.value("lines_seen"),
+            result.metrics.work.input_records);
+  EXPECT_EQ(result.counters.value("groups_reduced"),
+            result.metrics.work.output_records);
+}
+
+TEST(Counters, AccessLogAppsCountMalformedAndJoinedRows) {
+  TempDir dir;
+  const auto path = dir.file("mixed.log");
+  {
+    std::ofstream out(path);
+    out << "1.2.3.4|http://a.com|2008-1-1|5.00|ua|US|en|q|10\n";
+    out << "1.2.3.5|http://a.com|2008-1-1|1.00|ua|US|en|q|10\n";
+    out << "definitely not a record\n";
+    out << "http://a.com|42|60\n";                          // ranking
+    out << "9.9.9.9|http://orphan.com|2008-1-1|1.00|ua|US|en|q|10\n";
+  }
+  auto spec = test::make_job(apps::access_log_join_app(),
+                             io::make_splits(path.string(), 1 << 20),
+                             dir.file("s"), dir.file("o"), 1);
+  mr::LocalEngine engine;
+  const auto result = engine.run(spec);
+  EXPECT_EQ(result.counters.value(apps::log_counters::kVisits), 3u);
+  EXPECT_EQ(result.counters.value(apps::log_counters::kRankings), 1u);
+  EXPECT_EQ(result.counters.value(apps::log_counters::kMalformed), 1u);
+  EXPECT_EQ(result.counters.value(apps::log_counters::kJoinedRows), 2u);
+  EXPECT_EQ(result.counters.value(apps::log_counters::kOrphanVisits), 1u);
+}
+
+TEST(Counters, CombinerCountersAreMergedFromBothThreads) {
+  TempDir dir;
+  textgen::CorpusSpec corpus_spec;
+  corpus_spec.total_words = 30000;
+  corpus_spec.vocabulary = 100;
+  const auto corpus = dir.file("c.txt");
+  textgen::generate_corpus(corpus_spec, corpus.string());
+
+  auto spec = test::make_job(apps::wordcount_app(),
+                             io::make_splits(corpus.string(), 1 << 20),
+                             dir.file("s"), dir.file("o"));
+  spec.spill_buffer_bytes = 16 * 1024;  // several spills -> support combines
+  spec.combiner = [] {
+    class CountingCombiner final : public mr::Reducer {
+     public:
+      void begin_task(const mr::TaskInfo& info) override {
+        counters_ = info.counters;
+      }
+      void reduce(std::string_view key, mr::ValueStream& values,
+                  mr::EmitSink& out) override {
+        if (counters_ != nullptr) counters_->increment("combines");
+        std::uint64_t total = 0;
+        while (auto v = values.next()) {
+          std::size_t pos = 0;
+          total += get_varint(*v, pos);
+        }
+        std::string value;
+        put_varint(value, total);
+        out.emit(key, value);
+      }
+
+     private:
+      mr::Counters* counters_ = nullptr;
+    };
+    return std::make_unique<CountingCombiner>();
+  };
+  mr::LocalEngine engine;
+  const auto result = engine.run(spec);
+  EXPECT_GT(result.counters.value("combines"), 0u);
+}
+
+TEST(Report, ContainsKeySections) {
+  TempDir dir;
+  textgen::CorpusSpec corpus_spec;
+  corpus_spec.total_words = 5000;
+  corpus_spec.vocabulary = 100;
+  const auto corpus = dir.file("c.txt");
+  textgen::generate_corpus(corpus_spec, corpus.string());
+  auto spec = test::make_job(apps::wordcount_app(),
+                             io::make_splits(corpus.string(), 1 << 20),
+                             dir.file("s"), dir.file("o"));
+  mr::LocalEngine engine;
+  const auto result = engine.run(spec);
+
+  const auto report = mr::format_job_report(result, "unit-test-job");
+  EXPECT_NE(report.find("unit-test-job"), std::string::npos);
+  EXPECT_NE(report.find("serialized work by operation"), std::string::npos);
+  EXPECT_NE(report.find("map_user"), std::string::npos);
+  EXPECT_NE(report.find("[user code]"), std::string::npos);
+  EXPECT_NE(report.find("abstraction cost"), std::string::npos);
+  EXPECT_NE(report.find("volumes:"), std::string::npos);
+
+  const auto summary = mr::format_job_summary(result);
+  EXPECT_NE(summary.find("wall"), std::string::npos);
+  EXPECT_NE(summary.find("map + "), std::string::npos);
+}
+
+TEST(Report, ShowsFreqTableHitsWhenEnabled) {
+  TempDir dir;
+  textgen::CorpusSpec corpus_spec;
+  corpus_spec.total_words = 20000;
+  corpus_spec.vocabulary = 100;
+  const auto corpus = dir.file("c.txt");
+  textgen::generate_corpus(corpus_spec, corpus.string());
+  auto spec = test::make_job(apps::wordcount_app(),
+                             io::make_splits(corpus.string(), 1 << 20),
+                             dir.file("s"), dir.file("o"));
+  spec.freqbuf.enabled = true;
+  spec.freqbuf.top_k = 20;
+  spec.freqbuf.sampling_fraction = 0.05;
+  mr::LocalEngine engine;
+  const auto result = engine.run(spec);
+  const auto report = mr::format_job_report(result);
+  EXPECT_NE(report.find("freq-table hits"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace textmr

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "common/error.hpp"
+#include "common/tempdir.hpp"
+#include "io/dfs.hpp"
+
+namespace textmr::io {
+namespace {
+
+void write_lines(const std::filesystem::path& path, int lines,
+                 int line_bytes) {
+  std::ofstream out(path, std::ios::binary);
+  for (int i = 0; i < lines; ++i) {
+    std::string line(static_cast<std::size_t>(line_bytes - 1), 'a' + (i % 26));
+    out << line << "\n";
+  }
+}
+
+TEST(SimDfs, CommitAndStat) {
+  TempDir dir;
+  SimDfs dfs(dir.path(), {.num_nodes = 3, .block_bytes = 1000});
+  write_lines(dfs.path_of("data"), 10, 100);
+  dfs.commit("data");
+  EXPECT_TRUE(dfs.exists("data"));
+  EXPECT_EQ(dfs.file_size("data"), 1000u);
+  EXPECT_FALSE(dfs.exists("missing"));
+}
+
+TEST(SimDfs, CommitOfMissingFileThrows) {
+  TempDir dir;
+  SimDfs dfs(dir.path(), {.num_nodes = 2, .block_bytes = 100});
+  EXPECT_THROW(dfs.commit("nope"), IoError);
+}
+
+TEST(SimDfs, SplitsFollowBlockLayout) {
+  TempDir dir;
+  SimDfs dfs(dir.path(), {.num_nodes = 3, .block_bytes = 1000});
+  write_lines(dfs.path_of("data"), 35, 100);  // 3500 bytes -> 4 blocks
+  dfs.commit("data");
+  const auto splits = dfs.splits("data");
+  ASSERT_EQ(splits.size(), 4u);  // 1000+1000+1000+500 (tail == half kept)
+  // First committed file starts at node 0; consecutive blocks rotate.
+  EXPECT_EQ(splits[0].preferred_node, 0u);
+  EXPECT_EQ(splits[1].preferred_node, 1u);
+  EXPECT_EQ(splits[2].preferred_node, 2u);
+  EXPECT_EQ(splits[3].preferred_node, 0u);
+}
+
+TEST(SimDfs, FilesStartOnRotatingNodes) {
+  TempDir dir;
+  SimDfs dfs(dir.path(), {.num_nodes = 4, .block_bytes = 100});
+  for (const char* name : {"a", "b", "c"}) {
+    write_lines(dfs.path_of(name), 1, 50);
+    dfs.commit(name);
+  }
+  EXPECT_EQ(dfs.splits("a")[0].preferred_node, 0u);
+  EXPECT_EQ(dfs.splits("b")[0].preferred_node, 1u);
+  EXPECT_EQ(dfs.splits("c")[0].preferred_node, 2u);
+}
+
+TEST(SimDfs, NodeOfMatchesSplitAssignment) {
+  TempDir dir;
+  SimDfs dfs(dir.path(), {.num_nodes = 5, .block_bytes = 200});
+  write_lines(dfs.path_of("data"), 20, 100);  // 2000 bytes, 10 blocks
+  dfs.commit("data");
+  for (const auto& split : dfs.splits("data")) {
+    EXPECT_EQ(dfs.node_of("data", split.split.offset), split.preferred_node);
+  }
+}
+
+TEST(SimDfs, ReopenSeesPersistentMetadata) {
+  TempDir dir;
+  {
+    SimDfs dfs(dir.path(), {.num_nodes = 3, .block_bytes = 500});
+    write_lines(dfs.path_of("data"), 10, 100);
+    dfs.commit("data");
+  }
+  SimDfs reopened(dir.path(), {.num_nodes = 3, .block_bytes = 500});
+  EXPECT_TRUE(reopened.exists("data"));
+  EXPECT_EQ(reopened.splits("data").size(), 2u);
+}
+
+TEST(SimDfs, CustomSplitSizeOverridesBlockSize) {
+  TempDir dir;
+  SimDfs dfs(dir.path(), {.num_nodes = 2, .block_bytes = 1000});
+  write_lines(dfs.path_of("data"), 40, 100);  // 4000 bytes
+  dfs.commit("data");
+  EXPECT_EQ(dfs.splits("data", 2000).size(), 2u);
+  EXPECT_EQ(dfs.splits("data", 500).size(), 8u);
+}
+
+TEST(SimDfs, RejectsPathEscape) {
+  TempDir dir;
+  SimDfs dfs(dir.path(), {.num_nodes = 1, .block_bytes = 100});
+  EXPECT_THROW(dfs.path_of("../evil"), InternalError);
+}
+
+TEST(SimDfs, SplitsOfUncommittedFileThrow) {
+  TempDir dir;
+  SimDfs dfs(dir.path(), {.num_nodes = 1, .block_bytes = 100});
+  write_lines(dfs.path_of("raw"), 2, 10);
+  EXPECT_THROW(dfs.splits("raw"), IoError);
+}
+
+}  // namespace
+}  // namespace textmr::io

@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hpp"
+#include "common/varint.hpp"
+#include "common/zipf.hpp"
+#include "apps/wordcount.hpp"
+#include "freqbuf/controller.hpp"
+#include "textgen/corpus_gen.hpp"
+
+namespace textmr::freqbuf {
+namespace {
+
+class RecordingSink final : public mr::EmitSink {
+ public:
+  void emit(std::string_view key, std::string_view value) override {
+    records.emplace_back(std::string(key), std::string(value));
+  }
+  std::vector<std::pair<std::string, std::string>> records;
+};
+
+std::string varint_value(std::uint64_t v) {
+  std::string out;
+  put_varint(out, v);
+  return out;
+}
+
+std::uint64_t varint_of(std::string_view bytes) {
+  std::size_t pos = 0;
+  return get_varint(bytes, pos);
+}
+
+FreqBufConfig basic_config() {
+  FreqBufConfig config;
+  config.enabled = true;
+  config.top_k = 10;
+  config.sampling_fraction = 0.1;  // fixed s, no pre-profiling
+  config.share_across_tasks = false;
+  return config;
+}
+
+/// Streams a Zipf-distributed key sequence through the controller,
+/// simulating the map task's progress callbacks.
+struct StreamResult {
+  std::uint64_t absorbed = 0;
+  std::uint64_t passed = 0;
+};
+
+StreamResult stream_keys(FreqBufferController& controller, int n,
+                         double alpha, std::uint64_t seed,
+                         std::uint64_t vocab = 1000) {
+  Xoshiro256 rng(seed);
+  ZipfDistribution zipf(vocab, alpha);
+  StreamResult result;
+  for (int i = 0; i < n; ++i) {
+    controller.set_progress(static_cast<double>(i) / n);
+    const std::string key = textgen::word_for_rank(zipf(rng));
+    if (controller.offer(key, varint_value(1))) {
+      ++result.absorbed;
+    } else {
+      ++result.passed;
+    }
+  }
+  return result;
+}
+
+TEST(FreqBufferController, TransitionsThroughStages) {
+  RecordingSink sink;
+  mr::TaskMetrics metrics;
+  apps::WordCountCombiner combiner;
+  auto config = basic_config();
+  FreqBufferController controller(config, 1 << 16, &combiner, sink, metrics);
+  EXPECT_EQ(controller.stage(), FreqBufferController::Stage::kProfile);
+
+  controller.set_progress(0.05);
+  EXPECT_EQ(controller.stage(), FreqBufferController::Stage::kProfile);
+  controller.offer("x", varint_value(1));
+  controller.set_progress(0.11);
+  EXPECT_EQ(controller.stage(), FreqBufferController::Stage::kOptimize);
+}
+
+TEST(FreqBufferController, FixedSamplingSkipsPreProfile) {
+  RecordingSink sink;
+  mr::TaskMetrics metrics;
+  auto config = basic_config();
+  FreqBufferController controller(config, 1 << 16, nullptr, sink, metrics);
+  EXPECT_EQ(controller.effective_sampling_fraction(), 0.1);
+  EXPECT_FALSE(controller.zipf_fit().has_value());
+}
+
+TEST(FreqBufferController, AbsorbsFrequentKeysAfterProfiling) {
+  RecordingSink sink;
+  mr::TaskMetrics metrics;
+  apps::WordCountCombiner combiner;
+  auto config = basic_config();
+  FreqBufferController controller(config, 1 << 16, &combiner, sink, metrics);
+  const auto result = stream_keys(controller, 50000, 1.2, 99);
+  // With alpha=1.2 the top-10 keys carry a large share of the stream; a
+  // large portion of post-profiling records must be absorbed.
+  EXPECT_GT(result.absorbed, 10000u);
+  controller.finish();
+  // Flushed aggregates re-enter the spill path.
+  EXPECT_FALSE(sink.records.empty());
+  EXPECT_LE(sink.records.size(), 10u + 5u);
+}
+
+TEST(FreqBufferController, ConservationThroughFlush) {
+  // Every emitted count appears exactly once downstream: either passed
+  // through during profiling/misses, or in a flushed aggregate.
+  RecordingSink sink;
+  mr::TaskMetrics metrics;
+  apps::WordCountCombiner combiner;
+  auto config = basic_config();
+  FreqBufferController controller(config, 1 << 16, &combiner, sink, metrics);
+
+  std::map<std::string, std::uint64_t> expected;
+  Xoshiro256 rng(7);
+  ZipfDistribution zipf(500, 1.0);
+  constexpr int kN = 30000;
+  std::map<std::string, std::uint64_t> passed_through;
+  for (int i = 0; i < kN; ++i) {
+    controller.set_progress(static_cast<double>(i) / kN);
+    const std::string key = textgen::word_for_rank(zipf(rng));
+    expected[key] += 1;
+    if (!controller.offer(key, varint_value(1))) {
+      passed_through[key] += 1;
+    }
+  }
+  controller.finish();
+  std::map<std::string, std::uint64_t> total = passed_through;
+  for (const auto& [key, value] : sink.records) {
+    total[key] += varint_of(value);
+  }
+  EXPECT_EQ(total, expected);
+}
+
+TEST(FreqBufferController, AutoTunerFitsAlphaAndPicksSamplingFraction) {
+  RecordingSink sink;
+  mr::TaskMetrics metrics;
+  apps::WordCountCombiner combiner;
+  FreqBufConfig config;
+  config.enabled = true;
+  config.top_k = 20;
+  config.sampling_fraction = 0.0;  // auto-tune
+  config.pre_profile_fraction = 0.01;
+  config.share_across_tasks = false;
+  FreqBufferController controller(config, 1 << 16, &combiner, sink, metrics);
+  EXPECT_EQ(controller.stage(), FreqBufferController::Stage::kPreProfile);
+
+  stream_keys(controller, 100000, 1.0, 42, /*vocab=*/2000);
+  ASSERT_TRUE(controller.zipf_fit().has_value());
+  EXPECT_NEAR(controller.zipf_fit()->alpha, 1.0, 0.35);
+  EXPECT_GE(controller.effective_sampling_fraction(),
+            config.pre_profile_fraction);
+  EXPECT_EQ(controller.stage(), FreqBufferController::Stage::kOptimize);
+}
+
+TEST(FreqBufferController, NodeCacheSharesKeySetAcrossTasks) {
+  NodeKeyCache cache;
+  RecordingSink sink1;
+  mr::TaskMetrics metrics1;
+  apps::WordCountCombiner combiner;
+  auto config = basic_config();
+  config.share_across_tasks = true;
+
+  FreqBufferController first(config, 1 << 16, &combiner, sink1, metrics1,
+                             &cache);
+  EXPECT_EQ(first.stage(), FreqBufferController::Stage::kProfile);
+  stream_keys(first, 20000, 1.2, 1);
+  first.finish();
+  ASSERT_TRUE(cache.get().has_value());
+  EXPECT_FALSE(cache.get()->empty());
+
+  // Second task on the same node starts directly in kOptimize.
+  RecordingSink sink2;
+  mr::TaskMetrics metrics2;
+  FreqBufferController second(config, 1 << 16, &combiner, sink2, metrics2,
+                              &cache);
+  EXPECT_EQ(second.stage(), FreqBufferController::Stage::kOptimize);
+  EXPECT_TRUE(second.offer(cache.get()->front(), varint_value(1)));
+}
+
+TEST(NodeKeyCache, FirstWriterWins) {
+  NodeKeyCache cache;
+  cache.put({"a"});
+  cache.put({"b"});
+  ASSERT_TRUE(cache.get().has_value());
+  EXPECT_EQ(cache.get()->front(), "a");
+}
+
+TEST(FreqBufferController, TinyInputEndingDuringPreProfileStillFreezes) {
+  NodeKeyCache cache;
+  RecordingSink sink;
+  mr::TaskMetrics metrics;
+  apps::WordCountCombiner combiner;
+  FreqBufConfig config;
+  config.enabled = true;
+  config.top_k = 5;
+  config.sampling_fraction = 0.0;
+  config.share_across_tasks = true;
+  FreqBufferController controller(config, 1 << 16, &combiner, sink, metrics,
+                                  &cache);
+  controller.offer("a", varint_value(1));
+  controller.offer("a", varint_value(1));
+  controller.offer("b", varint_value(1));
+  controller.finish();  // still in kPreProfile; must not crash
+  ASSERT_TRUE(cache.get().has_value());
+  EXPECT_FALSE(cache.get()->empty());
+}
+
+TEST(FreqBufferController, ProfileTimeIsAccounted) {
+  RecordingSink sink;
+  mr::TaskMetrics metrics;
+  auto config = basic_config();
+  FreqBufferController controller(config, 1 << 16, nullptr, sink, metrics);
+  stream_keys(controller, 20000, 1.0, 3);
+  EXPECT_GT(metrics.op_ns(mr::Op::kProfile), 0u);
+  EXPECT_GT(metrics.op_ns(mr::Op::kFreqTable), 0u);
+}
+
+}  // namespace
+}  // namespace textmr::freqbuf

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/varint.hpp"
+#include "apps/wordcount.hpp"
+#include "freqbuf/frequent_key_table.hpp"
+
+namespace textmr::freqbuf {
+namespace {
+
+/// Captures records routed back to the standard spill path.
+class RecordingSink final : public mr::EmitSink {
+ public:
+  void emit(std::string_view key, std::string_view value) override {
+    records.emplace_back(std::string(key), std::string(value));
+  }
+  std::vector<std::pair<std::string, std::string>> records;
+};
+
+std::string varint_value(std::uint64_t v) {
+  std::string out;
+  put_varint(out, v);
+  return out;
+}
+
+std::uint64_t varint_of(std::string_view bytes) {
+  std::size_t pos = 0;
+  return get_varint(bytes, pos);
+}
+
+TEST(FrequentKeyTable, AbsorbsFrequentRejectsInfrequent) {
+  RecordingSink sink;
+  mr::TaskMetrics metrics;
+  apps::WordCountCombiner combiner;
+  FrequentKeyTable table({"hot", "warm"}, {}, &combiner, sink, metrics);
+  EXPECT_TRUE(table.offer("hot", varint_value(1)));
+  EXPECT_TRUE(table.offer("warm", varint_value(1)));
+  EXPECT_FALSE(table.offer("cold", varint_value(1)));
+  EXPECT_EQ(metrics.freq_hits, 2u);
+  EXPECT_TRUE(sink.records.empty());
+}
+
+TEST(FrequentKeyTable, FlushCombinesAndEmitsOnce) {
+  RecordingSink sink;
+  mr::TaskMetrics metrics;
+  apps::WordCountCombiner combiner;
+  FrequentKeyTable table({"hot"}, {}, &combiner, sink, metrics);
+  for (int i = 0; i < 100; ++i) table.offer("hot", varint_value(1));
+  table.flush();
+  ASSERT_EQ(sink.records.size(), 1u);
+  EXPECT_EQ(sink.records[0].first, "hot");
+  EXPECT_EQ(varint_of(sink.records[0].second), 100u);
+  EXPECT_EQ(metrics.freq_hits, 100u);
+  EXPECT_EQ(metrics.freq_flushes, 1u);
+}
+
+TEST(FrequentKeyTable, FlushIsIdempotent) {
+  RecordingSink sink;
+  mr::TaskMetrics metrics;
+  apps::WordCountCombiner combiner;
+  FrequentKeyTable table({"hot"}, {}, &combiner, sink, metrics);
+  table.offer("hot", varint_value(3));
+  table.flush();
+  table.flush();
+  EXPECT_EQ(sink.records.size(), 1u);
+}
+
+TEST(FrequentKeyTable, PerKeyLimitTriggersEagerCombine) {
+  RecordingSink sink;
+  mr::TaskMetrics metrics;
+  apps::WordCountCombiner combiner;
+  FrequentKeyTable::Options options;
+  options.budget_bytes = 1 << 20;
+  options.per_key_limit_bytes = 16;  // combine after ~16 buffered bytes
+  FrequentKeyTable table({"hot"}, options, &combiner, sink, metrics);
+  for (int i = 0; i < 1000; ++i) table.offer("hot", varint_value(1));
+  // Eager combining keeps the buffered footprint tiny at all times.
+  EXPECT_LE(table.buffered_bytes(), options.per_key_limit_bytes + 10);
+  EXPECT_TRUE(sink.records.empty());  // never overflowed to disk
+  table.flush();
+  ASSERT_EQ(sink.records.size(), 1u);
+  EXPECT_EQ(varint_of(sink.records[0].second), 1000u);
+  EXPECT_GT(metrics.op_ns(mr::Op::kCombine), 0u);
+}
+
+TEST(FrequentKeyTable, BudgetOverflowEvictsToSpillPath) {
+  RecordingSink sink;
+  mr::TaskMetrics metrics;
+  // No combiner: values cannot shrink, so the budget forces evictions.
+  FrequentKeyTable::Options options;
+  options.budget_bytes = 64;
+  options.per_key_limit_bytes = 1 << 20;
+  FrequentKeyTable table({"a", "b"}, options, nullptr, sink, metrics);
+  for (int i = 0; i < 10; ++i) {
+    table.offer("a", std::string(10, 'x'));
+    table.offer("b", std::string(10, 'y'));
+  }
+  EXPECT_FALSE(sink.records.empty());
+  EXPECT_LE(table.buffered_bytes(), 64u + 10u);
+  table.flush();
+  // Every absorbed value eventually reaches the spill path exactly once.
+  std::size_t a_bytes = 0, b_bytes = 0;
+  for (const auto& [key, value] : sink.records) {
+    if (key == "a") a_bytes += value.size();
+    if (key == "b") b_bytes += value.size();
+  }
+  EXPECT_EQ(a_bytes, 100u);
+  EXPECT_EQ(b_bytes, 100u);
+}
+
+TEST(FrequentKeyTable, WithoutCombinerPerKeyLimitEvicts) {
+  RecordingSink sink;
+  mr::TaskMetrics metrics;
+  FrequentKeyTable::Options options;
+  options.budget_bytes = 1 << 20;
+  options.per_key_limit_bytes = 32;
+  FrequentKeyTable table({"k"}, options, nullptr, sink, metrics);
+  for (int i = 0; i < 10; ++i) table.offer("k", std::string(8, 'v'));
+  EXPECT_FALSE(sink.records.empty());
+  table.flush();
+  std::size_t total = 0;
+  for (const auto& [key, value] : sink.records) total += value.size();
+  EXPECT_EQ(total, 80u);
+}
+
+TEST(FrequentKeyTable, NoDataLossUnderRandomizedLoad) {
+  // Conservation: sum of counts absorbed == sum of counts flushed, under
+  // tight budgets that force every code path.
+  RecordingSink sink;
+  mr::TaskMetrics metrics;
+  apps::WordCountCombiner combiner;
+  FrequentKeyTable::Options options;
+  options.budget_bytes = 48;
+  options.per_key_limit_bytes = 12;
+  std::vector<std::string> keys;
+  for (int i = 0; i < 8; ++i) keys.push_back("k" + std::to_string(i));
+  FrequentKeyTable table(keys, options, &combiner, sink, metrics);
+
+  std::map<std::string, std::uint64_t> expected;
+  std::uint64_t state = 1;
+  for (int i = 0; i < 20000; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    const std::string key = "k" + std::to_string(state % 8);
+    const std::uint64_t count = 1 + (state >> 32) % 7;
+    ASSERT_TRUE(table.offer(key, varint_value(count)));
+    expected[key] += count;
+  }
+  table.flush();
+  std::map<std::string, std::uint64_t> actual;
+  for (const auto& [key, value] : sink.records) {
+    actual[key] += varint_of(value);
+  }
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(FrequentKeyTable, EmptyKeySetAbsorbsNothing) {
+  RecordingSink sink;
+  mr::TaskMetrics metrics;
+  FrequentKeyTable table({}, {}, nullptr, sink, metrics);
+  EXPECT_FALSE(table.offer("anything", "v"));
+  table.flush();
+  EXPECT_TRUE(sink.records.empty());
+}
+
+}  // namespace
+}  // namespace textmr::freqbuf

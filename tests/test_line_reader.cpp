@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/tempdir.hpp"
+#include "io/line_reader.hpp"
+
+namespace textmr::io {
+namespace {
+
+std::string write_file(const TempDir& dir, const std::string& name,
+                       const std::string& content) {
+  const auto path = dir.file(name);
+  std::ofstream out(path, std::ios::binary);
+  out << content;
+  return path.string();
+}
+
+std::vector<std::string> read_all(const InputSplit& split,
+                                  std::size_t buffer_size = 1 << 16) {
+  LineReader reader(split, buffer_size);
+  std::vector<std::string> lines;
+  while (auto line = reader.next_line()) {
+    lines.emplace_back(*line);
+  }
+  return lines;
+}
+
+TEST(LineReader, ReadsWholeFileAsSingleSplit) {
+  TempDir dir;
+  const auto path = write_file(dir, "a.txt", "one\ntwo\nthree\n");
+  const auto lines = read_all(InputSplit{path, 0, 14});
+  EXPECT_EQ(lines, (std::vector<std::string>{"one", "two", "three"}));
+}
+
+TEST(LineReader, HandlesMissingTrailingNewline) {
+  TempDir dir;
+  const auto path = write_file(dir, "a.txt", "one\ntwo");
+  const auto lines = read_all(InputSplit{path, 0, 7});
+  EXPECT_EQ(lines, (std::vector<std::string>{"one", "two"}));
+}
+
+TEST(LineReader, StripsCarriageReturns) {
+  TempDir dir;
+  const auto path = write_file(dir, "a.txt", "one\r\ntwo\r\n");
+  const auto lines = read_all(InputSplit{path, 0, 10});
+  EXPECT_EQ(lines, (std::vector<std::string>{"one", "two"}));
+}
+
+TEST(LineReader, EmptyFileYieldsNoLines) {
+  TempDir dir;
+  const auto path = write_file(dir, "a.txt", "");
+  EXPECT_TRUE(read_all(InputSplit{path, 0, 0}).empty());
+}
+
+TEST(LineReader, EmptyLinesAreDelivered) {
+  TempDir dir;
+  const auto path = write_file(dir, "a.txt", "a\n\n\nb\n");
+  const auto lines = read_all(InputSplit{path, 0, 6});
+  EXPECT_EQ(lines, (std::vector<std::string>{"a", "", "", "b"}));
+}
+
+TEST(LineReader, LinesLongerThanBufferAreAssembled) {
+  TempDir dir;
+  const std::string longline(10000, 'x');
+  const auto path = write_file(dir, "a.txt", longline + "\nshort\n");
+  const auto lines =
+      read_all(InputSplit{path, 0, longline.size() + 7}, /*buffer=*/128);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], longline);
+  EXPECT_EQ(lines[1], "short");
+}
+
+TEST(LineReader, SplitBoundaryInMiddleOfLine) {
+  TempDir dir;
+  // "alpha\nbravo\ncharlie\n" : boundary at 8 cuts "bravo".
+  const auto path = write_file(dir, "a.txt", "alpha\nbravo\ncharlie\n");
+  const auto first = read_all(InputSplit{path, 0, 8});
+  const auto second = read_all(InputSplit{path, 8, 12});
+  EXPECT_EQ(first, (std::vector<std::string>{"alpha", "bravo"}));
+  EXPECT_EQ(second, (std::vector<std::string>{"charlie"}));
+}
+
+TEST(LineReader, SplitBoundaryExactlyAtLineStart) {
+  TempDir dir;
+  // Boundary exactly after "alpha\n" (offset 6): second split must keep
+  // "bravo" (the offset-1 trick).
+  const auto path = write_file(dir, "a.txt", "alpha\nbravo\n");
+  const auto first = read_all(InputSplit{path, 0, 6});
+  const auto second = read_all(InputSplit{path, 6, 6});
+  EXPECT_EQ(first, (std::vector<std::string>{"alpha"}));
+  EXPECT_EQ(second, (std::vector<std::string>{"bravo"}));
+}
+
+TEST(LineReader, SplitCoveringOnlyPartialLineIsEmpty) {
+  TempDir dir;
+  const auto path = write_file(dir, "a.txt", std::string(100, 'y') + "\n");
+  // Range [10, 50) lies strictly inside the single line.
+  EXPECT_TRUE(read_all(InputSplit{path, 10, 40}).empty());
+}
+
+TEST(MakeSplits, CoversFileWithoutGapsOrOverlap) {
+  TempDir dir;
+  const auto path = write_file(dir, "a.txt", std::string(1000, 'z'));
+  const auto splits = make_splits(path, 300);
+  std::uint64_t expected_offset = 0;
+  for (const auto& split : splits) {
+    EXPECT_EQ(split.offset, expected_offset);
+    expected_offset += split.length;
+  }
+  EXPECT_EQ(expected_offset, 1000u);
+}
+
+TEST(MakeSplits, AbsorbsShortTail) {
+  TempDir dir;
+  const auto path = write_file(dir, "a.txt", std::string(1100, 'z'));
+  const auto splits = make_splits(path, 500);
+  // 500 + 600 (tail of 100 < 250 absorbed), not 500+500+100.
+  ASSERT_EQ(splits.size(), 2u);
+  EXPECT_EQ(splits[1].length, 600u);
+}
+
+TEST(MakeSplits, EmptyFileYieldsNoSplits) {
+  TempDir dir;
+  const auto path = write_file(dir, "a.txt", "");
+  EXPECT_TRUE(make_splits(path, 100).empty());
+}
+
+TEST(MakeSplits, ThrowsOnMissingFile) {
+  EXPECT_THROW(make_splits("/nonexistent/file", 100), IoError);
+}
+
+/// Property: for random files and random split sizes, the union of all
+/// splits yields exactly the file's lines, in order, exactly once.
+class SplitCoverageTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SplitCoverageTest, SplitsPartitionLinesExactly) {
+  const auto [seed, split_size] = GetParam();
+  textmr::Xoshiro256 rng(static_cast<std::uint64_t>(seed));
+  std::string content;
+  std::vector<std::string> expected;
+  const int num_lines = 50 + static_cast<int>(rng.next_below(200));
+  for (int i = 0; i < num_lines; ++i) {
+    std::string line = "line" + std::to_string(i);
+    const int extra = static_cast<int>(rng.next_below(120));
+    line.append(static_cast<std::size_t>(extra), 'p');
+    expected.push_back(line);
+    content += line;
+    content.push_back('\n');
+  }
+  TempDir dir;
+  const auto path = write_file(dir, "prop.txt", content);
+
+  std::vector<std::string> actual;
+  for (const auto& split :
+       make_splits(path, static_cast<std::uint64_t>(split_size))) {
+    LineReader reader(split, /*buffer_size=*/64);
+    while (auto line = reader.next_line()) {
+      actual.emplace_back(*line);
+    }
+  }
+  EXPECT_EQ(actual, expected) << "seed=" << seed << " split=" << split_size;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomFiles, SplitCoverageTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5, 6, 7, 8),
+                       ::testing::Values(37, 64, 100, 256, 1024, 4096)));
+
+}  // namespace
+}  // namespace textmr::io

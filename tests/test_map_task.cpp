@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <map>
+
+#include "common/tempdir.hpp"
+#include "common/varint.hpp"
+#include "apps/wordcount.hpp"
+#include "mr/map_task.hpp"
+#include "mr/partitioner.hpp"
+
+namespace textmr::mr {
+namespace {
+
+std::uint64_t varint_of(std::string_view bytes) {
+  std::size_t pos = 0;
+  return get_varint(bytes, pos);
+}
+
+io::InputSplit write_corpus(const TempDir& dir, const std::string& name,
+                            int lines) {
+  const auto path = dir.file(name);
+  std::ofstream out(path);
+  std::uint64_t size = 0;
+  for (int i = 0; i < lines; ++i) {
+    const std::string line =
+        "alpha beta gamma alpha delta alpha beta line" + std::to_string(i);
+    out << line << "\n";
+    size += line.size() + 1;
+  }
+  out.close();
+  return io::InputSplit{path.string(), 0, size};
+}
+
+MapTaskConfig base_config(const TempDir& dir, io::InputSplit split) {
+  MapTaskConfig config;
+  config.task_id = 0;
+  config.split = std::move(split);
+  config.num_partitions = 2;
+  config.mapper = [] { return std::make_unique<apps::WordCountMapper>(); };
+  config.combiner = [] { return std::make_unique<apps::WordCountCombiner>(); };
+  config.spill_buffer_bytes = 64 * 1024;  // small: forces several spills
+  config.scratch_dir = dir.file("scratch");
+  return config;
+}
+
+std::map<std::string, std::uint64_t> read_output_counts(
+    const io::SpillRunInfo& output, std::uint32_t partitions) {
+  std::map<std::string, std::uint64_t> counts;
+  io::SpillRunReader reader(output.path);
+  for (std::uint32_t p = 0; p < partitions; ++p) {
+    auto cursor = reader.open(p);
+    while (auto record = cursor.next()) {
+      counts[std::string(record->key)] += varint_of(record->value);
+    }
+  }
+  return counts;
+}
+
+TEST(MapTask, ProducesCombinedSortedOutput) {
+  TempDir dir;
+  auto config = base_config(dir, write_corpus(dir, "in.txt", 3000));
+  const auto result = run_map_task(config);
+
+  const auto counts = read_output_counts(result.output, 2);
+  EXPECT_EQ(counts.at("alpha"), 9000u);
+  EXPECT_EQ(counts.at("beta"), 6000u);
+  EXPECT_EQ(counts.at("gamma"), 3000u);
+  EXPECT_EQ(counts.at("delta"), 3000u);
+  EXPECT_EQ(counts.at("line42"), 1u);
+
+  EXPECT_GT(result.spills, 1u);
+  EXPECT_EQ(result.map_thread.input_records, 3000u);
+  EXPECT_EQ(result.map_thread.map_output_records, 8u * 3000u);
+  EXPECT_GT(result.map_thread.op_ns(Op::kMapUser), 0u);
+  EXPECT_GT(result.support_thread.op_ns(Op::kSort), 0u);
+}
+
+TEST(MapTask, OutputKeysAreSortedWithinPartitions) {
+  TempDir dir;
+  auto config = base_config(dir, write_corpus(dir, "in.txt", 2000));
+  const auto result = run_map_task(config);
+  io::SpillRunReader reader(result.output.path);
+  for (std::uint32_t p = 0; p < 2; ++p) {
+    auto cursor = reader.open(p);
+    std::string previous;
+    bool first = true;
+    while (auto record = cursor.next()) {
+      if (!first) { EXPECT_LT(previous, record->key); }  // sorted and combined
+      previous.assign(record->key);
+      first = false;
+    }
+  }
+}
+
+TEST(MapTask, PartitionAssignmentMatchesPartitioner) {
+  TempDir dir;
+  auto config = base_config(dir, write_corpus(dir, "in.txt", 200));
+  const auto result = run_map_task(config);
+  HashPartitioner partitioner(2);
+  io::SpillRunReader reader(result.output.path);
+  for (std::uint32_t p = 0; p < 2; ++p) {
+    auto cursor = reader.open(p);
+    while (auto record = cursor.next()) {
+      EXPECT_EQ(partitioner(record->key), p) << record->key;
+    }
+  }
+}
+
+TEST(MapTask, SingleSpillIsAdoptedWithoutMerge) {
+  TempDir dir;
+  auto config = base_config(dir, write_corpus(dir, "in.txt", 50));
+  config.spill_buffer_bytes = 4 << 20;  // everything fits in one spill
+  const auto result = run_map_task(config);
+  EXPECT_EQ(result.spills, 1u);
+  EXPECT_EQ(result.map_thread.op_ns(Op::kMerge), 0u);
+  const auto counts = read_output_counts(result.output, 2);
+  EXPECT_EQ(counts.at("alpha"), 150u);
+}
+
+TEST(MapTask, WithoutCombinerEveryRecordSurvives) {
+  TempDir dir;
+  auto config = base_config(dir, write_corpus(dir, "in.txt", 500));
+  config.combiner = nullptr;
+  const auto result = run_map_task(config);
+  EXPECT_EQ(result.output.records, 8u * 500u);
+}
+
+TEST(MapTask, FreqBufferingReducesSpilledRecords) {
+  TempDir dir;
+  const auto split = write_corpus(dir, "in.txt", 4000);
+
+  auto baseline_config = base_config(dir, split);
+  const auto baseline = run_map_task(baseline_config);
+
+  auto freq_config = base_config(dir, split);
+  freq_config.scratch_dir = dir.file("scratch2");
+  freq_config.freqbuf.enabled = true;
+  freq_config.freqbuf.top_k = 8;
+  freq_config.freqbuf.sampling_fraction = 0.05;
+  freq_config.freqbuf.share_across_tasks = false;
+  freq_config.freq_table_budget_bytes = 16 * 1024;
+  const auto freq = run_map_task(freq_config);
+
+  // Same final answer...
+  EXPECT_EQ(read_output_counts(baseline.output, 2),
+            read_output_counts(freq.output, 2));
+  // ...but far fewer records entered the sort-spill machinery.
+  EXPECT_LT(freq.map_thread.spill_input_records,
+            baseline.map_thread.spill_input_records / 2);
+  EXPECT_GT(freq.map_thread.freq_hits, 0u);
+}
+
+TEST(MapTask, SpillMatcherKeepsAnswerIdentical) {
+  TempDir dir;
+  const auto split = write_corpus(dir, "in.txt", 3000);
+  auto fixed_config = base_config(dir, split);
+  const auto fixed = run_map_task(fixed_config);
+
+  auto adaptive_config = base_config(dir, split);
+  adaptive_config.scratch_dir = dir.file("scratch3");
+  adaptive_config.spill_policy = [] {
+    return std::make_unique<spillmatch::SpillMatcher>();
+  };
+  const auto adaptive = run_map_task(adaptive_config);
+  EXPECT_EQ(read_output_counts(fixed.output, 2),
+            read_output_counts(adaptive.output, 2));
+  // The matcher must actually have moved the threshold off the default.
+  EXPECT_NE(adaptive.final_spill_threshold, 0.8);
+}
+
+TEST(MapTask, EmptyInputYieldsEmptyOutputRun) {
+  TempDir dir;
+  const auto path = dir.file("empty.txt");
+  std::ofstream(path).close();
+  auto config = base_config(dir, io::InputSplit{path.string(), 0, 0});
+  const auto result = run_map_task(config);
+  EXPECT_EQ(result.output.records, 0u);
+  io::SpillRunReader reader(result.output.path);
+  EXPECT_FALSE(reader.open(0).next().has_value());
+}
+
+TEST(MapTask, MapperErrorPropagates) {
+  TempDir dir;
+  auto config = base_config(dir, write_corpus(dir, "in.txt", 10));
+  config.mapper = [] {
+    return std::make_unique<LambdaMapper>(
+        [](std::uint64_t, std::string_view, EmitSink&) {
+          throw std::runtime_error("user map bug");
+        });
+  };
+  EXPECT_THROW(run_map_task(config), std::runtime_error);
+}
+
+TEST(MapTask, CombinerErrorInSupportThreadPropagates) {
+  TempDir dir;
+  auto config = base_config(dir, write_corpus(dir, "in.txt", 2000));
+  config.combiner = [] {
+    return std::make_unique<LambdaReducer>(
+        [](std::string_view, ValueStream&, EmitSink&) {
+          throw std::runtime_error("user combine bug");
+        });
+  };
+  EXPECT_THROW(run_map_task(config), std::runtime_error);
+}
+
+TEST(MapTask, IdleTimeIsMeasured) {
+  TempDir dir;
+  auto config = base_config(dir, write_corpus(dir, "in.txt", 3000));
+  const auto result = run_map_task(config);
+  // At least one of the two threads must have waited at some point (the
+  // pipeline cannot be perfectly matched), and wall clock covers both.
+  EXPECT_GT(result.map_thread.op_ns(Op::kMapIdle) +
+                result.support_thread.op_ns(Op::kSupportIdle),
+            0u);
+  EXPECT_GT(result.wall_ns, 0u);
+  EXPECT_GE(result.wall_ns, result.pipeline_wall_ns);
+}
+
+}  // namespace
+}  // namespace textmr::mr

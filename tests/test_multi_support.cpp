@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+// Tests for the multi-support-thread generalization (paper §IV-A: "one
+// or more support threads"): out-of-order spill releases, correctness of
+// results under concurrent consumers, and the engine-level knob.
+
+#include <thread>
+
+#include "helpers.hpp"
+
+namespace textmr {
+namespace {
+
+TEST(SpillBufferMulti, TwoConsumersDrainEverything) {
+  mr::SpillBuffer buffer(32 * 1024, 0.3, /*max_outstanding=*/2);
+  std::atomic<std::uint64_t> consumed{0};
+  auto consumer = [&] {
+    while (auto spill = buffer.take()) {
+      consumed += spill->records.size();
+      buffer.release(*spill, 100);
+    }
+  };
+  std::thread c1(consumer);
+  std::thread c2(consumer);
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    buffer.put(0, "key" + std::to_string(i), "value");
+  }
+  buffer.close();
+  c1.join();
+  c2.join();
+  EXPECT_EQ(consumed.load(), static_cast<std::uint64_t>(kN));
+}
+
+TEST(SpillBufferMulti, OutOfOrderReleaseReclaimsRingSpace) {
+  // Seal two spills, release the *second* first: ring space must only be
+  // reclaimed when the frontier (spill 0) releases, and afterwards both
+  // regions are free.
+  mr::SpillBuffer buffer(16 * 1024, 0.2, /*max_outstanding=*/2);
+  const std::string value(1000, 'v');
+  // 8 KB of puts against a 3.2 KB threshold and 2 slots: two spills seal
+  // back-to-back with no release in between.
+  for (int i = 0; i < 8; ++i) buffer.put(0, "a", value);
+  ASSERT_EQ(buffer.spills_sealed(), 2u);
+  auto first = buffer.take();
+  auto second = buffer.take();
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  ASSERT_EQ(first->sequence, 0u);
+  ASSERT_EQ(second->sequence, 1u);
+
+  buffer.release(*second, 10);  // out of order: parks behind spill 0
+  buffer.release(*first, 10);   // frontier advances past both
+
+  // The ring must now have room for ~15 KB of new records without
+  // blocking (would deadlock if the parked release leaked).
+  for (int i = 0; i < 14; ++i) buffer.put(0, "c", value);
+  buffer.close();
+  std::uint64_t remaining = 0;
+  while (auto spill = buffer.take()) {
+    remaining += spill->records.size();
+    buffer.release(*spill, 1);
+  }
+  EXPECT_EQ(remaining, 14u);
+}
+
+TEST(SpillBufferMulti, SingleSlotSealsOnlyOneWithoutRelease) {
+  // Contrast case: with max_outstanding = 1 (Hadoop's structure), the
+  // second region cannot seal until the first spill releases.
+  mr::SpillBuffer buffer(16 * 1024, 0.2, 1);
+  const std::string value(1000, 'v');
+  for (int i = 0; i < 8; ++i) buffer.put(0, "a", value);
+  EXPECT_EQ(buffer.spills_sealed(), 1u);
+  auto spill = buffer.take();
+  ASSERT_TRUE(spill.has_value());
+  buffer.release(*spill, 1);
+  EXPECT_EQ(buffer.spills_sealed(), 2u);  // sealed on release
+  buffer.close();
+}
+
+TEST(MultiSupport, MapTaskResultsIdenticalAcrossThreadCounts) {
+  TempDir dir;
+  textgen::CorpusSpec corpus_spec;
+  corpus_spec.total_words = 60000;
+  corpus_spec.vocabulary = 1500;
+  const auto corpus = dir.file("c.txt");
+  textgen::generate_corpus(corpus_spec, corpus.string());
+  const auto splits = io::make_splits(corpus.string(), 1 << 20);
+  const auto expected = test::reference_wordcount(corpus.string());
+
+  mr::LocalEngine engine;
+  for (const std::uint32_t threads : {1u, 2u, 4u}) {
+    auto spec = test::make_job(apps::wordcount_app(), splits,
+                               dir.file("s" + std::to_string(threads)),
+                               dir.file("o" + std::to_string(threads)));
+    spec.spill_buffer_bytes = 64 * 1024;  // many concurrent spills
+    spec.support_threads = threads;
+    const auto result = engine.run(spec);
+    const auto actual = test::read_outputs(result.outputs);
+    ASSERT_EQ(actual.size(), expected.size()) << threads;
+    for (const auto& [word, count] : expected) {
+      ASSERT_EQ(actual.at(word), std::to_string(count))
+          << word << " threads=" << threads;
+    }
+  }
+}
+
+TEST(MultiSupport, WorksWithBothOptimizationsEnabled) {
+  TempDir dir;
+  textgen::CorpusSpec corpus_spec;
+  corpus_spec.total_words = 40000;
+  corpus_spec.vocabulary = 800;
+  const auto corpus = dir.file("c.txt");
+  textgen::generate_corpus(corpus_spec, corpus.string());
+  const auto splits = io::make_splits(corpus.string(), 1 << 20);
+
+  auto spec = test::make_job(apps::wordcount_app(), splits, dir.file("s"),
+                             dir.file("o"));
+  spec.support_threads = 3;
+  spec.use_spill_matcher = true;
+  spec.freqbuf.enabled = true;
+  spec.freqbuf.top_k = 50;
+  spec.freqbuf.sampling_fraction = 0.05;
+  mr::LocalEngine engine;
+  const auto result = engine.run(spec);
+  const auto expected = test::reference_wordcount(corpus.string());
+  EXPECT_EQ(test::read_outputs(result.outputs).size(), expected.size());
+}
+
+TEST(MultiSupport, InvertedIndexStaysSortedAndComplete) {
+  TempDir dir;
+  textgen::CorpusSpec corpus_spec;
+  corpus_spec.total_words = 25000;
+  corpus_spec.vocabulary = 400;
+  const auto corpus = dir.file("c.txt");
+  textgen::generate_corpus(corpus_spec, corpus.string());
+  const auto splits = io::make_splits(corpus.string(), 1 << 20);
+
+  auto baseline = test::make_job(apps::inverted_index_app(), splits,
+                                 dir.file("s1"), dir.file("o1"));
+  auto multi = test::make_job(apps::inverted_index_app(), splits,
+                              dir.file("s2"), dir.file("o2"));
+  multi.support_threads = 4;
+  multi.spill_buffer_bytes = 64 * 1024;
+  mr::LocalEngine engine;
+  EXPECT_EQ(test::read_outputs(engine.run(baseline).outputs),
+            test::read_outputs(engine.run(multi).outputs));
+}
+
+TEST(MultiSupport, CombinerErrorInAnySupportThreadPropagates) {
+  TempDir dir;
+  textgen::CorpusSpec corpus_spec;
+  corpus_spec.total_words = 30000;
+  corpus_spec.vocabulary = 300;
+  const auto corpus = dir.file("c.txt");
+  textgen::generate_corpus(corpus_spec, corpus.string());
+
+  auto spec = test::make_job(apps::wordcount_app(),
+                             io::make_splits(corpus.string(), 1 << 20),
+                             dir.file("s"), dir.file("o"));
+  spec.support_threads = 3;
+  spec.spill_buffer_bytes = 16 * 1024;
+  spec.combiner = [] {
+    return std::make_unique<mr::LambdaReducer>(
+        [](std::string_view, mr::ValueStream&, mr::EmitSink&) {
+          throw std::runtime_error("boom");
+        });
+  };
+  mr::LocalEngine engine;
+  EXPECT_THROW(engine.run(spec), std::runtime_error);
+}
+
+TEST(MultiSupport, EngineRejectsZeroSupportThreads) {
+  TempDir dir;
+  textgen::CorpusSpec corpus_spec;
+  corpus_spec.total_words = 1000;
+  const auto corpus = dir.file("c.txt");
+  textgen::generate_corpus(corpus_spec, corpus.string());
+  auto spec = test::make_job(apps::wordcount_app(),
+                             io::make_splits(corpus.string(), 1 << 20),
+                             dir.file("s"), dir.file("o"));
+  spec.support_threads = 0;
+  mr::LocalEngine engine;
+  EXPECT_THROW(engine.run(spec), ConfigError);
+}
+
+}  // namespace
+}  // namespace textmr

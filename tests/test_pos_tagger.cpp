@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "common/stopwatch.hpp"
+#include "apps/pos_tag.hpp"
+
+namespace textmr::apps {
+namespace {
+
+class RecordingSink final : public mr::EmitSink {
+ public:
+  void emit(std::string_view key, std::string_view value) override {
+    records.emplace_back(std::string(key), std::string(value));
+  }
+  std::vector<std::pair<std::string, std::string>> records;
+};
+
+TEST(PosTagger, LexiconWordsGetClosedClassTags) {
+  PosTagger tagger;
+  EXPECT_EQ(tagger.tag_word("the"), PosTag::kDeterminer);
+  EXPECT_EQ(tagger.tag_word("of"), PosTag::kPreposition);
+  EXPECT_EQ(tagger.tag_word("and"), PosTag::kConjunction);
+  EXPECT_EQ(tagger.tag_word("they"), PosTag::kPronoun);
+}
+
+TEST(PosTagger, SuffixRulesApply) {
+  PosTagger tagger;
+  EXPECT_EQ(tagger.tag_word("running"), PosTag::kVerbGerund);
+  EXPECT_EQ(tagger.tag_word("jumped"), PosTag::kVerbPast);
+  EXPECT_EQ(tagger.tag_word("quickly"), PosTag::kAdverb);
+  EXPECT_EQ(tagger.tag_word("information"), PosTag::kNoun);
+  EXPECT_EQ(tagger.tag_word("beautiful"), PosTag::kAdjective);
+  EXPECT_EQ(tagger.tag_word("cats"), PosTag::kPluralNoun);
+  EXPECT_EQ(tagger.tag_word("12345"), PosTag::kNumber);
+  EXPECT_EQ(tagger.tag_word("dog"), PosTag::kNoun);
+}
+
+TEST(PosTagger, SentenceTaggingIsDeterministic) {
+  PosTagger tagger;
+  const std::vector<std::string> tokens = {"the", "quick", "dog", "jumped"};
+  std::vector<PosTag> tags1, tags2;
+  tagger.tag_sentence(tokens, tags1);
+  tagger.tag_sentence(tokens, tags2);
+  EXPECT_EQ(tags1, tags2);
+  ASSERT_EQ(tags1.size(), tokens.size());
+  EXPECT_EQ(tags1[0], PosTag::kDeterminer);
+}
+
+TEST(PosTagger, EmptySentence) {
+  PosTagger tagger;
+  std::vector<PosTag> tags;
+  tagger.tag_sentence({}, tags);
+  EXPECT_TRUE(tags.empty());
+}
+
+TEST(PosTagger, MoreWorkPassesCostMoreCpu) {
+  // The work_passes knob is the application's CPU-intensity control and
+  // must scale measurably (this is what makes WordPOSTag the paper's
+  // CPU-bound extreme).
+  std::vector<std::string> tokens;
+  for (int i = 0; i < 200; ++i) tokens.push_back("word" + std::to_string(i));
+  std::vector<PosTag> tags;
+
+  auto time_passes = [&](std::uint32_t passes) {
+    PosTagger tagger(passes);
+    const std::uint64_t t0 = monotonic_ns();
+    for (int rep = 0; rep < 20; ++rep) tagger.tag_sentence(tokens, tags);
+    return monotonic_ns() - t0;
+  };
+  const std::uint64_t cheap = time_passes(1);
+  const std::uint64_t expensive = time_passes(64);
+  EXPECT_GT(expensive, cheap * 4);
+}
+
+TEST(PosTagName, AllTagsHaveNames) {
+  for (std::size_t t = 0; t < kNumPosTags; ++t) {
+    const char* name = pos_tag_name(static_cast<PosTag>(t));
+    EXPECT_NE(std::string(name), "?");
+    EXPECT_FALSE(std::string(name).empty());
+  }
+}
+
+TEST(TagCounts, EncodeDecodeRoundTrip) {
+  std::array<std::uint64_t, kNumPosTags> counts{};
+  counts[0] = 5;
+  counts[3] = 17;
+  counts[kNumPosTags - 1] = 1;
+  std::string encoded;
+  tagcounts::encode(encoded, counts);
+  std::array<std::uint64_t, kNumPosTags> decoded{};
+  tagcounts::decode_add(encoded, decoded);
+  EXPECT_EQ(decoded, counts);
+  // decode_add accumulates.
+  tagcounts::decode_add(encoded, decoded);
+  EXPECT_EQ(decoded[3], 34u);
+}
+
+TEST(WordPosTag, MapperEmitsCounterArrayPerWord) {
+  WordPosTagMapper mapper(2);
+  RecordingSink sink;
+  mapper.map(0, "the dog jumped", sink);
+  ASSERT_EQ(sink.records.size(), 3u);
+  EXPECT_EQ(sink.records[0].first, "the");
+  std::array<std::uint64_t, kNumPosTags> counts{};
+  tagcounts::decode_add(sink.records[0].second, counts);
+  std::uint64_t total = 0;
+  for (const auto c : counts) total += c;
+  EXPECT_EQ(total, 1u);
+  EXPECT_EQ(counts[static_cast<std::size_t>(PosTag::kDeterminer)], 1u);
+}
+
+TEST(WordPosTag, CombinerSumsArrays) {
+  WordPosTagMapper mapper(2);
+  RecordingSink mapped;
+  mapper.map(0, "dog dog dog", mapped);
+  std::vector<std::string> values;
+  for (const auto& [key, value] : mapped.records) values.push_back(value);
+  mr::VectorValueStream<std::vector<std::string>> stream(values);
+  RecordingSink combined;
+  WordPosTagCombiner combiner;
+  combiner.reduce("dog", stream, combined);
+  ASSERT_EQ(combined.records.size(), 1u);
+  std::array<std::uint64_t, kNumPosTags> counts{};
+  tagcounts::decode_add(combined.records[0].second, counts);
+  std::uint64_t total = 0;
+  for (const auto c : counts) total += c;
+  EXPECT_EQ(total, 3u);
+}
+
+TEST(WordPosTag, ReducerFormatsNonzeroTags) {
+  std::array<std::uint64_t, kNumPosTags> counts{};
+  counts[static_cast<std::size_t>(PosTag::kNoun)] = 7;
+  counts[static_cast<std::size_t>(PosTag::kVerb)] = 2;
+  std::string encoded;
+  tagcounts::encode(encoded, counts);
+  std::vector<std::string> values = {encoded};
+  mr::VectorValueStream<std::vector<std::string>> stream(values);
+  RecordingSink sink;
+  WordPosTagReducer reducer;
+  reducer.reduce("dog", stream, sink);
+  ASSERT_EQ(sink.records.size(), 1u);
+  EXPECT_EQ(sink.records[0].second, "NN:7 VB:2");
+}
+
+}  // namespace
+}  // namespace textmr::apps

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+// Cross-cutting property tests: for randomized corpora and randomized
+// engine configurations, every optimization setting must produce exactly
+// the output of the sequential reference implementation. This is the
+// paper's central correctness claim — the optimizations "require no user
+// code changes" and never alter job semantics.
+
+#include "helpers.hpp"
+
+namespace textmr {
+namespace {
+
+struct EngineParams {
+  std::uint64_t corpus_seed;
+  double alpha;
+  std::uint32_t num_reducers;
+  std::size_t spill_buffer_kb;
+  bool freqbuf;
+  bool matcher;
+  mr::Grouping grouping;
+  io::SpillFormat format;
+};
+
+void PrintTo(const EngineParams& p, std::ostream* os) {
+  *os << "seed=" << p.corpus_seed << " alpha=" << p.alpha
+      << " reducers=" << p.num_reducers << " buf=" << p.spill_buffer_kb
+      << "KiB freq=" << p.freqbuf << " matcher=" << p.matcher
+      << " grouping=" << (p.grouping == mr::Grouping::kSorted ? "sort" : "hash")
+      << " fmt="
+      << (p.format == io::SpillFormat::kCompactVarint ? "varint" : "fixed32");
+}
+
+class EngineEquivalenceTest : public ::testing::TestWithParam<EngineParams> {};
+
+TEST_P(EngineEquivalenceTest, WordCountEqualsReferenceUnderAllConfigs) {
+  const auto& p = GetParam();
+  TempDir dir;
+  textgen::CorpusSpec corpus_spec;
+  corpus_spec.total_words = 25000;
+  corpus_spec.vocabulary = 800;
+  corpus_spec.alpha = p.alpha;
+  corpus_spec.seed = p.corpus_seed;
+  const auto corpus = dir.file("c.txt");
+  textgen::generate_corpus(corpus_spec, corpus.string());
+
+  auto spec = test::make_job(apps::wordcount_app(),
+                             io::make_splits(corpus.string(), 48 * 1024),
+                             dir.file("s"), dir.file("o"), p.num_reducers);
+  spec.spill_buffer_bytes = p.spill_buffer_kb * 1024;
+  spec.use_spill_matcher = p.matcher;
+  spec.grouping = p.grouping;
+  spec.spill_format = p.format;
+  if (p.freqbuf) {
+    spec.freqbuf.enabled = true;
+    spec.freqbuf.top_k = 40;
+    spec.freqbuf.sampling_fraction = 0.0;  // exercise the auto-tuner too
+    spec.freqbuf.pre_profile_fraction = 0.02;
+  }
+
+  mr::LocalEngine engine;
+  const auto result = engine.run(spec);
+  const auto expected = test::reference_wordcount(corpus.string());
+  const auto actual = test::read_outputs(result.outputs);
+  ASSERT_EQ(actual.size(), expected.size());
+  for (const auto& [word, count] : expected) {
+    ASSERT_EQ(actual.at(word), std::to_string(count)) << word;
+  }
+}
+
+std::vector<EngineParams> equivalence_matrix() {
+  std::vector<EngineParams> params;
+  std::uint64_t seed = 1000;
+  for (const bool freq : {false, true}) {
+    for (const bool matcher : {false, true}) {
+      for (const double alpha : {0.6, 1.0, 1.4}) {
+        params.push_back(EngineParams{
+            ++seed, alpha, static_cast<std::uint32_t>(1 + seed % 4),
+            static_cast<std::size_t>(seed % 2 == 0 ? 32 : 96), freq, matcher,
+            seed % 3 == 0 ? mr::Grouping::kHash : mr::Grouping::kSorted,
+            seed % 2 == 0 ? io::SpillFormat::kCompactVarint
+                          : io::SpillFormat::kFixed32});
+      }
+    }
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, EngineEquivalenceTest,
+                         ::testing::ValuesIn(equivalence_matrix()));
+
+/// Combiner-application-count invariance: a pathological spill buffer
+/// (tiny, causing hundreds of spills and deep merges) must not change any
+/// aggregate. This drives the "combiner may run zero or more times"
+/// contract through extreme schedules.
+TEST(EngineProperties, TinySpillBufferDoesNotChangeResults) {
+  TempDir dir;
+  textgen::CorpusSpec corpus_spec;
+  corpus_spec.total_words = 15000;
+  corpus_spec.vocabulary = 300;
+  const auto corpus = dir.file("c.txt");
+  textgen::generate_corpus(corpus_spec, corpus.string());
+  const auto splits = io::make_splits(corpus.string(), 1 << 20);
+
+  auto tiny = test::make_job(apps::wordcount_app(), splits, dir.file("s1"),
+                             dir.file("o1"));
+  tiny.spill_buffer_bytes = 4 * 1024;  // hundreds of spills
+  auto large = test::make_job(apps::wordcount_app(), splits, dir.file("s2"),
+                              dir.file("o2"));
+  large.spill_buffer_bytes = 8 << 20;  // one spill
+
+  mr::LocalEngine engine;
+  EXPECT_EQ(test::read_outputs(engine.run(tiny).outputs),
+            test::read_outputs(engine.run(large).outputs));
+}
+
+/// Partitioning property: the union of all reducers' outputs has exactly
+/// one entry per distinct key, for any reducer count.
+TEST(EngineProperties, ReducerCountNeverDuplicatesOrDropsKeys) {
+  TempDir dir;
+  textgen::CorpusSpec corpus_spec;
+  corpus_spec.total_words = 10000;
+  corpus_spec.vocabulary = 500;
+  const auto corpus = dir.file("c.txt");
+  textgen::generate_corpus(corpus_spec, corpus.string());
+  const auto splits = io::make_splits(corpus.string(), 1 << 20);
+  const auto expected = test::reference_wordcount(corpus.string());
+
+  mr::LocalEngine engine;
+  for (const std::uint32_t reducers : {1u, 2u, 5u, 16u}) {
+    auto spec = test::make_job(apps::wordcount_app(), splits,
+                               dir.file("s" + std::to_string(reducers)),
+                               dir.file("o" + std::to_string(reducers)),
+                               reducers);
+    const auto result = engine.run(spec);
+    EXPECT_EQ(result.outputs.size(), reducers);
+    std::size_t total_rows = 0;
+    for (const auto& part : result.outputs) {
+      std::ifstream in(part);
+      std::string line;
+      while (std::getline(in, line)) ++total_rows;
+    }
+    EXPECT_EQ(total_rows, expected.size()) << reducers;
+  }
+}
+
+/// SynText invariance across its parameter grid: the counts reported by
+/// the reducer are independent of cpu/storage intensity (those knobs only
+/// change costs, never semantics).
+class SynTextGridTest
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(SynTextGridTest, GridPointsAgreeOnGroupCardinality) {
+  const auto [cpu, storage] = GetParam();
+  TempDir dir;
+  textgen::CorpusSpec corpus_spec;
+  corpus_spec.total_words = 5000;
+  corpus_spec.vocabulary = 200;
+  const auto corpus = dir.file("c.txt");
+  textgen::generate_corpus(corpus_spec, corpus.string());
+
+  apps::SynTextParams params;
+  params.cpu_intensity = cpu;
+  params.storage_intensity = storage;
+  auto spec = test::make_job(apps::syntext_app(params),
+                             io::make_splits(corpus.string(), 1 << 20),
+                             dir.file("s"), dir.file("o"));
+  mr::LocalEngine engine;
+  const auto result = engine.run(spec);
+  const auto outputs = test::read_outputs(result.outputs);
+  const auto expected = test::reference_wordcount(corpus.string());
+  ASSERT_EQ(outputs.size(), expected.size());
+  // Each output value is "count:bytes"; with a combiner the count per key
+  // collapses to the number of runs that saw it, so only the key set is
+  // invariant — which is what we assert.
+  for (const auto& [word, count] : expected) {
+    ASSERT_TRUE(outputs.count(word) == 1) << word;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SynTextGridTest,
+    ::testing::Combine(::testing::Values(1.0, 8.0),
+                       ::testing::Values(0.0, 0.5, 1.0)));
+
+}  // namespace
+}  // namespace textmr

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sim/cluster.hpp"
+
+namespace textmr::sim {
+namespace {
+
+/// A WordCount-ish profile (hand-written, in the ballpark of real
+/// measurements): ~1.6 bytes of map output per input byte, combine
+/// shrinks spills ~6x, cheap map, sort-heavy support.
+AppProfile wordcount_like() {
+  AppProfile p;
+  p.map_output_bytes = 1.6;
+  p.spill_input_bytes = 1.6;
+  p.spilled_bytes = 0.25;
+  p.merged_bytes = 0.12;
+  p.output_bytes = 0.05;
+  p.produce_cpu_ns_per_input_byte = 40.0;
+  p.consume_cpu_ns_per_spill_byte = 35.0;
+  p.merge_cpu_ns_per_spilled_byte = 25.0;
+  p.reduce_cpu_ns_per_shuffled_byte = 30.0;
+  return p;
+}
+
+/// A WordPOSTag-ish profile: map() dominates everything.
+AppProfile postag_like() {
+  AppProfile p = wordcount_like();
+  p.produce_cpu_ns_per_input_byte = 1500.0;  // CPU-bound map
+  return p;
+}
+
+SimJobConfig job_8gb() {
+  SimJobConfig job;
+  job.input_bytes = 8.52e9;
+  job.split_bytes = 128.0 * 1024 * 1024;
+  job.num_reducers = 12;
+  job.spill_buffer_bytes = 100.0 * 1024 * 1024;
+  return job;
+}
+
+TEST(SimCluster, BasicShapeOfAJob) {
+  const auto result = simulate_job(wordcount_like(), ClusterSpec{}, job_8gb());
+  EXPECT_GT(result.total_s, 0.0);
+  EXPECT_EQ(result.map_tasks, 64u);  // ceil(8.52e9 / 128MiB)
+  EXPECT_EQ(result.map_waves, 6u);   // 64 tasks over 12 slots
+  EXPECT_NEAR(result.total_s,
+              ClusterSpec{}.job_overhead_s + result.map_phase_s +
+                  result.reduce_phase_s,
+              1e-9);
+  EXPECT_GT(result.spills_per_task, 1u);
+}
+
+TEST(SimCluster, MoreNodesFinishFaster) {
+  const auto profile = wordcount_like();
+  ClusterSpec small;
+  small.nodes = 6;
+  ClusterSpec large;
+  large.nodes = 20;
+  const auto small_result = simulate_job(profile, small, job_8gb());
+  const auto large_result = simulate_job(profile, large, job_8gb());
+  EXPECT_LT(large_result.total_s, small_result.total_s);
+}
+
+TEST(SimCluster, SpillMatcherHelpsWordCountShape) {
+  // Table III shape: SpillOpt alone gives WordCount a real speedup.
+  auto job = job_8gb();
+  const auto base = simulate_job(wordcount_like(), ClusterSpec{}, job);
+  job.use_spill_matcher = true;
+  const auto opt = simulate_job(wordcount_like(), ClusterSpec{}, job);
+  EXPECT_LT(opt.total_s, base.total_s * 0.95);
+}
+
+TEST(SimCluster, SpillMatcherBarelyMattersWhenMapBound) {
+  // WordPOSTag shape: map() dominates, support idles regardless; the
+  // matcher cannot create work to overlap.
+  auto job = job_8gb();
+  const auto base = simulate_job(postag_like(), ClusterSpec{}, job);
+  job.use_spill_matcher = true;
+  const auto opt = simulate_job(postag_like(), ClusterSpec{}, job);
+  EXPECT_GT(opt.total_s, base.total_s * 0.98);
+  EXPECT_GT(base.support_idle_fraction, 0.8);
+}
+
+TEST(SimCluster, FreqBufferingProfileShrinkageSpeedsJob) {
+  // FreqOpt enters the simulator as a measured-profile change: fewer
+  // spill-input bytes and spilled bytes (absorbed by the table), at a
+  // small produce-side overhead. The simulated job must get faster.
+  auto base_profile = wordcount_like();
+  auto freq_profile = base_profile;
+  freq_profile.spill_input_bytes *= 0.35;  // 65% absorbed
+  freq_profile.spilled_bytes *= 0.6;
+  freq_profile.produce_cpu_ns_per_input_byte *= 1.1;  // hashing overhead
+
+  auto job = job_8gb();
+  const auto base = simulate_job(base_profile, ClusterSpec{}, job);
+  auto freq_job = job;
+  freq_job.freq_table_fraction = 0.3;
+  const auto freq = simulate_job(freq_profile, ClusterSpec{}, freq_job);
+  EXPECT_LT(freq.total_s, base.total_s * 0.95);
+}
+
+TEST(SimCluster, ShuffleVolumeDrivesReducePhase) {
+  auto light = wordcount_like();
+  auto heavy = wordcount_like();
+  heavy.merged_bytes = 1.2;  // InvertedIndex-like shuffle volume
+  heavy.spilled_bytes = 1.4;
+  const auto light_result = simulate_job(light, ClusterSpec{}, job_8gb());
+  const auto heavy_result = simulate_job(heavy, ClusterSpec{}, job_8gb());
+  EXPECT_GT(heavy_result.reduce_phase_s, light_result.reduce_phase_s * 3);
+}
+
+TEST(SimCluster, IdleFractionsFollowRateBalance) {
+  // Support-bound profile: map idles; map-bound profile: support idles.
+  auto support_bound = wordcount_like();
+  support_bound.consume_cpu_ns_per_spill_byte = 200.0;
+  const auto a = simulate_job(support_bound, ClusterSpec{}, job_8gb());
+  EXPECT_GT(a.map_idle_fraction, 0.3);
+
+  const auto b = simulate_job(postag_like(), ClusterSpec{}, job_8gb());
+  EXPECT_LT(b.map_idle_fraction, 0.05);
+  EXPECT_GT(b.support_idle_fraction, 0.8);
+}
+
+TEST(SimCluster, TaskStartupDominatesTinyJobs) {
+  auto job = job_8gb();
+  job.input_bytes = 1e6;  // single tiny map task
+  const auto result = simulate_job(wordcount_like(), ClusterSpec{}, job);
+  EXPECT_GT(ClusterSpec{}.task_startup_s / result.map_task_wall_s, 0.5);
+}
+
+TEST(SimCluster, RejectsEmptyJob) {
+  SimJobConfig job;
+  job.input_bytes = 0;
+  EXPECT_THROW(simulate_job(wordcount_like(), ClusterSpec{}, job),
+               InternalError);
+}
+
+TEST(SimCluster, CpuScaleScalesComputeBoundJobs) {
+  ClusterSpec fast;
+  fast.cpu_scale = 1.0;
+  ClusterSpec slow;
+  slow.cpu_scale = 4.0;
+  const auto fast_result = simulate_job(postag_like(), fast, job_8gb());
+  const auto slow_result = simulate_job(postag_like(), slow, job_8gb());
+  // WordPOSTag is compute-bound: 4x slower CPU ~ 4x slower map phase.
+  EXPECT_GT(slow_result.map_phase_s, fast_result.map_phase_s * 3.0);
+}
+
+}  // namespace
+}  // namespace textmr::sim

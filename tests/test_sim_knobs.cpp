@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+// Additional cluster-simulator knob coverage: memory carve-out, reducer
+// count, wave arithmetic, and network sensitivity.
+
+#include "sim/cluster.hpp"
+
+namespace textmr::sim {
+namespace {
+
+AppProfile balanced_profile() {
+  AppProfile p;
+  p.map_output_bytes = 1.5;
+  p.spill_input_bytes = 1.5;
+  p.spilled_bytes = 0.4;
+  p.merged_bytes = 0.2;
+  p.output_bytes = 0.1;
+  p.produce_cpu_ns_per_input_byte = 60.0;
+  p.consume_cpu_ns_per_spill_byte = 40.0;
+  p.merge_cpu_ns_per_spilled_byte = 20.0;
+  p.reduce_cpu_ns_per_shuffled_byte = 30.0;
+  return p;
+}
+
+SimJobConfig job() {
+  SimJobConfig config;
+  config.input_bytes = 8e9;
+  return config;
+}
+
+TEST(SimKnobs, FreqTableFractionShrinksEffectiveBuffer) {
+  // Carving table memory out of the buffer makes spills smaller (more of
+  // them) without changing the work; with balanced rates and x=0.8 this
+  // costs a little wall time — never gains.
+  auto base = job();
+  auto carved = job();
+  carved.freq_table_fraction = 0.5;
+  const auto base_result = simulate_job(balanced_profile(), {}, base);
+  const auto carved_result = simulate_job(balanced_profile(), {}, carved);
+  EXPECT_GT(carved_result.spills_per_task, base_result.spills_per_task);
+  EXPECT_GE(carved_result.total_s, base_result.total_s * 0.99);
+}
+
+TEST(SimKnobs, MoreReducersShrinkReduceTasksButAddWaves) {
+  auto few = job();
+  few.num_reducers = 12;  // one wave on 12 slots
+  auto many = job();
+  many.num_reducers = 24;  // two waves
+  const auto few_result = simulate_job(balanced_profile(), {}, few);
+  const auto many_result = simulate_job(balanced_profile(), {}, many);
+  EXPECT_EQ(few_result.reduce_waves, 1u);
+  EXPECT_EQ(many_result.reduce_waves, 2u);
+  EXPECT_LT(many_result.reduce_task_wall_s, few_result.reduce_task_wall_s);
+}
+
+TEST(SimKnobs, MapWaveArithmetic) {
+  auto config = job();
+  config.input_bytes = 10.0 * config.split_bytes;  // exactly 10 tasks
+  ClusterSpec cluster;
+  cluster.nodes = 2;
+  cluster.map_slots_per_node = 2;  // 4 slots -> 3 waves
+  const auto result = simulate_job(balanced_profile(), cluster, config);
+  EXPECT_EQ(result.map_tasks, 10u);
+  EXPECT_EQ(result.map_waves, 3u);
+  EXPECT_NEAR(result.map_phase_s, 3.0 * result.map_task_wall_s, 1e-9);
+}
+
+TEST(SimKnobs, SlowerNetworkStretchesShuffleOnly) {
+  ClusterSpec fast;
+  ClusterSpec slow = fast;
+  slow.network_mbps_per_node = fast.network_mbps_per_node / 4.0;
+  const auto fast_result = simulate_job(balanced_profile(), fast, job());
+  const auto slow_result = simulate_job(balanced_profile(), slow, job());
+  EXPECT_GT(slow_result.shuffle_s, fast_result.shuffle_s * 3.5);
+  EXPECT_NEAR(slow_result.map_phase_s, fast_result.map_phase_s,
+              fast_result.map_phase_s * 1e-9);
+}
+
+TEST(SimKnobs, StartupCostScalesWithWaves) {
+  ClusterSpec cheap;
+  cheap.task_startup_s = 0.0;
+  ClusterSpec costly;
+  costly.task_startup_s = 10.0;
+  auto config = job();
+  const auto cheap_result = simulate_job(balanced_profile(), cheap, config);
+  const auto costly_result = simulate_job(balanced_profile(), costly, config);
+  const double expected_extra =
+      10.0 * static_cast<double>(cheap_result.map_waves +
+                                 cheap_result.reduce_waves);
+  EXPECT_NEAR(costly_result.total_s - cheap_result.total_s, expected_extra,
+              expected_extra * 0.01);
+}
+
+TEST(SimKnobs, ZeroSpillInputProfileStillRuns) {
+  // An app whose map() emits nothing (e.g. a pure filter with no matches)
+  // must still cost its produce time.
+  auto profile = balanced_profile();
+  profile.map_output_bytes = 0.0;
+  profile.spill_input_bytes = 0.0;
+  profile.spilled_bytes = 0.0;
+  profile.merged_bytes = 0.0;
+  const auto result = simulate_job(profile, {}, job());
+  EXPECT_GT(result.map_phase_s, 0.0);
+  EXPECT_EQ(result.spills_per_task, 0u);
+}
+
+}  // namespace
+}  // namespace textmr::sim

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/zipf.hpp"
+#include "sketch/exact_counter.hpp"
+#include "sketch/lru_tracker.hpp"
+
+namespace textmr::sketch {
+namespace {
+
+TEST(ExactCounter, CountsExactly) {
+  ExactCounter counter;
+  for (int i = 0; i < 7; ++i) counter.offer("x");
+  for (int i = 0; i < 3; ++i) counter.offer("y");
+  EXPECT_EQ(counter.count("x"), 7u);
+  EXPECT_EQ(counter.count("y"), 3u);
+  EXPECT_EQ(counter.count("z"), 0u);
+  EXPECT_EQ(counter.observed(), 10u);
+  EXPECT_EQ(counter.distinct(), 2u);
+}
+
+TEST(ExactCounter, TopKOrderedWithDeterministicTies) {
+  ExactCounter counter;
+  for (const char* k : {"b", "a", "c"}) {
+    counter.offer(k);
+    counter.offer(k);
+  }
+  counter.offer("d");
+  const auto top = counter.top(4);
+  ASSERT_EQ(top.size(), 4u);
+  // Ties (a,b,c at 2) break lexicographically.
+  EXPECT_EQ(top[0].first, "a");
+  EXPECT_EQ(top[1].first, "b");
+  EXPECT_EQ(top[2].first, "c");
+  EXPECT_EQ(top[3].first, "d");
+}
+
+TEST(ExactCounter, TopKLargerThanDistinctIsClamped) {
+  ExactCounter counter;
+  counter.offer("only");
+  EXPECT_EQ(counter.top(100).size(), 1u);
+}
+
+TEST(LruTracker, HitsAndEvictions) {
+  LruTracker lru(2);
+  EXPECT_FALSE(lru.offer("a"));  // miss, insert
+  EXPECT_FALSE(lru.offer("b"));  // miss, insert
+  EXPECT_TRUE(lru.offer("a"));   // hit, refresh
+  EXPECT_FALSE(lru.offer("c"));  // miss, evicts b (LRU)
+  EXPECT_TRUE(lru.offer("a"));   // still resident
+  EXPECT_FALSE(lru.offer("b"));  // was evicted
+  EXPECT_EQ(lru.evictions(), 2u);
+  EXPECT_EQ(lru.hits(), 2u);
+  EXPECT_EQ(lru.observed(), 6u);
+}
+
+TEST(LruTracker, RecencyOrderIsMaintained) {
+  LruTracker lru(3);
+  lru.offer("a");
+  lru.offer("b");
+  lru.offer("c");
+  lru.offer("a");   // a becomes MRU; LRU is b
+  lru.offer("d");   // evicts b
+  EXPECT_TRUE(lru.offer("a"));
+  EXPECT_TRUE(lru.offer("c"));
+  EXPECT_TRUE(lru.offer("d"));
+  EXPECT_FALSE(lru.offer("b"));
+}
+
+TEST(LruTracker, HitRateOnSkewedStreamBeatsUniform) {
+  // Sanity for the Fig. 7 comparison: LRU benefits from skew.
+  auto run = [](double alpha) {
+    LruTracker lru(100);
+    Xoshiro256 rng(1);
+    ZipfDistribution zipf(10000, alpha);
+    for (int i = 0; i < 100000; ++i) {
+      lru.offer("k" + std::to_string(zipf(rng)));
+    }
+    return lru.hit_rate();
+  };
+  const double skewed = run(1.2);
+  const double uniform = run(0.0);
+  EXPECT_GT(skewed, uniform + 0.2);
+}
+
+TEST(LruTracker, SizeNeverExceedsCapacity) {
+  LruTracker lru(5);
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    lru.offer("k" + std::to_string(rng.next_below(50)));
+    ASSERT_LE(lru.size(), 5u);
+  }
+}
+
+}  // namespace
+}  // namespace textmr::sketch

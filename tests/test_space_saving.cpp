@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/zipf.hpp"
+#include "sketch/exact_counter.hpp"
+#include "sketch/space_saving.hpp"
+#include "textgen/corpus_gen.hpp"
+
+namespace textmr::sketch {
+namespace {
+
+TEST(SpaceSaving, ExactWhenUnderCapacity) {
+  SpaceSaving sketch(100);
+  for (int i = 0; i < 5; ++i) sketch.offer("a");
+  for (int i = 0; i < 3; ++i) sketch.offer("b");
+  sketch.offer("c");
+  const auto top = sketch.top();
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].key, "a");
+  EXPECT_EQ(top[0].count, 5u);
+  EXPECT_EQ(top[0].error, 0u);
+  EXPECT_EQ(top[1].key, "b");
+  EXPECT_EQ(top[1].count, 3u);
+  EXPECT_EQ(top[2].key, "c");
+  EXPECT_EQ(top[2].count, 1u);
+}
+
+TEST(SpaceSaving, CapacityIsRespected) {
+  SpaceSaving sketch(4);
+  for (int i = 0; i < 100; ++i) {
+    sketch.offer("key" + std::to_string(i));
+  }
+  EXPECT_EQ(sketch.size(), 4u);
+  EXPECT_EQ(sketch.observed(), 100u);
+}
+
+TEST(SpaceSaving, CountUpperBoundInvariant) {
+  // Space-Saving guarantee: monitored count >= true frequency, and
+  // count - error <= true frequency.
+  SpaceSaving sketch(8);
+  ExactCounter exact;
+  Xoshiro256 rng(77);
+  ZipfDistribution zipf(50, 1.2);
+  for (int i = 0; i < 20000; ++i) {
+    const std::string key = "k" + std::to_string(zipf(rng));
+    sketch.offer(key);
+    exact.offer(key);
+  }
+  for (const auto& entry : sketch.top()) {
+    const std::uint64_t truth = exact.count(entry.key);
+    EXPECT_GE(entry.count, truth) << entry.key;
+    EXPECT_LE(entry.count - entry.error, truth) << entry.key;
+  }
+}
+
+TEST(SpaceSaving, SumOfCountsEqualsObservations) {
+  // Classic stream-summary invariant: counts sum to the stream length
+  // (every arrival increments exactly one counter, evictions inherit).
+  SpaceSaving sketch(16);
+  Xoshiro256 rng(5);
+  constexpr int kN = 5000;
+  for (int i = 0; i < kN; ++i) {
+    sketch.offer("k" + std::to_string(rng.next_below(200)));
+  }
+  std::uint64_t total = 0;
+  for (const auto& entry : sketch.top()) total += entry.count;
+  EXPECT_EQ(total, static_cast<std::uint64_t>(kN));
+}
+
+TEST(SpaceSaving, FindsHeavyHittersInZipfStream) {
+  // With capacity well above k, the true top-k of a skewed stream must be
+  // monitored (the Metwally et al. guarantee the paper relies on).
+  constexpr std::size_t kK = 10;
+  SpaceSaving sketch(200);
+  ExactCounter exact;
+  Xoshiro256 rng(123);
+  ZipfDistribution zipf(10000, 1.0);
+  for (int i = 0; i < 200000; ++i) {
+    const std::string key = textgen::word_for_rank(zipf(rng));
+    sketch.offer(key);
+    exact.offer(key);
+  }
+  std::set<std::string> sketched;
+  for (const auto& entry : sketch.top(kK)) sketched.insert(entry.key);
+  std::size_t found = 0;
+  for (const auto& [key, count] : exact.top(kK)) {
+    if (sketched.count(key) > 0) ++found;
+  }
+  EXPECT_GE(found, kK - 1);  // allow one borderline swap at the tail
+}
+
+TEST(SpaceSaving, TopKTruncates) {
+  SpaceSaving sketch(50);
+  for (int i = 0; i < 30; ++i) {
+    for (int j = 0; j <= i; ++j) sketch.offer("k" + std::to_string(i));
+  }
+  const auto top5 = sketch.top(5);
+  ASSERT_EQ(top5.size(), 5u);
+  EXPECT_EQ(top5[0].key, "k29");
+  EXPECT_EQ(top5[0].count, 30u);
+  EXPECT_EQ(top5[4].key, "k25");
+}
+
+TEST(SpaceSaving, EvictionInheritsMinCountPlusOne) {
+  SpaceSaving sketch(2);
+  sketch.offer("a");
+  sketch.offer("a");
+  sketch.offer("b");
+  // Table full {a:2, b:1}; new key evicts b and gets count 2, error 1.
+  sketch.offer("c");
+  EXPECT_FALSE(sketch.contains("b"));
+  ASSERT_TRUE(sketch.contains("c"));
+  const auto top = sketch.top();
+  for (const auto& entry : top) {
+    if (entry.key == "c") {
+      EXPECT_EQ(entry.count, 2u);
+      EXPECT_EQ(entry.error, 1u);
+    }
+  }
+}
+
+TEST(SpaceSaving, ClearResets) {
+  SpaceSaving sketch(4);
+  sketch.offer("x");
+  sketch.clear();
+  EXPECT_EQ(sketch.size(), 0u);
+  EXPECT_EQ(sketch.observed(), 0u);
+  EXPECT_FALSE(sketch.contains("x"));
+  sketch.offer("y");
+  EXPECT_TRUE(sketch.contains("y"));
+}
+
+TEST(SpaceSaving, RejectsZeroCapacity) {
+  EXPECT_THROW(SpaceSaving sketch(0), InternalError);
+}
+
+class SpaceSavingRecallTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SpaceSavingRecallTest, RecallImprovesWithSkew) {
+  // Property: for fixed capacity, higher skew -> the sketch's top-k
+  // contains more of the true top-k. Here we just assert a floor that
+  // holds for all tested alphas.
+  const double alpha = GetParam();
+  SpaceSaving sketch(100);
+  ExactCounter exact;
+  Xoshiro256 rng(321);
+  ZipfDistribution zipf(5000, alpha);
+  for (int i = 0; i < 100000; ++i) {
+    const std::string key = "w" + std::to_string(zipf(rng));
+    sketch.offer(key);
+    exact.offer(key);
+  }
+  std::set<std::string> sketched;
+  for (const auto& entry : sketch.top(20)) sketched.insert(entry.key);
+  std::size_t hits = 0;
+  for (const auto& [key, count] : exact.top(20)) {
+    hits += sketched.count(key);
+  }
+  EXPECT_GE(hits, 12u) << "alpha=" << alpha;
+}
+
+INSTANTIATE_TEST_SUITE_P(Skews, SpaceSavingRecallTest,
+                         ::testing::Values(0.8, 1.0, 1.2, 1.5));
+
+}  // namespace
+}  // namespace textmr::sketch

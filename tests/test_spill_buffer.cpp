@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "mr/spill_buffer.hpp"
+
+namespace textmr::mr {
+namespace {
+
+struct Collected {
+  std::vector<std::pair<std::string, std::string>> records;
+  std::uint64_t spills = 0;
+};
+
+/// Drains the buffer on a consumer thread, copying out all records.
+Collected drain(SpillBuffer& buffer, std::uint64_t consume_delay_us = 0) {
+  Collected out;
+  while (auto spill = buffer.take()) {
+    for (const auto& ref : spill->records) {
+      out.records.emplace_back(std::string(ref.key()),
+                               std::string(ref.value()));
+    }
+    if (consume_delay_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(consume_delay_us));
+    }
+    out.spills += 1;
+    buffer.release(*spill, /*consume_ns=*/consume_delay_us * 1000);
+  }
+  return out;
+}
+
+TEST(SpillBuffer, DeliversAllRecordsInOrder) {
+  SpillBuffer buffer(1 << 16, 0.8);
+  Collected out;
+  std::thread consumer([&] { out = drain(buffer); });
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    buffer.put(0, "key" + std::to_string(i), "value" + std::to_string(i));
+  }
+  buffer.close();
+  consumer.join();
+  ASSERT_EQ(out.records.size(), static_cast<std::size_t>(kN));
+  for (int i = 0; i < kN; ++i) {
+    EXPECT_EQ(out.records[i].first, "key" + std::to_string(i));
+    EXPECT_EQ(out.records[i].second, "value" + std::to_string(i));
+  }
+  EXPECT_GT(out.spills, 1u);  // buffer far smaller than the data
+}
+
+TEST(SpillBuffer, SlowConsumerForcesProducerWait) {
+  SpillBuffer buffer(8 * 1024, 0.5);
+  Collected out;
+  std::thread consumer([&] { out = drain(buffer, /*consume_delay_us=*/500); });
+  for (int i = 0; i < 2000; ++i) {
+    buffer.put(0, "k" + std::to_string(i), std::string(64, 'v'));
+  }
+  buffer.close();
+  consumer.join();
+  EXPECT_EQ(out.records.size(), 2000u);
+  EXPECT_GT(buffer.producer_wait_ns(), 0u);
+}
+
+TEST(SpillBuffer, SlowProducerForcesConsumerWait) {
+  SpillBuffer buffer(1 << 16, 0.1);
+  Collected out;
+  std::thread consumer([&] { out = drain(buffer); });
+  for (int i = 0; i < 50; ++i) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    buffer.put(0, "k", "v");
+  }
+  buffer.close();
+  consumer.join();
+  EXPECT_EQ(out.records.size(), 50u);
+  EXPECT_GT(buffer.consumer_wait_ns(), 0u);
+}
+
+TEST(SpillBuffer, RecordsLargerThanTailGapWrapCorrectly) {
+  // Capacity chosen so records straddle the wrap point repeatedly.
+  SpillBuffer buffer(4096, 0.5);
+  Collected out;
+  std::thread consumer([&] { out = drain(buffer); });
+  Xoshiro256 rng(3);
+  std::vector<std::pair<std::string, std::string>> expected;
+  for (int i = 0; i < 500; ++i) {
+    std::string key = "k" + std::to_string(i);
+    std::string value(100 + rng.next_below(700), static_cast<char>('a' + i % 26));
+    expected.emplace_back(key, value);
+    buffer.put(0, key, value);
+  }
+  buffer.close();
+  consumer.join();
+  EXPECT_EQ(out.records, expected);
+}
+
+TEST(SpillBuffer, RejectsOversizedRecord) {
+  SpillBuffer buffer(2048, 0.8);
+  EXPECT_THROW(buffer.put(0, "k", std::string(4096, 'x')), ConfigError);
+  buffer.close();
+  EXPECT_FALSE(buffer.take().has_value());
+}
+
+TEST(SpillBuffer, RecordAlmostAsBigAsBufferSucceeds) {
+  SpillBuffer buffer(2048, 0.8);
+  Collected out;
+  std::thread consumer([&] { out = drain(buffer); });
+  // Each record occupies most of the buffer: forces seal-on-full every put.
+  for (int i = 0; i < 20; ++i) {
+    buffer.put(0, "k", std::string(1800, 'y'));
+  }
+  buffer.close();
+  consumer.join();
+  EXPECT_EQ(out.records.size(), 20u);
+}
+
+TEST(SpillBuffer, CloseWithoutRecordsDeliversEndOfStream) {
+  SpillBuffer buffer(4096, 0.8);
+  buffer.close();
+  EXPECT_FALSE(buffer.take().has_value());
+}
+
+TEST(SpillBuffer, FinalSpillIsFlagged) {
+  SpillBuffer buffer(1 << 20, 0.99);  // big: nothing seals early
+  buffer.put(0, "a", "1");
+  buffer.put(1, "b", "2");
+  buffer.close();
+  auto spill = buffer.take();
+  ASSERT_TRUE(spill.has_value());
+  EXPECT_TRUE(spill->is_final);
+  EXPECT_EQ(spill->records.size(), 2u);
+  buffer.release(*spill, 10);
+  EXPECT_FALSE(buffer.take().has_value());
+}
+
+TEST(SpillBuffer, ThresholdControlsSpillSize) {
+  // With threshold 0.25 of 64 KiB and an idle consumer, spills seal near
+  // 16 KiB of payload.
+  SpillBuffer buffer(1 << 16, 0.25);
+  std::vector<std::uint64_t> spill_sizes;
+  std::thread consumer([&] {
+    while (auto spill = buffer.take()) {
+      spill_sizes.push_back(spill->data_bytes);
+      buffer.release(*spill, 1);
+    }
+  });
+  const std::string value(100, 'v');
+  for (int i = 0; i < 3000; ++i) buffer.put(0, "key", value);
+  buffer.close();
+  consumer.join();
+  ASSERT_GE(spill_sizes.size(), 3u);
+  // All but the final spill should be within ~one record of the target.
+  for (std::size_t i = 0; i + 1 < spill_sizes.size(); ++i) {
+    EXPECT_GE(spill_sizes[i], (1u << 14) - 200);
+  }
+}
+
+TEST(SpillBuffer, TimingIsReportedPerSpill) {
+  SpillBuffer buffer(1 << 16, 0.5);
+  std::thread consumer([&] {
+    while (auto spill = buffer.take()) {
+      buffer.release(*spill, /*consume_ns=*/12345);
+    }
+  });
+  for (int i = 0; i < 2000; ++i) buffer.put(0, "key", "value");
+  buffer.close();
+  consumer.join();
+  const auto timing = buffer.last_timing();
+  ASSERT_TRUE(timing.has_value());
+  EXPECT_EQ(timing->consume_ns, 12345u);
+  EXPECT_GT(timing->data_bytes, 0u);
+}
+
+TEST(SpillBuffer, SequenceNumbersAreConsecutive) {
+  SpillBuffer buffer(8192, 0.3);
+  std::vector<std::uint64_t> sequences;
+  std::thread consumer([&] {
+    while (auto spill = buffer.take()) {
+      sequences.push_back(spill->sequence);
+      buffer.release(*spill, 1);
+    }
+  });
+  for (int i = 0; i < 2000; ++i) buffer.put(0, "key", "somevalue");
+  buffer.close();
+  consumer.join();
+  for (std::size_t i = 0; i < sequences.size(); ++i) {
+    EXPECT_EQ(sequences[i], i);
+  }
+}
+
+TEST(SpillBuffer, PartitionTagsSurvive) {
+  SpillBuffer buffer(1 << 16, 0.9);
+  std::vector<std::uint32_t> partitions;
+  std::thread consumer([&] {
+    while (auto spill = buffer.take()) {
+      for (const auto& ref : spill->records) partitions.push_back(ref.partition);
+      buffer.release(*spill, 1);
+    }
+  });
+  for (std::uint32_t i = 0; i < 100; ++i) buffer.put(i % 7, "k", "v");
+  buffer.close();
+  consumer.join();
+  ASSERT_EQ(partitions.size(), 100u);
+  for (std::uint32_t i = 0; i < 100; ++i) EXPECT_EQ(partitions[i], i % 7);
+}
+
+TEST(SpillBuffer, StressRandomSizesAllDelivered) {
+  SpillBuffer buffer(1 << 15, 0.6);
+  std::uint64_t checksum_in = 0;
+  std::uint64_t count_in = 0;
+  std::uint64_t checksum_out = 0;
+  std::uint64_t count_out = 0;
+  std::thread consumer([&] {
+    while (auto spill = buffer.take()) {
+      for (const auto& ref : spill->records) {
+        checksum_out += ref.key().size() + 31 * ref.value().size();
+        ++count_out;
+      }
+      buffer.release(*spill, 1);
+    }
+  });
+  Xoshiro256 rng(42);
+  for (int i = 0; i < 30000; ++i) {
+    const std::string key(1 + rng.next_below(40), 'k');
+    const std::string value(rng.next_below(200), 'v');
+    checksum_in += key.size() + 31 * value.size();
+    ++count_in;
+    buffer.put(static_cast<std::uint32_t>(rng.next_below(4)), key, value);
+  }
+  buffer.close();
+  consumer.join();
+  EXPECT_EQ(count_out, count_in);
+  EXPECT_EQ(checksum_out, checksum_in);
+}
+
+}  // namespace
+}  // namespace textmr::mr

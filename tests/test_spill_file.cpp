@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/tempdir.hpp"
+#include "io/spill_file.hpp"
+
+namespace textmr::io {
+namespace {
+
+struct Rec {
+  std::uint32_t partition;
+  std::string key;
+  std::string value;
+};
+
+class SpillFileFormatTest : public ::testing::TestWithParam<SpillFormat> {};
+
+TEST_P(SpillFileFormatTest, RoundTripsMultiplePartitions) {
+  TempDir dir;
+  const auto path = dir.file("run").string();
+  const std::vector<Rec> records = {
+      {0, "apple", "1"}, {0, "banana", "22"}, {1, "car", ""},
+      {2, "dog", "value with spaces"}, {2, "dog", "another"},
+  };
+  SpillRunWriter writer(path, 3, GetParam());
+  for (const auto& r : records) writer.append(r.partition, r.key, r.value);
+  const auto info = writer.finish();
+  EXPECT_EQ(info.records, records.size());
+  EXPECT_EQ(info.partitions.size(), 3u);
+  EXPECT_EQ(info.partitions[0].records, 2u);
+  EXPECT_EQ(info.partitions[1].records, 1u);
+  EXPECT_EQ(info.partitions[2].records, 2u);
+
+  SpillRunReader reader(path, GetParam());
+  ASSERT_EQ(reader.num_partitions(), 3u);
+  for (std::uint32_t p = 0; p < 3; ++p) {
+    auto cursor = reader.open(p);
+    for (const auto& r : records) {
+      if (r.partition != p) continue;
+      auto got = cursor.next();
+      ASSERT_TRUE(got.has_value());
+      EXPECT_EQ(got->key, r.key);
+      EXPECT_EQ(got->value, r.value);
+    }
+    EXPECT_FALSE(cursor.next().has_value());
+  }
+}
+
+TEST_P(SpillFileFormatTest, EmptyPartitionsAreReadable) {
+  TempDir dir;
+  const auto path = dir.file("run").string();
+  SpillRunWriter writer(path, 4, GetParam());
+  writer.append(2, "only", "record");
+  writer.finish();
+
+  SpillRunReader reader(path, GetParam());
+  for (const std::uint32_t p : {0u, 1u, 3u}) {
+    auto cursor = reader.open(p);
+    EXPECT_FALSE(cursor.next().has_value()) << p;
+  }
+  auto cursor = reader.open(2);
+  EXPECT_TRUE(cursor.next().has_value());
+}
+
+TEST_P(SpillFileFormatTest, CompletelyEmptyRun) {
+  TempDir dir;
+  const auto path = dir.file("run").string();
+  SpillRunWriter writer(path, 2, GetParam());
+  const auto info = writer.finish();
+  EXPECT_EQ(info.records, 0u);
+  SpillRunReader reader(path, GetParam());
+  EXPECT_FALSE(reader.open(0).next().has_value());
+  EXPECT_FALSE(reader.open(1).next().has_value());
+}
+
+TEST_P(SpillFileFormatTest, LargeValuesCrossReadChunks) {
+  TempDir dir;
+  const auto path = dir.file("run").string();
+  Xoshiro256 rng(3);
+  std::vector<Rec> records;
+  for (int i = 0; i < 50; ++i) {
+    std::string value(1 << 15, static_cast<char>('a' + (i % 26)));
+    records.push_back({0, "key" + std::to_string(i), std::move(value)});
+  }
+  SpillRunWriter writer(path, 1, GetParam());
+  for (const auto& r : records) writer.append(r.partition, r.key, r.value);
+  writer.finish();
+
+  SpillRunReader reader(path, GetParam());
+  auto cursor = reader.open(0);
+  for (const auto& r : records) {
+    auto got = cursor.next();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->key, r.key);
+    EXPECT_EQ(got->value, r.value);
+  }
+  EXPECT_FALSE(cursor.next().has_value());
+}
+
+TEST_P(SpillFileFormatTest, BinaryKeysAndValuesSurvive) {
+  TempDir dir;
+  const auto path = dir.file("run").string();
+  const std::string key("k\0ey\xff", 5);
+  const std::string value("\x00\x80\xff", 3);
+  SpillRunWriter writer(path, 1, GetParam());
+  writer.append(0, key, value);
+  writer.finish();
+  SpillRunReader reader(path, GetParam());
+  auto cursor = reader.open(0);
+  auto got = cursor.next();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->key, key);
+  EXPECT_EQ(got->value, value);
+}
+
+INSTANTIATE_TEST_SUITE_P(Formats, SpillFileFormatTest,
+                         ::testing::Values(SpillFormat::kCompactVarint,
+                                           SpillFormat::kFixed32));
+
+TEST(SpillFile, RejectsDecreasingPartitionOrder) {
+  TempDir dir;
+  SpillRunWriter writer(dir.file("run").string(), 3);
+  writer.append(2, "a", "b");
+  EXPECT_THROW(writer.append(1, "c", "d"), InternalError);
+}
+
+TEST(SpillFile, MultipleConcurrentCursorsOnOneRun) {
+  TempDir dir;
+  const auto path = dir.file("run").string();
+  SpillRunWriter writer(path, 1);
+  for (int i = 0; i < 100; ++i) {
+    writer.append(0, "k" + std::to_string(i), "v");
+  }
+  writer.finish();
+  SpillRunReader reader(path);
+  auto c1 = reader.open(0);
+  auto c2 = reader.open(0);
+  // Interleave: both cursors see the full stream independently.
+  for (int i = 0; i < 100; ++i) {
+    auto r1 = c1.next();
+    ASSERT_TRUE(r1.has_value());
+    EXPECT_EQ(r1->key, "k" + std::to_string(i));
+    if (i % 2 == 0) {
+      auto r2 = c2.next();
+      ASSERT_TRUE(r2.has_value());
+      EXPECT_EQ(r2->key, "k" + std::to_string(i / 2));
+    }
+  }
+}
+
+TEST(SpillFile, ReaderRejectsCorruptMagic) {
+  TempDir dir;
+  const auto path = dir.file("bad").string();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  const char junk[64] = {0};
+  std::fwrite(junk, 1, sizeof(junk), f);
+  std::fclose(f);
+  EXPECT_THROW(SpillRunReader reader(path), FormatError);
+}
+
+TEST(SpillFile, ReaderRejectsTinyFile) {
+  TempDir dir;
+  const auto path = dir.file("tiny").string();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fwrite("abc", 1, 3, f);
+  std::fclose(f);
+  EXPECT_THROW(SpillRunReader reader(path), FormatError);
+}
+
+TEST(EncodedRecordSize, MatchesActualEncoding) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 200; ++i) {
+    const std::size_t klen = rng.next_below(300);
+    const std::size_t vlen = rng.next_below(5000);
+    const std::string key(klen, 'k');
+    const std::string value(vlen, 'v');
+    for (const auto format :
+         {SpillFormat::kCompactVarint, SpillFormat::kFixed32}) {
+      std::string out;
+      encode_record(out, key, value, format);
+      EXPECT_EQ(out.size(), encoded_record_size(klen, vlen, format));
+    }
+  }
+}
+
+TEST(SpillFile, InfoByteCountsAreConsistent) {
+  TempDir dir;
+  const auto path = dir.file("run").string();
+  SpillRunWriter writer(path, 2);
+  std::uint64_t expected_bytes = 0;
+  for (int i = 0; i < 500; ++i) {
+    const std::uint32_t p = i < 200 ? 0 : 1;
+    const std::string key = "key" + std::to_string(i);
+    const std::string value(static_cast<std::size_t>(i % 50), 'x');
+    writer.append(p, key, value);
+    expected_bytes += encoded_record_size(key.size(), value.size(),
+                                          SpillFormat::kCompactVarint);
+  }
+  const auto info = writer.finish();
+  EXPECT_EQ(info.bytes, expected_bytes);
+  EXPECT_EQ(info.partitions[0].bytes + info.partitions[1].bytes,
+            expected_bytes);
+  // Extents must tile the record stream.
+  EXPECT_EQ(info.partitions[0].offset, 0u);
+  EXPECT_EQ(info.partitions[1].offset, info.partitions[0].bytes);
+}
+
+}  // namespace
+}  // namespace textmr::io

@@ -1,0 +1,275 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+
+#include "common/tempdir.hpp"
+#include "apps/tokenizer.hpp"
+#include "sketch/exact_counter.hpp"
+#include "sketch/zipf_estimator.hpp"
+#include "textgen/corpus_gen.hpp"
+#include "textgen/graphgen.hpp"
+#include "textgen/loggen.hpp"
+
+namespace textmr::textgen {
+namespace {
+
+TEST(WordForRank, IsUniqueAndShortForLowRanks) {
+  std::set<std::string> seen;
+  for (std::uint64_t r = 1; r <= 10000; ++r) {
+    const auto word = word_for_rank(r);
+    EXPECT_TRUE(seen.insert(word).second) << r;
+  }
+  EXPECT_EQ(word_for_rank(1).size(), 1u);
+  EXPECT_EQ(word_for_rank(26).size(), 1u);
+  EXPECT_EQ(word_for_rank(27).size(), 2u);
+}
+
+TEST(CorpusStream, HonorsWordBudget) {
+  CorpusSpec spec;
+  spec.total_words = 1000;
+  spec.vocabulary = 100;
+  CorpusStream stream(spec);
+  std::string line;
+  std::uint64_t words = 0;
+  std::string scratch;
+  while (stream.next_line(line)) {
+    apps::for_each_token(line, scratch, [&](std::string_view) { ++words; });
+  }
+  EXPECT_EQ(words, 1000u);
+  EXPECT_EQ(stream.words_emitted(), 1000u);
+}
+
+TEST(CorpusStream, IsDeterministic) {
+  CorpusSpec spec;
+  spec.total_words = 500;
+  spec.seed = 99;
+  CorpusStream a(spec);
+  CorpusStream b(spec);
+  std::string la, lb;
+  while (true) {
+    const bool more_a = a.next_line(la);
+    const bool more_b = b.next_line(lb);
+    ASSERT_EQ(more_a, more_b);
+    if (!more_a) break;
+    ASSERT_EQ(la, lb);
+  }
+}
+
+TEST(CorpusStream, DifferentSeedsDiffer) {
+  CorpusSpec a_spec;
+  a_spec.seed = 1;
+  CorpusSpec b_spec;
+  b_spec.seed = 2;
+  CorpusStream a(a_spec);
+  CorpusStream b(b_spec);
+  std::string la, lb;
+  a.next_line(la);
+  b.next_line(lb);
+  EXPECT_NE(la, lb);
+}
+
+TEST(GenerateCorpus, StatsMatchFile) {
+  TempDir dir;
+  CorpusSpec spec;
+  spec.total_words = 20000;
+  spec.vocabulary = 500;
+  const auto path = dir.file("c.txt").string();
+  const auto stats = generate_corpus(spec, path);
+  EXPECT_EQ(stats.words, 20000u);
+  EXPECT_EQ(stats.bytes, std::filesystem::file_size(path));
+  std::ifstream in(path);
+  std::string line;
+  std::uint64_t lines = 0;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, stats.lines);
+}
+
+TEST(GenerateCorpus, WordFrequenciesAreZipfish) {
+  // The generated corpus must reproduce the paper's Fig. 3 shape: a
+  // log-log-linear rank/frequency curve with slope ~ -alpha.
+  TempDir dir;
+  CorpusSpec spec;
+  spec.total_words = 200000;
+  spec.vocabulary = 5000;
+  spec.alpha = 1.0;
+  spec.decoration_rate = 0.0;
+  const auto path = dir.file("c.txt").string();
+  generate_corpus(spec, path);
+
+  sketch::ExactCounter counter;
+  std::ifstream in(path);
+  std::string line, scratch;
+  while (std::getline(in, line)) {
+    apps::for_each_token(line, scratch, [&](std::string_view token) {
+      counter.offer(token);
+    });
+  }
+  auto top = counter.top(counter.distinct());
+  std::vector<std::uint64_t> freqs;
+  for (const auto& [word, count] : top) freqs.push_back(count);
+  const auto fit = sketch::fit_zipf(freqs);
+  EXPECT_NEAR(fit.alpha, 1.0, 0.2);
+  EXPECT_GT(fit.r_squared, 0.9);
+  // The most frequent word must be the rank-1 word.
+  EXPECT_EQ(top[0].first, word_for_rank(1));
+}
+
+TEST(GenerateAccessLog, SchemaAndDeterminism) {
+  TempDir dir;
+  AccessLogSpec spec;
+  spec.num_visits = 1000;
+  spec.num_urls = 100;
+  const auto visits = dir.file("v.log").string();
+  const auto rankings = dir.file("r.txt").string();
+  const auto stats = generate_access_log(spec, visits, rankings);
+  EXPECT_EQ(stats.visit_records, 1000u);
+  EXPECT_EQ(stats.ranking_records, 100u);
+  EXPECT_EQ(stats.visit_bytes, std::filesystem::file_size(visits));
+
+  std::ifstream in(visits);
+  std::string line;
+  std::uint64_t lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    std::size_t fields = 1;
+    for (const char c : line) {
+      if (c == kLogFieldSep) ++fields;
+    }
+    ASSERT_EQ(fields, 9u) << line;
+  }
+  EXPECT_EQ(lines, 1000u);
+
+  // Deterministic regeneration.
+  const auto visits2 = dir.file("v2.log").string();
+  const auto rankings2 = dir.file("r2.txt").string();
+  generate_access_log(spec, visits2, rankings2);
+  std::ifstream a(visits), b(visits2);
+  std::string la, lb;
+  while (std::getline(a, la) && std::getline(b, lb)) ASSERT_EQ(la, lb);
+}
+
+TEST(GenerateAccessLog, UrlPopularityIsSkewed) {
+  TempDir dir;
+  AccessLogSpec spec;
+  spec.num_visits = 50000;
+  spec.num_urls = 1000;
+  spec.url_alpha = 0.8;
+  const auto visits = dir.file("v.log").string();
+  const auto rankings = dir.file("r.txt").string();
+  generate_access_log(spec, visits, rankings);
+
+  sketch::ExactCounter counter;
+  std::ifstream in(visits);
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto first = line.find(kLogFieldSep);
+    const auto second = line.find(kLogFieldSep, first + 1);
+    counter.offer(line.substr(first + 1, second - first - 1));
+  }
+  // Top URL must dominate the median URL by a large factor under Zipf 0.8.
+  const auto top = counter.top(1);
+  ASSERT_FALSE(top.empty());
+  EXPECT_EQ(top[0].first, url_for_rank(1));
+  EXPECT_GT(top[0].second, 500u);
+}
+
+TEST(GenerateAccessLog, RankingsCoverEveryUrlOnce) {
+  TempDir dir;
+  AccessLogSpec spec;
+  spec.num_visits = 100;
+  spec.num_urls = 50;
+  const auto visits = dir.file("v.log").string();
+  const auto rankings = dir.file("r.txt").string();
+  generate_access_log(spec, visits, rankings);
+  std::ifstream in(rankings);
+  std::string line;
+  std::set<std::string> urls;
+  while (std::getline(in, line)) {
+    urls.insert(line.substr(0, line.find(kLogFieldSep)));
+  }
+  EXPECT_EQ(urls.size(), 50u);
+  EXPECT_TRUE(urls.count(url_for_rank(1)) > 0);
+  EXPECT_TRUE(urls.count(url_for_rank(50)) > 0);
+}
+
+TEST(GenerateWebGraph, FormatAndStats) {
+  TempDir dir;
+  WebGraphSpec spec;
+  spec.num_pages = 500;
+  spec.min_out_degree = 2;
+  spec.max_out_degree = 5;
+  const auto path = dir.file("g.txt").string();
+  const auto stats = generate_web_graph(spec, path);
+  EXPECT_EQ(stats.pages, 500u);
+  EXPECT_GE(stats.edges, 2u * 500u);
+  EXPECT_LE(stats.edges, 5u * 500u);
+
+  std::ifstream in(path);
+  std::string line;
+  std::uint64_t lines = 0;
+  std::uint64_t edges = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    const auto tab1 = line.find('\t');
+    const auto tab2 = line.find('\t', tab1 + 1);
+    ASSERT_NE(tab2, std::string::npos);
+    const auto links = line.substr(tab2 + 1);
+    ASSERT_FALSE(links.empty());
+    edges += 1 + static_cast<std::uint64_t>(
+                     std::count(links.begin(), links.end(), ','));
+  }
+  EXPECT_EQ(lines, 500u);
+  EXPECT_EQ(edges, stats.edges);
+}
+
+TEST(GenerateWebGraph, NoSelfLinks) {
+  TempDir dir;
+  WebGraphSpec spec;
+  spec.num_pages = 300;
+  const auto path = dir.file("g.txt").string();
+  generate_web_graph(spec, path);
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto url = line.substr(0, line.find('\t'));
+    const auto links = line.substr(line.rfind('\t') + 1);
+    std::size_t start = 0;
+    while (start < links.size()) {
+      auto end = links.find(',', start);
+      if (end == std::string::npos) end = links.size();
+      ASSERT_NE(links.substr(start, end - start), url);
+      start = end + 1;
+    }
+  }
+}
+
+TEST(GenerateWebGraph, PopularPagesAttractMoreInlinks) {
+  TempDir dir;
+  WebGraphSpec spec;
+  spec.num_pages = 2000;
+  spec.link_alpha = 1.0;
+  const auto path = dir.file("g.txt").string();
+  generate_web_graph(spec, path);
+  sketch::ExactCounter inlinks;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto links = line.substr(line.rfind('\t') + 1);
+    std::size_t start = 0;
+    while (start < links.size()) {
+      auto end = links.find(',', start);
+      if (end == std::string::npos) end = links.size();
+      inlinks.offer(links.substr(start, end - start));
+      start = end + 1;
+    }
+  }
+  const auto top = inlinks.top(1);
+  ASSERT_FALSE(top.empty());
+  // Under Zipf(1), page 1 should collect roughly observed/H_n ~ 2.5% of
+  // all in-links; demand well above the uniform share.
+  EXPECT_GT(top[0].second, inlinks.observed() / 2000 * 10);
+}
+
+}  // namespace
+}  // namespace textmr::textgen

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/zipf.hpp"
+
+namespace textmr {
+namespace {
+
+TEST(Zipf, PmfSumsToOne) {
+  for (const double alpha : {0.0, 0.5, 1.0, 1.5}) {
+    ZipfDistribution zipf(500, alpha);
+    double total = 0.0;
+    for (std::uint64_t r = 1; r <= 500; ++r) total += zipf.pmf(r);
+    EXPECT_NEAR(total, 1.0, 1e-9) << alpha;
+  }
+}
+
+TEST(Zipf, SamplesStayInRange) {
+  ZipfDistribution zipf(100, 1.0);
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 100000; ++i) {
+    const std::uint64_t r = zipf(rng);
+    ASSERT_GE(r, 1u);
+    ASSERT_LE(r, 100u);
+  }
+}
+
+TEST(Zipf, SingleElementAlwaysReturnsOne) {
+  ZipfDistribution zipf(1, 1.0);
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(zipf(rng), 1u);
+  }
+}
+
+class ZipfFrequencyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfFrequencyTest, EmpiricalFrequenciesMatchPmf) {
+  const double alpha = GetParam();
+  constexpr std::uint64_t kN = 1000;
+  constexpr int kSamples = 400000;
+  ZipfDistribution zipf(kN, alpha);
+  Xoshiro256 rng(17);
+  std::vector<std::uint64_t> counts(kN + 1, 0);
+  for (int i = 0; i < kSamples; ++i) counts[zipf(rng)] += 1;
+
+  // Check head ranks tightly and a couple of tail ranks loosely.
+  for (const std::uint64_t r : {1ull, 2ull, 3ull, 10ull}) {
+    const double expected = zipf.pmf(r) * kSamples;
+    if (expected < 100) continue;
+    EXPECT_NEAR(counts[r], expected, 5 * std::sqrt(expected) + 10)
+        << "alpha=" << alpha << " rank=" << r;
+  }
+  // Mass of the tail half.
+  double tail_expected = 0.0;
+  std::uint64_t tail_actual = 0;
+  for (std::uint64_t r = kN / 2; r <= kN; ++r) {
+    tail_expected += zipf.pmf(r) * kSamples;
+    tail_actual += counts[r];
+  }
+  EXPECT_NEAR(tail_actual, tail_expected,
+              5 * std::sqrt(tail_expected + 1) + 50)
+      << "alpha=" << alpha;
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, ZipfFrequencyTest,
+                         ::testing::Values(0.0, 0.5, 0.8, 1.0, 1.2, 2.0));
+
+TEST(Zipf, AlphaZeroIsUniform) {
+  ZipfDistribution zipf(50, 0.0);
+  Xoshiro256 rng(23);
+  std::vector<int> counts(51, 0);
+  constexpr int kSamples = 250000;
+  for (int i = 0; i < kSamples; ++i) counts[zipf(rng)] += 1;
+  for (std::uint64_t r = 1; r <= 50; ++r) {
+    EXPECT_NEAR(counts[r], kSamples / 50.0, kSamples / 50.0 * 0.1) << r;
+  }
+}
+
+TEST(Zipf, SupportsHugeDomains) {
+  // Rejection-inversion must work without materializing the domain.
+  ZipfDistribution zipf(1ull << 40, 1.1);
+  Xoshiro256 rng(31);
+  std::uint64_t max_seen = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t r = zipf(rng);
+    ASSERT_GE(r, 1u);
+    ASSERT_LE(r, 1ull << 40);
+    max_seen = std::max(max_seen, r);
+  }
+  // With alpha=1.1 over a huge domain, some samples land well past 2^20.
+  EXPECT_GT(max_seen, 1u << 20);
+}
+
+TEST(Zipf, RejectsInvalidParameters) {
+  EXPECT_THROW(ZipfDistribution(0, 1.0), InternalError);
+  EXPECT_THROW(ZipfDistribution(10, -0.5), InternalError);
+}
+
+TEST(Zipf, RankOneDominatesForLargeAlpha) {
+  ZipfDistribution zipf(1000, 2.0);
+  Xoshiro256 rng(41);
+  int ones = 0;
+  constexpr int kSamples = 10000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (zipf(rng) == 1) ++ones;
+  }
+  // pmf(1) = 1/H_{1000,2} ~ 0.608
+  EXPECT_NEAR(ones / static_cast<double>(kSamples), zipf.pmf(1), 0.02);
+}
+
+}  // namespace
+}  // namespace textmr

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/harmonic.hpp"
+#include "common/rng.hpp"
+#include "common/zipf.hpp"
+#include "sketch/exact_counter.hpp"
+#include "sketch/zipf_estimator.hpp"
+
+namespace textmr::sketch {
+namespace {
+
+TEST(ZipfFit, RecoversExactPowerLaw) {
+  // Perfect synthetic frequencies f_i = C * i^-alpha.
+  for (const double alpha : {0.5, 0.8, 1.0, 1.5}) {
+    std::vector<std::uint64_t> freqs;
+    for (int i = 1; i <= 200; ++i) {
+      freqs.push_back(static_cast<std::uint64_t>(
+          1e7 * std::pow(static_cast<double>(i), -alpha)));
+    }
+    const auto fit = fit_zipf(freqs);
+    EXPECT_NEAR(fit.alpha, alpha, 0.02) << alpha;
+    EXPECT_GT(fit.r_squared, 0.999) << alpha;
+  }
+}
+
+TEST(ZipfFit, RecoversAlphaFromSampledStream) {
+  // End-to-end: sample a Zipf stream, count exactly, fit.
+  for (const double alpha : {0.8, 1.0, 1.2}) {
+    Xoshiro256 rng(55);
+    ZipfDistribution zipf(20000, alpha);
+    ExactCounter counter;
+    for (int i = 0; i < 300000; ++i) {
+      counter.offer("w" + std::to_string(zipf(rng)));
+    }
+    auto top = counter.top(counter.distinct());
+    std::vector<std::uint64_t> freqs;
+    freqs.reserve(top.size());
+    for (const auto& [key, count] : top) freqs.push_back(count);
+    const auto fit = fit_zipf(freqs);
+    // Sampling noise at the tail biases the log-log slope; a generous
+    // band still discriminates 0.8 / 1.0 / 1.2 from each other.
+    EXPECT_NEAR(fit.alpha, alpha, 0.15) << alpha;
+  }
+}
+
+TEST(ZipfFit, DegenerateInputsReturnZeroAlpha) {
+  EXPECT_EQ(fit_zipf({}).alpha, 0.0);
+  EXPECT_EQ(fit_zipf({5}).alpha, 0.0);
+  EXPECT_EQ(fit_zipf({}).points, 0u);
+  EXPECT_EQ(fit_zipf({5}).points, 1u);
+}
+
+TEST(ZipfFit, UniformFrequenciesGiveNearZeroAlpha) {
+  std::vector<std::uint64_t> freqs(100, 1000);
+  const auto fit = fit_zipf(freqs);
+  EXPECT_NEAR(fit.alpha, 0.0, 1e-9);
+}
+
+TEST(ZipfFit, ZeroFrequenciesAreIgnored) {
+  std::vector<std::uint64_t> freqs = {100, 50, 25, 0, 0};
+  const auto fit = fit_zipf(freqs);
+  EXPECT_EQ(fit.points, 3u);
+  EXPECT_GT(fit.alpha, 0.5);
+}
+
+TEST(ZipfFit, RequiresDescendingOrder) {
+  EXPECT_THROW(fit_zipf({1, 2, 3}), InternalError);
+}
+
+TEST(SamplingFraction, MatchesPaperFormula) {
+  // s = k^alpha * H_{m,alpha} / n, clamped.
+  const std::uint64_t k = 3000;
+  const double alpha = 1.0;
+  const std::uint64_t m = 1000000;
+  const std::uint64_t n = 1000000000;
+  const double expected =
+      std::pow(static_cast<double>(k), alpha) * generalized_harmonic(m, alpha) /
+      static_cast<double>(n);
+  EXPECT_NEAR(sampling_fraction(k, alpha, m, n, /*floor_s=*/0.0), expected,
+              1e-12);
+}
+
+TEST(SamplingFraction, ClampsToOne) {
+  // Tiny n: the formula exceeds 1, meaning "profile everything".
+  EXPECT_EQ(sampling_fraction(1000, 1.5, 1000000, 100), 1.0);
+}
+
+TEST(SamplingFraction, FloorGuardsDegenerateFits) {
+  // alpha = 0 and a huge n would give s ~ m/n ~ 0; the floor keeps a
+  // minimal profile window.
+  EXPECT_GE(sampling_fraction(10, 0.0, 100, 1000000000), 0.001);
+}
+
+TEST(SamplingFraction, GrowsWithKAndAlpha) {
+  const std::uint64_t m = 100000;
+  const std::uint64_t n = 100000000;
+  EXPECT_LT(sampling_fraction(1000, 1.0, m, n, 0.0),
+            sampling_fraction(10000, 1.0, m, n, 0.0));
+  EXPECT_LT(sampling_fraction(3000, 0.8, m, n, 0.0),
+            sampling_fraction(3000, 1.2, m, n, 0.0));
+}
+
+TEST(SamplingFraction, PaperScaleSanity) {
+  // Wikipedia-like corpus: n=1.45e9 words, m=24.7e6 distinct, alpha~1,
+  // k=3000 -> s should be small (paper uses s=0.01 for text apps).
+  const double s = sampling_fraction(3000, 1.0, 24'700'000, 1'450'000'000);
+  EXPECT_LT(s, 0.05);
+  EXPECT_GT(s, 1e-5);
+}
+
+}  // namespace
+}  // namespace textmr::sketch
