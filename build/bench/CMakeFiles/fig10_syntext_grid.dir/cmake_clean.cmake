@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_syntext_grid.dir/fig10_syntext_grid.cpp.o"
+  "CMakeFiles/fig10_syntext_grid.dir/fig10_syntext_grid.cpp.o.d"
+  "fig10_syntext_grid"
+  "fig10_syntext_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_syntext_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

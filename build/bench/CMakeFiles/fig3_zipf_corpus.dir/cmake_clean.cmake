@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_zipf_corpus.dir/fig3_zipf_corpus.cpp.o"
+  "CMakeFiles/fig3_zipf_corpus.dir/fig3_zipf_corpus.cpp.o.d"
+  "fig3_zipf_corpus"
+  "fig3_zipf_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_zipf_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

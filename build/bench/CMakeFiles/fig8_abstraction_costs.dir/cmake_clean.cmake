@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_abstraction_costs.dir/fig8_abstraction_costs.cpp.o"
+  "CMakeFiles/fig8_abstraction_costs.dir/fig8_abstraction_costs.cpp.o.d"
+  "fig8_abstraction_costs"
+  "fig8_abstraction_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_abstraction_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_local_cluster.dir/table3_local_cluster.cpp.o"
+  "CMakeFiles/table3_local_cluster.dir/table3_local_cluster.cpp.o.d"
+  "table3_local_cluster"
+  "table3_local_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_local_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

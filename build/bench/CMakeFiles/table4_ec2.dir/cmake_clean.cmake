@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_ec2.dir/table4_ec2.cpp.o"
+  "CMakeFiles/table4_ec2.dir/table4_ec2.cpp.o.d"
+  "table4_ec2"
+  "table4_ec2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_ec2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/textmr_benchutil.dir/bench_util.cpp.o"
+  "CMakeFiles/textmr_benchutil.dir/bench_util.cpp.o.d"
+  "libtextmr_benchutil.a"
+  "libtextmr_benchutil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/textmr_benchutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pagerank_iterations.dir/pagerank_iterations.cpp.o"
+  "CMakeFiles/pagerank_iterations.dir/pagerank_iterations.cpp.o.d"
+  "pagerank_iterations"
+  "pagerank_iterations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pagerank_iterations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

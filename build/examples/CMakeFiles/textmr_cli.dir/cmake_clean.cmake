@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/textmr_cli.dir/textmr_cli.cpp.o"
+  "CMakeFiles/textmr_cli.dir/textmr_cli.cpp.o.d"
+  "textmr_cli"
+  "textmr_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/textmr_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/access_log.cpp" "src/apps/CMakeFiles/textmr_apps.dir/access_log.cpp.o" "gcc" "src/apps/CMakeFiles/textmr_apps.dir/access_log.cpp.o.d"
+  "/root/repo/src/apps/pagerank.cpp" "src/apps/CMakeFiles/textmr_apps.dir/pagerank.cpp.o" "gcc" "src/apps/CMakeFiles/textmr_apps.dir/pagerank.cpp.o.d"
+  "/root/repo/src/apps/pos_tag.cpp" "src/apps/CMakeFiles/textmr_apps.dir/pos_tag.cpp.o" "gcc" "src/apps/CMakeFiles/textmr_apps.dir/pos_tag.cpp.o.d"
+  "/root/repo/src/apps/syntext.cpp" "src/apps/CMakeFiles/textmr_apps.dir/syntext.cpp.o" "gcc" "src/apps/CMakeFiles/textmr_apps.dir/syntext.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/textmr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mr/CMakeFiles/textmr_mr.dir/DependInfo.cmake"
+  "/root/repo/build/src/freqbuf/CMakeFiles/textmr_freqbuf.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/textmr_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/textmr_sketch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

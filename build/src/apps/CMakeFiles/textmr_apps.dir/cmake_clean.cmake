@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/textmr_apps.dir/access_log.cpp.o"
+  "CMakeFiles/textmr_apps.dir/access_log.cpp.o.d"
+  "CMakeFiles/textmr_apps.dir/pagerank.cpp.o"
+  "CMakeFiles/textmr_apps.dir/pagerank.cpp.o.d"
+  "CMakeFiles/textmr_apps.dir/pos_tag.cpp.o"
+  "CMakeFiles/textmr_apps.dir/pos_tag.cpp.o.d"
+  "CMakeFiles/textmr_apps.dir/syntext.cpp.o"
+  "CMakeFiles/textmr_apps.dir/syntext.cpp.o.d"
+  "libtextmr_apps.a"
+  "libtextmr_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/textmr_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/textmr_common.dir/logging.cpp.o"
+  "CMakeFiles/textmr_common.dir/logging.cpp.o.d"
+  "CMakeFiles/textmr_common.dir/tempdir.cpp.o"
+  "CMakeFiles/textmr_common.dir/tempdir.cpp.o.d"
+  "CMakeFiles/textmr_common.dir/zipf.cpp.o"
+  "CMakeFiles/textmr_common.dir/zipf.cpp.o.d"
+  "libtextmr_common.a"
+  "libtextmr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/textmr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/freqbuf/controller.cpp" "src/freqbuf/CMakeFiles/textmr_freqbuf.dir/controller.cpp.o" "gcc" "src/freqbuf/CMakeFiles/textmr_freqbuf.dir/controller.cpp.o.d"
+  "/root/repo/src/freqbuf/frequent_key_table.cpp" "src/freqbuf/CMakeFiles/textmr_freqbuf.dir/frequent_key_table.cpp.o" "gcc" "src/freqbuf/CMakeFiles/textmr_freqbuf.dir/frequent_key_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/textmr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/textmr_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/textmr_sketch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/textmr_freqbuf.dir/controller.cpp.o"
+  "CMakeFiles/textmr_freqbuf.dir/controller.cpp.o.d"
+  "CMakeFiles/textmr_freqbuf.dir/frequent_key_table.cpp.o"
+  "CMakeFiles/textmr_freqbuf.dir/frequent_key_table.cpp.o.d"
+  "libtextmr_freqbuf.a"
+  "libtextmr_freqbuf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/textmr_freqbuf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

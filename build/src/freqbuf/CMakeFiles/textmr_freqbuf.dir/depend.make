@@ -1,0 +1,2 @@
+# Empty dependencies file for textmr_freqbuf.
+# This may be replaced when dependencies are built.

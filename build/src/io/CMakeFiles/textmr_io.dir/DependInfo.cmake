@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/dfs.cpp" "src/io/CMakeFiles/textmr_io.dir/dfs.cpp.o" "gcc" "src/io/CMakeFiles/textmr_io.dir/dfs.cpp.o.d"
+  "/root/repo/src/io/line_reader.cpp" "src/io/CMakeFiles/textmr_io.dir/line_reader.cpp.o" "gcc" "src/io/CMakeFiles/textmr_io.dir/line_reader.cpp.o.d"
+  "/root/repo/src/io/spill_file.cpp" "src/io/CMakeFiles/textmr_io.dir/spill_file.cpp.o" "gcc" "src/io/CMakeFiles/textmr_io.dir/spill_file.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/textmr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/textmr_io.dir/dfs.cpp.o"
+  "CMakeFiles/textmr_io.dir/dfs.cpp.o.d"
+  "CMakeFiles/textmr_io.dir/line_reader.cpp.o"
+  "CMakeFiles/textmr_io.dir/line_reader.cpp.o.d"
+  "CMakeFiles/textmr_io.dir/spill_file.cpp.o"
+  "CMakeFiles/textmr_io.dir/spill_file.cpp.o.d"
+  "libtextmr_io.a"
+  "libtextmr_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/textmr_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtextmr_io.a"
+)

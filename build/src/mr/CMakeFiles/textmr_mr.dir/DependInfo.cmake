@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mr/engine.cpp" "src/mr/CMakeFiles/textmr_mr.dir/engine.cpp.o" "gcc" "src/mr/CMakeFiles/textmr_mr.dir/engine.cpp.o.d"
+  "/root/repo/src/mr/map_task.cpp" "src/mr/CMakeFiles/textmr_mr.dir/map_task.cpp.o" "gcc" "src/mr/CMakeFiles/textmr_mr.dir/map_task.cpp.o.d"
+  "/root/repo/src/mr/merger.cpp" "src/mr/CMakeFiles/textmr_mr.dir/merger.cpp.o" "gcc" "src/mr/CMakeFiles/textmr_mr.dir/merger.cpp.o.d"
+  "/root/repo/src/mr/metrics.cpp" "src/mr/CMakeFiles/textmr_mr.dir/metrics.cpp.o" "gcc" "src/mr/CMakeFiles/textmr_mr.dir/metrics.cpp.o.d"
+  "/root/repo/src/mr/reduce_task.cpp" "src/mr/CMakeFiles/textmr_mr.dir/reduce_task.cpp.o" "gcc" "src/mr/CMakeFiles/textmr_mr.dir/reduce_task.cpp.o.d"
+  "/root/repo/src/mr/report.cpp" "src/mr/CMakeFiles/textmr_mr.dir/report.cpp.o" "gcc" "src/mr/CMakeFiles/textmr_mr.dir/report.cpp.o.d"
+  "/root/repo/src/mr/spill_buffer.cpp" "src/mr/CMakeFiles/textmr_mr.dir/spill_buffer.cpp.o" "gcc" "src/mr/CMakeFiles/textmr_mr.dir/spill_buffer.cpp.o.d"
+  "/root/repo/src/mr/spill_sorter.cpp" "src/mr/CMakeFiles/textmr_mr.dir/spill_sorter.cpp.o" "gcc" "src/mr/CMakeFiles/textmr_mr.dir/spill_sorter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/textmr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/textmr_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/textmr_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/freqbuf/CMakeFiles/textmr_freqbuf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

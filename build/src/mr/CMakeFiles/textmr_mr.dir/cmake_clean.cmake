@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/textmr_mr.dir/engine.cpp.o"
+  "CMakeFiles/textmr_mr.dir/engine.cpp.o.d"
+  "CMakeFiles/textmr_mr.dir/map_task.cpp.o"
+  "CMakeFiles/textmr_mr.dir/map_task.cpp.o.d"
+  "CMakeFiles/textmr_mr.dir/merger.cpp.o"
+  "CMakeFiles/textmr_mr.dir/merger.cpp.o.d"
+  "CMakeFiles/textmr_mr.dir/metrics.cpp.o"
+  "CMakeFiles/textmr_mr.dir/metrics.cpp.o.d"
+  "CMakeFiles/textmr_mr.dir/reduce_task.cpp.o"
+  "CMakeFiles/textmr_mr.dir/reduce_task.cpp.o.d"
+  "CMakeFiles/textmr_mr.dir/report.cpp.o"
+  "CMakeFiles/textmr_mr.dir/report.cpp.o.d"
+  "CMakeFiles/textmr_mr.dir/spill_buffer.cpp.o"
+  "CMakeFiles/textmr_mr.dir/spill_buffer.cpp.o.d"
+  "CMakeFiles/textmr_mr.dir/spill_sorter.cpp.o"
+  "CMakeFiles/textmr_mr.dir/spill_sorter.cpp.o.d"
+  "libtextmr_mr.a"
+  "libtextmr_mr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/textmr_mr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/textmr_sim.dir/cluster.cpp.o"
+  "CMakeFiles/textmr_sim.dir/cluster.cpp.o.d"
+  "CMakeFiles/textmr_sim.dir/pipeline.cpp.o"
+  "CMakeFiles/textmr_sim.dir/pipeline.cpp.o.d"
+  "CMakeFiles/textmr_sim.dir/profile.cpp.o"
+  "CMakeFiles/textmr_sim.dir/profile.cpp.o.d"
+  "libtextmr_sim.a"
+  "libtextmr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/textmr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/textmr_sketch.dir/space_saving.cpp.o"
+  "CMakeFiles/textmr_sketch.dir/space_saving.cpp.o.d"
+  "CMakeFiles/textmr_sketch.dir/zipf_estimator.cpp.o"
+  "CMakeFiles/textmr_sketch.dir/zipf_estimator.cpp.o.d"
+  "libtextmr_sketch.a"
+  "libtextmr_sketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/textmr_sketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/textgen/corpus_gen.cpp" "src/textgen/CMakeFiles/textmr_textgen.dir/corpus_gen.cpp.o" "gcc" "src/textgen/CMakeFiles/textmr_textgen.dir/corpus_gen.cpp.o.d"
+  "/root/repo/src/textgen/graphgen.cpp" "src/textgen/CMakeFiles/textmr_textgen.dir/graphgen.cpp.o" "gcc" "src/textgen/CMakeFiles/textmr_textgen.dir/graphgen.cpp.o.d"
+  "/root/repo/src/textgen/loggen.cpp" "src/textgen/CMakeFiles/textmr_textgen.dir/loggen.cpp.o" "gcc" "src/textgen/CMakeFiles/textmr_textgen.dir/loggen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/textmr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/textmr_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/textmr_textgen.dir/corpus_gen.cpp.o"
+  "CMakeFiles/textmr_textgen.dir/corpus_gen.cpp.o.d"
+  "CMakeFiles/textmr_textgen.dir/graphgen.cpp.o"
+  "CMakeFiles/textmr_textgen.dir/graphgen.cpp.o.d"
+  "CMakeFiles/textmr_textgen.dir/loggen.cpp.o"
+  "CMakeFiles/textmr_textgen.dir/loggen.cpp.o.d"
+  "libtextmr_textgen.a"
+  "libtextmr_textgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/textmr_textgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_app_equivalence.dir/test_app_equivalence.cpp.o"
+  "CMakeFiles/test_app_equivalence.dir/test_app_equivalence.cpp.o.d"
+  "test_app_equivalence"
+  "test_app_equivalence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_app_equivalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_counters_report.dir/test_counters_report.cpp.o"
+  "CMakeFiles/test_counters_report.dir/test_counters_report.cpp.o.d"
+  "test_counters_report"
+  "test_counters_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_counters_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

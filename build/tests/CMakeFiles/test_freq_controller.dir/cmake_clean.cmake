@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_freq_controller.dir/test_freq_controller.cpp.o"
+  "CMakeFiles/test_freq_controller.dir/test_freq_controller.cpp.o.d"
+  "test_freq_controller"
+  "test_freq_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_freq_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

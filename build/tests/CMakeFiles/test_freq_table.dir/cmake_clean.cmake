@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_freq_table.dir/test_freq_table.cpp.o"
+  "CMakeFiles/test_freq_table.dir/test_freq_table.cpp.o.d"
+  "test_freq_table"
+  "test_freq_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_freq_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

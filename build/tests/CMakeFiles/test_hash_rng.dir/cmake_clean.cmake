@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hash_rng.dir/test_hash_rng.cpp.o"
+  "CMakeFiles/test_hash_rng.dir/test_hash_rng.cpp.o.d"
+  "test_hash_rng"
+  "test_hash_rng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hash_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_line_reader.dir/test_line_reader.cpp.o"
+  "CMakeFiles/test_line_reader.dir/test_line_reader.cpp.o.d"
+  "test_line_reader"
+  "test_line_reader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_line_reader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

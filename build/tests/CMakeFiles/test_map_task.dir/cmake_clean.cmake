@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_map_task.dir/test_map_task.cpp.o"
+  "CMakeFiles/test_map_task.dir/test_map_task.cpp.o.d"
+  "test_map_task"
+  "test_map_task.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_map_task.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

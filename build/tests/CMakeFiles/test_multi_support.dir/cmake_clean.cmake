@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multi_support.dir/test_multi_support.cpp.o"
+  "CMakeFiles/test_multi_support.dir/test_multi_support.cpp.o.d"
+  "test_multi_support"
+  "test_multi_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multi_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pos_tagger.dir/test_pos_tagger.cpp.o"
+  "CMakeFiles/test_pos_tagger.dir/test_pos_tagger.cpp.o.d"
+  "test_pos_tagger"
+  "test_pos_tagger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pos_tagger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reduce_task.dir/test_reduce_task.cpp.o"
+  "CMakeFiles/test_reduce_task.dir/test_reduce_task.cpp.o.d"
+  "test_reduce_task"
+  "test_reduce_task.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reduce_task.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

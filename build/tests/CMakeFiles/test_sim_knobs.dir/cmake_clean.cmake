@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_knobs.dir/test_sim_knobs.cpp.o"
+  "CMakeFiles/test_sim_knobs.dir/test_sim_knobs.cpp.o.d"
+  "test_sim_knobs"
+  "test_sim_knobs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_knobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

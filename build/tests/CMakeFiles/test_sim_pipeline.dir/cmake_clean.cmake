@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_pipeline.dir/test_sim_pipeline.cpp.o"
+  "CMakeFiles/test_sim_pipeline.dir/test_sim_pipeline.cpp.o.d"
+  "test_sim_pipeline"
+  "test_sim_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

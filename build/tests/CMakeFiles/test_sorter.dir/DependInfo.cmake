@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_sorter.cpp" "tests/CMakeFiles/test_sorter.dir/test_sorter.cpp.o" "gcc" "tests/CMakeFiles/test_sorter.dir/test_sorter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/textmr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/textgen/CMakeFiles/textmr_textgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/textmr_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/mr/CMakeFiles/textmr_mr.dir/DependInfo.cmake"
+  "/root/repo/build/src/freqbuf/CMakeFiles/textmr_freqbuf.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/textmr_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/textmr_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/textmr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sorter.dir/test_sorter.cpp.o"
+  "CMakeFiles/test_sorter.dir/test_sorter.cpp.o.d"
+  "test_sorter"
+  "test_sorter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sorter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_space_saving.dir/test_space_saving.cpp.o"
+  "CMakeFiles/test_space_saving.dir/test_space_saving.cpp.o.d"
+  "test_space_saving"
+  "test_space_saving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_space_saving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spill_buffer.dir/test_spill_buffer.cpp.o"
+  "CMakeFiles/test_spill_buffer.dir/test_spill_buffer.cpp.o.d"
+  "test_spill_buffer"
+  "test_spill_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spill_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spill_file.dir/test_spill_file.cpp.o"
+  "CMakeFiles/test_spill_file.dir/test_spill_file.cpp.o.d"
+  "test_spill_file"
+  "test_spill_file.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spill_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

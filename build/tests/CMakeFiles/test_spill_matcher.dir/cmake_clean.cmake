@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spill_matcher.dir/test_spill_matcher.cpp.o"
+  "CMakeFiles/test_spill_matcher.dir/test_spill_matcher.cpp.o.d"
+  "test_spill_matcher"
+  "test_spill_matcher.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spill_matcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

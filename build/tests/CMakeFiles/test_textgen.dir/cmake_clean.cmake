@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_textgen.dir/test_textgen.cpp.o"
+  "CMakeFiles/test_textgen.dir/test_textgen.cpp.o.d"
+  "test_textgen"
+  "test_textgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_textgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

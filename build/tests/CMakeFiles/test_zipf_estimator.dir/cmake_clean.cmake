@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zipf_estimator.dir/test_zipf_estimator.cpp.o"
+  "CMakeFiles/test_zipf_estimator.dir/test_zipf_estimator.cpp.o.d"
+  "test_zipf_estimator"
+  "test_zipf_estimator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zipf_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
