@@ -25,6 +25,7 @@ double run_seconds(mr::JobSpec spec) {
 }  // namespace
 
 int main() {
+  bench::JsonReport report("ablation_design_choices");
   std::printf("Ablations over WordCount (serialized work seconds)\n\n");
   const auto app = apps::wordcount_app();
 

@@ -4,7 +4,76 @@
 #include <cstdlib>
 #include <mutex>
 
+#include "mr/report.hpp"
+
 namespace textmr::bench {
+namespace {
+
+JsonReport* g_active_report = nullptr;
+
+}  // namespace
+
+JsonReport* JsonReport::active() { return g_active_report; }
+
+JsonReport::JsonReport(std::string name) : name_(std::move(name)) {
+  std::filesystem::path dir = ".";
+  if (const char* env = std::getenv("TEXTMR_BENCH_OUT")) dir = env;
+  path_ = dir / ("BENCH_" + name_ + ".json");
+  g_active_report = this;
+}
+
+JsonReport::~JsonReport() {
+  if (g_active_report == this) g_active_report = nullptr;
+  obs::JsonWriter w;
+  w.begin_object();
+  w.field("bench", name_);
+  w.key("jobs").begin_array();
+  for (const auto& job : jobs_) {
+    w.begin_object();
+    w.field("app", job.app);
+    w.field("setting", job.setting);
+    w.field("wall_ns", job.wall_ns);
+    w.field("work_ns", job.work_ns);
+    w.key("metrics").raw(job.metrics_json);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("notes").begin_object();
+  for (const auto& [key, rendered] : notes_) {
+    w.key(key).raw(rendered);
+  }
+  w.end_object();
+  w.end_object();
+  try {
+    obs::write_file(path_, w.take());
+    std::fprintf(stderr, "bench artifact: %s\n", path_.string().c_str());
+  } catch (const std::exception& e) {
+    // A bench run should not fail because the artifact directory is
+    // read-only; the tables already went to stdout.
+    std::fprintf(stderr, "bench artifact write failed: %s\n", e.what());
+  }
+}
+
+void JsonReport::add_job(const std::string& app, const std::string& setting,
+                         const mr::JobResult& result) {
+  jobs_.push_back(JobEntry{app, setting, result.metrics.job_wall_ns,
+                           result.metrics.work.total_ns(),
+                           mr::format_job_metrics_json(result, app)});
+}
+
+void JsonReport::add_note(const std::string& key, const std::string& value) {
+  std::string rendered = "\"";
+  obs::append_json_escaped(rendered, value);
+  rendered += '"';
+  notes_.emplace_back(key, std::move(rendered));
+}
+
+void JsonReport::add_note(const std::string& key, double value) {
+  obs::JsonWriter w;
+  w.value(value);
+  notes_.emplace_back(key, w.take());
+}
+
 namespace {
 
 std::filesystem::path cache_dir() {
@@ -167,7 +236,11 @@ mr::JobResult run_bench_job(const apps::AppBundle& app,
   TempDir scratch("textmr-bench");
   const auto spec = make_bench_job(app, setting, scratch.path());
   mr::LocalEngine engine;
-  return engine.run(spec);
+  auto result = engine.run(spec);
+  if (JsonReport* report = JsonReport::active()) {
+    report->add_job(app.name, setting.name, result);
+  }
+  return result;
 }
 
 CalibratedProfiles measure_profiles(const apps::AppBundle& app) {

@@ -47,6 +47,47 @@ inline constexpr Setting kAllSettings[] = {kBaseline, kFreqOpt, kSpillOpt,
 /// order of magnitude without exploding single-core bench time).
 inline constexpr std::uint32_t kPosWorkPasses = 16;
 
+/// Machine-readable bench artifact. Each harness opens one JsonReport at
+/// the top of main(); while it is alive every run_bench_job() call
+/// auto-records its JobResult into it, and the destructor writes
+/// `BENCH_<name>.json` (into $TEXTMR_BENCH_OUT, or the working directory)
+/// with per-job wall/work totals, the full per-Op metrics document, and
+/// any harness-specific notes. Not thread-safe; one instance at a time.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name);
+  ~JsonReport();
+
+  /// Records one finished job. Called automatically by run_bench_job();
+  /// call directly for jobs run through other paths.
+  void add_job(const std::string& app, const std::string& setting,
+               const mr::JobResult& result);
+
+  /// Attaches a free-form key/value to the artifact's "notes" object.
+  void add_note(const std::string& key, const std::string& value);
+  void add_note(const std::string& key, double value);
+
+  /// Path the artifact will be written to.
+  const std::filesystem::path& path() const { return path_; }
+
+  /// The report currently open in this process, or nullptr.
+  static JsonReport* active();
+
+ private:
+  struct JobEntry {
+    std::string app;
+    std::string setting;
+    std::uint64_t wall_ns;
+    std::uint64_t work_ns;
+    std::string metrics_json;  // format_job_metrics_json output
+  };
+
+  std::string name_;
+  std::filesystem::path path_;
+  std::vector<JobEntry> jobs_;
+  std::vector<std::pair<std::string, std::string>> notes_;  // pre-rendered
+};
+
 /// Builds the standard bench JobSpec for one app under one setting.
 /// `scratch_root` must outlive the run.
 mr::JobSpec make_bench_job(const apps::AppBundle& app, const Setting& setting,

@@ -36,6 +36,7 @@ double simulated_saving(const apps::AppBundle& app) {
 }  // namespace
 
 int main() {
+  bench::JsonReport report("fig10_syntext_grid");
   std::printf(
       "Figure 10 — SynText: %% time saved by combined optimizations over\n"
       "the CPU-intensity x storage-intensity plane\n\n");

@@ -14,6 +14,7 @@
 using namespace textmr;
 
 int main() {
+  bench::JsonReport report("fig2_time_breakdown");
   std::printf("Figure 2 — serialized work breakdown per operation (baseline)\n");
   std::printf("All threads, all tasks; normalized per app. Idle excluded, as\n");
   std::printf("in the paper (Fig. 2 shows work volume, not parallelism).\n\n");

@@ -14,6 +14,7 @@
 using namespace textmr;
 
 int main() {
+  bench::JsonReport report("fig3_zipf_corpus");
   const auto& data = bench::datasets();
   sketch::ExactCounter counter;
   {

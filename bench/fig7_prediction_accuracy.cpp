@@ -90,6 +90,7 @@ void run_dataset(const char* title, const KeyStream& stream) {
 }  // namespace
 
 int main() {
+  bench::JsonReport report("fig7_prediction_accuracy");
   std::printf("Figure 7 — removable intermediate values vs buffer size k\n\n");
   const auto& data = bench::datasets();
 

@@ -14,6 +14,7 @@
 using namespace textmr;
 
 int main() {
+  bench::JsonReport report("fig8_abstraction_costs");
   std::printf(
       "Figure 8 — abstraction costs: baseline vs frequency-buffering\n"
       "(absolute seconds of serialized framework work; user code excluded)\n\n");

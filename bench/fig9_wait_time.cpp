@@ -50,6 +50,7 @@ ModelResult model(const mr::JobMetrics& m, bool matcher) {
 }  // namespace
 
 int main() {
+  bench::JsonReport report("fig9_wait_time");
   std::printf(
       "Figure 9 — map/support thread busy + wait time, four settings\n\n");
   for (const auto& app : bench::bench_apps()) {

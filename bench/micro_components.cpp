@@ -5,7 +5,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <string>
+#include <string_view>
 #include <thread>
+#include <vector>
 
 #include "textmr.hpp"
 
@@ -174,4 +178,33 @@ BENCHMARK(BM_PosTaggerSentence)->Arg(1)->Arg(16)->Arg(64);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), but defaults the JSON artifact so every bench
+// harness in this repo leaves a BENCH_<name>.json behind. Explicit
+// --benchmark_out flags still win.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]).rfind("--benchmark_out", 0) == 0) {
+      has_out = true;
+    }
+  }
+  std::string out_flag = "--benchmark_out=BENCH_micro_components.json";
+  if (const char* dir = std::getenv("TEXTMR_BENCH_OUT")) {
+    out_flag = std::string("--benchmark_out=") + dir +
+               "/BENCH_micro_components.json";
+  }
+  std::string format_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int adjusted_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&adjusted_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(adjusted_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Observability smoke check, run in CI: executes WordCount under the
+// baseline and combined settings with tracing enabled, then asserts that
+// the exported artifacts are usable — the Chrome trace parses as JSON and
+// contains the spill lifecycle events (seal, sort, write) plus the
+// spill-matcher's threshold updates, and the bench JSON artifact carries
+// non-zero wall/work numbers. Exits non-zero on any failure so CI fails
+// loudly rather than shipping a broken exporter.
+
+#include <cstdio>
+#include <string>
+
+#include "bench_util.hpp"
+#include "mr/report.hpp"
+
+using namespace textmr;
+
+namespace {
+
+int g_failures = 0;
+
+void expect(bool ok, const char* what) {
+  std::printf("%s %s\n", ok ? "ok  " : "FAIL", what);
+  if (!ok) ++g_failures;
+}
+
+mr::JobResult run_traced(const apps::AppBundle& app,
+                         const bench::Setting& setting) {
+  TempDir scratch("textmr-smoke");
+  auto spec = bench::make_bench_job(app, setting, scratch.path());
+  spec.trace.enabled = true;
+  mr::LocalEngine engine;
+  auto result = engine.run(spec);
+  if (auto* report = bench::JsonReport::active()) {
+    report->add_job(app.name, setting.name, result);
+  }
+  return result;
+}
+
+void check_trace(const mr::JobResult& result, const bench::Setting& setting) {
+  const auto& trace = result.trace;
+  std::printf("-- %s: %zu trace events\n", setting.name, trace.events.size());
+  expect(trace.enabled, "trace data present");
+  expect(!trace.events.empty(), "trace has events");
+
+  const std::string chrome = obs::format_chrome_trace(trace);
+  expect(obs::json_valid(chrome), "chrome trace is valid JSON");
+  const std::string jsonl = obs::format_trace_jsonl(trace);
+  expect(!jsonl.empty(), "jsonl export non-empty");
+
+  expect(obs::count_events(trace, "map_task") > 0, "map_task spans");
+  expect(obs::count_events(trace, "spill_seal") > 0, "spill_seal events");
+  expect(obs::count_events(trace, "spill_sort") > 0, "spill_sort spans");
+  expect(obs::count_events(trace, "spill_write") > 0, "spill_write spans");
+  expect(obs::count_events(trace, "reduce_task") > 0, "reduce_task spans");
+  expect(obs::count_events(trace, "shuffle") > 0, "shuffle spans");
+  expect(!obs::counter_series(trace, "spill_threshold").empty(),
+         "spill_threshold counter series");
+  if (setting.matcher) {
+    expect(obs::count_events(trace, "threshold_update") > 0,
+           "spill-matcher threshold updates");
+  }
+  if (setting.freq) {
+    expect(obs::count_events(trace, "freq_profile_begin") > 0,
+           "freq profile begin");
+  }
+
+  const std::string metrics = mr::format_job_metrics_json(result, "smoke");
+  expect(obs::json_valid(metrics), "metrics JSON is valid");
+  expect(result.metrics.job_wall_ns > 0, "non-zero job wall");
+  expect(result.metrics.work.total_ns() > 0, "non-zero total work");
+}
+
+}  // namespace
+
+int main() {
+  bench::JsonReport report("smoke_observability");
+  const auto app = apps::wordcount_app();
+
+  check_trace(run_traced(app, bench::kBaseline), bench::kBaseline);
+  check_trace(run_traced(app, bench::kCombined), bench::kCombined);
+
+  report.add_note("failures", static_cast<double>(g_failures));
+  if (g_failures > 0) {
+    std::printf("\n%d check(s) FAILED\n", g_failures);
+    return 1;
+  }
+  std::printf("\nall observability checks passed\n");
+  return 0;
+}

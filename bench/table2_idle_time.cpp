@@ -19,6 +19,7 @@
 using namespace textmr;
 
 int main() {
+  bench::JsonReport report("table2_idle_time");
   std::printf("Table II — map/support thread idle time (baseline, x = 0.8)\n\n");
   std::printf("%-14s | %-9s %-9s | %-9s %-9s\n", "Application",
               "Map,meas", "Sup,meas", "Map,model", "Sup,model");

@@ -22,6 +22,7 @@
 using namespace textmr;
 
 int main() {
+  bench::JsonReport report("table3_local_cluster");
   std::printf(
       "Table III — simulated local-cluster runtimes (4 settings x 6 apps)\n"
       "cluster: 6 nodes x (2 map + 2 reduce slots), profile-calibrated\n\n");

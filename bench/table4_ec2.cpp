@@ -13,6 +13,7 @@
 using namespace textmr;
 
 int main() {
+  bench::JsonReport report("table4_ec2");
   std::printf(
       "Table IV — simulated 20-node EC2 runtimes (baseline vs combined)\n\n");
   std::printf("%-14s | %-12s %-12s %-10s\n", "Application", "Baseline",

@@ -9,6 +9,7 @@
 //   textmr_cli gen graph OUT.txt [--pages N]
 //   textmr_cli run APP INPUT... --out DIR [--reducers R] [--freq] [--matcher]
 //              [--topk K] [--sample S] [--buffer MB] [--report]
+//              [--trace FILE] [--trace-jsonl FILE] [--metrics-json FILE]
 //   APP = wordcount | invertedindex | wordpostag | accesslogsum |
 //         accesslogjoin | pagerank
 
@@ -36,8 +37,12 @@ struct Args {
     for (int i = 1; i < argc; ++i) {
       std::string arg = argv[i];
       if (arg.rfind("--", 0) == 0) {
-        const std::string name = arg.substr(2);
-        if (i + 1 < argc && argv[i + 1][0] != '-') {
+        std::string name = arg.substr(2);
+        // --name=value form binds unambiguously; --name value is also
+        // accepted when the next token is not itself an option.
+        if (const auto eq = name.find('='); eq != std::string::npos) {
+          args.options[name.substr(0, eq)] = name.substr(eq + 1);
+        } else if (i + 1 < argc && argv[i + 1][0] != '-') {
           args.options[name] = argv[++i];
         } else {
           args.flags.insert(name);
@@ -72,6 +77,8 @@ int usage() {
                "  textmr_cli run APP INPUT... --out DIR [--reducers R]\n"
                "             [--freq] [--matcher] [--topk K] [--sample S]\n"
                "             [--buffer MB] [--report]\n"
+               "             [--trace FILE] [--trace-jsonl FILE]\n"
+               "             [--metrics-json FILE]\n"
                "  APP: wordcount invertedindex wordpostag accesslogsum\n"
                "       accesslogjoin pagerank\n");
   return 2;
@@ -163,12 +170,35 @@ int cmd_run(const Args& args) {
   spec.output_dir = out_dir / "out";
   spec.scratch_dir = out_dir / "scratch";
 
+  // Observability exports: --trace FILE (Chrome trace JSON for
+  // chrome://tracing / Perfetto), --trace-jsonl FILE (one event per
+  // line), --metrics-json FILE (the structured job report).
+  const auto trace_path = args.options.find("trace");
+  const auto jsonl_path = args.options.find("trace-jsonl");
+  const auto metrics_path = args.options.find("metrics-json");
+  spec.trace.enabled = trace_path != args.options.end() ||
+                       jsonl_path != args.options.end();
+
   mr::LocalEngine engine;
   const auto result = engine.run(spec);
   if (args.flag("report")) {
     std::fputs(mr::format_job_report(result, spec.name).c_str(), stdout);
   } else {
     std::printf("%s\n", mr::format_job_summary(result).c_str());
+  }
+  if (trace_path != args.options.end()) {
+    obs::write_file(trace_path->second, obs::format_chrome_trace(result.trace));
+    std::printf("trace: %s (%zu events, %llu dropped)\n",
+                trace_path->second.c_str(), result.trace.events.size(),
+                static_cast<unsigned long long>(result.trace.dropped_events));
+  }
+  if (jsonl_path != args.options.end()) {
+    obs::write_file(jsonl_path->second, obs::format_trace_jsonl(result.trace));
+  }
+  if (metrics_path != args.options.end()) {
+    obs::write_file(metrics_path->second,
+                    mr::format_job_metrics_json(result, spec.name));
+    std::printf("metrics: %s\n", metrics_path->second.c_str());
   }
   std::printf("output: %zu part files under %s\n", result.outputs.size(),
               spec.output_dir.string().c_str());

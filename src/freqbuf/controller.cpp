@@ -11,13 +11,15 @@ FreqBufferController::FreqBufferController(const FreqBufConfig& config,
                                            mr::Reducer* combiner,
                                            mr::EmitSink& spill_sink,
                                            mr::TaskMetrics& metrics,
-                                           NodeKeyCache* node_cache)
+                                           NodeKeyCache* node_cache,
+                                           obs::TraceBuffer* trace)
     : config_(config),
       table_budget_bytes_(table_budget_bytes),
       combiner_(combiner),
       spill_sink_(spill_sink),
       metrics_(metrics),
-      node_cache_(node_cache) {
+      node_cache_(node_cache),
+      trace_(trace) {
   TEXTMR_CHECK(config.enabled, "controller built with freqbuf disabled");
   TEXTMR_CHECK(config.top_k >= 1, "freqbuf needs top_k >= 1");
 
@@ -25,6 +27,8 @@ FreqBufferController::FreqBufferController(const FreqBufConfig& config,
     if (auto cached = node_cache_->get(); cached.has_value()) {
       // A sibling task on this node already froze the set: skip straight
       // to the optimization stage (paper §III-B).
+      obs::record_instant(trace_, "freq", "freq_cached_keys", "keys",
+                          static_cast<double>(cached->size()));
       start_optimize(std::move(*cached));
       return;
     }
@@ -89,6 +93,9 @@ void FreqBufferController::enter_profile_stage() {
   sketch_ = std::make_unique<sketch::SpaceSaving>(
       std::max<std::size_t>(capacity, config_.top_k));
   stage_ = Stage::kProfile;
+  obs::record_instant(trace_, "freq", "freq_profile_begin", "sampling_fraction",
+                      effective_s_, "alpha",
+                      fit_.has_value() ? fit_->alpha : 0.0);
 }
 
 void FreqBufferController::freeze_keys() {
@@ -96,6 +103,9 @@ void FreqBufferController::freeze_keys() {
   std::vector<std::string> keys;
   keys.reserve(entries.size());
   for (auto& entry : entries) keys.push_back(std::move(entry.key));
+  obs::record_instant(trace_, "freq", "freq_freeze", "keys",
+                      static_cast<double>(keys.size()), "records_profiled",
+                      static_cast<double>(records_seen_));
   if (config_.share_across_tasks && node_cache_ != nullptr) {
     node_cache_->put(keys);
   }
@@ -133,6 +143,16 @@ bool FreqBufferController::offer(std::string_view key,
       return false;
     }
     case Stage::kOptimize:
+      // Sampled time-series of the table's occupancy and hit rate (one
+      // point per 1024 records; a single branch when tracing is off).
+      if (trace_ != nullptr && (records_seen_ & 1023u) == 0) {
+        obs::record_counter(trace_, "freq", "freq_buffered_bytes",
+                            static_cast<double>(table_->buffered_bytes()));
+        obs::record_counter(
+            trace_, "freq", "freq_hit_rate",
+            static_cast<double>(metrics_.freq_hits) /
+                static_cast<double>(records_seen_));
+      }
       // No timer here: the table accounts its fast path to kFreqTable and
       // its combine/evict slow paths to kCombine/kEmit themselves.
       return table_->offer(key, value);
@@ -153,7 +173,12 @@ void FreqBufferController::finish() {
     }
     freeze_keys();
   }
-  if (table_ != nullptr) table_->flush();
+  if (table_ != nullptr) {
+    obs::record_instant(trace_, "freq", "freq_flush", "buffered_bytes",
+                        static_cast<double>(table_->buffered_bytes()),
+                        "keys", static_cast<double>(table_->num_keys()));
+    table_->flush();
+  }
 }
 
 }  // namespace textmr::freqbuf

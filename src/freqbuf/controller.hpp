@@ -11,6 +11,7 @@
 #include "freqbuf/frequent_key_table.hpp"
 #include "mr/metrics.hpp"
 #include "mr/types.hpp"
+#include "obs/trace.hpp"
 #include "sketch/exact_counter.hpp"
 #include "sketch/space_saving.hpp"
 #include "sketch/zipf_estimator.hpp"
@@ -90,11 +91,14 @@ class FreqBufferController {
 
   /// `spill_sink` is where absorbed records re-enter the standard
   /// dataflow (table overflow + final flush). `combiner` may be null.
+  /// `trace` (optional, owned by the map thread) receives stage
+  /// transitions and sampled occupancy / hit-rate counters.
   FreqBufferController(const FreqBufConfig& config,
                        std::uint64_t table_budget_bytes,
                        mr::Reducer* combiner, mr::EmitSink& spill_sink,
                        mr::TaskMetrics& metrics,
-                       NodeKeyCache* node_cache = nullptr);
+                       NodeKeyCache* node_cache = nullptr,
+                       obs::TraceBuffer* trace = nullptr);
 
   /// Must be called (cheaply) as input is consumed: fraction in [0,1] of
   /// the task's input processed so far. Drives stage transitions.
@@ -129,6 +133,7 @@ class FreqBufferController {
   mr::EmitSink& spill_sink_;
   mr::TaskMetrics& metrics_;
   NodeKeyCache* node_cache_;
+  obs::TraceBuffer* trace_;
 
   Stage stage_ = Stage::kPreProfile;
   double progress_ = 0.0;

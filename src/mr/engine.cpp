@@ -55,6 +55,18 @@ JobResult LocalEngine::run(const JobSpec& spec) {
   JobResult result;
   const std::uint64_t job_start = monotonic_ns();
 
+  // Trace collector: created only when tracing is requested; tasks and
+  // their threads register per-thread rings against it. Null pointers
+  // everywhere otherwise — the disabled path costs one compare per hook.
+  std::unique_ptr<obs::TraceCollector> collector;
+  obs::TraceBuffer* driver_trace = nullptr;
+  if (spec.trace.enabled) {
+    collector = std::make_unique<obs::TraceCollector>(spec.trace);
+    collector->set_job_name(spec.name);
+    driver_trace =
+        collector->make_buffer(obs::kDriverPid, 0, "driver", "driver");
+  }
+
   // Memory split between the spill buffer and the frequent-key table
   // (total fixed, paper §V-B2).
   std::size_t spill_bytes = spec.spill_buffer_bytes;
@@ -67,6 +79,7 @@ JobResult LocalEngine::run(const JobSpec& spec) {
   }
 
   // ---- map phase ---------------------------------------------------------
+  obs::SpanTimer map_phase_span(driver_trace, "phase", "map_phase");
   const std::uint64_t map_phase_start = monotonic_ns();
   const std::uint32_t num_map_tasks =
       static_cast<std::uint32_t>(spec.inputs.size());
@@ -110,6 +123,7 @@ JobResult LocalEngine::run(const JobSpec& spec) {
           config.freq_table_budget_bytes = table_budget;
           config.node_cache = &caches[worker_id];
           config.keep_spill_runs = spec.keep_intermediates;
+          config.trace = collector.get();
           map_results[task] = run_map_task(config);
         } catch (...) {
           std::lock_guard<std::mutex> lock(error_mu);
@@ -131,6 +145,7 @@ JobResult LocalEngine::run(const JobSpec& spec) {
     }
     if (first_error) std::rethrow_exception(first_error);
   }
+  map_phase_span.done();
   result.metrics.map_phase_wall_ns = monotonic_ns() - map_phase_start;
   result.metrics.map_tasks = num_map_tasks;
 
@@ -158,6 +173,7 @@ JobResult LocalEngine::run(const JobSpec& spec) {
   }
 
   // ---- reduce phase --------------------------------------------------------
+  obs::SpanTimer reduce_phase_span(driver_trace, "phase", "reduce_phase");
   const std::uint64_t reduce_phase_start = monotonic_ns();
   std::vector<ReduceTaskResult> reduce_results(spec.num_reducers);
   {
@@ -177,6 +193,7 @@ JobResult LocalEngine::run(const JobSpec& spec) {
           config.grouping = spec.grouping;
           config.spill_format = spec.spill_format;
           config.output_path = spec.output_dir / part_name(partition);
+          config.trace = collector.get();
           reduce_results[partition] = run_reduce_task(config);
         } catch (...) {
           std::lock_guard<std::mutex> lock(error_mu);
@@ -200,6 +217,7 @@ JobResult LocalEngine::run(const JobSpec& spec) {
     }
     if (first_error) std::rethrow_exception(first_error);
   }
+  reduce_phase_span.done();
   result.metrics.reduce_phase_wall_ns = monotonic_ns() - reduce_phase_start;
   result.metrics.reduce_tasks = spec.num_reducers;
 
@@ -218,6 +236,7 @@ JobResult LocalEngine::run(const JobSpec& spec) {
   }
 
   result.metrics.job_wall_ns = monotonic_ns() - job_start;
+  if (collector != nullptr) result.trace = collector->finish();
   return result;
 }
 

@@ -12,6 +12,7 @@
 #include "mr/metrics.hpp"
 #include "mr/reduce_task.hpp"
 #include "mr/types.hpp"
+#include "obs/trace.hpp"
 #include "spillmatch/spill_matcher.hpp"
 
 namespace textmr::mr {
@@ -67,6 +68,12 @@ struct JobSpec {
   std::filesystem::path output_dir;   // required; part-r-* files land here
 
   bool keep_intermediates = false;
+
+  /// Structured tracing (see src/obs/trace.hpp). Off by default; when off
+  /// every instrumentation hook is a single null-pointer check. When on,
+  /// JobResult::trace carries the merged events for Chrome-trace / JSONL
+  /// export.
+  obs::TraceConfig trace;
 };
 
 /// Everything a job run produced.
@@ -86,6 +93,11 @@ struct JobResult {
     double freq_sampling_fraction = 0.0;
   };
   std::vector<MapTaskSummary> map_tasks;
+
+  /// Trace events collected when JobSpec::trace.enabled was set
+  /// (trace.enabled is false otherwise). Export with
+  /// obs::format_chrome_trace / obs::format_trace_jsonl.
+  obs::TraceData trace;
 };
 
 }  // namespace textmr::mr

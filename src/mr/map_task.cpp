@@ -77,6 +77,21 @@ MapTaskResult run_map_task(const MapTaskConfig& config) {
   MapTaskResult result;
   const std::uint64_t task_start = monotonic_ns();
 
+  // Trace rings (all null when tracing is off): one for the map thread,
+  // one per support thread, one for the spill buffer's internal events.
+  const std::uint32_t trace_pid = obs::map_task_pid(config.task_id);
+  obs::TraceBuffer* map_trace = nullptr;
+  obs::TraceBuffer* buffer_trace = nullptr;
+  if (config.trace != nullptr) {
+    const std::string process = "map_task_" + std::to_string(config.task_id);
+    map_trace = config.trace->make_buffer(trace_pid, obs::kMapThreadTid,
+                                          "map", process);
+    buffer_trace = config.trace->make_buffer(
+        trace_pid, obs::kSpillBufferTid, "spill-buffer");
+  }
+  obs::SpanTimer task_span(map_trace, "task", "map_task");
+  task_span.arg("split_bytes", static_cast<double>(config.split.length));
+
   // Spill policy (fixed 0.8 unless the job installed the spill-matcher).
   std::unique_ptr<spillmatch::SpillPolicy> policy =
       config.spill_policy ? config.spill_policy()
@@ -85,7 +100,7 @@ MapTaskResult run_map_task(const MapTaskConfig& config) {
   const std::uint32_t num_support = std::max<std::uint32_t>(
       1, config.support_threads);
   SpillBuffer buffer(config.spill_buffer_bytes, policy->initial_threshold(),
-                     num_support);
+                     num_support, buffer_trace);
   HashPartitioner partitioner(config.num_partitions);
 
   // ---- support threads ----------------------------------------------------
@@ -111,10 +126,22 @@ MapTaskResult run_map_task(const MapTaskConfig& config) {
       state.combiner = config.combiner();
       state.combiner->begin_task(TaskInfo{config.task_id, &state.counters});
     }
-    support_pool.emplace_back([&, s] {
+    obs::TraceBuffer* support_trace =
+        config.trace != nullptr
+            ? config.trace->make_buffer(trace_pid,
+                                        obs::kSupportThreadTidBase + s,
+                                        "support-" + std::to_string(s))
+            : nullptr;
+    support_pool.emplace_back([&, s, support_trace] {
       SupportState& local = support_states[s];
       try {
         while (auto spill = buffer.take()) {
+          obs::SpanTimer spill_span(support_trace, "spill", "spill_consume");
+          spill_span.arg("sequence", static_cast<double>(spill->sequence));
+          spill_span.arg("records",
+                         static_cast<double>(spill->records.size()));
+          spill_span.arg("data_bytes",
+                         static_cast<double>(spill->data_bytes));
           const std::uint64_t consume_start = monotonic_ns();
           const std::string run_path =
               (config.scratch_dir /
@@ -123,14 +150,23 @@ MapTaskResult run_map_task(const MapTaskConfig& config) {
                   .string();
           auto info = sort_and_spill(*spill, local.combiner.get(), run_path,
                                      config.num_partitions,
-                                     config.spill_format, local.metrics);
+                                     config.spill_format, local.metrics,
+                                     support_trace);
           const std::uint64_t consume_ns = monotonic_ns() - consume_start;
           buffer.release(*spill, consume_ns);
           std::lock_guard<std::mutex> lock(support_mu);
           runs_by_sequence.emplace(spill->sequence, std::move(info));
           if (auto timing = buffer.last_timing(); timing.has_value()) {
-            buffer.set_threshold(policy->next_threshold(spillmatch::Timing{
-                timing->produce_ns, timing->consume_ns, timing->data_bytes}));
+            const double next = policy->next_threshold(spillmatch::Timing{
+                timing->produce_ns, timing->consume_ns, timing->data_bytes});
+            buffer.set_threshold(next);
+            // The spill-matcher's decision, with the measured T_p / T_c
+            // it was derived from (paper eq. (1)).
+            obs::record_instant(
+                support_trace, "spill", "threshold_update", "tp_ms",
+                static_cast<double>(timing->produce_ns) * 1e-6, "tc_ms",
+                static_cast<double>(timing->consume_ns) * 1e-6, "threshold",
+                next);
           }
         }
       } catch (...) {
@@ -154,7 +190,7 @@ MapTaskResult run_map_task(const MapTaskConfig& config) {
   if (config.freqbuf.enabled) {
     freq = std::make_unique<freqbuf::FreqBufferController>(
         config.freqbuf, config.freq_table_budget_bytes, map_combiner.get(),
-        spill_sink, result.map_thread, config.node_cache);
+        spill_sink, result.map_thread, config.node_cache, map_trace);
   }
   EmitRouter router(spill_sink, freq.get(), result.map_thread);
 
@@ -243,9 +279,12 @@ MapTaskResult run_map_task(const MapTaskConfig& config) {
     result.map_thread.merged_records += result.output.records;
     result.map_thread.merged_bytes += result.output.bytes;
   } else {
+    obs::SpanTimer merge_span(map_trace, "task", "map_merge");
+    merge_span.arg("runs", static_cast<double>(runs.size()));
     result.output =
         merge_runs(runs, map_combiner.get(), out_path, config.num_partitions,
                    config.spill_format, result.map_thread);
+    merge_span.arg("records", static_cast<double>(result.output.records));
     if (!config.keep_spill_runs) {
       for (const auto& run : runs) {
         std::error_code ec;

@@ -9,6 +9,7 @@
 #include "io/spill_file.hpp"
 #include "mr/metrics.hpp"
 #include "mr/types.hpp"
+#include "obs/trace.hpp"
 #include "spillmatch/spill_matcher.hpp"
 
 namespace textmr::mr {
@@ -42,6 +43,10 @@ struct MapTaskConfig {
   freqbuf::NodeKeyCache* node_cache = nullptr;  // may be null
 
   bool keep_spill_runs = false;  // keep intermediate spill files on disk
+
+  /// When non-null the task registers per-thread trace rings (map thread,
+  /// each support thread, the spill buffer) and records lifecycle events.
+  obs::TraceCollector* trace = nullptr;
 };
 
 /// Result of one map task: its merged, partition-indexed output run plus

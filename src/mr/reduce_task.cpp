@@ -90,6 +90,15 @@ ReduceTaskResult run_reduce_task(const ReduceTaskConfig& config) {
   const std::uint64_t task_start = monotonic_ns();
   TaskMetrics& metrics = result.metrics;
 
+  obs::TraceBuffer* trace =
+      config.trace != nullptr
+          ? config.trace->make_buffer(
+                obs::reduce_task_pid(config.partition),
+                obs::kReduceThreadTid, "reduce",
+                "reduce_" + std::to_string(config.partition))
+          : nullptr;
+  obs::SpanTimer task_span(trace, "task", "reduce_task");
+
   // ---- shuffle: fetch this partition from every map output --------------
   // In a cluster this is the over-the-network copy phase; here it is a
   // local read whose byte volume the simulator later prices as network
@@ -97,6 +106,7 @@ ReduceTaskResult run_reduce_task(const ReduceTaskConfig& config) {
   std::vector<std::vector<io::Record>> fetched;
   fetched.reserve(config.map_outputs.size());
   {
+    obs::SpanTimer shuffle_span(trace, "task", "shuffle");
     ScopedTimer shuffle_timer(metrics, Op::kShuffle);
     for (const auto& run : config.map_outputs) {
       io::SpillRunReader reader(run.path, config.spill_format);
@@ -110,12 +120,16 @@ ReduceTaskResult run_reduce_task(const ReduceTaskConfig& config) {
       metrics.reduce_input_records += records.size();
       fetched.push_back(std::move(records));
     }
+    shuffle_span.arg("bytes", static_cast<double>(metrics.shuffled_bytes));
+    shuffle_span.arg("records",
+                     static_cast<double>(metrics.reduce_input_records));
   }
 
   std::unique_ptr<Reducer> reducer = config.reducer();
   reducer->begin_task(TaskInfo{config.partition, &result.counters});
   PartFileWriter out(config.output_path, metrics);
 
+  obs::SpanTimer apply_span(trace, "task", "reduce_apply");
   if (config.grouping == Grouping::kSorted) {
     std::vector<std::unique_ptr<RecordCursor>> cursors;
     cursors.reserve(fetched.size());
@@ -156,7 +170,11 @@ ReduceTaskResult run_reduce_task(const ReduceTaskConfig& config) {
     }
   }
 
-  out.close();
+  apply_span.done();
+  {
+    obs::SpanTimer close_span(trace, "task", "output_close");
+    out.close();
+  }
   result.wall_ns = monotonic_ns() - task_start;
   return result;
 }

@@ -7,6 +7,7 @@
 #include "io/spill_file.hpp"
 #include "mr/metrics.hpp"
 #include "mr/types.hpp"
+#include "obs/trace.hpp"
 
 namespace textmr::mr {
 
@@ -23,6 +24,10 @@ struct ReduceTaskConfig {
   Grouping grouping = Grouping::kSorted;
   io::SpillFormat spill_format = io::SpillFormat::kCompactVarint;
   std::filesystem::path output_path;  // final part file (text, key \t value)
+
+  /// When non-null the task registers a trace ring and records its
+  /// shuffle / merge / reduce phases.
+  obs::TraceCollector* trace = nullptr;
 };
 
 struct ReduceTaskResult {

@@ -4,6 +4,8 @@
 #include <cstdarg>
 #include <cstdio>
 
+#include "obs/json.hpp"
+
 namespace textmr::mr {
 namespace {
 
@@ -14,9 +16,26 @@ void appendf(std::string& out, const char* format, ...) {
   char buffer[512];
   va_list args;
   va_start(args, format);
+  va_list args_copy;
+  va_copy(args_copy, args);
   const int n = std::vsnprintf(buffer, sizeof(buffer), format, args);
   va_end(args);
-  if (n > 0) out.append(buffer, std::min<std::size_t>(n, sizeof(buffer) - 1));
+  if (n < 0) {
+    va_end(args_copy);
+    return;
+  }
+  if (static_cast<std::size_t>(n) < sizeof(buffer)) {
+    out.append(buffer, static_cast<std::size_t>(n));
+  } else {
+    // Line longer than the stack buffer: render again into the output
+    // string itself instead of truncating (e.g. long counter names).
+    const std::size_t old_size = out.size();
+    out.resize(old_size + static_cast<std::size_t>(n) + 1);
+    std::vsnprintf(out.data() + old_size, static_cast<std::size_t>(n) + 1,
+                   format, args_copy);
+    out.resize(old_size + static_cast<std::size_t>(n));
+  }
+  va_end(args_copy);
 }
 
 double seconds(std::uint64_t ns) { return static_cast<double>(ns) * 1e-9; }
@@ -102,6 +121,104 @@ std::string format_job_report(const JobResult& result,
     }
   }
   return out;
+}
+
+namespace {
+
+/// Serializes one TaskMetrics: per-op ns breakdown (zero ops omitted),
+/// the derived totals, and the volume counters.
+void write_task_metrics(obs::JsonWriter& w, const TaskMetrics& m) {
+  w.begin_object();
+  w.key("ops_ns").begin_object();
+  for (std::size_t i = 0; i < kNumOps; ++i) {
+    const auto op = static_cast<Op>(i);
+    const std::uint64_t ns = m.op_ns(op);
+    if (ns == 0) continue;
+    w.field(op_name(op), ns);
+  }
+  w.end_object();
+  w.field("total_ns", m.total_ns());
+  w.field("user_ns", m.user_ns());
+  w.field("abstraction_ns", m.abstraction_ns());
+  w.key("volumes").begin_object();
+  w.field("input_records", m.input_records);
+  w.field("input_bytes", m.input_bytes);
+  w.field("map_output_records", m.map_output_records);
+  w.field("map_output_bytes", m.map_output_bytes);
+  w.field("freq_hits", m.freq_hits);
+  w.field("freq_flushes", m.freq_flushes);
+  w.field("spill_input_records", m.spill_input_records);
+  w.field("spill_input_bytes", m.spill_input_bytes);
+  w.field("spilled_records", m.spilled_records);
+  w.field("spilled_bytes", m.spilled_bytes);
+  w.field("spill_count", m.spill_count);
+  w.field("merged_records", m.merged_records);
+  w.field("merged_bytes", m.merged_bytes);
+  w.field("shuffled_bytes", m.shuffled_bytes);
+  w.field("reduce_input_records", m.reduce_input_records);
+  w.field("reduce_groups", m.reduce_groups);
+  w.field("output_records", m.output_records);
+  w.field("output_bytes", m.output_bytes);
+  w.end_object();
+  w.end_object();
+}
+
+}  // namespace
+
+std::string format_job_metrics_json(const JobResult& result,
+                                    const std::string& job_name) {
+  const auto& m = result.metrics;
+  obs::JsonWriter w;
+  w.begin_object();
+  w.field("job", job_name);
+  w.key("wall_ns").begin_object();
+  w.field("job", m.job_wall_ns);
+  w.field("map_phase", m.map_phase_wall_ns);
+  w.field("reduce_phase", m.reduce_phase_wall_ns);
+  w.end_object();
+  w.field("map_tasks", m.map_tasks);
+  w.field("reduce_tasks", m.reduce_tasks);
+
+  w.key("work");
+  write_task_metrics(w, m.work);
+  w.key("map_work");
+  write_task_metrics(w, m.map_work);
+  w.key("support_work");
+  write_task_metrics(w, m.support_work);
+  w.key("reduce_work");
+  write_task_metrics(w, m.reduce_work);
+
+  w.key("intra_map_parallelism").begin_object();
+  w.field("map_thread_wall_ns", m.map_thread_wall_ns);
+  w.field("map_thread_idle_ns", m.map_thread_idle_ns);
+  w.field("support_thread_wall_ns", m.support_thread_wall_ns);
+  w.field("support_thread_idle_ns", m.support_thread_idle_ns);
+  w.field("map_idle_fraction", m.map_idle_fraction());
+  w.field("support_idle_fraction", m.support_idle_fraction());
+  w.end_object();
+
+  w.key("map_task_details").begin_array();
+  for (const auto& task : result.map_tasks) {
+    w.begin_object();
+    w.field("wall_ns", task.wall_ns);
+    w.field("pipeline_wall_ns", task.pipeline_wall_ns);
+    w.field("map_idle_ns", task.map_idle_ns);
+    w.field("support_idle_ns", task.support_idle_ns);
+    w.field("spills", task.spills);
+    w.field("final_spill_threshold", task.final_spill_threshold);
+    w.field("freq_sampling_fraction", task.freq_sampling_fraction);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("counters").begin_object();
+  for (const auto& [name, value] : result.counters.all()) {
+    w.field(name, value);
+  }
+  w.end_object();
+
+  w.end_object();
+  return w.take();
 }
 
 }  // namespace textmr::mr

@@ -16,4 +16,12 @@ std::string format_job_report(const JobResult& result,
 /// One-line summary: wall, work, user/framework split.
 std::string format_job_summary(const JobResult& result);
 
+/// Machine-readable variant of the job report: one JSON document with the
+/// wall clocks, the per-Op work breakdown (total / map / support / reduce
+/// views), volume counters, intra-map idle accounting, per-map-task
+/// details, and user counters. Written by `textmr run --metrics-json` and
+/// embedded in bench JSON artifacts.
+std::string format_job_metrics_json(const JobResult& result,
+                                    const std::string& job_name = "job");
+
 }  // namespace textmr::mr

@@ -15,10 +15,12 @@ constexpr double kMaxThreshold = 0.99;
 }  // namespace
 
 SpillBuffer::SpillBuffer(std::size_t capacity_bytes, double initial_threshold,
-                         std::uint32_t max_outstanding)
+                         std::uint32_t max_outstanding,
+                         obs::TraceBuffer* trace)
     : capacity_(capacity_bytes),
       ring_(capacity_bytes),
-      max_outstanding_(max_outstanding) {
+      max_outstanding_(max_outstanding),
+      trace_(trace) {
   TEXTMR_CHECK(capacity_bytes >= 1024, "spill buffer must be >= 1 KiB");
   TEXTMR_CHECK(max_outstanding >= 1, "need >= 1 outstanding spill slot");
   threshold_ = std::clamp(initial_threshold, kMinThreshold, kMaxThreshold);
@@ -27,6 +29,7 @@ SpillBuffer::SpillBuffer(std::size_t capacity_bytes, double initial_threshold,
 void SpillBuffer::set_threshold(double threshold) {
   std::lock_guard<std::mutex> lock(mu_);
   threshold_ = std::clamp(threshold, kMinThreshold, kMaxThreshold);
+  obs::record_counter(trace_, "spill", "spill_threshold", threshold_);
 }
 
 double SpillBuffer::threshold() const {
@@ -48,6 +51,17 @@ void SpillBuffer::seal_locked() {
   current_wait_ns_ = 0;
   sealed_.push_back(std::move(spill));
   ++outstanding_;
+  if (trace_ != nullptr) {
+    const Spill& sealed = sealed_.back();
+    obs::record_instant(
+        trace_, "spill", "spill_seal", "sequence",
+        static_cast<double>(sealed.sequence), "data_bytes",
+        static_cast<double>(sealed.data_bytes), "produce_ms",
+        static_cast<double>(sealed.produce_ns) * 1e-6);
+    obs::record_counter(trace_, "spill", "buffer_fill",
+                        static_cast<double>(used_) /
+                            static_cast<double>(capacity_));
+  }
   spill_available_.notify_one();
 }
 
@@ -167,6 +181,9 @@ void SpillBuffer::release(const Spill& spill, std::uint64_t consume_ns) {
   }
   last_timing_ = SpillTiming{spill.sequence, spill.produce_ns, consume_ns,
                              spill.data_bytes};
+  obs::record_counter(trace_, "spill", "buffer_fill",
+                      static_cast<double>(used_) /
+                          static_cast<double>(capacity_));
   // A consumer just became free; if the producer's region already passed
   // the threshold, seal it now so that consumer does not idle until the
   // next put().

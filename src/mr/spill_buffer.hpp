@@ -9,6 +9,8 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/trace.hpp"
+
 namespace textmr::mr {
 
 /// A reference to one serialized record inside the ring. Valid until the
@@ -68,9 +70,14 @@ struct SpillTiming {
 /// reclaimed in seal order as the release frontier advances.
 class SpillBuffer {
  public:
+  /// `trace`, when non-null, receives seal instants and fill-level /
+  /// threshold counter samples. Both pipeline threads record into it,
+  /// which is safe because every record happens under `mu_` (the one
+  /// sanctioned exception to TraceBuffer's single-writer rule).
   explicit SpillBuffer(std::size_t capacity_bytes,
                        double initial_threshold = 0.8,
-                       std::uint32_t max_outstanding = 1);
+                       std::uint32_t max_outstanding = 1,
+                       obs::TraceBuffer* trace = nullptr);
 
   std::size_t capacity() const { return capacity_; }
 
@@ -156,6 +163,8 @@ class SpillBuffer {
   std::uint64_t producer_wait_ns_ = 0;
   std::uint64_t consumer_wait_ns_ = 0;
   std::optional<SpillTiming> last_timing_;
+
+  obs::TraceBuffer* trace_ = nullptr;  // written only under mu_
 };
 
 }  // namespace textmr::mr

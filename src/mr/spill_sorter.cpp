@@ -53,8 +53,11 @@ class CombineToRunSink final : public EmitSink {
 io::SpillRunInfo sort_and_spill(Spill& spill, Reducer* combiner,
                                 const std::string& run_path,
                                 std::uint32_t num_partitions,
-                                io::SpillFormat format, TaskMetrics& metrics) {
+                                io::SpillFormat format, TaskMetrics& metrics,
+                                obs::TraceBuffer* trace) {
   {
+    obs::SpanTimer sort_span(trace, "spill", "spill_sort");
+    sort_span.arg("records", static_cast<double>(spill.records.size()));
     ScopedTimer sort_timer(metrics, Op::kSort);
     std::sort(spill.records.begin(), spill.records.end(),
               [](const RecordRef& a, const RecordRef& b) {
@@ -62,6 +65,8 @@ io::SpillRunInfo sort_and_spill(Spill& spill, Reducer* combiner,
                 return a.key() < b.key();
               });
   }
+
+  obs::SpanTimer write_span(trace, "spill", "spill_write");
 
   io::SpillRunWriter writer(run_path, num_partitions, format);
   const std::uint64_t pass_start = monotonic_ns();
@@ -92,6 +97,9 @@ io::SpillRunInfo sort_and_spill(Spill& spill, Reducer* combiner,
 
   auto info = writer.finish();
   const std::uint64_t pass_ns = monotonic_ns() - pass_start;
+  write_span.arg("records", static_cast<double>(info.records));
+  write_span.arg("bytes", static_cast<double>(info.bytes));
+  write_span.arg("combine_ms", static_cast<double>(combine_ns) * 1e-6);
   metrics.op_ns(Op::kCombine) += combine_ns;
   metrics.op_ns(Op::kSpillWrite) += pass_ns - std::min(pass_ns, combine_ns);
   metrics.spilled_records += info.records;

@@ -15,9 +15,12 @@ namespace textmr::mr {
 /// `combiner` may be null. Returns the run info from the writer's
 /// `finish()`. Sort time goes to Op::kSort, user combine time to
 /// Op::kCombine, and writing (including framing) to Op::kSpillWrite.
+/// `trace`, when non-null, receives spill_sort / spill_write spans (the
+/// write span carries the embedded combine time as an argument).
 io::SpillRunInfo sort_and_spill(Spill& spill, Reducer* combiner,
                                 const std::string& run_path,
                                 std::uint32_t num_partitions,
-                                io::SpillFormat format, TaskMetrics& metrics);
+                                io::SpillFormat format, TaskMetrics& metrics,
+                                obs::TraceBuffer* trace = nullptr);
 
 }  // namespace textmr::mr

@@ -1,0 +1,281 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace textmr::obs {
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void JsonWriter::before_value() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (counts_.back() > 0) out_ += ',';
+  ++counts_.back();
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  out_ += '{';
+  counts_.push_back(0);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  counts_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  out_ += '[';
+  counts_.push_back(0);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  counts_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  if (counts_.back() > 0) out_ += ',';
+  ++counts_.back();
+  out_ += '"';
+  append_json_escaped(out_, k);
+  out_ += "\":";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  before_value();
+  out_ += '"';
+  append_json_escaped(out_, v);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  before_value();
+  if (!std::isfinite(v)) {
+    out_ += "null";
+    return *this;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  before_value();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  before_value();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_value();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  out_ += "null";
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw(std::string_view json) {
+  before_value();
+  out_ += json;
+  return *this;
+}
+
+// ---- validity checker ------------------------------------------------------
+
+namespace {
+
+struct Checker {
+  std::string_view text;
+  std::size_t pos = 0;
+  int depth = 0;
+
+  static constexpr int kMaxDepth = 256;
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  bool eat(char c) {
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view word) {
+    if (text.substr(pos, word.size()) != word) return false;
+    pos += word.size();
+    return true;
+  }
+
+  bool string() {
+    if (!eat('"')) return false;
+    while (pos < text.size()) {
+      const unsigned char c = static_cast<unsigned char>(text[pos]);
+      if (c == '"') {
+        ++pos;
+        return true;
+      }
+      if (c < 0x20) return false;  // raw control character
+      if (c == '\\') {
+        ++pos;
+        if (pos >= text.size()) return false;
+        const char e = text[pos];
+        if (e == 'u') {
+          for (int i = 1; i <= 4; ++i) {
+            if (pos + i >= text.size() ||
+                !std::isxdigit(static_cast<unsigned char>(text[pos + i]))) {
+              return false;
+            }
+          }
+          pos += 5;
+          continue;
+        }
+        if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' &&
+            e != 'n' && e != 'r' && e != 't') {
+          return false;
+        }
+      }
+      ++pos;
+    }
+    return false;  // unterminated
+  }
+
+  bool digits() {
+    const std::size_t start = pos;
+    while (pos < text.size() &&
+           std::isdigit(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+    return pos > start;
+  }
+
+  bool number() {
+    eat('-');
+    if (eat('0')) {
+      // leading zero must stand alone
+    } else if (!digits()) {
+      return false;
+    }
+    if (eat('.') && !digits()) return false;
+    if (pos < text.size() && (text[pos] == 'e' || text[pos] == 'E')) {
+      ++pos;
+      if (pos < text.size() && (text[pos] == '+' || text[pos] == '-')) ++pos;
+      if (!digits()) return false;
+    }
+    return true;
+  }
+
+  bool value() {
+    if (++depth > kMaxDepth) return false;
+    skip_ws();
+    bool ok = false;
+    if (pos >= text.size()) {
+      ok = false;
+    } else if (text[pos] == '{') {
+      ++pos;
+      skip_ws();
+      ok = true;
+      if (!eat('}')) {
+        while (true) {
+          skip_ws();
+          if (!string()) { ok = false; break; }
+          skip_ws();
+          if (!eat(':')) { ok = false; break; }
+          if (!value()) { ok = false; break; }
+          skip_ws();
+          if (eat(',')) continue;
+          if (eat('}')) break;
+          ok = false;
+          break;
+        }
+      }
+    } else if (text[pos] == '[') {
+      ++pos;
+      skip_ws();
+      ok = true;
+      if (!eat(']')) {
+        while (true) {
+          if (!value()) { ok = false; break; }
+          skip_ws();
+          if (eat(',')) continue;
+          if (eat(']')) break;
+          ok = false;
+          break;
+        }
+      }
+    } else if (text[pos] == '"') {
+      ok = string();
+    } else if (text[pos] == 't') {
+      ok = literal("true");
+    } else if (text[pos] == 'f') {
+      ok = literal("false");
+    } else if (text[pos] == 'n') {
+      ok = literal("null");
+    } else {
+      ok = number();
+    }
+    --depth;
+    return ok;
+  }
+};
+
+}  // namespace
+
+bool json_valid(std::string_view text) {
+  Checker checker{text};
+  if (!checker.value()) return false;
+  checker.skip_ws();
+  return checker.pos == text.size();
+}
+
+}  // namespace textmr::obs

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace textmr::obs {
+
+/// Appends `s` to `out` with JSON string escaping (quotes, backslash,
+/// control characters as \u00XX; UTF-8 payload bytes pass through).
+void append_json_escaped(std::string& out, std::string_view s);
+
+/// Streaming JSON writer used by every machine-readable export (job
+/// metrics, trace files, bench artifacts). No allocation beyond the
+/// output string; enforces well-formedness structurally (keys only in
+/// objects, commas inserted automatically).
+///
+/// Usage:
+///   JsonWriter w;
+///   w.begin_object();
+///   w.key("name").value("WordCount");
+///   w.key("ops").begin_object().key("sort").value(123u).end_object();
+///   w.end_object();
+///   std::string json = w.take();
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Writes an object key; the next call must supply its value.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(const std::string& v) {
+    return value(std::string_view(v));
+  }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint32_t v) {
+    return value(static_cast<std::uint64_t>(v));
+  }
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  /// Splices a pre-serialized JSON document in value position. The caller
+  /// vouches for its validity (e.g. output of another JsonWriter).
+  JsonWriter& raw(std::string_view json);
+
+  /// key() + value() in one call.
+  template <typename T>
+  JsonWriter& field(std::string_view k, T&& v) {
+    key(k);
+    return value(std::forward<T>(v));
+  }
+
+  /// The finished document. Caller is responsible for having closed
+  /// every object/array.
+  std::string take() { return std::move(out_); }
+  const std::string& str() const { return out_; }
+
+ private:
+  void before_value();
+
+  std::string out_;
+  // One entry per open container: number of values written at that level.
+  // after_key_ suppresses the comma/count for the value following key().
+  std::basic_string<std::uint32_t> counts_ = {0};
+  bool after_key_ = false;
+};
+
+/// Minimal full-document JSON validity checker (RFC 8259 grammar, depth
+/// capped at 256). Used by tests and the CI smoke bench to prove that
+/// exported artifacts parse; not a general-purpose parser.
+bool json_valid(std::string_view text);
+
+}  // namespace textmr::obs

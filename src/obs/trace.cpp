@@ -1,0 +1,200 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/error.hpp"
+#include "obs/json.hpp"
+
+namespace textmr::obs {
+
+std::vector<TraceEvent> TraceBuffer::snapshot() const {
+  std::vector<TraceEvent> events;
+  events.reserve(ring_.size());
+  if (dropped_ == 0) {
+    events.assign(ring_.begin(), ring_.end());
+  } else {
+    // The ring wrapped: oldest surviving event sits at next_overwrite_.
+    events.insert(events.end(), ring_.begin() + next_overwrite_, ring_.end());
+    events.insert(events.end(), ring_.begin(),
+                  ring_.begin() + next_overwrite_);
+  }
+  return events;
+}
+
+TraceCollector::TraceCollector(TraceConfig config)
+    : config_(config), epoch_ns_(monotonic_ns()) {
+  if (config_.ring_capacity < 64) config_.ring_capacity = 64;
+}
+
+TraceBuffer* TraceCollector::make_buffer(std::uint32_t pid, std::uint32_t tid,
+                                         std::string thread_name,
+                                         std::string process_name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  buffers_.emplace_back(pid, tid, config_.ring_capacity);
+  thread_names_.push_back({pid, tid, std::move(thread_name)});
+  if (!process_name.empty()) {
+    const bool known =
+        std::any_of(process_names_.begin(), process_names_.end(),
+                    [pid](const auto& entry) { return entry.first == pid; });
+    if (!known) process_names_.emplace_back(pid, std::move(process_name));
+  }
+  return &buffers_.back();
+}
+
+TraceData TraceCollector::finish() {
+  std::lock_guard<std::mutex> lock(mu_);
+  TraceData data;
+  data.enabled = true;
+  data.job_name = std::move(job_name_);
+  data.epoch_ns = epoch_ns_;
+  data.process_names = std::move(process_names_);
+  data.thread_names = std::move(thread_names_);
+  for (const auto& buffer : buffers_) {
+    auto events = buffer.snapshot();
+    data.events.insert(data.events.end(), events.begin(), events.end());
+    data.dropped_events += buffer.dropped();
+  }
+  buffers_.clear();
+  std::stable_sort(data.events.begin(), data.events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_ns < b.ts_ns;
+                   });
+  return data;
+}
+
+namespace {
+
+double to_us(std::uint64_t ns, std::uint64_t epoch_ns) {
+  return static_cast<double>(ns - std::min(ns, epoch_ns)) * 1e-3;
+}
+
+void write_args(JsonWriter& w, const TraceEvent& e) {
+  w.key("args").begin_object();
+  for (std::uint8_t i = 0; i < e.num_args; ++i) {
+    w.field(e.arg_names[i], e.args[i]);
+  }
+  w.end_object();
+}
+
+void write_event(JsonWriter& w, const TraceEvent& e, std::uint64_t epoch_ns) {
+  w.begin_object();
+  switch (e.kind) {
+    case EventKind::kSpan:
+      w.field("ph", "X");
+      w.field("dur", static_cast<double>(e.dur_ns) * 1e-3);
+      break;
+    case EventKind::kInstant:
+      w.field("ph", "i");
+      w.field("s", "t");  // thread-scoped instant
+      break;
+    case EventKind::kCounter:
+      w.field("ph", "C");
+      break;
+  }
+  w.field("name", e.name != nullptr ? e.name : "?");
+  w.field("cat", e.category != nullptr ? e.category : "textmr");
+  w.field("ts", to_us(e.ts_ns, epoch_ns));
+  w.field("pid", e.pid);
+  w.field("tid", e.tid);
+  write_args(w, e);
+  w.end_object();
+}
+
+}  // namespace
+
+std::string format_chrome_trace(const TraceData& trace) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("traceEvents").begin_array();
+  for (const auto& [pid, name] : trace.process_names) {
+    w.begin_object();
+    w.field("ph", "M");
+    w.field("name", "process_name");
+    w.field("pid", pid);
+    w.field("tid", std::uint64_t{0});
+    w.key("args").begin_object().field("name", name).end_object();
+    w.end_object();
+  }
+  for (const auto& thread : trace.thread_names) {
+    w.begin_object();
+    w.field("ph", "M");
+    w.field("name", "thread_name");
+    w.field("pid", thread.pid);
+    w.field("tid", thread.tid);
+    w.key("args").begin_object().field("name", thread.name).end_object();
+    w.end_object();
+  }
+  for (const auto& event : trace.events) {
+    write_event(w, event, trace.epoch_ns);
+  }
+  w.end_array();
+  w.field("displayTimeUnit", "ms");
+  w.key("otherData").begin_object();
+  w.field("job", trace.job_name);
+  w.field("dropped_events", trace.dropped_events);
+  w.end_object();
+  w.end_object();
+  return w.take();
+}
+
+std::string format_trace_jsonl(const TraceData& trace) {
+  std::string out;
+  for (const auto& e : trace.events) {
+    JsonWriter w;
+    w.begin_object();
+    switch (e.kind) {
+      case EventKind::kSpan: w.field("kind", "span"); break;
+      case EventKind::kInstant: w.field("kind", "instant"); break;
+      case EventKind::kCounter: w.field("kind", "counter"); break;
+    }
+    w.field("name", e.name != nullptr ? e.name : "?");
+    w.field("cat", e.category != nullptr ? e.category : "textmr");
+    w.field("ts_ns", e.ts_ns - std::min(e.ts_ns, trace.epoch_ns));
+    if (e.kind == EventKind::kSpan) w.field("dur_ns", e.dur_ns);
+    w.field("pid", e.pid);
+    w.field("tid", e.tid);
+    write_args(w, e);
+    w.end_object();
+    out += w.take();
+    out += '\n';
+  }
+  return out;
+}
+
+void write_file(const std::filesystem::path& path, std::string_view contents) {
+  std::FILE* file = std::fopen(path.string().c_str(), "wb");
+  if (file == nullptr) {
+    throw IoError("cannot create " + path.string());
+  }
+  const std::size_t written =
+      std::fwrite(contents.data(), 1, contents.size(), file);
+  const int close_rc = std::fclose(file);
+  if (written != contents.size() || close_rc != 0) {
+    throw IoError("short write to " + path.string());
+  }
+}
+
+std::vector<CounterSample> counter_series(const TraceData& trace,
+                                          std::string_view series) {
+  std::vector<CounterSample> samples;
+  for (const auto& e : trace.events) {
+    if (e.kind != EventKind::kCounter || e.name == nullptr ||
+        series != e.name) {
+      continue;
+    }
+    samples.push_back(CounterSample{
+        e.ts_ns - std::min(e.ts_ns, trace.epoch_ns), e.pid, e.args[0]});
+  }
+  return samples;
+}
+
+std::size_t count_events(const TraceData& trace, std::string_view name) {
+  std::size_t count = 0;
+  for (const auto& e : trace.events) {
+    if (e.name != nullptr && name == e.name) ++count;
+  }
+  return count;
+}
+
+}  // namespace textmr::obs

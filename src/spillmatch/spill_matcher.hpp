@@ -69,6 +69,13 @@ class FixedSpillPolicy final : public SpillPolicy {
 /// spill's measured rates (the paper's hypothesis that adjacent spills
 /// behave alike) and applies eq. (1). Clamped away from the extremes so
 /// one pathological measurement cannot wedge the pipeline.
+///
+/// Observability: on a traced run (JobSpec::trace.enabled) every
+/// next_threshold() decision is recorded by the support thread as a
+/// "threshold_update" instant carrying the measured T_p/T_c and the
+/// chosen x, and the applied threshold appears as the "spill_threshold"
+/// counter track — extract it with obs::counter_series(trace,
+/// "spill_threshold") to plot the matcher's trajectory.
 class SpillMatcher final : public SpillPolicy {
  public:
   struct Options {

@@ -28,6 +28,9 @@
 #include "common/varint.hpp"
 #include "common/zipf.hpp"
 
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+
 #include "io/dfs.hpp"
 #include "io/line_reader.hpp"
 #include "io/record.hpp"

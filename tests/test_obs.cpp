@@ -1,0 +1,302 @@
+// Tests for the observability subsystem (src/obs): the JSON writer and
+// validity checker, the trace ring buffers and collector, the Chrome
+// trace / JSONL exporters, the job-metrics JSON serializer, and the
+// engine integration (a traced WordCount run carries a usable timeline).
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+
+#include "helpers.hpp"
+#include "mr/report.hpp"
+#include "textmr.hpp"
+
+namespace textmr {
+namespace {
+
+// ---- JsonWriter -----------------------------------------------------------
+
+TEST(JsonWriter, NestedDocumentIsValid) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.field("name", "WordCount");
+  w.field("tasks", std::uint64_t{6});
+  w.field("fraction", 0.125);
+  w.field("enabled", true);
+  w.key("nothing").null();
+  w.key("ops").begin_object();
+  w.field("sort", std::uint64_t{123});
+  w.field("merge", std::uint64_t{456});
+  w.end_object();
+  w.key("list").begin_array();
+  w.value(1).value(2).value(3);
+  w.begin_object().field("k", "v").end_object();
+  w.end_array();
+  w.end_object();
+  const std::string json = w.take();
+  EXPECT_TRUE(obs::json_valid(json)) << json;
+  EXPECT_NE(json.find("\"sort\":123"), std::string::npos);
+  EXPECT_NE(json.find("[1,2,3,{\"k\":\"v\"}]"), std::string::npos);
+}
+
+TEST(JsonWriter, EmptyContainers) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("a").begin_array().end_array();
+  w.key("o").begin_object().end_object();
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"a\":[],\"o\":{}}");
+  EXPECT_TRUE(obs::json_valid(w.str()));
+}
+
+TEST(JsonWriter, EscapesControlCharactersAndQuotes) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.field("k\"ey\\", "line1\nline2\ttab\x01" "end");
+  w.end_object();
+  const std::string json = w.take();
+  EXPECT_TRUE(obs::json_valid(json)) << json;
+  EXPECT_NE(json.find("\\\"ey\\\\"), std::string::npos);
+  EXPECT_NE(json.find("\\n"), std::string::npos);
+  EXPECT_NE(json.find("\\t"), std::string::npos);
+  EXPECT_NE(json.find("\\u0001"), std::string::npos);
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  obs::JsonWriter w;
+  w.begin_array();
+  w.value(0.0 / 0.0);  // NaN
+  w.value(1e308 * 10);  // inf
+  w.end_array();
+  EXPECT_EQ(w.str(), "[null,null]");
+}
+
+TEST(JsonWriter, RawSplicesSubdocument) {
+  obs::JsonWriter inner;
+  inner.begin_object().field("x", 1).end_object();
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("inner").raw(inner.str());
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"inner\":{\"x\":1}}");
+  EXPECT_TRUE(obs::json_valid(w.str()));
+}
+
+TEST(JsonValid, AcceptsRfc8259Documents) {
+  EXPECT_TRUE(obs::json_valid("{}"));
+  EXPECT_TRUE(obs::json_valid("[]"));
+  EXPECT_TRUE(obs::json_valid("  {\"a\": [1, -2.5, 1e-3, \"s\", null]} "));
+  EXPECT_TRUE(obs::json_valid("true"));
+  EXPECT_TRUE(obs::json_valid("\"\\u00e9\\n\""));
+  EXPECT_TRUE(obs::json_valid("0"));
+}
+
+TEST(JsonValid, RejectsMalformedDocuments) {
+  EXPECT_FALSE(obs::json_valid(""));
+  EXPECT_FALSE(obs::json_valid("{"));
+  EXPECT_FALSE(obs::json_valid("{\"a\":}"));
+  EXPECT_FALSE(obs::json_valid("{\"a\":1,}"));
+  EXPECT_FALSE(obs::json_valid("[1,]"));
+  EXPECT_FALSE(obs::json_valid("{} extra"));
+  EXPECT_FALSE(obs::json_valid("{'a':1}"));
+  EXPECT_FALSE(obs::json_valid("\"unterminated"));
+  EXPECT_FALSE(obs::json_valid("\"bad\\q\""));
+  EXPECT_FALSE(obs::json_valid("\"raw\ncontrol\""));
+  EXPECT_FALSE(obs::json_valid("01"));
+  EXPECT_FALSE(obs::json_valid("nul"));
+}
+
+// ---- trace buffer / collector ---------------------------------------------
+
+TEST(TraceBuffer, PreservesPerThreadOrder) {
+  obs::TraceCollector collector(obs::TraceConfig{true, 1024});
+  obs::TraceBuffer* buffer = collector.make_buffer(1, 0, "worker", "task_1");
+  obs::record_instant(buffer, "t", "first");
+  obs::record_instant(buffer, "t", "second");
+  {
+    obs::SpanTimer span(buffer, "t", "spanning");
+    obs::record_instant(buffer, "t", "inside");
+  }
+  const auto trace = collector.finish();
+  ASSERT_EQ(trace.events.size(), 4u);
+  EXPECT_EQ(trace.dropped_events, 0u);
+  // Events come back sorted by begin timestamp; the span began before
+  // "inside" was recorded, so it sorts ahead of it.
+  EXPECT_STREQ(trace.events[0].name, "first");
+  EXPECT_STREQ(trace.events[1].name, "second");
+  EXPECT_STREQ(trace.events[2].name, "spanning");
+  EXPECT_STREQ(trace.events[3].name, "inside");
+  EXPECT_EQ(trace.events[2].kind, obs::EventKind::kSpan);
+  for (std::size_t i = 1; i < trace.events.size(); ++i) {
+    EXPECT_LE(trace.events[i - 1].ts_ns, trace.events[i].ts_ns);
+  }
+}
+
+TEST(TraceBuffer, DropsOldestOnOverflow) {
+  obs::TraceCollector collector(obs::TraceConfig{true, 64});  // min capacity
+  obs::TraceBuffer* buffer = collector.make_buffer(1, 0, "worker");
+  for (int i = 0; i < 100; ++i) {
+    obs::record_instant(buffer, "t", "event", "i", static_cast<double>(i));
+  }
+  EXPECT_EQ(buffer->dropped(), 36u);
+  const auto trace = collector.finish();
+  ASSERT_EQ(trace.events.size(), 64u);
+  EXPECT_EQ(trace.dropped_events, 36u);
+  // The survivors are the newest 64, still in order.
+  EXPECT_DOUBLE_EQ(trace.events.front().args[0], 36.0);
+  EXPECT_DOUBLE_EQ(trace.events.back().args[0], 99.0);
+}
+
+TEST(TraceBuffer, NullBufferIsANoOp) {
+  obs::record_instant(nullptr, "t", "nothing");
+  obs::record_counter(nullptr, "t", "series", 1.0);
+  obs::SpanTimer span(nullptr, "t", "nothing");
+  span.arg("x", 1.0);
+  span.done();
+}
+
+TEST(TraceCollector, ExportsChromeTraceAndJsonl) {
+  obs::TraceCollector collector(obs::TraceConfig{true, 1024});
+  collector.set_job_name("unit");
+  obs::TraceBuffer* buffer = collector.make_buffer(7, 2, "support-1", "map_7");
+  obs::record_counter(buffer, "spill", "spill_threshold", 0.8);
+  {
+    obs::SpanTimer span(buffer, "spill", "spill_sort");
+    span.arg("records", 42.0);
+  }
+  const auto trace = collector.finish();
+
+  const std::string chrome = obs::format_chrome_trace(trace);
+  EXPECT_TRUE(obs::json_valid(chrome)) << chrome;
+  EXPECT_NE(chrome.find("\"spill_sort\""), std::string::npos);
+  EXPECT_NE(chrome.find("process_name"), std::string::npos);
+  EXPECT_NE(chrome.find("\"map_7\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"support-1\""), std::string::npos);
+
+  const std::string jsonl = obs::format_trace_jsonl(trace);
+  std::size_t lines = 0;
+  std::size_t start = 0;
+  while (start < jsonl.size()) {
+    std::size_t end = jsonl.find('\n', start);
+    if (end == std::string::npos) end = jsonl.size();
+    EXPECT_TRUE(obs::json_valid(jsonl.substr(start, end - start)));
+    ++lines;
+    start = end + 1;
+  }
+  EXPECT_EQ(lines, trace.events.size());
+
+  const auto series = obs::counter_series(trace, "spill_threshold");
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_DOUBLE_EQ(series[0].value, 0.8);
+  EXPECT_EQ(series[0].pid, 7u);
+  EXPECT_EQ(obs::count_events(trace, "spill_sort"), 1u);
+}
+
+// ---- op_name exhaustiveness ------------------------------------------------
+
+TEST(OpName, EveryOpHasADistinctName) {
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < mr::kNumOps; ++i) {
+    const char* name = mr::op_name(static_cast<mr::Op>(i));
+    ASSERT_NE(name, nullptr) << "op " << i;
+    EXPECT_STRNE(name, "") << "op " << i;
+    EXPECT_TRUE(names.insert(name).second)
+        << "duplicate op name: " << name;
+  }
+  EXPECT_EQ(names.size(), mr::kNumOps);
+}
+
+// ---- engine integration ----------------------------------------------------
+
+class TracedJobTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::make_unique<TempDir>("textmr-obs-test");
+    corpus_ = dir_->path() / "corpus.txt";
+    textgen::CorpusSpec spec;
+    spec.total_words = 120'000;
+    spec.vocabulary = 5'000;
+    spec.seed = 99;
+    textgen::generate_corpus(spec, corpus_.string());
+  }
+
+  mr::JobResult run(bool traced) {
+    auto spec = test::make_job(
+        apps::wordcount_app(),
+        io::make_splits(corpus_.string(), 256u << 10),
+        dir_->path() / (traced ? "scratch_t" : "scratch"),
+        dir_->path() / (traced ? "out_t" : "out"));
+    spec.spill_buffer_bytes = 64u << 10;  // force several spills
+    spec.use_spill_matcher = true;
+    spec.trace.enabled = traced;
+    return mr::LocalEngine().run(spec);
+  }
+
+  std::unique_ptr<TempDir> dir_;
+  std::filesystem::path corpus_;
+};
+
+TEST_F(TracedJobTest, DisabledTracingLeavesResultEmpty) {
+  const auto result = run(false);
+  EXPECT_FALSE(result.trace.enabled);
+  EXPECT_TRUE(result.trace.events.empty());
+}
+
+TEST_F(TracedJobTest, TracedRunCarriesSpillTimeline) {
+  const auto result = run(true);
+  ASSERT_TRUE(result.trace.enabled);
+  ASSERT_FALSE(result.trace.events.empty());
+
+  EXPECT_GT(obs::count_events(result.trace, "map_phase"), 0u);
+  EXPECT_GT(obs::count_events(result.trace, "reduce_phase"), 0u);
+  EXPECT_GT(obs::count_events(result.trace, "map_task"), 0u);
+  EXPECT_GT(obs::count_events(result.trace, "spill_seal"), 0u);
+  EXPECT_GT(obs::count_events(result.trace, "spill_sort"), 0u);
+  EXPECT_GT(obs::count_events(result.trace, "spill_write"), 0u);
+  EXPECT_GT(obs::count_events(result.trace, "threshold_update"), 0u);
+  EXPECT_GT(obs::count_events(result.trace, "shuffle"), 0u);
+  EXPECT_FALSE(
+      obs::counter_series(result.trace, "spill_threshold").empty());
+  EXPECT_FALSE(obs::counter_series(result.trace, "buffer_fill").empty());
+
+  const std::string chrome = obs::format_chrome_trace(result.trace);
+  EXPECT_TRUE(obs::json_valid(chrome));
+
+  // Exports land on disk intact.
+  const auto path = dir_->path() / "trace.json";
+  obs::write_file(path, chrome);
+  std::ifstream in(path);
+  std::string from_disk((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+  EXPECT_EQ(from_disk, chrome);
+}
+
+TEST_F(TracedJobTest, MetricsJsonIsValidAndPopulated) {
+  const auto result = run(true);
+  const std::string json = mr::format_job_metrics_json(result, "WordCount");
+  EXPECT_TRUE(obs::json_valid(json)) << json;
+  EXPECT_NE(json.find("\"job\":\"WordCount\""), std::string::npos);
+  EXPECT_NE(json.find("\"ops_ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"sort\""), std::string::npos);
+  EXPECT_NE(json.find("\"map_task_details\""), std::string::npos);
+  // Non-zero work recorded in the breakdown.
+  EXPECT_EQ(json.find("\"total_ns\":0,"), std::string::npos);
+}
+
+// ---- report formatting (appendf regression) --------------------------------
+
+TEST(JobReport, LongCounterNamesAreNotTruncated) {
+  mr::JobResult result;
+  result.metrics.job_wall_ns = 1'000'000;
+  const std::string long_name(700, 'k');  // longer than appendf's buffer
+  result.counters.increment(long_name, 12345);
+  const std::string report = mr::format_job_report(result, "truncation-test");
+  EXPECT_NE(report.find(long_name), std::string::npos);
+  EXPECT_NE(report.find("12345"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace textmr
