@@ -1,4 +1,4 @@
-// Ablation harness for the design choices DESIGN.md calls out (§5/§6):
+// Ablation harness for the design choices DESIGN.md calls out (§5/§7):
 //
 //  A. spill-run serialization format — compact varint framing vs fixed32
 //     (the paper's §VII "more efficient on-disk data representations");

@@ -10,6 +10,7 @@
 //   textmr_cli run APP INPUT... --out DIR [--reducers R] [--freq] [--matcher]
 //              [--topk K] [--sample S] [--buffer MB] [--report]
 //              [--trace FILE] [--trace-jsonl FILE] [--metrics-json FILE]
+//              [--failpoints SPEC] [--max-task-attempts N]
 //   APP = wordcount | invertedindex | wordpostag | accesslogsum |
 //         accesslogjoin | pagerank
 
@@ -20,6 +21,7 @@
 #include <set>
 #include <optional>
 
+#include "common/failpoint.hpp"
 #include "mr/report.hpp"
 #include "textmr.hpp"
 
@@ -79,6 +81,7 @@ int usage() {
                "             [--buffer MB] [--report]\n"
                "             [--trace FILE] [--trace-jsonl FILE]\n"
                "             [--metrics-json FILE]\n"
+               "             [--failpoints SPEC] [--max-task-attempts N]\n"
                "  APP: wordcount invertedindex wordpostag accesslogsum\n"
                "       accesslogjoin pagerank\n");
   return 2;
@@ -169,6 +172,17 @@ int cmd_run(const Args& args) {
   const std::filesystem::path out_dir = out_it->second;
   spec.output_dir = out_dir / "out";
   spec.scratch_dir = out_dir / "scratch";
+
+  // Fault injection & recovery: --failpoints (or TEXTMR_FAILPOINTS in
+  // the environment) arms deterministic fault sites; --max-task-attempts
+  // bounds per-task re-execution (1 = fail fast).
+  failpoint::arm_from_env();
+  if (const auto fp = args.options.find("failpoints");
+      fp != args.options.end()) {
+    failpoint::arm_from_spec(fp->second);
+  }
+  spec.max_task_attempts =
+      static_cast<std::uint32_t>(args.u64("max-task-attempts", 3));
 
   // Observability exports: --trace FILE (Chrome trace JSON for
   // chrome://tracing / Perfetto), --trace-jsonl FILE (one event per

@@ -34,6 +34,15 @@ class ConfigError : public Error {
   explicit ConfigError(const std::string& what) : Error("config error: " + what) {}
 };
 
+/// Thrown by LocalEngine when a task still fails after exhausting
+/// JobSpec::max_task_attempts; carries the task identity, the attempt
+/// count, and the last attempt's underlying error message.
+class TaskFailedError : public Error {
+ public:
+  explicit TaskFailedError(const std::string& what)
+      : Error("task failed: " + what) {}
+};
+
 /// Internal invariant violation; indicates a bug in textmr itself.
 class InternalError : public Error {
  public:

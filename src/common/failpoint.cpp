@@ -1,0 +1,292 @@
+#include "common/failpoint.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "common/rng.hpp"
+
+namespace textmr::failpoint {
+
+namespace detail {
+std::atomic<std::uint32_t> g_armed_sites{0};
+}  // namespace detail
+
+namespace {
+
+struct SiteState {
+  Config config;
+  Xoshiro256 rng{0};
+  std::uint64_t hits = 0;
+  std::uint64_t fires = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  // std::less<> for string_view lookups without temporary strings.
+  std::map<std::string, SiteState, std::less<>> sites;
+};
+
+Registry& registry() {
+  static Registry* instance = new Registry;  // leaked: safe at exit
+  return *instance;
+}
+
+const char* action_name(ActionKind kind) {
+  switch (kind) {
+    case ActionKind::kThrow: return "throw";
+    case ActionKind::kShortWrite: return "shortwrite";
+    case ActionKind::kCorrupt: return "corrupt";
+    case ActionKind::kDelay: return "delay";
+  }
+  return "throw";
+}
+
+std::uint64_t parse_u64(std::string_view entry, std::string_view value) {
+  char* end = nullptr;
+  const std::string copy(value);
+  const std::uint64_t parsed = std::strtoull(copy.c_str(), &end, 10);
+  if (end == copy.c_str() || *end != '\0') {
+    throw ConfigError("failpoint spec: bad integer '" + copy + "' in '" +
+                      std::string(entry) + "'");
+  }
+  return parsed;
+}
+
+double parse_f64(std::string_view entry, std::string_view value) {
+  char* end = nullptr;
+  const std::string copy(value);
+  const double parsed = std::strtod(copy.c_str(), &end);
+  if (end == copy.c_str() || *end != '\0' || parsed < 0.0 || parsed > 1.0) {
+    throw ConfigError("failpoint spec: bad probability '" + copy + "' in '" +
+                      std::string(entry) + "'");
+  }
+  return parsed;
+}
+
+void apply_param(Config& config, std::string_view entry,
+                 std::string_view param) {
+  if (param == "always") return;  // default trigger: every hit
+  const auto eq = param.find('=');
+  if (eq == std::string_view::npos) {
+    throw ConfigError("failpoint spec: expected key=value, got '" +
+                      std::string(param) + "' in '" + std::string(entry) +
+                      "'");
+  }
+  const std::string_view key = param.substr(0, eq);
+  const std::string_view value = param.substr(eq + 1);
+  if (key == "nth") {
+    config.nth = parse_u64(entry, value);
+    if (config.nth == 0) {
+      throw ConfigError("failpoint spec: nth is 1-based, got 0 in '" +
+                        std::string(entry) + "'");
+    }
+  } else if (key == "p") {
+    config.probability = parse_f64(entry, value);
+  } else if (key == "seed") {
+    config.seed = parse_u64(entry, value);
+  } else if (key == "times") {
+    config.times = parse_u64(entry, value);
+  } else if (key == "delay_ms") {
+    config.action.delay_ms = parse_u64(entry, value);
+  } else if (key == "action") {
+    if (value == "throw") {
+      config.action.kind = ActionKind::kThrow;
+    } else if (value == "shortwrite") {
+      config.action.kind = ActionKind::kShortWrite;
+    } else if (value == "corrupt") {
+      config.action.kind = ActionKind::kCorrupt;
+    } else if (value == "delay") {
+      config.action.kind = ActionKind::kDelay;
+    } else {
+      throw ConfigError("failpoint spec: unknown action '" +
+                        std::string(value) + "' in '" + std::string(entry) +
+                        "'");
+    }
+  } else {
+    throw ConfigError("failpoint spec: unknown key '" + std::string(key) +
+                      "' in '" + std::string(entry) + "'");
+  }
+}
+
+}  // namespace
+
+void arm(std::string site, Config config) {
+  if (site.empty()) throw ConfigError("failpoint site name is empty");
+  if (config.nth > 0 && config.probability > 0.0) {
+    throw ConfigError("failpoint '" + site +
+                      "': nth and p triggers are mutually exclusive");
+  }
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  const auto [it, inserted] = reg.sites.try_emplace(std::move(site));
+  if (inserted) {
+    detail::g_armed_sites.fetch_add(1, std::memory_order_relaxed);
+  }
+  it->second = SiteState{};
+  it->second.config = config;
+  it->second.rng = Xoshiro256(config.seed);
+}
+
+void disarm(std::string_view site) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  const auto it = reg.sites.find(site);
+  if (it == reg.sites.end()) return;
+  reg.sites.erase(it);
+  detail::g_armed_sites.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void disarm_all() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  detail::g_armed_sites.fetch_sub(
+      static_cast<std::uint32_t>(reg.sites.size()),
+      std::memory_order_relaxed);
+  reg.sites.clear();
+}
+
+std::optional<Action> consume(std::string_view site) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  const auto it = reg.sites.find(site);
+  if (it == reg.sites.end()) return std::nullopt;
+  SiteState& state = it->second;
+  state.hits += 1;
+
+  bool fire;
+  if (state.config.nth > 0) {
+    fire = state.hits == state.config.nth;
+  } else if (state.config.probability > 0.0) {
+    fire = state.rng.next_double() < state.config.probability;
+  } else {
+    fire = true;  // "always"
+  }
+  if (fire && state.config.times > 0 && state.fires >= state.config.times) {
+    fire = false;
+  }
+  if (!fire) return std::nullopt;
+  state.fires += 1;
+  return state.config.action;
+}
+
+void maybe_delay(const Action& action) {
+  if (action.kind != ActionKind::kDelay) return;
+  std::this_thread::sleep_for(std::chrono::milliseconds(action.delay_ms));
+}
+
+void check(std::string_view site) {
+  const auto action = consume(site);
+  if (!action.has_value()) return;
+  if (action->kind == ActionKind::kDelay) {
+    maybe_delay(*action);
+    return;
+  }
+  throw InjectedFault(std::string(site));
+}
+
+std::uint64_t hit_count(std::string_view site) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  const auto it = reg.sites.find(site);
+  return it == reg.sites.end() ? 0 : it->second.hits;
+}
+
+std::uint64_t fire_count(std::string_view site) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  const auto it = reg.sites.find(site);
+  return it == reg.sites.end() ? 0 : it->second.fires;
+}
+
+std::vector<std::pair<std::string, Config>> parse_spec(std::string_view spec) {
+  std::vector<std::pair<std::string, Config>> entries;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t end = spec.find(',', start);
+    if (end == std::string_view::npos) end = spec.size();
+    const std::string_view entry = spec.substr(start, end - start);
+    start = end + 1;
+    if (entry.empty()) {
+      if (spec.empty()) break;
+      throw ConfigError("failpoint spec: empty entry in '" +
+                        std::string(spec) + "'");
+    }
+    // Site name runs to the first ':' or '@'; params follow, separated by
+    // either character.
+    const std::size_t site_end = entry.find_first_of(":@");
+    const std::string site(entry.substr(0, site_end));
+    if (site.empty()) {
+      throw ConfigError("failpoint spec: missing site name in '" +
+                        std::string(entry) + "'");
+    }
+    Config config;
+    std::size_t p = site_end;
+    while (p != std::string_view::npos && p < entry.size()) {
+      const std::size_t param_start = p + 1;
+      p = entry.find_first_of(":@", param_start);
+      const std::string_view param =
+          entry.substr(param_start, (p == std::string_view::npos
+                                         ? entry.size()
+                                         : p) -
+                                        param_start);
+      if (param.empty()) {
+        throw ConfigError("failpoint spec: empty parameter in '" +
+                          std::string(entry) + "'");
+      }
+      apply_param(config, entry, param);
+    }
+    if (config.nth > 0 && config.probability > 0.0) {
+      throw ConfigError("failpoint spec: nth and p are mutually exclusive "
+                        "in '" + std::string(entry) + "'");
+    }
+    entries.emplace_back(site, config);
+  }
+  return entries;
+}
+
+void arm_from_spec(std::string_view spec) {
+  for (auto& [site, config] : parse_spec(spec)) {
+    arm(std::move(site), config);
+  }
+}
+
+std::string format_spec() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::string out;
+  for (const auto& [site, state] : reg.sites) {  // std::map: sorted
+    if (!out.empty()) out.push_back(',');
+    out += site;
+    const Config& c = state.config;
+    if (c.nth > 0) {
+      out += ":nth=" + std::to_string(c.nth);
+    } else if (c.probability > 0.0) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), ":p=%.17g", c.probability);
+      out += buf;
+    } else {
+      out += ":always";
+    }
+    if (c.seed != 0) out += ":seed=" + std::to_string(c.seed);
+    if (c.times != 0) out += ":times=" + std::to_string(c.times);
+    if (c.action.kind != ActionKind::kThrow) {
+      out += ":action=";
+      out += action_name(c.action.kind);
+    }
+    if (c.action.delay_ms != 0) {
+      out += ":delay_ms=" + std::to_string(c.action.delay_ms);
+    }
+  }
+  return out;
+}
+
+void arm_from_env() {
+  const char* spec = std::getenv("TEXTMR_FAILPOINTS");
+  if (spec != nullptr && spec[0] != '\0') arm_from_spec(spec);
+}
+
+}  // namespace textmr::failpoint

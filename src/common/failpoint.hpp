@@ -1,0 +1,142 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace textmr::failpoint {
+
+/// Deterministic fault-injection registry (DESIGN.md §6).
+///
+/// A *site* is a named place in the runtime (`"spill.write"`,
+/// `"dfs.open"`, ...) that asks the registry, on every pass, whether a
+/// fault should fire. Sites are armed programmatically (`arm`) or from a
+/// spec string (`arm_from_spec`, also reachable via the CLI
+/// `--failpoints` flag and the `TEXTMR_FAILPOINTS` environment variable).
+/// Disarmed cost: the registry keeps a process-wide armed-site count in
+/// one atomic; every hook compiles to a single relaxed load + compare
+/// against zero (mirroring the obs layer's null-pointer gating), with no
+/// allocation and no lock taken.
+///
+/// Triggers are deterministic: `nth=N` fires on exactly the Nth hit of
+/// the site (1-based, once); `p=F` draws from a per-site xoshiro stream
+/// seeded by `seed`, so a fixed seed yields a fixed firing pattern for a
+/// fixed hit sequence; neither → every hit fires. `times=N` caps total
+/// firings (0 = unlimited; `nth` implies 1).
+
+/// What a fired site should do. Sites that own a byte buffer honor all
+/// four kinds; plain check-style sites treat kShortWrite/kCorrupt as
+/// kThrow (the fault still surfaces as an I/O error).
+enum class ActionKind : std::uint8_t { kThrow, kShortWrite, kCorrupt, kDelay };
+
+struct Action {
+  ActionKind kind = ActionKind::kThrow;
+  std::uint64_t delay_ms = 0;  // kDelay only
+
+  friend bool operator==(const Action&, const Action&) = default;
+};
+
+/// Trigger + action configuration for one armed site.
+struct Config {
+  std::uint64_t nth = 0;     // fire on exactly the nth hit (1-based); 0 = off
+  double probability = 0.0;  // fire each hit with this probability; 0 = off
+  std::uint64_t seed = 0;    // seeds the probability stream
+  std::uint64_t times = 0;   // max firings; 0 = unlimited (nth implies 1)
+  Action action;
+
+  friend bool operator==(const Config&, const Config&) = default;
+};
+
+/// Thrown by a fired site with ActionKind::kThrow (and by check-style
+/// sites for kShortWrite/kCorrupt). Derives from IoError so the runtime
+/// treats an injected fault exactly like a real transient I/O failure.
+class InjectedFault : public IoError {
+ public:
+  explicit InjectedFault(const std::string& site)
+      : IoError("injected fault at failpoint '" + site + "'") {}
+};
+
+namespace detail {
+extern std::atomic<std::uint32_t> g_armed_sites;
+}  // namespace detail
+
+/// True when at least one site is armed. This is the whole disarmed-path
+/// cost: one relaxed atomic load.
+inline bool enabled() {
+  return detail::g_armed_sites.load(std::memory_order_relaxed) != 0;
+}
+
+/// Arms `site` with `config`; re-arming replaces the previous config and
+/// resets the hit/fire counters.
+void arm(std::string site, Config config);
+
+/// Disarms one site / all sites.
+void disarm(std::string_view site);
+void disarm_all();
+
+/// Records a hit at `site` and returns the action to perform if the site
+/// fired, nullopt otherwise (including when the site is not armed). Only
+/// call behind `enabled()`.
+std::optional<Action> consume(std::string_view site);
+
+/// Check-style evaluation: fires -> kDelay sleeps, everything else
+/// throws InjectedFault. The TEXTMR_FAILPOINT macro wraps this behind
+/// `enabled()`.
+void check(std::string_view site);
+
+/// Sleeps for a kDelay action; no-op for other kinds.
+void maybe_delay(const Action& action);
+
+/// Observability for tests: hits seen / faults fired since arming.
+std::uint64_t hit_count(std::string_view site);
+std::uint64_t fire_count(std::string_view site);
+
+// ---- spec grammar ---------------------------------------------------------
+//
+//   spec    := entry (',' entry)*
+//   entry   := site (sep param)*
+//   sep     := ':' | '@'
+//   param   := 'nth=' N | 'p=' F | 'seed=' N | 'times=' N
+//            | 'delay_ms=' N | 'always'
+//            | 'action=' ('throw'|'shortwrite'|'corrupt'|'delay')
+//
+// Examples: "spill.write:nth=3", "dfs.open:p=0.01@seed=42",
+//           "support.sort:always:action=delay:delay_ms=5".
+
+/// Parses a spec string. Throws ConfigError on malformed input.
+std::vector<std::pair<std::string, Config>> parse_spec(std::string_view spec);
+
+/// Parses and arms every entry of `spec`.
+void arm_from_spec(std::string_view spec);
+
+/// Canonical spec string for the currently armed sites (sorted by site
+/// name); parse_spec(format_spec()) round-trips to the same configs.
+std::string format_spec();
+
+/// Arms from the TEXTMR_FAILPOINTS environment variable, if set.
+void arm_from_env();
+
+/// RAII helper: disarms every site on destruction (tests).
+class ScopedFailpoints {
+ public:
+  ScopedFailpoints() = default;
+  explicit ScopedFailpoints(std::string_view spec) { arm_from_spec(spec); }
+  ~ScopedFailpoints() { disarm_all(); }
+  ScopedFailpoints(const ScopedFailpoints&) = delete;
+  ScopedFailpoints& operator=(const ScopedFailpoints&) = delete;
+};
+
+}  // namespace textmr::failpoint
+
+/// Check-style site: no-op (one relaxed load) unless some site is armed.
+#define TEXTMR_FAILPOINT(site)                  \
+  do {                                          \
+    if (::textmr::failpoint::enabled()) {       \
+      ::textmr::failpoint::check(site);         \
+    }                                           \
+  } while (0)

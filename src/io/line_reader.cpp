@@ -4,12 +4,14 @@
 #include <filesystem>
 
 #include "common/error.hpp"
+#include "common/failpoint.hpp"
 
 namespace textmr::io {
 
 LineReader::LineReader(const InputSplit& split, std::size_t buffer_size)
     : buffer_(buffer_size), remaining_(split.length) {
   TEXTMR_CHECK(buffer_size > 0, "line reader buffer must be non-empty");
+  TEXTMR_FAILPOINT("dfs.open");
   file_ = std::fopen(split.path.c_str(), "rb");
   if (file_ == nullptr) {
     throw IoError("cannot open " + split.path);

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/error.hpp"
+#include "common/failpoint.hpp"
 #include "common/varint.hpp"
 
 namespace textmr::io {
@@ -60,7 +61,29 @@ SpillRunWriter::~SpillRunWriter() {
 
 void SpillRunWriter::flush_buffer() {
   if (buffer_.empty()) return;
-  if (std::fwrite(buffer_.data(), 1, buffer_.size(), file_) != buffer_.size()) {
+  std::size_t want = buffer_.size();
+  if (failpoint::enabled()) {
+    // "spill.write" owns a byte buffer, so it honors every action kind:
+    // kShortWrite writes a prefix and lets the existing short-write check
+    // below fire (like a real ENOSPC), kCorrupt flips a byte mid-buffer.
+    if (const auto fault = failpoint::consume("spill.write")) {
+      switch (fault->kind) {
+        case failpoint::ActionKind::kThrow:
+          throw failpoint::InjectedFault("spill.write");
+        case failpoint::ActionKind::kShortWrite:
+          want /= 2;
+          break;
+        case failpoint::ActionKind::kCorrupt:
+          buffer_[buffer_.size() / 2] =
+              static_cast<char>(buffer_[buffer_.size() / 2] ^ 0x5a);
+          break;
+        case failpoint::ActionKind::kDelay:
+          failpoint::maybe_delay(*fault);
+          break;
+      }
+    }
+  }
+  if (std::fwrite(buffer_.data(), 1, want, file_) != buffer_.size()) {
     throw IoError("short write to " + path_);
   }
   buffer_.clear();
@@ -207,6 +230,21 @@ bool RunCursor::ensure(std::size_t needed) {
     buffer_.resize(old + got);
     remaining_bytes_ -= got;
     if (got == 0) throw FormatError("unexpected EOF in run file");
+    if (failpoint::enabled()) {
+      // "spill.read": kCorrupt flips a byte of the freshly read chunk
+      // (surfacing later as a FormatError or garbled record); other
+      // fault kinds throw here.
+      if (const auto fault = failpoint::consume("spill.read")) {
+        if (fault->kind == failpoint::ActionKind::kCorrupt) {
+          buffer_[old + got / 2] =
+              static_cast<char>(buffer_[old + got / 2] ^ 0x5a);
+        } else if (fault->kind == failpoint::ActionKind::kDelay) {
+          failpoint::maybe_delay(*fault);
+        } else {
+          throw failpoint::InjectedFault("spill.read");
+        }
+      }
+    }
   }
   return buffer_.size() - pos_ >= needed;
 }

@@ -22,7 +22,7 @@ namespace textmr::io {
 ///                   [fixed32 num_partitions][fixed32 magic]
 ///
 /// The varint framing is deliberately the compact choice; the
-/// `SpillFormat::kFixed32` ablation (DESIGN.md §6) swaps it for fixed-width
+/// `SpillFormat::kFixed32` ablation (DESIGN.md §7) swaps it for fixed-width
 /// framing to expose serialization-cost sensitivity.
 enum class SpillFormat : std::uint8_t { kCompactVarint, kFixed32 };
 

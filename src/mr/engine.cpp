@@ -1,6 +1,7 @@
 #include "mr/engine.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <mutex>
 #include <thread>
 
@@ -21,6 +22,9 @@ void validate(const JobSpec& spec) {
   }
   if (spec.support_threads == 0 || spec.support_threads > 64) {
     throw ConfigError("support_threads must be in [1, 64]");
+  }
+  if (spec.max_task_attempts == 0) {
+    throw ConfigError("max_task_attempts must be >= 1");
   }
   if (spec.scratch_dir.empty()) throw ConfigError("scratch_dir is required");
   if (spec.output_dir.empty()) throw ConfigError("output_dir is required");
@@ -43,6 +47,131 @@ std::string part_name(std::uint32_t partition) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "part-r-%05u", partition);
   return buf;
+}
+
+/// Message of the in-flight exception; call only inside a catch block.
+std::string current_error_message() {
+  try {
+    throw;
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "unknown error";
+  }
+}
+
+/// Whether the in-flight exception is worth a re-execution. Transient
+/// failures (I/O, user-code throws) are; InternalError (invariant bug)
+/// and ConfigError (bad spec) are deterministic and fail the job
+/// immediately with their original type. Call only inside a catch block.
+bool is_retryable() {
+  try {
+    throw;
+  } catch (const InternalError&) {
+    return false;
+  } catch (const ConfigError&) {
+    return false;
+  } catch (...) {
+    return true;
+  }
+}
+
+/// Deletes everything in `dir` whose filename starts with `prefix` — the
+/// scratch files of one dead task attempt. Best-effort: cleanup must
+/// never mask the task's own error.
+void remove_attempt_files(const std::filesystem::path& dir,
+                          const std::string& prefix) {
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) return;
+  for (const auto& entry : it) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(prefix, 0) == 0) {
+      std::error_code rm_ec;
+      std::filesystem::remove(entry.path(), rm_ec);
+    }
+  }
+}
+
+void backoff_sleep(std::uint32_t base_ms, std::uint32_t failed_attempt) {
+  if (base_ms == 0) return;
+  const std::uint64_t ms = static_cast<std::uint64_t>(base_ms)
+                           << std::min<std::uint32_t>(failed_attempt, 10);
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+/// Shared state of the retry scheduler: attempt accounting plus the
+/// first permanent task failure (which dooms the job).
+struct RetryState {
+  std::uint32_t max_attempts;
+  std::uint32_t backoff_base_ms;
+  std::atomic<std::uint64_t> task_attempts{0};
+  std::atomic<std::uint64_t> tasks_retried{0};
+  std::atomic<bool> job_failed{false};
+  std::exception_ptr job_error;
+  std::mutex error_mu;
+
+  void record_permanent_failure(const std::string& what) {
+    record_permanent_error(std::make_exception_ptr(TaskFailedError(what)));
+  }
+
+  void record_permanent_error(std::exception_ptr error) {
+    std::lock_guard<std::mutex> lock(error_mu);
+    if (!job_error) job_error = std::move(error);
+    job_failed.store(true, std::memory_order_relaxed);
+  }
+
+  void rethrow_if_failed() {
+    if (job_error) std::rethrow_exception(job_error);
+  }
+};
+
+/// Runs one task with bounded retries. `run_attempt(attempt)` executes
+/// the task; `cleanup_attempt(attempt)` removes a dead attempt's files.
+/// Returns false when the task failed permanently (the job is doomed and
+/// the caller's worker should stop claiming tasks).
+template <typename RunAttempt, typename CleanupAttempt>
+bool run_with_retries(RetryState& retry, const char* kind, std::uint32_t id,
+                      obs::TraceCollector* collector,
+                      obs::TraceBuffer** worker_trace, std::uint32_t pid,
+                      std::uint32_t tid, const std::string& worker_name,
+                      RunAttempt&& run_attempt,
+                      CleanupAttempt&& cleanup_attempt) {
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    retry.task_attempts.fetch_add(1, std::memory_order_relaxed);
+    try {
+      run_attempt(attempt);
+      return true;
+    } catch (...) {
+      const std::string cause = current_error_message();
+      cleanup_attempt(attempt);
+      if (!is_retryable()) {
+        // Invariant/contract violations are deterministic: re-running
+        // cannot succeed, so propagate the original typed error at once.
+        retry.record_permanent_error(std::current_exception());
+        return false;
+      }
+      if (attempt + 1 >= retry.max_attempts) {
+        retry.record_permanent_failure(
+            std::string(kind) + " task " + std::to_string(id) +
+            " failed after " + std::to_string(attempt + 1) +
+            (attempt == 0 ? " attempt: " : " attempts: ") + cause);
+        return false;
+      }
+      if (attempt == 0) {
+        retry.tasks_retried.fetch_add(1, std::memory_order_relaxed);
+      }
+      TEXTMR_LOG(kWarn) << kind << " task " << id << " attempt " << attempt
+                        << " failed (" << cause << "); retrying";
+      if (collector != nullptr && *worker_trace == nullptr) {
+        *worker_trace = collector->make_buffer(pid, tid, worker_name);
+      }
+      obs::record_instant(*worker_trace, "retry", "task_retry", "task",
+                          static_cast<double>(id), "failed_attempt",
+                          static_cast<double>(attempt));
+      backoff_sleep(retry.backoff_base_ms, attempt);
+    }
+  }
 }
 
 }  // namespace
@@ -78,6 +207,14 @@ JobResult LocalEngine::run(const JobSpec& spec) {
     spill_bytes -= static_cast<std::size_t>(table_budget);
   }
 
+  // Task recovery (DESIGN.md §6): a failed attempt is cleaned up and the
+  // task re-run under a fresh attempt id; the worker keeps draining the
+  // task queue. Only a task that exhausts max_task_attempts dooms the
+  // job, at which point workers stop claiming new tasks.
+  RetryState retry;
+  retry.max_attempts = spec.max_task_attempts;
+  retry.backoff_base_ms = spec.retry_backoff_base_ms;
+
   // ---- map phase ---------------------------------------------------------
   obs::SpanTimer map_phase_span(driver_trace, "phase", "map_phase");
   const std::uint64_t map_phase_start = monotonic_ns();
@@ -91,45 +228,51 @@ JobResult LocalEngine::run(const JobSpec& spec) {
     // so tasks it runs share the frozen frequent-key set (§III-B).
     std::vector<freqbuf::NodeKeyCache> caches(workers);
     std::atomic<std::uint32_t> next_task{0};
-    std::exception_ptr first_error;
-    std::mutex error_mu;
 
     auto worker_body = [&](std::uint32_t worker_id) {
-      while (true) {
+      obs::TraceBuffer* worker_trace = nullptr;  // created on first retry
+      while (!retry.job_failed.load(std::memory_order_relaxed)) {
         const std::uint32_t task = next_task.fetch_add(1);
         if (task >= num_map_tasks) return;
-        try {
-          MapTaskConfig config;
-          config.task_id = task;
-          config.split = spec.inputs[task];
-          config.num_partitions = spec.num_reducers;
-          config.mapper = spec.mapper;
-          config.combiner = spec.combiner;
-          config.spill_buffer_bytes = spill_bytes;
-          config.spill_format = spec.spill_format;
-          config.support_threads = spec.support_threads;
-          config.scratch_dir = spec.scratch_dir;
-          if (spec.use_spill_matcher) {
-            config.spill_policy = [] {
-              return std::make_unique<spillmatch::SpillMatcher>();
-            };
-          } else {
-            const double threshold = spec.spill_threshold;
-            config.spill_policy = [threshold] {
-              return std::make_unique<spillmatch::FixedSpillPolicy>(threshold);
-            };
-          }
-          config.freqbuf = spec.freqbuf;
-          config.freq_table_budget_bytes = table_budget;
-          config.node_cache = &caches[worker_id];
-          config.keep_spill_runs = spec.keep_intermediates;
-          config.trace = collector.get();
-          map_results[task] = run_map_task(config);
-        } catch (...) {
-          std::lock_guard<std::mutex> lock(error_mu);
-          if (!first_error) first_error = std::current_exception();
-          return;
-        }
+        const bool ok = run_with_retries(
+            retry, "map", task, collector.get(), &worker_trace,
+            obs::kDriverPid, obs::kMapWorkerTidBase + worker_id,
+            "map-worker-" + std::to_string(worker_id),
+            [&](std::uint32_t attempt) {
+              MapTaskConfig config;
+              config.task_id = task;
+              config.attempt = attempt;
+              config.split = spec.inputs[task];
+              config.num_partitions = spec.num_reducers;
+              config.mapper = spec.mapper;
+              config.combiner = spec.combiner;
+              config.spill_buffer_bytes = spill_bytes;
+              config.spill_format = spec.spill_format;
+              config.support_threads = spec.support_threads;
+              config.scratch_dir = spec.scratch_dir;
+              if (spec.use_spill_matcher) {
+                config.spill_policy = [] {
+                  return std::make_unique<spillmatch::SpillMatcher>();
+                };
+              } else {
+                const double threshold = spec.spill_threshold;
+                config.spill_policy = [threshold] {
+                  return std::make_unique<spillmatch::FixedSpillPolicy>(
+                      threshold);
+                };
+              }
+              config.freqbuf = spec.freqbuf;
+              config.freq_table_budget_bytes = table_budget;
+              config.node_cache = &caches[worker_id];
+              config.keep_spill_runs = spec.keep_intermediates;
+              config.trace = collector.get();
+              map_results[task] = run_map_task(config);
+            },
+            [&](std::uint32_t attempt) {
+              remove_attempt_files(spec.scratch_dir,
+                                   map_attempt_prefix(task, attempt));
+            });
+        if (!ok) return;
       }
     };
 
@@ -143,7 +286,7 @@ JobResult LocalEngine::run(const JobSpec& spec) {
       }
       for (auto& t : threads) t.join();
     }
-    if (first_error) std::rethrow_exception(first_error);
+    retry.rethrow_if_failed();
   }
   map_phase_span.done();
   result.metrics.map_phase_wall_ns = monotonic_ns() - map_phase_start;
@@ -178,48 +321,60 @@ JobResult LocalEngine::run(const JobSpec& spec) {
   std::vector<ReduceTaskResult> reduce_results(spec.num_reducers);
   {
     std::atomic<std::uint32_t> next_partition{0};
-    std::exception_ptr first_error;
-    std::mutex error_mu;
 
-    auto worker_body = [&] {
-      while (true) {
+    auto worker_body = [&](std::uint32_t worker_id) {
+      obs::TraceBuffer* worker_trace = nullptr;  // created on first retry
+      while (!retry.job_failed.load(std::memory_order_relaxed)) {
         const std::uint32_t partition = next_partition.fetch_add(1);
         if (partition >= spec.num_reducers) return;
-        try {
-          ReduceTaskConfig config;
-          config.partition = partition;
-          config.map_outputs = map_outputs;
-          config.reducer = spec.reducer;
-          config.grouping = spec.grouping;
-          config.spill_format = spec.spill_format;
-          config.output_path = spec.output_dir / part_name(partition);
-          config.trace = collector.get();
-          reduce_results[partition] = run_reduce_task(config);
-        } catch (...) {
-          std::lock_guard<std::mutex> lock(error_mu);
-          if (!first_error) first_error = std::current_exception();
-          return;
-        }
+        const std::filesystem::path output_path =
+            spec.output_dir / part_name(partition);
+        const bool ok = run_with_retries(
+            retry, "reduce", partition, collector.get(), &worker_trace,
+            obs::kDriverPid, obs::kReduceWorkerTidBase + worker_id,
+            "reduce-worker-" + std::to_string(worker_id),
+            [&](std::uint32_t attempt) {
+              ReduceTaskConfig config;
+              config.partition = partition;
+              config.attempt = attempt;
+              config.map_outputs = map_outputs;
+              config.reducer = spec.reducer;
+              config.grouping = spec.grouping;
+              config.spill_format = spec.spill_format;
+              config.output_path = output_path;
+              config.trace = collector.get();
+              reduce_results[partition] = run_reduce_task(config);
+            },
+            [&](std::uint32_t attempt) {
+              std::error_code ec;
+              std::filesystem::remove(
+                  reduce_attempt_tmp_path(output_path, attempt), ec);
+            });
+        if (!ok) return;
       }
     };
 
     const std::uint32_t workers =
         std::min<std::uint32_t>(spec.reduce_parallelism, spec.num_reducers);
     if (workers == 1) {
-      worker_body();
+      worker_body(0);
     } else {
       std::vector<std::thread> threads;
       threads.reserve(workers);
       for (std::uint32_t w = 0; w < workers; ++w) {
-        threads.emplace_back(worker_body);
+        threads.emplace_back(worker_body, w);
       }
       for (auto& t : threads) t.join();
     }
-    if (first_error) std::rethrow_exception(first_error);
+    retry.rethrow_if_failed();
   }
   reduce_phase_span.done();
   result.metrics.reduce_phase_wall_ns = monotonic_ns() - reduce_phase_start;
   result.metrics.reduce_tasks = spec.num_reducers;
+  result.metrics.task_attempts =
+      retry.task_attempts.load(std::memory_order_relaxed);
+  result.metrics.tasks_retried =
+      retry.tasks_retried.load(std::memory_order_relaxed);
 
   for (auto& reduce_result : reduce_results) {
     result.outputs.push_back(reduce_result.output_path);

@@ -13,7 +13,13 @@ namespace textmr::mr {
 class LocalEngine {
  public:
   /// Validates `spec`, runs the job, returns outputs + metrics.
-  /// Throws ConfigError for invalid specs and propagates task errors.
+  ///
+  /// Task failures (I/O errors, user-code exceptions — injected or real)
+  /// are recovered by re-executing the failed task on a fresh attempt id,
+  /// up to JobSpec::max_task_attempts times with exponential backoff; the
+  /// dead attempt's scratch files are removed first so a retry never sees
+  /// them. Throws ConfigError for invalid specs and TaskFailedError when
+  /// a task exhausts its attempts.
   JobResult run(const JobSpec& spec);
 };
 

@@ -69,6 +69,17 @@ struct JobSpec {
 
   bool keep_intermediates = false;
 
+  /// Task-level fault recovery (DESIGN.md §6): a map or reduce task that
+  /// throws is cleaned up and re-executed on a fresh attempt id, up to
+  /// this many attempts total; only then does the job abort (with
+  /// TaskFailedError). 1 restores fail-fast behaviour.
+  std::uint32_t max_task_attempts = 3;
+
+  /// Base of the exponential backoff between attempts of one task:
+  /// attempt k (1-based retry) sleeps base * 2^(k-1) milliseconds.
+  /// 0 disables the sleep (tests).
+  std::uint32_t retry_backoff_base_ms = 10;
+
   /// Structured tracing (see src/obs/trace.hpp). Off by default; when off
   /// every instrumentation hook is a single null-pointer check. When on,
   /// JobResult::trace carries the merged events for Chrome-trace / JSONL

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/failpoint.hpp"
 #include "common/stopwatch.hpp"
 #include "mr/merger.hpp"
 #include "mr/partitioner.hpp"
@@ -68,6 +69,11 @@ class EmitRouter final : public EmitSink {
 };
 
 }  // namespace
+
+std::string map_attempt_prefix(std::uint32_t task_id, std::uint32_t attempt) {
+  return "map" + std::to_string(task_id) + "_a" + std::to_string(attempt) +
+         "_";
+}
 
 MapTaskResult run_map_task(const MapTaskConfig& config) {
   TEXTMR_CHECK(static_cast<bool>(config.mapper), "map task needs a mapper");
@@ -145,8 +151,8 @@ MapTaskResult run_map_task(const MapTaskConfig& config) {
           const std::uint64_t consume_start = monotonic_ns();
           const std::string run_path =
               (config.scratch_dir /
-               ("map" + std::to_string(config.task_id) + "_spill" +
-                std::to_string(spill->sequence) + ".run"))
+               (map_attempt_prefix(config.task_id, config.attempt) +
+                "spill" + std::to_string(spill->sequence) + ".run"))
                   .string();
           auto info = sort_and_spill(*spill, local.combiner.get(), run_path,
                                      config.num_partitions,
@@ -211,6 +217,7 @@ MapTaskResult run_map_task(const MapTaskConfig& config) {
       if (freq != nullptr) {
         freq->set_progress(reader.fraction_consumed());
       }
+      TEXTMR_FAILPOINT("map.user_code");
       {
         ScopedTimer map_timer(result.map_thread, Op::kMapUser);
         mapper->map(offset, *line, router);
@@ -263,7 +270,7 @@ MapTaskResult run_map_task(const MapTaskConfig& config) {
   // ---- final merge --------------------------------------------------------
   const std::string out_path =
       (config.scratch_dir /
-       ("map" + std::to_string(config.task_id) + "_output.run"))
+       (map_attempt_prefix(config.task_id, config.attempt) + "output.run"))
           .string();
   if (runs.empty()) {
     // No output at all: write an empty run so downstream cursors work.

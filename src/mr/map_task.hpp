@@ -18,6 +18,11 @@ namespace textmr::mr {
 /// input split.
 struct MapTaskConfig {
   std::uint32_t task_id = 0;
+  /// Execution attempt of this task (0-based). Every scratch file the
+  /// attempt writes is prefixed with map_attempt_prefix(task_id, attempt),
+  /// so a retry never reads — and the engine can cleanly delete — a dead
+  /// attempt's runs.
+  std::uint32_t attempt = 0;
   io::InputSplit split;
   std::uint32_t num_partitions = 1;
 
@@ -64,6 +69,11 @@ struct MapTaskResult {
       freqbuf::FreqBufferController::Stage::kPreProfile;
   double freq_sampling_fraction = 0.0;
 };
+
+/// Scratch-file name prefix for one (task, attempt) pair — e.g.
+/// "map3_a1_". Shared by the task (file creation) and the engine
+/// (failed-attempt cleanup by prefix scan).
+std::string map_attempt_prefix(std::uint32_t task_id, std::uint32_t attempt);
 
 /// Runs one map task: map thread (caller's thread) + one support thread,
 /// exactly Hadoop's 1-map 1-support structure that the paper instruments

@@ -85,6 +85,10 @@ struct JobMetrics {
   TaskMetrics reduce_work;   // reduce tasks only
   std::uint64_t map_tasks = 0;
   std::uint64_t reduce_tasks = 0;
+  /// Task-recovery accounting: total task attempts (>= map_tasks +
+  /// reduce_tasks) and how many tasks needed more than one attempt.
+  std::uint64_t task_attempts = 0;
+  std::uint64_t tasks_retried = 0;
   std::uint64_t map_phase_wall_ns = 0;
   std::uint64_t reduce_phase_wall_ns = 0;
   std::uint64_t job_wall_ns = 0;

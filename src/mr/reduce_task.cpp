@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "common/error.hpp"
+#include "common/failpoint.hpp"
 #include "common/stopwatch.hpp"
 #include "mr/merger.hpp"
 
@@ -83,6 +84,11 @@ void call_reduce(Reducer& reducer, std::string_view key, ValueStream& values,
 
 }  // namespace
 
+std::filesystem::path reduce_attempt_tmp_path(
+    const std::filesystem::path& output_path, std::uint32_t attempt) {
+  return output_path.string() + ".a" + std::to_string(attempt) + ".tmp";
+}
+
 ReduceTaskResult run_reduce_task(const ReduceTaskConfig& config) {
   TEXTMR_CHECK(static_cast<bool>(config.reducer), "reduce task needs reducer");
   ReduceTaskResult result;
@@ -127,7 +133,12 @@ ReduceTaskResult run_reduce_task(const ReduceTaskConfig& config) {
 
   std::unique_ptr<Reducer> reducer = config.reducer();
   reducer->begin_task(TaskInfo{config.partition, &result.counters});
-  PartFileWriter out(config.output_path, metrics);
+  // Crash consistency: write to an attempt temp file, rename onto the
+  // final name only after a successful close. A failed attempt leaves the
+  // final path untouched (and its temp is removed by the engine).
+  const std::filesystem::path tmp_path =
+      reduce_attempt_tmp_path(config.output_path, config.attempt);
+  PartFileWriter out(tmp_path, metrics);
 
   obs::SpanTimer apply_span(trace, "task", "reduce_apply");
   if (config.grouping == Grouping::kSorted) {
@@ -175,6 +186,8 @@ ReduceTaskResult run_reduce_task(const ReduceTaskConfig& config) {
     obs::SpanTimer close_span(trace, "task", "output_close");
     out.close();
   }
+  TEXTMR_FAILPOINT("reduce.output_rename");
+  std::filesystem::rename(tmp_path, config.output_path);
   result.wall_ns = monotonic_ns() - task_start;
   return result;
 }

@@ -19,6 +19,10 @@ enum class Grouping : std::uint8_t { kSorted, kHash };
 
 struct ReduceTaskConfig {
   std::uint32_t partition = 0;
+  /// Execution attempt (0-based). The task writes to an attempt-suffixed
+  /// temp file and renames it onto `output_path` only on success, so a
+  /// failed attempt never leaves a partial part file behind.
+  std::uint32_t attempt = 0;
   std::vector<io::SpillRunInfo> map_outputs;  // one per map task
   ReducerFactory reducer;
   Grouping grouping = Grouping::kSorted;
@@ -37,8 +41,15 @@ struct ReduceTaskResult {
   std::uint64_t wall_ns = 0;
 };
 
+/// Temp file one reduce attempt writes before the commit rename — e.g.
+/// "part-r-00002.a1.tmp". Shared by the task and the engine's
+/// failed-attempt cleanup.
+std::filesystem::path reduce_attempt_tmp_path(
+    const std::filesystem::path& output_path, std::uint32_t attempt);
+
 /// Runs one reduce task: fetches its partition from every map output
-/// (shuffle), merges/groups, applies reduce(), writes the part file.
+/// (shuffle), merges/groups, applies reduce(), writes the part file to an
+/// attempt temp name and renames it into place on success.
 ReduceTaskResult run_reduce_task(const ReduceTaskConfig& config);
 
 }  // namespace textmr::mr

@@ -89,6 +89,13 @@ std::string format_job_report(const JobResult& result,
                "support thread idle %.1f%%\n",
           100.0 * m.map_idle_fraction(), 100.0 * m.support_idle_fraction());
 
+  if (m.tasks_retried > 0) {
+    appendf(out, "recovery: %llu tasks retried, %llu attempts for %llu tasks\n",
+            static_cast<unsigned long long>(m.tasks_retried),
+            static_cast<unsigned long long>(m.task_attempts),
+            static_cast<unsigned long long>(m.map_tasks + m.reduce_tasks));
+  }
+
   appendf(out, "volumes:\n");
   appendf(out, "  input            %10llu records %12.1f KB\n",
           static_cast<unsigned long long>(work.input_records),
@@ -178,6 +185,8 @@ std::string format_job_metrics_json(const JobResult& result,
   w.end_object();
   w.field("map_tasks", m.map_tasks);
   w.field("reduce_tasks", m.reduce_tasks);
+  w.field("task_attempts", m.task_attempts);
+  w.field("tasks_retried", m.tasks_retried);
 
   w.key("work");
   write_task_metrics(w, m.work);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/failpoint.hpp"
 #include "common/stopwatch.hpp"
 
 namespace textmr::mr {
@@ -55,6 +56,7 @@ io::SpillRunInfo sort_and_spill(Spill& spill, Reducer* combiner,
                                 std::uint32_t num_partitions,
                                 io::SpillFormat format, TaskMetrics& metrics,
                                 obs::TraceBuffer* trace) {
+  TEXTMR_FAILPOINT("support.sort");
   {
     obs::SpanTimer sort_span(trace, "spill", "spill_sort");
     sort_span.arg("records", static_cast<double>(spill.records.size()));

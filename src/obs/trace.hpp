@@ -54,6 +54,9 @@ inline constexpr std::uint32_t kMapThreadTid = 0;
 inline constexpr std::uint32_t kSupportThreadTidBase = 1;  // +support index
 inline constexpr std::uint32_t kSpillBufferTid = 99;
 inline constexpr std::uint32_t kReduceThreadTid = 0;
+// Engine scheduler threads (retry events) live under kDriverPid.
+inline constexpr std::uint32_t kMapWorkerTidBase = 1;       // +worker index
+inline constexpr std::uint32_t kReduceWorkerTidBase = 1001;  // +worker index
 
 struct TraceConfig {
   bool enabled = false;

@@ -6,6 +6,7 @@
 // paper's central correctness claim — the optimizations "require no user
 // code changes" and never alter job semantics.
 
+#include "common/failpoint.hpp"
 #include "helpers.hpp"
 
 namespace textmr {
@@ -20,6 +21,7 @@ struct EngineParams {
   bool matcher;
   mr::Grouping grouping;
   io::SpillFormat format;
+  std::string fail_spec;  // empty = no fault injection
 };
 
 void PrintTo(const EngineParams& p, std::ostream* os) {
@@ -28,7 +30,8 @@ void PrintTo(const EngineParams& p, std::ostream* os) {
       << "KiB freq=" << p.freqbuf << " matcher=" << p.matcher
       << " grouping=" << (p.grouping == mr::Grouping::kSorted ? "sort" : "hash")
       << " fmt="
-      << (p.format == io::SpillFormat::kCompactVarint ? "varint" : "fixed32");
+      << (p.format == io::SpillFormat::kCompactVarint ? "varint" : "fixed32")
+      << " fail=" << (p.fail_spec.empty() ? "none" : p.fail_spec);
 }
 
 class EngineEquivalenceTest : public ::testing::TestWithParam<EngineParams> {};
@@ -58,8 +61,16 @@ TEST_P(EngineEquivalenceTest, WordCountEqualsReferenceUnderAllConfigs) {
     spec.freqbuf.pre_profile_fraction = 0.02;
   }
 
+  // Fault-injection axis: recovery (re-executed attempts, cleanup,
+  // re-spills) must be as semantics-preserving as the optimizations.
+  failpoint::ScopedFailpoints failpoints(p.fail_spec);
+  spec.retry_backoff_base_ms = 0;
+
   mr::LocalEngine engine;
   const auto result = engine.run(spec);
+  if (!p.fail_spec.empty()) {
+    EXPECT_GE(result.metrics.tasks_retried, 1u);
+  }
   const auto expected = test::reference_wordcount(corpus.string());
   const auto actual = test::read_outputs(result.outputs);
   ASSERT_EQ(actual.size(), expected.size());
@@ -69,6 +80,16 @@ TEST_P(EngineEquivalenceTest, WordCountEqualsReferenceUnderAllConfigs) {
 }
 
 std::vector<EngineParams> equivalence_matrix() {
+  // Fault axis: sites that every configuration is guaranteed to reach
+  // (support.sort is skipped here — hash grouping never sorts).
+  const std::string fail_specs[] = {
+      "",
+      "spill.write:nth=1",
+      "dfs.open:nth=1",
+      "map.user_code:nth=1",
+      "reduce.output_rename:nth=1",
+      "spill.read:nth=1",
+  };
   std::vector<EngineParams> params;
   std::uint64_t seed = 1000;
   for (const bool freq : {false, true}) {
@@ -79,7 +100,8 @@ std::vector<EngineParams> equivalence_matrix() {
             static_cast<std::size_t>(seed % 2 == 0 ? 32 : 96), freq, matcher,
             seed % 3 == 0 ? mr::Grouping::kHash : mr::Grouping::kSorted,
             seed % 2 == 0 ? io::SpillFormat::kCompactVarint
-                          : io::SpillFormat::kFixed32});
+                          : io::SpillFormat::kFixed32,
+            fail_specs[params.size() % std::size(fail_specs)]});
       }
     }
   }

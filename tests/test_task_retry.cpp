@@ -1,0 +1,275 @@
+#include <gtest/gtest.h>
+
+// Task retry / recovery battery (DESIGN.md §6): every failpoint site,
+// injected on the first attempt, must leave the job output byte-identical
+// to an uninjected run, with no orphaned scratch files and the recovery
+// counters reporting the retry. Exhausted retries must surface a clean
+// TaskFailedError without hanging any worker or support thread.
+
+#include <atomic>
+#include <fstream>
+#include <memory>
+
+#include "common/failpoint.hpp"
+#include "helpers.hpp"
+#include "mr/report.hpp"
+
+namespace textmr {
+namespace {
+
+namespace fp = textmr::failpoint;
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  return contents;
+}
+
+std::vector<std::string> directory_entries(const std::filesystem::path& dir) {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    names.push_back(entry.path().filename().string());
+  }
+  return names;
+}
+
+class TaskRetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fp::disarm_all();
+    textgen::CorpusSpec corpus_spec;
+    corpus_spec.total_words = 20000;
+    corpus_spec.vocabulary = 600;
+    corpus_spec.seed = 99;
+    corpus_ = dir_.file("corpus.txt");
+    textgen::generate_corpus(corpus_spec, corpus_.string());
+    splits_ = io::make_splits(corpus_.string(), 32 * 1024);
+    ASSERT_GE(splits_.size(), 2u);
+  }
+  void TearDown() override { fp::disarm_all(); }
+
+  /// The acceptance-criteria job: wordcount with frequency buffering and
+  /// the spill matcher on, so every failpoint site is actually reached.
+  mr::JobSpec make_spec(const std::string& tag) {
+    auto spec = test::make_job(apps::wordcount_app(), splits_,
+                               dir_.file("s_" + tag), dir_.file("o_" + tag));
+    spec.spill_buffer_bytes = 32 * 1024;  // several spills per task
+    spec.use_spill_matcher = true;
+    spec.freqbuf.enabled = true;
+    spec.freqbuf.top_k = 40;
+    spec.retry_backoff_base_ms = 0;  // keep the battery fast
+    return spec;
+  }
+
+  TempDir dir_;
+  std::filesystem::path corpus_;
+  std::vector<io::InputSplit> splits_;
+};
+
+TEST_F(TaskRetryTest, EverySiteRecoversWithByteIdenticalOutput) {
+  mr::LocalEngine engine;
+  const auto clean_spec = make_spec("clean");
+  const auto clean = engine.run(clean_spec);
+  std::vector<std::string> clean_parts;
+  for (const auto& part : clean.outputs) {
+    clean_parts.push_back(read_file(part));
+  }
+  EXPECT_EQ(clean.metrics.tasks_retried, 0u);
+  EXPECT_EQ(clean.metrics.task_attempts,
+            clean.metrics.map_tasks + clean.metrics.reduce_tasks);
+
+  const char* kSites[] = {"spill.write",  "spill.read",
+                          "dfs.open",     "map.user_code",
+                          "reduce.output_rename", "support.sort"};
+  for (const char* site : kSites) {
+    SCOPED_TRACE(site);
+    const auto spec = make_spec(site);
+    fp::ScopedFailpoints guard(std::string(site) + ":nth=1");
+    const auto result = engine.run(spec);
+
+    EXPECT_GE(result.metrics.tasks_retried, 1u);
+    EXPECT_GT(result.metrics.task_attempts,
+              result.metrics.map_tasks + result.metrics.reduce_tasks);
+    ASSERT_EQ(result.outputs.size(), clean.outputs.size());
+    for (std::size_t i = 0; i < result.outputs.size(); ++i) {
+      EXPECT_EQ(read_file(result.outputs[i]), clean_parts[i])
+          << result.outputs[i];
+    }
+    // Recovery must not leak attempt files: scratch is empty and the
+    // output directory holds only the final part files.
+    EXPECT_TRUE(directory_entries(spec.scratch_dir).empty())
+        << spec.scratch_dir;
+    EXPECT_EQ(directory_entries(spec.output_dir).size(),
+              result.outputs.size());
+    for (const auto& name : directory_entries(spec.output_dir)) {
+      EXPECT_EQ(name.find(".tmp"), std::string::npos) << name;
+    }
+  }
+}
+
+TEST_F(TaskRetryTest, ExhaustedAttemptsFailCleanlyOnTheSpillPath) {
+  auto spec = make_spec("exhaust_spill");
+  spec.max_task_attempts = 2;
+  fp::ScopedFailpoints guard("spill.write:always");
+  mr::LocalEngine engine;
+  EXPECT_THROW(engine.run(spec), TaskFailedError);
+  // Every dead attempt was cleaned up, and reaching this line at all
+  // proves no worker or support thread was left hanging.
+  EXPECT_TRUE(directory_entries(spec.scratch_dir).empty());
+}
+
+TEST_F(TaskRetryTest, ExhaustedAttemptsFailCleanlyOnTheSupportThread) {
+  auto spec = make_spec("exhaust_sort");
+  spec.max_task_attempts = 2;
+  fp::ScopedFailpoints guard("support.sort:always");
+  mr::LocalEngine engine;
+  EXPECT_THROW(engine.run(spec), TaskFailedError);
+  EXPECT_TRUE(directory_entries(spec.scratch_dir).empty());
+}
+
+TEST_F(TaskRetryTest, ExhaustionReportsTheSiteAndAttemptCount) {
+  auto spec = make_spec("exhaust_msg");
+  spec.max_task_attempts = 3;
+  fp::ScopedFailpoints guard("map.user_code:always");
+  mr::LocalEngine engine;
+  try {
+    engine.run(spec);
+    FAIL() << "job did not fail";
+  } catch (const TaskFailedError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("3 attempts"), std::string::npos) << what;
+    EXPECT_NE(what.find("map.user_code"), std::string::npos) << what;
+  }
+}
+
+TEST_F(TaskRetryTest, MaxAttemptsOneFailsFast) {
+  auto spec = make_spec("fail_fast");
+  spec.max_task_attempts = 1;
+  fp::ScopedFailpoints guard("spill.write:nth=1");
+  mr::LocalEngine engine;
+  EXPECT_THROW(engine.run(spec), TaskFailedError);
+}
+
+TEST_F(TaskRetryTest, ZeroMaxAttemptsIsRejected) {
+  auto spec = make_spec("bad_spec");
+  spec.max_task_attempts = 0;
+  mr::LocalEngine engine;
+  EXPECT_THROW(engine.run(spec), ConfigError);
+}
+
+TEST_F(TaskRetryTest, RetryCountersAppearInMetricsJsonAndReport) {
+  auto spec = make_spec("metrics");
+  fp::ScopedFailpoints guard("spill.write:nth=1");
+  mr::LocalEngine engine;
+  const auto result = engine.run(spec);
+  ASSERT_GE(result.metrics.tasks_retried, 1u);
+
+  const auto json = mr::format_job_metrics_json(result, spec.name);
+  EXPECT_NE(json.find("\"tasks_retried\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"task_attempts\""), std::string::npos);
+
+  const auto report = mr::format_job_report(result, spec.name);
+  EXPECT_NE(report.find("recovery:"), std::string::npos) << report;
+}
+
+TEST_F(TaskRetryTest, RetriesEmitTraceEvents) {
+  auto spec = make_spec("trace");
+  spec.trace.enabled = true;
+  fp::ScopedFailpoints guard("map.user_code:nth=1");
+  mr::LocalEngine engine;
+  const auto result = engine.run(spec);
+  ASSERT_GE(result.metrics.tasks_retried, 1u);
+  EXPECT_EQ(obs::count_events(result.trace, "task_retry"),
+            result.metrics.task_attempts -
+                (result.metrics.map_tasks + result.metrics.reduce_tasks));
+}
+
+/// Wraps another mapper and throws IoError on the first map() call of
+/// task 0, exactly once per test (shared flag across instances).
+class FailTask0Once final : public mr::Mapper {
+ public:
+  FailTask0Once(std::unique_ptr<mr::Mapper> inner,
+                std::shared_ptr<std::atomic<bool>> failed)
+      : inner_(std::move(inner)), failed_(std::move(failed)) {}
+
+  void begin_task(const mr::TaskInfo& info) override {
+    task_id_ = info.task_id;
+    inner_->begin_task(info);
+  }
+
+  void map(std::uint64_t offset, std::string_view line,
+           mr::EmitSink& out) override {
+    if (task_id_ == 0 && !failed_->exchange(true)) {
+      throw IoError("simulated transient map failure");
+    }
+    inner_->map(offset, line, out);
+  }
+
+ private:
+  std::unique_ptr<mr::Mapper> inner_;
+  std::shared_ptr<std::atomic<bool>> failed_;
+  std::uint32_t task_id_ = 0;
+};
+
+/// Regression for the worker-drain bug: with 2 workers and 4+ tasks where
+/// task 0 fails transiently, the worker that hit the failure must keep
+/// claiming queue entries — previously it returned on first error, so
+/// half the task queue went unprocessed whenever any retry happened.
+TEST_F(TaskRetryTest, WorkersKeepDrainingTheQueueAfterATransientFailure) {
+  const auto small_splits = io::make_splits(
+      corpus_.string(),
+      std::filesystem::file_size(corpus_) / 4 + 1);
+  ASSERT_GE(small_splits.size(), 4u);
+
+  const auto app = apps::wordcount_app();
+  auto failed = std::make_shared<std::atomic<bool>>(false);
+  auto spec = test::make_job(app, small_splits, dir_.file("s_drain"),
+                             dir_.file("o_drain"));
+  spec.mapper = [inner = app.mapper, failed] {
+    return std::make_unique<FailTask0Once>(inner(), failed);
+  };
+  spec.map_parallelism = 2;
+  spec.retry_backoff_base_ms = 0;
+
+  mr::LocalEngine engine;
+  const auto result = engine.run(spec);
+  EXPECT_EQ(result.metrics.map_tasks, small_splits.size());
+  EXPECT_EQ(result.metrics.tasks_retried, 1u);
+  EXPECT_EQ(result.metrics.task_attempts,
+            small_splits.size() + 1 + result.metrics.reduce_tasks);
+
+  const auto expected = test::reference_wordcount(corpus_.string());
+  const auto actual = test::read_outputs(result.outputs);
+  ASSERT_EQ(actual.size(), expected.size());
+  for (const auto& [word, count] : expected) {
+    ASSERT_EQ(actual.at(word), std::to_string(count)) << word;
+  }
+}
+
+/// Contract violations (InternalError) are not retried: the original
+/// typed error must reach the caller unwrapped after a single attempt.
+TEST_F(TaskRetryTest, NonRetryableErrorsPropagateImmediately) {
+  auto spec = make_spec("nonretry");
+  // A combiner that emits under the wrong key trips the engine's
+  // key-preservation check, an InternalError.
+  spec.combiner = [] {
+    return std::make_unique<mr::LambdaReducer>(
+        [](std::string_view, mr::ValueStream& values, mr::EmitSink& out) {
+          while (values.next()) {
+          }
+          out.emit("hijacked", "1");
+        });
+  };
+  mr::LocalEngine engine;
+  try {
+    engine.run(spec);
+    FAIL() << "job did not fail";
+  } catch (const InternalError&) {
+    // expected: not wrapped in TaskFailedError, not retried
+  }
+}
+
+}  // namespace
+}  // namespace textmr
