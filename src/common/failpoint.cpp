@@ -4,9 +4,9 @@
 #include <chrono>
 #include <cstdlib>
 #include <map>
-#include <mutex>
 #include <thread>
 
+#include "common/mutex.hpp"
 #include "common/rng.hpp"
 
 namespace textmr::failpoint {
@@ -25,9 +25,9 @@ struct SiteState {
 };
 
 struct Registry {
-  std::mutex mu;
+  Mutex mu{LockRank::kFailpoint, "failpoint.registry"};
   // std::less<> for string_view lookups without temporary strings.
-  std::map<std::string, SiteState, std::less<>> sites;
+  std::map<std::string, SiteState, std::less<>> sites TEXTMR_GUARDED_BY(mu);
 };
 
 Registry& registry() {
@@ -121,7 +121,7 @@ void arm(std::string site, Config config) {
                       "': nth and p triggers are mutually exclusive");
   }
   Registry& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(reg.mu);
   const auto [it, inserted] = reg.sites.try_emplace(std::move(site));
   if (inserted) {
     detail::g_armed_sites.fetch_add(1, std::memory_order_relaxed);
@@ -133,7 +133,7 @@ void arm(std::string site, Config config) {
 
 void disarm(std::string_view site) {
   Registry& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(reg.mu);
   const auto it = reg.sites.find(site);
   if (it == reg.sites.end()) return;
   reg.sites.erase(it);
@@ -142,7 +142,7 @@ void disarm(std::string_view site) {
 
 void disarm_all() {
   Registry& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(reg.mu);
   detail::g_armed_sites.fetch_sub(
       static_cast<std::uint32_t>(reg.sites.size()),
       std::memory_order_relaxed);
@@ -151,7 +151,7 @@ void disarm_all() {
 
 std::optional<Action> consume(std::string_view site) {
   Registry& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(reg.mu);
   const auto it = reg.sites.find(site);
   if (it == reg.sites.end()) return std::nullopt;
   SiteState& state = it->second;
@@ -190,14 +190,14 @@ void check(std::string_view site) {
 
 std::uint64_t hit_count(std::string_view site) {
   Registry& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(reg.mu);
   const auto it = reg.sites.find(site);
   return it == reg.sites.end() ? 0 : it->second.hits;
 }
 
 std::uint64_t fire_count(std::string_view site) {
   Registry& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(reg.mu);
   const auto it = reg.sites.find(site);
   return it == reg.sites.end() ? 0 : it->second.fires;
 }
@@ -256,7 +256,7 @@ void arm_from_spec(std::string_view spec) {
 
 std::string format_spec() {
   Registry& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(reg.mu);
   std::string out;
   for (const auto& [site, state] : reg.sites) {  // std::map: sorted
     if (!out.empty()) out.push_back(',');

@@ -10,11 +10,13 @@ Logger& Logger::instance() {
   return logger;
 }
 
-void Logger::set_level(LogLevel level) { level_ = level; }
+void Logger::set_level(LogLevel level) {
+  level_.store(level, std::memory_order_relaxed);
+}
 
 void Logger::write(LogLevel level, const std::string& message) {
   static const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::fprintf(stderr, "[textmr %s] %s\n",
                kNames[static_cast<int>(level)], message.c_str());
 }

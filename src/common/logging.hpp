@@ -1,8 +1,10 @@
 #pragma once
 
-#include <mutex>
+#include <atomic>
 #include <sstream>
 #include <string>
+
+#include "common/mutex.hpp"
 
 namespace textmr {
 
@@ -18,14 +20,19 @@ class Logger {
   static Logger& instance();
 
   void set_level(LogLevel level);
-  LogLevel level() const { return level_; }
+  LogLevel level() const { return level_.load(std::memory_order_relaxed); }
 
   void write(LogLevel level, const std::string& message);
 
  private:
   Logger() = default;
-  LogLevel level_ = LogLevel::kWarn;
-  std::mutex mu_;
+  // Atomic, not guarded: the level is checked on every TEXTMR_LOG site,
+  // possibly while the caller holds other locks, and set_level() may race
+  // with concurrent logging (tests flip it around threaded runs).
+  std::atomic<LogLevel> level_{LogLevel::kWarn};
+  // Serializes stderr so concurrent log lines never interleave. kLogging
+  // is the innermost rank band: logging is legal under any other lock.
+  Mutex mu_{LockRank::kLogging, "logging.stderr"};
 };
 
 void set_log_level(LogLevel level);

@@ -1,0 +1,148 @@
+#include "common/mutex.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace textmr {
+
+const char* lock_rank_name(LockRank rank) {
+  switch (rank) {
+    case LockRank::kEngine: return "engine";
+    case LockRank::kMapTask: return "map_task";
+    case LockRank::kFreqBuf: return "freqbuf";
+    case LockRank::kSpillBuffer: return "spill_buffer";
+    case LockRank::kTempDir: return "tempdir";
+    case LockRank::kFailpoint: return "failpoint";
+    case LockRank::kTrace: return "trace";
+    case LockRank::kLogging: return "logging";
+  }
+  return "unknown";
+}
+
+#if TEXTMR_LOCK_RANK_CHECKS
+
+namespace {
+
+/// Locks held by the calling thread, in acquisition order. A plain
+/// vector: the stack is tiny (the deepest sanctioned chain is
+/// map_task -> spill_buffer -> logging) and thread-local, so push/pop
+/// cost a few unsynchronized stores — the "near-zero cost" the debug
+/// checker promises.
+thread_local std::vector<const Mutex*> t_held;
+
+/// Registry of live mutexes for test introspection. Deliberately a raw
+/// std::mutex: the registry must not itself participate in rank
+/// checking (registration happens inside Mutex construction).
+struct Registry {
+  std::mutex mu;
+  std::vector<const Mutex*> live;
+};
+
+Registry& registry() {
+  static Registry* instance = new Registry;  // leaked: safe at exit
+  return *instance;
+}
+
+[[noreturn]] void abort_with_held_stack(const char* what, const Mutex& mu) {
+  std::fprintf(stderr,
+               "textmr: %s: acquiring \"%s\" (rank %u, band %s) while this "
+               "thread holds %zu lock(s):\n",
+               what, mu.name(), static_cast<unsigned>(mu.rank()),
+               lock_rank_name(mu.rank()), t_held.size());
+  for (const Mutex* held : t_held) {
+    std::fprintf(stderr, "  held: \"%s\" (rank %u, band %s)\n", held->name(),
+                 static_cast<unsigned>(held->rank()),
+                 lock_rank_name(held->rank()));
+  }
+  std::fprintf(stderr,
+               "textmr: locks must be acquired in strictly increasing rank "
+               "order (DESIGN.md section 7)\n");
+  std::abort();
+}
+
+/// Called BEFORE blocking on the underlying mutex, so an inversion
+/// aborts with a report instead of deadlocking.
+void check_acquire(const Mutex& mu) {
+  std::uint32_t max_held = 0;
+  for (const Mutex* held : t_held) {
+    if (held == &mu) {
+      abort_with_held_stack("lock-rank self-deadlock", mu);
+    }
+    max_held = std::max(max_held, static_cast<std::uint32_t>(held->rank()));
+  }
+  if (!t_held.empty() && static_cast<std::uint32_t>(mu.rank()) <= max_held) {
+    abort_with_held_stack("lock-rank violation", mu);
+  }
+}
+
+void note_acquired(const Mutex& mu) { t_held.push_back(&mu); }
+
+void note_released(const Mutex& mu) {
+  // Search from the back: releases are almost always LIFO, but CondVar
+  // re-acquisition and out-of-order unlock keep this general.
+  for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+    if (*it == &mu) {
+      t_held.erase(std::next(it).base());
+      return;
+    }
+  }
+  std::fprintf(stderr,
+               "textmr: lock-rank violation: releasing \"%s\" (rank %u) "
+               "not held by this thread\n",
+               mu.name(), static_cast<unsigned>(mu.rank()));
+  std::abort();
+}
+
+}  // namespace
+
+Mutex::Mutex(LockRank rank, const char* name) : rank_(rank), name_(name) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.live.push_back(this);
+}
+
+Mutex::~Mutex() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::erase(reg.live, this);
+}
+
+void Mutex::lock() {
+  check_acquire(*this);
+  mu_.lock();
+  note_acquired(*this);
+}
+
+void Mutex::unlock() {
+  note_released(*this);
+  mu_.unlock();
+}
+
+std::vector<MutexInfo> lock_rank_registry() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::vector<MutexInfo> out;
+  out.reserve(reg.live.size());
+  for (const Mutex* mu : reg.live) {
+    out.push_back(MutexInfo{mu->name(), mu->rank()});
+  }
+  return out;
+}
+
+std::size_t held_lock_count() { return t_held.size(); }
+
+#else  // !TEXTMR_LOCK_RANK_CHECKS
+
+Mutex::Mutex(LockRank rank, const char* name) : rank_(rank), name_(name) {}
+Mutex::~Mutex() = default;
+
+void Mutex::lock() { mu_.lock(); }
+void Mutex::unlock() { mu_.unlock(); }
+
+std::vector<MutexInfo> lock_rank_registry() { return {}; }
+std::size_t held_lock_count() { return 0; }
+
+#endif  // TEXTMR_LOCK_RANK_CHECKS
+
+}  // namespace textmr

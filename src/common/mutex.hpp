@@ -1,0 +1,106 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/thread_annotations.hpp"
+
+namespace textmr {
+
+/// Global lock hierarchy (DESIGN.md §7). A thread may only acquire a
+/// mutex whose rank is STRICTLY GREATER than every mutex it already
+/// holds, so low ranks are outer/coarse locks and high ranks are leaf
+/// locks that may be taken while anything else is held. Each subsystem
+/// owns one band (step 100) leaving room for intermediate ranks as the
+/// engine grows (more workers, sharding, multi-support threads).
+///
+/// The debug lock-rank checker (TEXTMR_LOCK_RANK_CHECKS) enforces this
+/// at runtime on every acquisition and aborts deterministically on the
+/// first inversion — no lucky interleaving required.
+enum class LockRank : std::uint32_t {
+  kEngine = 100,       // mr/engine: retry scheduler error state
+  kMapTask = 200,      // mr/map_task: support-thread shared results
+  kFreqBuf = 300,      // freqbuf: per-node frozen frequent-key cache
+  kSpillBuffer = 400,  // mr/spill_buffer: circular ring + spill queue
+  kTempDir = 500,      // common/tempdir: reserved (currently lock-free)
+  kFailpoint = 600,    // common/failpoint: fault-injection registry
+  kTrace = 700,        // obs: trace-collector ring registry
+  kLogging = 800,      // common/logging: stderr sink (innermost leaf)
+};
+
+/// Human-readable name of a rank band; "unknown" for unregistered values.
+const char* lock_rank_name(LockRank rank);
+
+/// Annotated mutex capability. Every mutex in the tree carries a fixed
+/// LockRank and a stable name (string literal) used in lock-rank abort
+/// reports; construction/destruction also maintains the debug registry
+/// behind lock_rank_registry().
+class TEXTMR_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex(LockRank rank, const char* name);
+  ~Mutex();
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() TEXTMR_ACQUIRE();
+  void unlock() TEXTMR_RELEASE();
+
+  LockRank rank() const { return rank_; }
+  const char* name() const { return name_; }
+
+ private:
+  std::mutex mu_;
+  const LockRank rank_;
+  const char* const name_;
+};
+
+/// RAII lock scope (the only sanctioned way to hold a Mutex).
+class TEXTMR_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) TEXTMR_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() TEXTMR_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable paired with textmr::Mutex. wait() releases and
+/// re-acquires through Mutex::lock/unlock, so the lock-rank checker's
+/// per-thread held stack stays consistent across the wait.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& mu) TEXTMR_REQUIRES(mu) { cv_.wait(mu); }
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+// ---- lock-rank checker introspection (tests) ------------------------------
+
+struct MutexInfo {
+  std::string name;
+  LockRank rank;
+};
+
+/// Live mutexes, in construction order. Empty when the checker is
+/// compiled out (TEXTMR_LOCK_RANK_CHECKS=0).
+std::vector<MutexInfo> lock_rank_registry();
+
+/// Number of textmr::Mutex locks the calling thread currently holds
+/// (always 0 when the checker is compiled out).
+std::size_t held_lock_count();
+
+}  // namespace textmr

@@ -1,0 +1,75 @@
+#pragma once
+
+/// Clang thread-safety-analysis annotations (DESIGN.md §7).
+///
+/// Under Clang with `-Wthread-safety` (the TEXTMR_THREAD_SAFETY CMake
+/// option turns it into `-Werror=thread-safety`) these macros expand to
+/// the `capability`-family attributes, letting the compiler prove at
+/// build time that every access to a `TEXTMR_GUARDED_BY(mu)` field
+/// happens with `mu` held and that `TEXTMR_REQUIRES(mu)` functions are
+/// only called under the right lock. Under every other compiler they
+/// expand to nothing, so the annotated tree stays portable.
+///
+/// Use `textmr::Mutex` / `textmr::MutexLock` (common/mutex.hpp) as the
+/// annotated capability; raw `std::mutex` outside that wrapper is
+/// rejected by `tools/lint.py`.
+
+#if defined(__clang__) && !defined(SWIG)
+#define TEXTMR_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define TEXTMR_THREAD_ANNOTATION_(x)
+#endif
+
+/// Marks a class as a lockable capability; `x` is the capability kind
+/// shown in diagnostics (normally "mutex").
+#define TEXTMR_CAPABILITY(x) TEXTMR_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor
+/// releases a capability.
+#define TEXTMR_SCOPED_CAPABILITY TEXTMR_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Data member readable/writable only with the given capability held.
+#define TEXTMR_GUARDED_BY(x) TEXTMR_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by the given capability.
+#define TEXTMR_PT_GUARDED_BY(x) TEXTMR_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function that may only be called with the capabilities already held.
+#define TEXTMR_REQUIRES(...) \
+  TEXTMR_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Function that acquires the capabilities and does not release them.
+#define TEXTMR_ACQUIRE(...) \
+  TEXTMR_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Function that releases capabilities acquired earlier.
+#define TEXTMR_RELEASE(...) \
+  TEXTMR_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function that acquires the capability iff it returns true.
+#define TEXTMR_TRY_ACQUIRE(...) \
+  TEXTMR_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Function that must NOT be called with the capabilities held
+/// (deadlock guard for self-locking APIs).
+#define TEXTMR_EXCLUDES(...) \
+  TEXTMR_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Asserts (without acquiring) that the capability is held.
+#define TEXTMR_ASSERT_CAPABILITY(x) \
+  TEXTMR_THREAD_ANNOTATION_(assert_capability(x))
+
+/// Function returning a reference to the given capability.
+#define TEXTMR_RETURN_CAPABILITY(x) TEXTMR_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Declares the relative acquisition order between capabilities; the
+/// authoritative order is the runtime LockRank table in common/mutex.hpp.
+#define TEXTMR_ACQUIRED_BEFORE(...) \
+  TEXTMR_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define TEXTMR_ACQUIRED_AFTER(...) \
+  TEXTMR_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+/// Escape hatch for functions the analysis cannot model. Every use must
+/// carry a comment explaining why it is sound.
+#define TEXTMR_NO_THREAD_SAFETY_ANALYSIS \
+  TEXTMR_THREAD_ANNOTATION_(no_thread_safety_analysis)

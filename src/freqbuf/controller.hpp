@@ -2,12 +2,12 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "freqbuf/frequent_key_table.hpp"
 #include "mr/metrics.hpp"
 #include "mr/types.hpp"
@@ -55,23 +55,26 @@ struct FreqBufConfig {
   bool share_across_tasks = true;
 };
 
-/// Per-node cache of the frozen frequent-key set.
+/// Per-node cache of the frozen frequent-key set. Shared by every map
+/// task a worker ("node") runs, hence the lock: concurrent tasks race to
+/// publish their frozen set and the first writer wins (paper §III-B).
 class NodeKeyCache {
  public:
   std::optional<std::vector<std::string>> get() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    textmr::MutexLock lock(mu_);
     return keys_;
   }
 
   /// First writer wins; later tasks keep the established set.
   void put(std::vector<std::string> keys) {
-    std::lock_guard<std::mutex> lock(mu_);
+    textmr::MutexLock lock(mu_);
     if (!keys_.has_value()) keys_ = std::move(keys);
   }
 
  private:
-  mutable std::mutex mu_;
-  std::optional<std::vector<std::string>> keys_;
+  mutable textmr::Mutex mu_{textmr::LockRank::kFreqBuf,
+                            "freqbuf.node_key_cache"};
+  std::optional<std::vector<std::string>> keys_ TEXTMR_GUARDED_BY(mu_);
 };
 
 /// Map-side frequency-buffering state machine. One instance per map task,

@@ -2,11 +2,11 @@
 
 #include <atomic>
 #include <chrono>
-#include <mutex>
 #include <thread>
 
 #include "common/error.hpp"
 #include "common/logging.hpp"
+#include "common/mutex.hpp"
 #include "common/stopwatch.hpp"
 
 namespace textmr::mr {
@@ -108,21 +108,30 @@ struct RetryState {
   std::atomic<std::uint64_t> task_attempts{0};
   std::atomic<std::uint64_t> tasks_retried{0};
   std::atomic<bool> job_failed{false};
-  std::exception_ptr job_error;
-  std::mutex error_mu;
+  textmr::Mutex error_mu{textmr::LockRank::kEngine, "mr.engine.retry_error"};
+  std::exception_ptr job_error TEXTMR_GUARDED_BY(error_mu);
 
   void record_permanent_failure(const std::string& what) {
     record_permanent_error(std::make_exception_ptr(TaskFailedError(what)));
   }
 
   void record_permanent_error(std::exception_ptr error) {
-    std::lock_guard<std::mutex> lock(error_mu);
+    textmr::MutexLock lock(error_mu);
     if (!job_error) job_error = std::move(error);
     job_failed.store(true, std::memory_order_relaxed);
   }
 
+  // Annotation-surfaced fix (PR 3): this used to read job_error unlocked,
+  // racing a straggler worker's record_permanent_error() — benign-looking
+  // because the engine joins first, but the phase barrier only covers the
+  // phase's own workers, and the unlocked read was unprovable anyway.
   void rethrow_if_failed() {
-    if (job_error) std::rethrow_exception(job_error);
+    std::exception_ptr error;
+    {
+      textmr::MutexLock lock(error_mu);
+      error = job_error;
+    }
+    if (error) std::rethrow_exception(error);
   }
 };
 

@@ -1,12 +1,12 @@
 #include "mr/map_task.hpp"
 
 #include <map>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/error.hpp"
 #include "common/failpoint.hpp"
+#include "common/mutex.hpp"
 #include "common/stopwatch.hpp"
 #include "mr/merger.hpp"
 #include "mr/partitioner.hpp"
@@ -112,11 +112,17 @@ MapTaskResult run_map_task(const MapTaskConfig& config) {
   // ---- support threads ----------------------------------------------------
   // Each thread gets its own Counters and metrics (no locks on the hot
   // path); merged after join. The runs list, the spill policy and (with
-  // several threads) run ordering are guarded by `support_mu`.
+  // several threads) run ordering are guarded by `shared.mu`. kMapTask
+  // ranks below kSpillBuffer: a support thread consults the spill policy
+  // (and re-enters the buffer to apply its threshold) while holding it.
   Counters map_counters;
-  std::mutex support_mu;
-  std::map<std::uint64_t, io::SpillRunInfo> runs_by_sequence;
-  std::exception_ptr support_error;
+  struct SupportShared {
+    textmr::Mutex mu{textmr::LockRank::kMapTask, "mr.map_task.support"};
+    std::map<std::uint64_t, io::SpillRunInfo> runs_by_sequence
+        TEXTMR_GUARDED_BY(mu);
+    std::exception_ptr error TEXTMR_GUARDED_BY(mu);
+  };
+  SupportShared shared;
 
   struct SupportState {
     Counters counters;
@@ -160,8 +166,8 @@ MapTaskResult run_map_task(const MapTaskConfig& config) {
                                      support_trace);
           const std::uint64_t consume_ns = monotonic_ns() - consume_start;
           buffer.release(*spill, consume_ns);
-          std::lock_guard<std::mutex> lock(support_mu);
-          runs_by_sequence.emplace(spill->sequence, std::move(info));
+          textmr::MutexLock lock(shared.mu);
+          shared.runs_by_sequence.emplace(spill->sequence, std::move(info));
           if (auto timing = buffer.last_timing(); timing.has_value()) {
             const double next = policy->next_threshold(spillmatch::Timing{
                 timing->produce_ns, timing->consume_ns, timing->data_bytes});
@@ -176,10 +182,13 @@ MapTaskResult run_map_task(const MapTaskConfig& config) {
           }
         }
       } catch (...) {
-        std::lock_guard<std::mutex> lock(support_mu);
-        if (!support_error) support_error = std::current_exception();
+        {
+          textmr::MutexLock lock(shared.mu);
+          if (!shared.error) shared.error = std::current_exception();
+        }
         // Unblock the producer: its puts would otherwise wait forever for
-        // releases that will never come.
+        // releases that will never come. Outside the lock — abort() takes
+        // the buffer's own mutex and needs no ordering with `shared.mu`.
         buffer.abort();
       }
     });
@@ -199,6 +208,13 @@ MapTaskResult run_map_task(const MapTaskConfig& config) {
         spill_sink, result.map_thread, config.node_cache, map_trace);
   }
   EmitRouter router(spill_sink, freq.get(), result.map_thread);
+
+  // The joins above/below make these reads safe, but the analysis (rightly)
+  // cannot see a join; taking the lock is cheap and keeps the proof local.
+  auto support_error = [&shared]() -> std::exception_ptr {
+    textmr::MutexLock lock(shared.mu);
+    return shared.error;
+  };
 
   try {
     std::unique_ptr<Mapper> mapper = config.mapper();
@@ -240,20 +256,23 @@ MapTaskResult run_map_task(const MapTaskConfig& config) {
     // cause — a support thread's error wins if both failed.
     buffer.abort();
     for (auto& thread : support_pool) thread.join();
-    if (support_error) std::rethrow_exception(support_error);
+    if (auto error = support_error()) std::rethrow_exception(error);
     throw;
   }
   buffer.close();
   for (auto& thread : support_pool) thread.join();
-  if (support_error) std::rethrow_exception(support_error);
+  if (auto error = support_error()) std::rethrow_exception(error);
   for (auto& state : support_states) {
     result.support_thread += state.metrics;
     result.counters += state.counters;
   }
   std::vector<io::SpillRunInfo> runs;
-  runs.reserve(runs_by_sequence.size());
-  for (auto& [sequence, info] : runs_by_sequence) {
-    runs.push_back(std::move(info));
+  {
+    textmr::MutexLock lock(shared.mu);
+    runs.reserve(shared.runs_by_sequence.size());
+    for (auto& [sequence, info] : shared.runs_by_sequence) {
+      runs.push_back(std::move(info));
+    }
   }
   result.pipeline_wall_ns = monotonic_ns() - task_start;
 

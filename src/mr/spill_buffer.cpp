@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/error.hpp"
+#include "common/mutex.hpp"
 #include "common/stopwatch.hpp"
 
 namespace textmr::mr {
@@ -27,13 +28,13 @@ SpillBuffer::SpillBuffer(std::size_t capacity_bytes, double initial_threshold,
 }
 
 void SpillBuffer::set_threshold(double threshold) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   threshold_ = std::clamp(threshold, kMinThreshold, kMaxThreshold);
   obs::record_counter(trace_, "spill", "spill_threshold", threshold_);
 }
 
 double SpillBuffer::threshold() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return threshold_;
 }
 
@@ -73,7 +74,7 @@ void SpillBuffer::put(std::uint32_t partition, std::string_view key,
                       " bytes exceeds spill buffer capacity " +
                       std::to_string(capacity_));
   }
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   TEXTMR_CHECK(!closed_, "put after close");
   if (aborted_) throw InternalError("spill buffer aborted (consumer failed)");
   if (current_records_.empty()) {
@@ -94,7 +95,7 @@ void SpillBuffer::put(std::uint32_t partition, std::string_view key,
     // deadlock waiting on each other).
     if (outstanding_ < max_outstanding_) seal_locked();
     const std::uint64_t wait_start = monotonic_ns();
-    space_available_.wait(lock);
+    space_available_.wait(mu_);
     const std::uint64_t waited = monotonic_ns() - wait_start;
     producer_wait_ns_ += waited;
     current_wait_ns_ += waited;
@@ -133,7 +134,7 @@ void SpillBuffer::put(std::uint32_t partition, std::string_view key,
 }
 
 void SpillBuffer::close() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   TEXTMR_CHECK(!closed_, "close called twice");
   if (!current_records_.empty()) {
     seal_locked();
@@ -144,17 +145,17 @@ void SpillBuffer::close() {
 }
 
 void SpillBuffer::abort() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   aborted_ = true;
   space_available_.notify_all();
   spill_available_.notify_all();
 }
 
 std::optional<Spill> SpillBuffer::take() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   while (sealed_.empty() && !closed_ && !aborted_) {
     const std::uint64_t wait_start = monotonic_ns();
-    spill_available_.wait(lock);
+    spill_available_.wait(mu_);
     consumer_wait_ns_ += monotonic_ns() - wait_start;
   }
   if (aborted_ || sealed_.empty()) return std::nullopt;
@@ -164,7 +165,7 @@ std::optional<Spill> SpillBuffer::take() {
 }
 
 void SpillBuffer::release(const Spill& spill, std::uint64_t consume_ns) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   TEXTMR_CHECK(outstanding_ > 0, "release without outstanding spill");
   --outstanding_;
   // Ring space is reclaimed in seal order; a spill released ahead of an
@@ -196,22 +197,22 @@ void SpillBuffer::release(const Spill& spill, std::uint64_t consume_ns) {
 }
 
 std::uint64_t SpillBuffer::producer_wait_ns() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return producer_wait_ns_;
 }
 
 std::uint64_t SpillBuffer::consumer_wait_ns() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return consumer_wait_ns_;
 }
 
 std::uint64_t SpillBuffer::spills_sealed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return sequence_;
 }
 
 std::optional<SpillTiming> SpillBuffer::last_timing() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return last_timing_;
 }
 

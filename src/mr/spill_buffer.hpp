@@ -1,14 +1,13 @@
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string_view>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "obs/trace.hpp"
 
 namespace textmr::mr {
@@ -126,45 +125,55 @@ class SpillBuffer {
   std::optional<SpillTiming> last_timing() const;
 
  private:
-  std::uint64_t free_bytes_locked() const { return capacity_ - used_; }
-  void seal_locked();  // move current region to the sealed queue
+  std::uint64_t free_bytes_locked() const TEXTMR_REQUIRES(mu_) {
+    return capacity_ - used_;
+  }
+  // Moves the current region to the sealed queue.
+  void seal_locked() TEXTMR_REQUIRES(mu_);
 
   const std::size_t capacity_;
+  // Ring *payload*. Not guarded: the producer writes a record's bytes
+  // under mu_, and once the region is sealed its bytes are immutable
+  // until release(), so consumers read them lock-free through the
+  // RecordRefs of the Spill they took.
   std::vector<char> ring_;
 
-  mutable std::mutex mu_;
-  std::condition_variable space_available_;
-  std::condition_variable spill_available_;
+  mutable textmr::Mutex mu_{textmr::LockRank::kSpillBuffer,
+                            "mr.spill_buffer"};
+  textmr::CondVar space_available_;
+  textmr::CondVar spill_available_;
 
-  // Ring state (guarded by mu_).
-  std::size_t head_ = 0;  // oldest live byte
-  std::size_t tail_ = 0;  // next allocation point
-  std::uint64_t used_ = 0;
+  // Ring allocation state.
+  std::size_t head_ TEXTMR_GUARDED_BY(mu_) = 0;  // oldest live byte
+  std::size_t tail_ TEXTMR_GUARDED_BY(mu_) = 0;  // next allocation point
+  std::uint64_t used_ TEXTMR_GUARDED_BY(mu_) = 0;
 
-  // Current (unsealed) region, owned by the producer.
-  std::vector<RecordRef> current_records_;
-  std::uint64_t current_ring_bytes_ = 0;
-  std::uint64_t current_data_bytes_ = 0;
-  std::uint64_t current_started_ns_ = 0;  // first put after previous seal
-  std::uint64_t current_wait_ns_ = 0;     // producer wait during this region
+  // Current (unsealed) region, filled by the producer.
+  std::vector<RecordRef> current_records_ TEXTMR_GUARDED_BY(mu_);
+  std::uint64_t current_ring_bytes_ TEXTMR_GUARDED_BY(mu_) = 0;
+  std::uint64_t current_data_bytes_ TEXTMR_GUARDED_BY(mu_) = 0;
+  // First put after previous seal / producer wait during this region.
+  std::uint64_t current_started_ns_ TEXTMR_GUARDED_BY(mu_) = 0;
+  std::uint64_t current_wait_ns_ TEXTMR_GUARDED_BY(mu_) = 0;
 
-  std::deque<Spill> sealed_;
-  std::uint64_t outstanding_ = 0;  // sealed or taken-but-unreleased spills
-  std::uint32_t max_outstanding_ = 1;
+  std::deque<Spill> sealed_ TEXTMR_GUARDED_BY(mu_);
+  // Sealed or taken-but-unreleased spills.
+  std::uint64_t outstanding_ TEXTMR_GUARDED_BY(mu_) = 0;
+  std::uint32_t max_outstanding_ = 1;  // set once in the constructor
   // Out-of-order release bookkeeping: ring bytes of released spills that
   // are still blocked behind an unreleased earlier spill.
-  std::map<std::uint64_t, std::uint64_t> released_;
-  std::uint64_t next_free_sequence_ = 0;
-  double threshold_;
-  bool closed_ = false;
-  bool aborted_ = false;
-  std::uint64_t sequence_ = 0;
+  std::map<std::uint64_t, std::uint64_t> released_ TEXTMR_GUARDED_BY(mu_);
+  std::uint64_t next_free_sequence_ TEXTMR_GUARDED_BY(mu_) = 0;
+  double threshold_ TEXTMR_GUARDED_BY(mu_);
+  bool closed_ TEXTMR_GUARDED_BY(mu_) = false;
+  bool aborted_ TEXTMR_GUARDED_BY(mu_) = false;
+  std::uint64_t sequence_ TEXTMR_GUARDED_BY(mu_) = 0;
 
-  std::uint64_t producer_wait_ns_ = 0;
-  std::uint64_t consumer_wait_ns_ = 0;
-  std::optional<SpillTiming> last_timing_;
+  std::uint64_t producer_wait_ns_ TEXTMR_GUARDED_BY(mu_) = 0;
+  std::uint64_t consumer_wait_ns_ TEXTMR_GUARDED_BY(mu_) = 0;
+  std::optional<SpillTiming> last_timing_ TEXTMR_GUARDED_BY(mu_);
 
-  obs::TraceBuffer* trace_ = nullptr;  // written only under mu_
+  obs::TraceBuffer* const trace_;  // pointee written only under mu_
 };
 
 }  // namespace textmr::mr

@@ -30,7 +30,7 @@ TraceCollector::TraceCollector(TraceConfig config)
 TraceBuffer* TraceCollector::make_buffer(std::uint32_t pid, std::uint32_t tid,
                                          std::string thread_name,
                                          std::string process_name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  textmr::MutexLock lock(mu_);
   buffers_.emplace_back(pid, tid, config_.ring_capacity);
   thread_names_.push_back({pid, tid, std::move(thread_name)});
   if (!process_name.empty()) {
@@ -43,7 +43,7 @@ TraceBuffer* TraceCollector::make_buffer(std::uint32_t pid, std::uint32_t tid,
 }
 
 TraceData TraceCollector::finish() {
-  std::lock_guard<std::mutex> lock(mu_);
+  textmr::MutexLock lock(mu_);
   TraceData data;
   data.enabled = true;
   data.job_name = std::move(job_name_);

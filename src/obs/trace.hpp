@@ -3,11 +3,11 @@
 #include <cstdint>
 #include <deque>
 #include <filesystem>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "common/stopwatch.hpp"
 
 namespace textmr::obs {
@@ -134,7 +134,10 @@ class TraceCollector {
                            std::string thread_name,
                            std::string process_name = "");
 
-  void set_job_name(std::string name) { job_name_ = std::move(name); }
+  void set_job_name(std::string name) {
+    textmr::MutexLock lock(mu_);
+    job_name_ = std::move(name);
+  }
 
   /// Merges all rings into a ts-sorted TraceData and leaves the
   /// collector empty.
@@ -143,11 +146,15 @@ class TraceCollector {
  private:
   TraceConfig config_;
   std::uint64_t epoch_ns_;
-  std::string job_name_;
-  std::mutex mu_;
-  std::deque<TraceBuffer> buffers_;  // deque: stable addresses
-  std::vector<std::pair<std::uint32_t, std::string>> process_names_;
-  std::vector<TraceData::ThreadName> thread_names_;
+  // mu_ guards the ring registry, not ring contents: recording into a
+  // TraceBuffer stays lock-free (single-writer contract above), and
+  // finish() may only run after every writer thread has joined.
+  mutable textmr::Mutex mu_{textmr::LockRank::kTrace, "obs.trace_collector"};
+  std::string job_name_ TEXTMR_GUARDED_BY(mu_);
+  std::deque<TraceBuffer> buffers_ TEXTMR_GUARDED_BY(mu_);  // stable addresses
+  std::vector<std::pair<std::uint32_t, std::string>> process_names_
+      TEXTMR_GUARDED_BY(mu_);
+  std::vector<TraceData::ThreadName> thread_names_ TEXTMR_GUARDED_BY(mu_);
 };
 
 // ---- recording helpers (no-ops on a null buffer) -------------------------

@@ -1,0 +1,18 @@
+// MUST NOT COMPILE under -Werror=thread-safety: calls a REQUIRES(mu)
+// function without holding mu. If this target ever builds, the
+// thread-safety gate has rotted (see tests/compile_fail/CMakeLists.txt).
+
+#include "common/mutex.hpp"
+
+namespace {
+
+textmr::Mutex g_mu{textmr::LockRank::kEngine, "compile_fail.requires_mu"};
+int g_value TEXTMR_GUARDED_BY(g_mu) = 0;
+
+void bump_locked() TEXTMR_REQUIRES(g_mu) { ++g_value; }
+
+}  // namespace
+
+void compile_fail_requires_probe() {
+  bump_locked();  // error: calling bump_locked() requires holding g_mu
+}

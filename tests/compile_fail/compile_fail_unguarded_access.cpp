@@ -1,0 +1,25 @@
+// MUST NOT COMPILE under -Werror=thread-safety: writes a GUARDED_BY
+// field without holding its mutex. If this target ever builds, the
+// thread-safety gate has rotted (see tests/compile_fail/CMakeLists.txt).
+
+#include "common/mutex.hpp"
+
+namespace {
+
+class Unguarded {
+ public:
+  void increment() {
+    ++value_;  // error: writing value_ requires holding mu_
+  }
+
+ private:
+  textmr::Mutex mu_{textmr::LockRank::kEngine, "compile_fail.mu"};
+  int value_ TEXTMR_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+void compile_fail_probe() {
+  Unguarded u;
+  u.increment();
+}

@@ -1,0 +1,32 @@
+// Positive control for the negative-compile harness: correctly guarded
+// code must build clean under -Werror=thread-safety. If this target ever
+// fails, the compile_fail_* results are meaningless.
+
+#include "common/mutex.hpp"
+
+namespace {
+
+class Guarded {
+ public:
+  void increment() {
+    textmr::MutexLock lock(mu_);
+    ++value_;
+  }
+
+  int value() const {
+    textmr::MutexLock lock(mu_);
+    return value_;
+  }
+
+ private:
+  mutable textmr::Mutex mu_{textmr::LockRank::kEngine, "compile_pass.mu"};
+  int value_ TEXTMR_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int compile_pass_probe() {
+  Guarded g;
+  g.increment();
+  return g.value();
+}

@@ -77,6 +77,27 @@ TEST(Logging, LevelsGateOutput) {
   SUCCEED();
 }
 
+TEST(Logging, ConcurrentSetLevelAndLogIsRaceFree) {
+  // Regression test for PR 3's annotation-surfaced fix: Logger::level_
+  // used to be a plain enum written by set_level() while every TEXTMR_LOG
+  // site read it concurrently — a data race the TSan CI job now polices
+  // here. Logging is routed to kOff half the time so the test stays quiet.
+  std::thread flipper([] {
+    for (int i = 0; i < 200; ++i) {
+      set_log_level(i % 2 == 0 ? LogLevel::kOff : LogLevel::kError);
+    }
+  });
+  std::thread writer([] {
+    for (int i = 0; i < 200; ++i) {
+      TEXTMR_LOG(kDebug) << "racing line " << i;
+    }
+  });
+  flipper.join();
+  writer.join();
+  set_log_level(LogLevel::kWarn);  // restore default
+  SUCCEED();
+}
+
 TEST(OpNames, AllOpsNamed) {
   for (std::size_t i = 0; i < mr::kNumOps; ++i) {
     const char* name = mr::op_name(static_cast<mr::Op>(i));

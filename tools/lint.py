@@ -1,0 +1,204 @@
+#!/usr/bin/env python3
+"""Repo lint: project invariants clang-tidy cannot express (DESIGN.md §7).
+
+Checks (all on by default):
+  pragma-once    every header starts with `#pragma once`
+  raw-threading  no std::mutex / std::lock_guard / std::unique_lock /
+                 std::condition_variable / std::scoped_lock /
+                 std::shared_mutex / std::recursive_mutex outside the
+                 annotated wrapper (src/common/mutex.*); everything else
+                 must use textmr::Mutex so it participates in the
+                 thread-safety analysis and the lock-rank checker
+  banned-calls   no system() / rand() / srand() / gets() / tmpnam() /
+                 strtok() — non-reentrant, non-deterministic, or unsafe
+  op-names       every mr::Op enumerator is covered by op_name()
+
+`--format-check` additionally runs clang-format in dry-run mode over the
+C++ tree (requires clang-format on PATH; skipped with a warning
+otherwise, or a failure under --strict).
+
+A line can opt out of a content check with a trailing `// lint:allow`.
+
+Exit status: 0 clean, 1 violations, 2 internal/usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+CXX_DIRS = ("src", "tests", "bench", "examples")
+HEADER_SUFFIXES = {".hpp", ".h"}
+SOURCE_SUFFIXES = {".hpp", ".h", ".cpp", ".cc"}
+
+# The annotated wrapper is the only place raw primitives may live.
+RAW_THREADING_ALLOWLIST = {
+    "src/common/mutex.hpp",
+    "src/common/mutex.cpp",
+    "src/common/thread_annotations.hpp",
+}
+
+RAW_THREADING_RE = re.compile(
+    r"std::(mutex|recursive_mutex|shared_mutex|timed_mutex|lock_guard|"
+    r"unique_lock|scoped_lock|shared_lock|condition_variable)\b"
+)
+
+BANNED_CALL_RE = re.compile(r"(?<![\w:.])(system|rand|srand|gets|tmpnam|strtok)\s*\(")
+
+ALLOW_MARKER = "// lint:allow"
+
+
+def cxx_files(suffixes) -> list[Path]:
+    files = []
+    for top in CXX_DIRS:
+        root = REPO / top
+        if not root.is_dir():
+            continue
+        files.extend(
+            p for p in sorted(root.rglob("*")) if p.suffix in suffixes and p.is_file()
+        )
+    return files
+
+
+def strip_noncode(line: str) -> str:
+    """Crude removal of string literals and // comments for content checks."""
+    line = re.sub(r'"(\\.|[^"\\])*"', '""', line)
+    line = re.sub(r"'(\\.|[^'\\])*'", "''", line)
+    cut = line.find("//")
+    return line if cut < 0 else line[:cut]
+
+
+def report(problems: list[str], path: Path, lineno: int, message: str) -> None:
+    rel = path.relative_to(REPO)
+    problems.append(f"{rel}:{lineno}: {message}")
+
+
+def check_pragma_once(problems: list[str]) -> None:
+    for path in cxx_files(HEADER_SUFFIXES):
+        with open(path, encoding="utf-8") as f:
+            first = f.readline().rstrip("\n")
+        if first.strip() != "#pragma once":
+            report(problems, path, 1, "header must start with '#pragma once'")
+
+
+def check_content_rules(problems: list[str]) -> None:
+    for path in cxx_files(SOURCE_SUFFIXES):
+        rel = str(path.relative_to(REPO)).replace("\\", "/")
+        in_wrapper = rel in RAW_THREADING_ALLOWLIST
+        for lineno, raw in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+            if ALLOW_MARKER in raw:
+                continue
+            code = strip_noncode(raw)
+            if not in_wrapper and rel.startswith("src/"):
+                m = RAW_THREADING_RE.search(code)
+                if m:
+                    report(
+                        problems, path, lineno,
+                        f"raw {m.group(0)} outside common/mutex.*; use "
+                        "textmr::Mutex / MutexLock / CondVar",
+                    )
+            m = BANNED_CALL_RE.search(code)
+            if m:
+                report(
+                    problems, path, lineno,
+                    f"banned call {m.group(1)}() (non-deterministic or unsafe)",
+                )
+
+
+def check_op_names(problems: list[str]) -> None:
+    header = REPO / "src/mr/metrics.hpp"
+    source = REPO / "src/mr/metrics.cpp"
+    enum_match = re.search(
+        r"enum class Op[^{]*\{(.*?)\};", header.read_text(encoding="utf-8"), re.S
+    )
+    if not enum_match:
+        report(problems, header, 1, "could not find 'enum class Op'")
+        return
+    enumerators = [
+        name
+        for name in re.findall(r"^\s*(k\w+)", enum_match.group(1), re.M)
+        if name != "kNumOps"
+    ]
+    body = source.read_text(encoding="utf-8")
+    fn_match = re.search(r"op_name\(Op op\)\s*\{(.*?)\n\}", body, re.S)
+    if not fn_match:
+        report(problems, source, 1, "could not find op_name(Op) definition")
+        return
+    covered = set(re.findall(r"case Op::(k\w+)", fn_match.group(1)))
+    for name in enumerators:
+        if name not in covered:
+            report(
+                problems, source, 1,
+                f"Op::{name} has no case in op_name(); traces/reports would "
+                "label it 'unknown'",
+            )
+
+
+def find_clang_format() -> str | None:
+    for candidate in (
+        "clang-format",
+        *(f"clang-format-{v}" for v in range(20, 13, -1)),
+    ):
+        if shutil.which(candidate):
+            return candidate
+    return None
+
+
+def run_format_check(strict: bool) -> int:
+    binary = find_clang_format()
+    if binary is None:
+        print("lint: clang-format not found on PATH; format check skipped")
+        return 1 if strict else 0
+    files = [str(p) for p in cxx_files(SOURCE_SUFFIXES)]
+    result = subprocess.run(
+        [binary, "--dry-run", "-Werror", *files], cwd=REPO,
+        capture_output=True, text=True,
+    )
+    if result.returncode != 0:
+        sys.stdout.write(result.stderr)
+        print("lint: clang-format check failed (run clang-format -i to fix)")
+        return 1
+    print(f"lint: format check ok ({len(files)} files, {binary})")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--format-check", action="store_true",
+        help="also verify formatting with clang-format --dry-run",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="fail (instead of skip) when clang-format is unavailable",
+    )
+    args = parser.parse_args()
+
+    problems: list[str] = []
+    check_pragma_once(problems)
+    check_content_rules(problems)
+    check_op_names(problems)
+
+    for problem in problems:
+        print(problem)
+
+    status = 0
+    if problems:
+        print(f"lint: {len(problems)} violation(s)")
+        status = 1
+    else:
+        print("lint: invariants ok")
+
+    if args.format_check and run_format_check(args.strict) != 0:
+        status = 1
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())
