@@ -112,15 +112,15 @@ void BM_SortAndSpill(benchmark::State& state) {
   std::string value;
   put_varint(value, 1);
   int run_id = 0;
+  mr::RecordArena arena;
   for (auto _ : state) {
     state.PauseTiming();
-    // Rebuild the spill (records reference stable key storage).
+    // Rebuild the spill (framed records live in the reused arena).
+    arena.clear();
     mr::Spill spill;
     spill.records.reserve(keys.size());
     for (const auto& key : keys) {
-      spill.records.push_back(mr::RecordRef{
-          key.data(), value.data(), static_cast<std::uint32_t>(key.size()),
-          static_cast<std::uint32_t>(value.size()), 0});
+      spill.records.push_back(arena.append(0, key, value));
     }
     mr::TaskMetrics metrics;
     const auto path = dir.file("run" + std::to_string(run_id++)).string();

@@ -22,11 +22,13 @@ class BufferValueStream final : public mr::ValueStream {
   std::size_t pos_ = 0;
 };
 
-/// Captures combiner output values, asserting the key-preserving contract.
+/// Captures combiner output values into a caller-owned buffer, asserting
+/// the key-preserving contract. The caller provides the buffer so its
+/// capacity can be recycled across combines (no per-combine allocation).
 class CaptureSink final : public mr::EmitSink {
  public:
-  explicit CaptureSink(std::string_view expected_key)
-      : expected_key_(expected_key) {}
+  CaptureSink(std::string_view expected_key, std::string& out)
+      : buffer(out), expected_key_(expected_key) {}
 
   void emit(std::string_view key, std::string_view value) override {
     TEXTMR_CHECK(key == expected_key_,
@@ -36,7 +38,7 @@ class CaptureSink final : public mr::EmitSink {
     bytes += value.size();
   }
 
-  std::string buffer;
+  std::string& buffer;
   std::uint64_t count = 0;
   std::uint64_t bytes = 0;
 
@@ -122,10 +124,13 @@ void FrequentKeyTable::combine_entry(std::string_view key, Entry& entry) {
   if (entry.count <= 1) return;
   mr::ScopedTimer timer(metrics_, mr::Op::kCombine);
   BufferValueStream stream(entry.buffer);
-  CaptureSink capture(key);
+  combine_scratch_.clear();  // keeps capacity from previous combines
+  CaptureSink capture(key, combine_scratch_);
   combiner_->reduce(key, stream, capture);
   buffered_bytes_ -= entry.bytes;
-  entry.buffer = std::move(capture.buffer);
+  // Swap, don't move: the entry's old buffer becomes next combine's
+  // scratch, so steady-state combining allocates nothing.
+  entry.buffer.swap(combine_scratch_);
   entry.count = capture.count;
   entry.bytes = capture.bytes;
   buffered_bytes_ += entry.bytes;

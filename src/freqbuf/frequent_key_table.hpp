@@ -92,6 +92,9 @@ class FrequentKeyTable {
   mr::TaskMetrics& metrics_;
   std::unordered_map<std::string, Entry, ShHash, ShEq> table_;
   std::uint64_t buffered_bytes_ = 0;
+  // Recycled combiner-output buffer; swapped with the combined entry's
+  // buffer each combine_entry so neither side reallocates in steady state.
+  std::string combine_scratch_;
 };
 
 }  // namespace textmr::freqbuf

@@ -45,6 +45,55 @@ std::size_t encoded_record_size(std::size_t key_size, std::size_t value_size,
   return header + key_size + value_size;
 }
 
+std::size_t encode_frame_header(char* dest, std::size_t key_size,
+                                std::size_t value_size, SpillFormat format) {
+  if (format == SpillFormat::kCompactVarint) {
+    char* p = dest;
+    std::uint64_t v = key_size;
+    while (v >= 0x80) {
+      *p++ = static_cast<char>(v | 0x80);
+      v >>= 7;
+    }
+    *p++ = static_cast<char>(v);
+    v = value_size;
+    while (v >= 0x80) {
+      *p++ = static_cast<char>(v | 0x80);
+      v >>= 7;
+    }
+    *p++ = static_cast<char>(v);
+    return static_cast<std::size_t>(p - dest);
+  }
+  const auto k = static_cast<std::uint32_t>(key_size);
+  const auto v = static_cast<std::uint32_t>(value_size);
+  for (int i = 0; i < 4; ++i) {
+    dest[i] = static_cast<char>((k >> (8 * i)) & 0xff);
+    dest[4 + i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+  return 8;
+}
+
+FrameHeader decode_frame_header(std::string_view data, SpillFormat format) {
+  FrameHeader header;
+  std::size_t pos = 0;
+  std::uint64_t klen;
+  std::uint64_t vlen;
+  if (format == SpillFormat::kCompactVarint) {
+    klen = textmr::get_varint(data, pos);
+    vlen = textmr::get_varint(data, pos);
+  } else {
+    klen = textmr::get_fixed32(data, pos);
+    vlen = textmr::get_fixed32(data, pos);
+  }
+  // Two comparisons, not klen + vlen (which a corrupt varint could wrap).
+  if (klen > data.size() - pos || vlen > data.size() - pos - klen) {
+    throw FormatError("record frame exceeds available bytes");
+  }
+  header.key_size = static_cast<std::uint32_t>(klen);
+  header.value_size = static_cast<std::uint32_t>(vlen);
+  header.header_size = static_cast<std::uint16_t>(pos);
+  return header;
+}
+
 SpillRunWriter::SpillRunWriter(std::string path, std::uint32_t num_partitions,
                                SpillFormat format)
     : path_(std::move(path)), format_(format) {
@@ -105,6 +154,24 @@ void SpillRunWriter::append(std::uint32_t partition, std::string_view key,
   bytes_ += record_bytes;
   records_ += 1;
   partitions_[partition].bytes += record_bytes;
+  partitions_[partition].records += 1;
+  if (buffer_.size() >= kWriteBufferBytes) flush_buffer();
+}
+
+void SpillRunWriter::append_frame(std::uint32_t partition,
+                                  std::string_view frame) {
+  TEXTMR_CHECK(!finished_, "append after finish");
+  TEXTMR_CHECK(partition < partitions_.size(), "partition out of range");
+  TEXTMR_CHECK(static_cast<std::int64_t>(partition) >= current_partition_,
+               "partitions must be appended in nondecreasing order");
+  if (static_cast<std::int64_t>(partition) != current_partition_) {
+    current_partition_ = partition;
+    partitions_[partition].offset = bytes_;
+  }
+  buffer_.append(frame.data(), frame.size());
+  bytes_ += frame.size();
+  records_ += 1;
+  partitions_[partition].bytes += frame.size();
   partitions_[partition].records += 1;
   if (buffer_.size() >= kWriteBufferBytes) flush_buffer();
 }
@@ -183,6 +250,36 @@ const PartitionExtent& SpillRunReader::extent(std::uint32_t partition) const {
 
 RunCursor SpillRunReader::open(std::uint32_t partition) const {
   return RunCursor(path_, extent(partition), format_);
+}
+
+std::string SpillRunReader::read_partition(std::uint32_t partition) const {
+  const PartitionExtent& ext = extent(partition);
+  std::string data(static_cast<std::size_t>(ext.bytes), '\0');
+  if (ext.bytes == 0) return data;
+  std::FILE* f = std::fopen(path_.c_str(), "rb");
+  if (f == nullptr) throw IoError("cannot open run file " + path_);
+  if (std::fseek(f, static_cast<long>(ext.offset), SEEK_SET) != 0) {
+    std::fclose(f);
+    throw IoError("cannot seek in run file " + path_);
+  }
+  const std::size_t got = std::fread(data.data(), 1, data.size(), f);
+  std::fclose(f);
+  if (got != data.size()) throw FormatError("unexpected EOF in run file");
+  if (failpoint::enabled()) {
+    // Same "spill.read" site as the streaming cursor, consumed once per
+    // bulk read: kCorrupt flips a mid-buffer byte, other kinds throw or
+    // delay.
+    if (const auto fault = failpoint::consume("spill.read")) {
+      if (fault->kind == failpoint::ActionKind::kCorrupt) {
+        data[data.size() / 2] = static_cast<char>(data[data.size() / 2] ^ 0x5a);
+      } else if (fault->kind == failpoint::ActionKind::kDelay) {
+        failpoint::maybe_delay(*fault);
+      } else {
+        throw failpoint::InjectedFault("spill.read");
+      }
+    }
+  }
+  return data;
 }
 
 RunCursor::RunCursor(const std::string& path, const PartitionExtent& extent,

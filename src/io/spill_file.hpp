@@ -39,6 +39,29 @@ struct SpillRunInfo {
   std::vector<PartitionExtent> partitions;
 };
 
+/// Upper bound on the frame header (two 10-byte varints); callers
+/// encoding into raw storage must have at least this much room.
+inline constexpr std::size_t kMaxFrameHeaderBytes = 20;
+
+/// Decoded frame header of the record at the start of a byte range.
+struct FrameHeader {
+  std::uint32_t key_size = 0;
+  std::uint32_t value_size = 0;
+  std::uint16_t header_size = 0;  // bytes before the key
+};
+
+/// Encodes the frame header for a (key_size, value_size) record into
+/// `dest` (which must have room for kMaxFrameHeaderBytes); returns the
+/// header size. The full frame is [header][key][value] — exactly the
+/// record stream layout above, so frames built in memory can be written
+/// to a run file verbatim (SpillRunWriter::append_frame).
+std::size_t encode_frame_header(char* dest, std::size_t key_size,
+                                std::size_t value_size, SpillFormat format);
+
+/// Decodes the frame header at the start of `data`, validating that the
+/// whole framed record fits inside `data`. Throws FormatError otherwise.
+FrameHeader decode_frame_header(std::string_view data, SpillFormat format);
+
 /// Sequential writer. `append` must be called with nondecreasing partition
 /// ids; key order within a partition is the caller's responsibility (the
 /// spill sorter guarantees it).
@@ -53,6 +76,13 @@ class SpillRunWriter {
 
   void append(std::uint32_t partition, std::string_view key,
               std::string_view value);
+
+  /// Appends one record that is already framed in this writer's format
+  /// (a blit — no re-encoding). The spill path uses this to write ring
+  /// records byte-for-byte as they already sit in memory.
+  void append_frame(std::uint32_t partition, std::string_view frame);
+
+  SpillFormat format() const { return format_; }
 
   /// Writes the footer and closes the file. Must be called exactly once.
   SpillRunInfo finish();
@@ -112,9 +142,16 @@ class SpillRunReader {
     return static_cast<std::uint32_t>(partitions_.size());
   }
   const PartitionExtent& extent(std::uint32_t partition) const;
+  SpillFormat format() const { return format_; }
 
   /// Cursor over one partition.
   RunCursor open(std::uint32_t partition) const;
+
+  /// Reads one partition's whole record stream in a single bulk read.
+  /// The returned bytes are frames in this run's format; decode them in
+  /// place with mr::index_frames for a copy-free record index (the
+  /// reduce-side shuffle path).
+  std::string read_partition(std::uint32_t partition) const;
 
  private:
   std::string path_;

@@ -106,7 +106,7 @@ MapTaskResult run_map_task(const MapTaskConfig& config) {
   const std::uint32_t num_support = std::max<std::uint32_t>(
       1, config.support_threads);
   SpillBuffer buffer(config.spill_buffer_bytes, policy->initial_threshold(),
-                     num_support, buffer_trace);
+                     num_support, config.spill_format, buffer_trace);
   HashPartitioner partitioner(config.num_partitions);
 
   // ---- support threads ----------------------------------------------------

@@ -9,6 +9,7 @@ MergeStream::MergeStream(std::vector<std::unique_ptr<RecordCursor>> cursors)
     : cursors_(std::move(cursors)) {
   heap_.reserve(cursors_.size());
   for (std::size_t i = 0; i < cursors_.size(); ++i) {
+    if (!cursors_[i]->stable_views()) stable_views_ = false;
     if (auto record = cursors_[i]->next(); record.has_value()) {
       heap_.push_back(Head{*record, i});
       sift_up(heap_.size() - 1);
@@ -77,12 +78,20 @@ std::optional<std::string_view> KeyGroups::next_group() {
       return std::nullopt;
     }
   }
-  current_key_.assign(lookahead_->key);
-  pending_value_.assign(lookahead_->value);
+  if (stable_) {
+    // Stream views outlive the group: pass them through untouched.
+    current_key_ = lookahead_->key;
+    pending_value_ = lookahead_->value;
+  } else {
+    key_stash_.assign(lookahead_->key);
+    value_stash_.assign(lookahead_->value);
+    current_key_ = key_stash_;
+    pending_value_ = value_stash_;
+  }
   pending_value_ready_ = true;
   lookahead_.reset();
   group_exhausted_ = false;
-  return std::string_view(current_key_);
+  return current_key_;
 }
 
 std::optional<std::string_view>
@@ -90,7 +99,7 @@ KeyGroups::GroupValueStream::next() {
   KeyGroups& g = owner_;
   if (g.pending_value_ready_) {
     g.pending_value_ready_ = false;
-    return std::string_view(g.pending_value_);
+    return g.pending_value_;
   }
   if (g.group_exhausted_) return std::nullopt;
   auto record = g.stream_.next();
@@ -104,10 +113,13 @@ KeyGroups::GroupValueStream::next() {
     g.group_exhausted_ = true;
     return std::nullopt;
   }
+  if (g.stable_) return record->value;
   // Stash the value: the view from the merge stream is only valid until
   // the stream's next() call, and callers may hold it across one step.
-  g.pending_value_.assign(record->value);
-  return std::string_view(g.pending_value_);
+  // assign() reuses the stash's capacity — no steady-state allocation.
+  g.value_stash_.assign(record->value);
+  g.pending_value_ = g.value_stash_;
+  return g.pending_value_;
 }
 
 namespace {
@@ -131,22 +143,23 @@ class CombineToRunSink final : public EmitSink {
 };
 
 /// Counts values while forwarding, so single-value groups skip the
-/// combiner without materializing anything.
+/// combiner without materializing anything. `first` must stay valid for
+/// the stream's lifetime (the caller owns the backing scratch buffer).
 class SingleLookaheadStream final : public ValueStream {
  public:
-  SingleLookaheadStream(std::string first, ValueStream& rest)
-      : first_(std::move(first)), rest_(rest) {}
+  SingleLookaheadStream(std::string_view first, ValueStream& rest)
+      : first_(first), rest_(rest) {}
 
   std::optional<std::string_view> next() override {
     if (!first_given_) {
       first_given_ = true;
-      return std::string_view(first_);
+      return first_;
     }
     return rest_.next();
   }
 
  private:
-  std::string first_;
+  std::string_view first_;
   bool first_given_ = false;
   ValueStream& rest_;
 };
@@ -154,13 +167,17 @@ class SingleLookaheadStream final : public ValueStream {
 }  // namespace
 
 io::SpillRunInfo merge_runs(const std::vector<io::SpillRunInfo>& runs,
-                            Reducer* combiner, const std::string& out_path,
+                            Reducer* combiner, std::string_view out_path,
                             std::uint32_t num_partitions,
                             io::SpillFormat format, TaskMetrics& metrics) {
   const std::uint64_t merge_start = monotonic_ns();
   std::uint64_t combine_ns = 0;
 
-  io::SpillRunWriter writer(out_path, num_partitions, format);
+  io::SpillRunWriter writer(std::string(out_path), num_partitions, format);
+  // Scratch for the one-step lookahead below; hoisted so steady state
+  // reuses capacity instead of allocating per key group.
+  std::string first_scratch;
+  std::string second_scratch;
   for (std::uint32_t partition = 0; partition < num_partitions; ++partition) {
     std::vector<std::unique_ptr<RecordCursor>> cursors;
     cursors.reserve(runs.size());
@@ -174,12 +191,12 @@ io::SpillRunInfo merge_runs(const std::vector<io::SpillRunInfo>& runs,
     while (auto key = groups.next_group()) {
       auto first = groups.values().next();
       TEXTMR_CHECK(first.has_value(), "empty key group in merge");
-      // Copy before pulling the second value: group value views share one
-      // stash buffer and are only valid until the next call.
-      std::string first_copy(*first);
+      // Stash before pulling the second value: group value views are only
+      // valid until the next call.
+      first_scratch.assign(*first);
       auto second = groups.values().next();
       if (!second.has_value() || combiner == nullptr) {
-        writer.append(partition, *key, first_copy);
+        writer.append(partition, *key, first_scratch);
         if (second.has_value()) writer.append(partition, *key, *second);
         while (auto value = groups.values().next()) {
           writer.append(partition, *key, *value);
@@ -188,8 +205,9 @@ io::SpillRunInfo merge_runs(const std::vector<io::SpillRunInfo>& runs,
       }
       // >= 2 values and a combiner: stream them through combine().
       const std::uint64_t c0 = monotonic_ns();
-      SingleLookaheadStream tail(std::string(*second), groups.values());
-      SingleLookaheadStream values(std::move(first_copy), tail);
+      second_scratch.assign(*second);
+      SingleLookaheadStream tail(second_scratch, groups.values());
+      SingleLookaheadStream values(first_scratch, tail);
       CombineToRunSink sink(writer, partition, *key);
       combiner->reduce(*key, values, sink);
       combine_ns += monotonic_ns() - c0;

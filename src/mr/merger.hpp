@@ -3,11 +3,13 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "io/record.hpp"
 #include "io/spill_file.hpp"
 #include "mr/metrics.hpp"
+#include "mr/record_arena.hpp"
 #include "mr/types.hpp"
 
 namespace textmr::mr {
@@ -19,11 +21,18 @@ class RecordCursor {
  public:
   virtual ~RecordCursor() = default;
   /// Next record in key order; the view is valid until the next call on
-  /// this cursor.
+  /// this cursor (longer if stable_views()).
   virtual std::optional<io::RecordView> next() = 0;
+  /// True when every view this cursor hands out stays valid until the
+  /// cursor is destroyed (records live in caller-owned memory, not in a
+  /// reused read buffer). Downstream stages use this to skip defensive
+  /// copies: KeyGroups over an all-stable merge holds raw views instead
+  /// of stashing each key/value into owned strings.
+  virtual bool stable_views() const { return false; }
 };
 
-/// Cursor over one partition of a spill-run file.
+/// Cursor over one partition of a spill-run file. Views point into the
+/// cursor's read buffer and are invalidated by the next read — not stable.
 class FileRunCursor final : public RecordCursor {
  public:
   explicit FileRunCursor(io::RunCursor cursor) : cursor_(std::move(cursor)) {}
@@ -34,7 +43,9 @@ class FileRunCursor final : public RecordCursor {
   io::RunCursor cursor_;
 };
 
-/// Cursor over a sorted in-memory vector of records (shuffle fetches).
+/// Cursor over a sorted in-memory vector of records (test fixtures,
+/// pre-materialized runs). The records outlive the cursor, so views are
+/// stable.
 class VectorRunCursor final : public RecordCursor {
  public:
   explicit VectorRunCursor(const std::vector<io::Record>* records)
@@ -44,9 +55,29 @@ class VectorRunCursor final : public RecordCursor {
     const auto& r = (*records_)[index_++];
     return io::RecordView{r.key, r.value};
   }
+  bool stable_views() const override { return true; }
 
  private:
   const std::vector<io::Record>* records_;
+  std::size_t index_ = 0;
+};
+
+/// Cursor over sorted RecordRefs into caller-owned frame storage (a bulk
+/// shuffle fetch indexed by index_frames, or a RecordArena). The
+/// reduce-side zero-copy path: no io::Record is ever materialized.
+class MemoryRunCursor final : public RecordCursor {
+ public:
+  explicit MemoryRunCursor(const std::vector<RecordRef>* records)
+      : records_(records) {}
+  std::optional<io::RecordView> next() override {
+    if (index_ >= records_->size()) return std::nullopt;
+    const RecordRef& r = (*records_)[index_++];
+    return io::RecordView{r.key(), r.value()};
+  }
+  bool stable_views() const override { return true; }
+
+ private:
+  const std::vector<RecordRef>* records_;
   std::size_t index_ = 0;
 };
 
@@ -57,8 +88,13 @@ class MergeStream {
  public:
   explicit MergeStream(std::vector<std::unique_ptr<RecordCursor>> cursors);
 
-  /// Next record in global key order; view valid until the next call.
+  /// Next record in global key order; view valid until the next call
+  /// (longer if stable_views()).
   std::optional<io::RecordView> next();
+
+  /// True when every input cursor has stable views — then views handed
+  /// out by next() remain valid for the life of the merge.
+  bool stable_views() const { return stable_views_; }
 
  private:
   struct Head {
@@ -73,19 +109,25 @@ class MergeStream {
   std::vector<std::unique_ptr<RecordCursor>> cursors_;
   std::vector<Head> heap_;
   std::optional<std::size_t> pending_advance_;  // cursor to refill on next()
+  bool stable_views_ = true;
 };
 
 /// Iterates a MergeStream one key group at a time. The group's values are
 /// streamed (never materialized), which keeps reduce-side memory constant
 /// even for keys with millions of values.
+///
+/// Over a stable-view stream (MemoryRunCursor inputs — the reduce path)
+/// keys and values are passed through as raw views with no per-record
+/// copies; otherwise each is stashed into a reused owned buffer, so the
+/// steady-state cost is a memcpy but no allocation either way.
 class KeyGroups {
  public:
-  explicit KeyGroups(MergeStream& stream) : stream_(stream) {}
+  explicit KeyGroups(MergeStream& stream)
+      : stream_(stream), stable_(stream.stable_views()) {}
 
   /// Advances to the next key group (draining any unconsumed values of
   /// the previous group). Returns the key, or nullopt at end of stream.
-  /// The returned view is owned by KeyGroups and stable for the group's
-  /// lifetime.
+  /// The returned view is stable for the group's lifetime.
   std::optional<std::string_view> next_group();
 
   /// Value stream of the current group. Valid until next_group().
@@ -102,10 +144,15 @@ class KeyGroups {
   };
 
   MergeStream& stream_;
+  const bool stable_;
   GroupValueStream value_stream_{*this};
-  std::string current_key_;
-  std::string pending_value_;        // first value of the current group
-  bool pending_value_ready_ = false; // pending_value_ not yet handed out
+  // Views of the current key / pending value; over a non-stable stream
+  // they point into the owned stashes below.
+  std::string_view current_key_;
+  std::string_view pending_value_;
+  std::string key_stash_;
+  std::string value_stash_;
+  bool pending_value_ready_ = false;  // pending_value_ not yet handed out
   std::optional<io::RecordView> lookahead_;
   bool group_exhausted_ = true;
   bool stream_done_ = false;
@@ -115,7 +162,7 @@ class KeyGroups {
 /// the combiner once per key group, into a single output run file.
 /// Timing: structural work to Op::kMerge, user combine to Op::kCombine.
 io::SpillRunInfo merge_runs(const std::vector<io::SpillRunInfo>& runs,
-                            Reducer* combiner, const std::string& out_path,
+                            Reducer* combiner, std::string_view out_path,
                             std::uint32_t num_partitions,
                             io::SpillFormat format, TaskMetrics& metrics);
 

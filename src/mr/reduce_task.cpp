@@ -3,11 +3,13 @@
 #include <cstdio>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "common/error.hpp"
 #include "common/failpoint.hpp"
 #include "common/stopwatch.hpp"
 #include "mr/merger.hpp"
+#include "mr/record_arena.hpp"
 
 namespace textmr::mr {
 namespace {
@@ -82,6 +84,29 @@ void call_reduce(Reducer& reducer, std::string_view key, ValueStream& values,
   metrics.reduce_groups += 1;
 }
 
+/// One map output's contribution to this reduce partition: the raw framed
+/// bytes from a single bulk read, plus RecordRefs decoded in place. The
+/// records are never copied out of `bytes` (DESIGN.md §8).
+struct FetchedRun {
+  std::string bytes;
+  std::vector<RecordRef> refs;
+};
+
+/// Heterogeneous string hashing so the hash-grouping path can probe with
+/// string_views (no temporary std::string per record).
+struct ShHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+struct ShEq {
+  using is_transparent = void;
+  bool operator()(std::string_view a, std::string_view b) const noexcept {
+    return a == b;
+  }
+};
+
 }  // namespace
 
 std::filesystem::path reduce_attempt_tmp_path(
@@ -108,23 +133,24 @@ ReduceTaskResult run_reduce_task(const ReduceTaskConfig& config) {
   // ---- shuffle: fetch this partition from every map output --------------
   // In a cluster this is the over-the-network copy phase; here it is a
   // local read whose byte volume the simulator later prices as network
-  // transfer. Records arrive sorted per map output.
-  std::vector<std::vector<io::Record>> fetched;
+  // transfer. Each map output contributes one bulk read, decoded in place
+  // into RecordRefs — no per-record copies. Records arrive sorted per map
+  // output. The refs point into FetchedRun::bytes, so runs are built in
+  // place (a string move could relocate a small buffer via SSO).
+  std::vector<FetchedRun> fetched;
   fetched.reserve(config.map_outputs.size());
   {
     obs::SpanTimer shuffle_span(trace, "task", "shuffle");
     ScopedTimer shuffle_timer(metrics, Op::kShuffle);
     for (const auto& run : config.map_outputs) {
       io::SpillRunReader reader(run.path, config.spill_format);
-      auto cursor = reader.open(config.partition);
-      std::vector<io::Record> records;
-      records.reserve(reader.extent(config.partition).records);
-      while (auto record = cursor.next()) {
-        records.push_back(record->to_record());
-      }
-      metrics.shuffled_bytes += cursor.bytes_read();
-      metrics.reduce_input_records += records.size();
-      fetched.push_back(std::move(records));
+      fetched.emplace_back();
+      FetchedRun& fetch = fetched.back();
+      fetch.bytes = reader.read_partition(config.partition);
+      fetch.refs =
+          index_frames(fetch.bytes, config.partition, config.spill_format);
+      metrics.shuffled_bytes += fetch.bytes.size();
+      metrics.reduce_input_records += fetch.refs.size();
     }
     shuffle_span.arg("bytes", static_cast<double>(metrics.shuffled_bytes));
     shuffle_span.arg("records",
@@ -144,8 +170,8 @@ ReduceTaskResult run_reduce_task(const ReduceTaskConfig& config) {
   if (config.grouping == Grouping::kSorted) {
     std::vector<std::unique_ptr<RecordCursor>> cursors;
     cursors.reserve(fetched.size());
-    for (const auto& records : fetched) {
-      cursors.push_back(std::make_unique<VectorRunCursor>(&records));
+    for (const auto& fetch : fetched) {
+      cursors.push_back(std::make_unique<MemoryRunCursor>(&fetch.refs));
     }
     // Merge + group structural time is kReduceMerge; the group iteration
     // interleaves with reduce() calls, so we accumulate it as
@@ -166,17 +192,26 @@ ReduceTaskResult run_reduce_task(const ReduceTaskConfig& config) {
         elapsed - std::min(elapsed, user_and_output);
   } else {
     // Hash grouping (§VII future work): no global order; reduce() is
-    // called per key in hash-iteration order.
+    // called per key in hash-iteration order. Values stay as views into
+    // the fetched buffers; only each distinct key is materialized once.
     const std::uint64_t build_start = monotonic_ns();
-    std::unordered_map<std::string, std::vector<std::string>> groups;
-    for (const auto& records : fetched) {
-      for (const auto& record : records) {
-        groups[record.key].push_back(record.value);
+    std::unordered_map<std::string, std::vector<std::string_view>, ShHash,
+                       ShEq>
+        groups;
+    for (const auto& fetch : fetched) {
+      for (const RecordRef& record : fetch.refs) {
+        auto it = groups.find(record.key());
+        if (it == groups.end()) {
+          it = groups.emplace(std::string(record.key()),
+                              std::vector<std::string_view>())
+                   .first;
+        }
+        it->second.push_back(record.value());
       }
     }
     metrics.op_ns(Op::kReduceMerge) += monotonic_ns() - build_start;
     for (const auto& [key, values] : groups) {
-      VectorValueStream<std::vector<std::string>> stream(values);
+      VectorValueStream<std::vector<std::string_view>> stream(values);
       call_reduce(*reducer, key, stream, out, metrics);
     }
   }

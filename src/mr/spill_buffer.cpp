@@ -16,9 +16,10 @@ constexpr double kMaxThreshold = 0.99;
 }  // namespace
 
 SpillBuffer::SpillBuffer(std::size_t capacity_bytes, double initial_threshold,
-                         std::uint32_t max_outstanding,
+                         std::uint32_t max_outstanding, io::SpillFormat format,
                          obs::TraceBuffer* trace)
     : capacity_(capacity_bytes),
+      format_(format),
       ring_(capacity_bytes),
       max_outstanding_(max_outstanding),
       trace_(trace) {
@@ -42,6 +43,7 @@ void SpillBuffer::seal_locked() {
   if (current_records_.empty()) return;
   Spill spill;
   spill.records = std::move(current_records_);
+  spill.format = format_;
   spill.ring_bytes = current_ring_bytes_;
   spill.data_bytes = current_data_bytes_;
   spill.produce_ns = monotonic_ns() - current_started_ns_ - current_wait_ns_;
@@ -68,10 +70,13 @@ void SpillBuffer::seal_locked() {
 
 void SpillBuffer::put(std::uint32_t partition, std::string_view key,
                       std::string_view value) {
-  const std::uint64_t need = key.size() + value.size();
+  // One frame = the record's single in-memory copy; everything downstream
+  // points into it.
+  const std::uint64_t need =
+      io::encoded_record_size(key.size(), value.size(), format_);
   if (need > capacity_) {
     throw ConfigError("record of " + std::to_string(need) +
-                      " bytes exceeds spill buffer capacity " +
+                      " framed bytes exceeds spill buffer capacity " +
                       std::to_string(capacity_));
   }
   MutexLock lock(mu_);
@@ -108,20 +113,23 @@ void SpillBuffer::put(std::uint32_t partition, std::string_view key,
     tail_ = 0;
   }
   char* dest = ring_.data() + tail_;
-  std::memcpy(dest, key.data(), key.size());
-  std::memcpy(dest + key.size(), value.data(), value.size());
+  const std::size_t header =
+      io::encode_frame_header(dest, key.size(), value.size(), format_);
+  std::memcpy(dest + header, key.data(), key.size());
+  std::memcpy(dest + header + key.size(), value.data(), value.size());
   current_records_.push_back(RecordRef{
       dest,
-      dest + key.size(),
+      key_prefix8(key),
       static_cast<std::uint32_t>(key.size()),
       static_cast<std::uint32_t>(value.size()),
       partition,
+      static_cast<std::uint16_t>(header),
   });
   tail_ += need;
   if (tail_ == capacity_) tail_ = 0;
   used_ += need;
   current_ring_bytes_ += need;
-  current_data_bytes_ += need;
+  current_data_bytes_ += key.size() + value.size();
 
   // Threshold-based seal. The paper's model (§IV-C) seals a region only
   // when a support thread is free: while all consumers are busy the

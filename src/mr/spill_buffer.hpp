@@ -8,26 +8,18 @@
 #include <vector>
 
 #include "common/mutex.hpp"
+#include "mr/record_arena.hpp"
 #include "obs/trace.hpp"
 
 namespace textmr::mr {
 
-/// A reference to one serialized record inside the ring. Valid until the
-/// spill containing it is released.
-struct RecordRef {
-  const char* key_data;
-  const char* value_data;
-  std::uint32_t key_size;
-  std::uint32_t value_size;
-  std::uint32_t partition;
-
-  std::string_view key() const { return {key_data, key_size}; }
-  std::string_view value() const { return {value_data, value_size}; }
-};
-
-/// One sealed spill region handed to the support thread.
+/// One sealed spill region handed to the support thread. `records` are
+/// RecordRefs into the ring: each points at a framed record, already in
+/// the spill-file format, so the sorter can write uncombined records as a
+/// verbatim frame blit (SpillRunWriter::append_frame).
 struct Spill {
   std::vector<RecordRef> records;
+  io::SpillFormat format = io::SpillFormat::kCompactVarint;
   std::uint64_t ring_bytes = 0;   // ring bytes (incl. wrap padding) to free
   std::uint64_t data_bytes = 0;   // payload bytes (keys + values)
   std::uint64_t produce_ns = 0;   // wall time the map thread took to fill it
@@ -47,9 +39,14 @@ struct SpillTiming {
 /// support thread (consumer), modeled on Hadoop's map-side kvbuffer
 /// (paper §IV-A, Fig. 4).
 ///
-/// The producer appends serialized records; once the bytes accumulated in
-/// the current (unsealed) region reach `threshold * capacity`, the region
-/// is sealed into a `Spill` and queued for the consumer. The producer
+/// The producer appends records *framed in the spill-file format*
+/// ([header][key][value], see io::encode_frame_header) — the one and only
+/// copy a record's bytes undergo on the map side: every later stage
+/// (sort, combine grouping, spill write, merge) works through RecordRefs
+/// and string_views into this ring (DESIGN.md §8). Once the bytes
+/// accumulated in the current (unsealed) region reach
+/// `threshold * capacity`, the region is sealed into a `Spill` and queued
+/// for the consumer. The producer
 /// keeps producing into the remaining free space and blocks only when the
 /// ring is full — that blocked time is the paper's "map thread idle".
 /// The consumer blocks when no sealed spill is pending — "support thread
@@ -76,9 +73,11 @@ class SpillBuffer {
   explicit SpillBuffer(std::size_t capacity_bytes,
                        double initial_threshold = 0.8,
                        std::uint32_t max_outstanding = 1,
+                       io::SpillFormat format = io::SpillFormat::kCompactVarint,
                        obs::TraceBuffer* trace = nullptr);
 
   std::size_t capacity() const { return capacity_; }
+  io::SpillFormat format() const { return format_; }
 
   // ---- producer side -------------------------------------------------
 
@@ -132,10 +131,11 @@ class SpillBuffer {
   void seal_locked() TEXTMR_REQUIRES(mu_);
 
   const std::size_t capacity_;
-  // Ring *payload*. Not guarded: the producer writes a record's bytes
-  // under mu_, and once the region is sealed its bytes are immutable
-  // until release(), so consumers read them lock-free through the
-  // RecordRefs of the Spill they took.
+  const io::SpillFormat format_;
+  // Ring *payload* (framed records). Not guarded: the producer writes a
+  // record's bytes under mu_, and once the region is sealed its bytes are
+  // immutable until release(), so consumers read them lock-free through
+  // the RecordRefs of the Spill they took.
   std::vector<char> ring_;
 
   mutable textmr::Mutex mu_{textmr::LockRank::kSpillBuffer,

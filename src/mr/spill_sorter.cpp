@@ -1,6 +1,7 @@
 #include "mr/spill_sorter.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "common/error.hpp"
 #include "common/failpoint.hpp"
@@ -52,7 +53,7 @@ class CombineToRunSink final : public EmitSink {
 }  // namespace
 
 io::SpillRunInfo sort_and_spill(Spill& spill, Reducer* combiner,
-                                const std::string& run_path,
+                                std::string_view run_path,
                                 std::uint32_t num_partitions,
                                 io::SpillFormat format, TaskMetrics& metrics,
                                 obs::TraceBuffer* trace) {
@@ -61,16 +62,17 @@ io::SpillRunInfo sort_and_spill(Spill& spill, Reducer* combiner,
     obs::SpanTimer sort_span(trace, "spill", "spill_sort");
     sort_span.arg("records", static_cast<double>(spill.records.size()));
     ScopedTimer sort_timer(metrics, Op::kSort);
-    std::sort(spill.records.begin(), spill.records.end(),
-              [](const RecordRef& a, const RecordRef& b) {
-                if (a.partition != b.partition) return a.partition < b.partition;
-                return a.key() < b.key();
-              });
+    // record_ref_less decides almost every text-key pair on the
+    // denormalized 8-byte prefix without touching ring memory.
+    std::sort(spill.records.begin(), spill.records.end(), record_ref_less);
   }
 
   obs::SpanTimer write_span(trace, "spill", "spill_write");
 
-  io::SpillRunWriter writer(run_path, num_partitions, format);
+  io::SpillRunWriter writer(std::string(run_path), num_partitions, format);
+  // Records are framed in the ring; when the run file speaks the same
+  // format, uncombined records are written as verbatim frame blits.
+  const bool blit = spill.format == format;
   const std::uint64_t pass_start = monotonic_ns();
   std::uint64_t combine_ns = 0;
 
@@ -80,7 +82,7 @@ io::SpillRunInfo sort_and_spill(Spill& spill, Reducer* combiner,
   while (i < n) {
     std::size_t j = i + 1;
     while (j < n && data[j].partition == data[i].partition &&
-           data[j].key() == data[i].key()) {
+           record_key_equal(data[j], data[i])) {
       ++j;
     }
     if (combiner != nullptr && j - i > 1) {
@@ -89,6 +91,10 @@ io::SpillRunInfo sort_and_spill(Spill& spill, Reducer* combiner,
       CombineToRunSink sink(writer, data[i].partition, data[i].key());
       combiner->reduce(data[i].key(), values, sink);
       combine_ns += monotonic_ns() - c0;
+    } else if (blit) {
+      for (std::size_t r = i; r < j; ++r) {
+        writer.append_frame(data[r].partition, data[r].frame_view());
+      }
     } else {
       for (std::size_t r = i; r < j; ++r) {
         writer.append(data[r].partition, data[r].key(), data[r].value());

@@ -52,6 +52,7 @@
 #include "mr/merger.hpp"
 #include "mr/metrics.hpp"
 #include "mr/partitioner.hpp"
+#include "mr/record_arena.hpp"
 #include "mr/reduce_task.hpp"
 #include "mr/spill_buffer.hpp"
 #include "mr/spill_sorter.hpp"

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+// Golden end-to-end fixtures: a small checked-in corpus with checked-in
+// expected outputs for WordCount and InvertedIndex. Any byte of drift in
+// the record path (framing, sorting, combining, merging, reduce output)
+// fails here with a readable diff, independently of the randomized
+// property suites.
+//
+// Regenerate after an *intentional* output change with:
+//   TEXTMR_UPDATE_GOLDEN=1 ./build/tests/test_golden
+// and commit the updated files under tests/golden/.
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "helpers.hpp"
+
+#ifndef TEXTMR_GOLDEN_DIR
+#error "TEXTMR_GOLDEN_DIR must be defined by the build"
+#endif
+
+namespace textmr {
+namespace {
+
+std::filesystem::path golden_dir() { return TEXTMR_GOLDEN_DIR; }
+
+bool update_mode() { return std::getenv("TEXTMR_UPDATE_GOLDEN") != nullptr; }
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+void write_file(const std::filesystem::path& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Runs `app` over the golden corpus with a fixed configuration chosen to
+/// exercise multiple map tasks, multiple spills and the final merge, and
+/// compares every part file byte-for-byte against the checked-in golden.
+void run_golden_case(const apps::AppBundle& app, const std::string& stem) {
+  TempDir dir;
+  const auto corpus = golden_dir() / "corpus.txt";
+  ASSERT_TRUE(std::filesystem::exists(corpus)) << corpus;
+
+  // Tiny splits and spill buffer: several map tasks, several spills each,
+  // so the golden run covers sort, combine, spill and merge — not just
+  // the single-spill fast path. All knobs fixed for determinism.
+  auto spec = test::make_job(app, io::make_splits(corpus.string(), 512),
+                             dir.file("scratch"), dir.file("out"),
+                             /*num_reducers=*/2);
+  spec.spill_buffer_bytes = 4 * 1024;
+
+  mr::LocalEngine engine;
+  const auto result = engine.run(spec);
+  ASSERT_EQ(result.outputs.size(), 2u);
+
+  for (std::size_t part = 0; part < result.outputs.size(); ++part) {
+    const auto expected_path =
+        golden_dir() / (stem + ".part" + std::to_string(part) + ".golden");
+    const std::string actual = read_file(result.outputs[part]);
+    if (update_mode()) {
+      write_file(expected_path, actual);
+      continue;
+    }
+    ASSERT_TRUE(std::filesystem::exists(expected_path))
+        << expected_path << " missing; run with TEXTMR_UPDATE_GOLDEN=1";
+    EXPECT_EQ(actual, read_file(expected_path))
+        << "golden drift in " << expected_path;
+  }
+}
+
+TEST(Golden, WordCount) { run_golden_case(apps::wordcount_app(), "wordcount"); }
+
+TEST(Golden, InvertedIndex) {
+  run_golden_case(apps::inverted_index_app(), "inverted_index");
+}
+
+/// The corpus itself is a fixture: if someone edits it, the goldens must
+/// be regenerated, so pin its size and a simple checksum.
+TEST(Golden, CorpusFixtureUnchanged) {
+  const std::string corpus = read_file(golden_dir() / "corpus.txt");
+  std::uint64_t checksum = 1469598103934665603ull;  // FNV-1a
+  for (const unsigned char c : corpus) {
+    checksum = (checksum ^ c) * 1099511628211ull;
+  }
+  EXPECT_EQ(corpus.size(), 1593u);
+  EXPECT_EQ(checksum, 0xebf43344e8c207fbull)
+      << "corpus.txt changed; regenerate the goldens";
+}
+
+}  // namespace
+}  // namespace textmr

@@ -6,6 +6,9 @@
 // paper's central correctness claim — the optimizations "require no user
 // code changes" and never alter job semantics.
 
+#include <cstdlib>
+#include <set>
+
 #include "common/failpoint.hpp"
 #include "helpers.hpp"
 
@@ -204,6 +207,209 @@ INSTANTIATE_TEST_SUITE_P(
     Grid, SynTextGridTest,
     ::testing::Combine(::testing::Values(1.0, 8.0),
                        ::testing::Values(0.0, 0.5, 1.0)));
+
+// ---------------------------------------------------------------------------
+// Differential oracle grid (ISSUE 4): every app with deterministic output
+// runs over Zipf α × FreqOpt × SpillOpt × failpoints, and each optimized
+// (and fault-injected) run must reproduce the *bytes* of a clean baseline
+// run of the same app on the same dataset. WordCount is additionally
+// checked against the sketch::ExactCounter sequential oracle, tying the
+// grid to ground truth rather than just run-vs-run agreement.
+//
+// Excluded by design (same rationale as test_app_equivalence.cpp):
+// PageRank carries %.6f-rounded rank text, so its last decimals are
+// legitimately schedule-dependent; SynText reports run-count-sensitive
+// aggregates. Both have dedicated tolerance/invariance tests elsewhere.
+
+struct DiffParams {
+  std::string app;
+  std::uint64_t seed;
+  double alpha;  // corpus skew; ignored by the access-log datasets
+  bool freqbuf;
+  bool matcher;
+  io::SpillFormat format;
+  std::size_t spill_buffer_kb;
+  std::string fail_spec;  // empty = no fault injection
+};
+
+void PrintTo(const DiffParams& p, std::ostream* os) {
+  *os << p.app << " seed=" << p.seed << " alpha=" << p.alpha
+      << " freq=" << p.freqbuf << " matcher=" << p.matcher << " fmt="
+      << (p.format == io::SpillFormat::kCompactVarint ? "varint" : "fixed32")
+      << " buf=" << p.spill_buffer_kb
+      << "KiB fail=" << (p.fail_spec.empty() ? "none" : p.fail_spec);
+}
+
+apps::AppBundle diff_bundle(const std::string& name) {
+  if (name == "WordCount") return apps::wordcount_app();
+  if (name == "InvertedIndex") return apps::inverted_index_app();
+  if (name == "WordPOSTag") return apps::word_pos_tag_app(1);
+  if (name == "AccessLogSum") return apps::access_log_sum_app();
+  return apps::access_log_join_app();
+}
+
+std::vector<io::InputSplit> diff_dataset(const apps::AppBundle& app,
+                                         const DiffParams& p,
+                                         const TempDir& dir) {
+  switch (app.dataset) {
+    case apps::Dataset::kCorpus: {
+      textgen::CorpusSpec spec;
+      spec.total_words = app.name == "WordPOSTag" ? 4000 : 15000;
+      spec.vocabulary = 500;
+      spec.alpha = p.alpha;
+      spec.seed = p.seed;
+      const auto path = dir.file("corpus.txt");
+      textgen::generate_corpus(spec, path.string());
+      return io::make_splits(path.string(), 48 * 1024);
+    }
+    case apps::Dataset::kAccessLog:
+    case apps::Dataset::kAccessLogWithRankings: {
+      textgen::AccessLogSpec spec;
+      spec.num_visits = 8000;
+      spec.num_urls = 600;
+      spec.seed = p.seed;
+      const auto visits = dir.file("visits.log");
+      const auto rankings = dir.file("rankings.txt");
+      textgen::generate_access_log(spec, visits.string(), rankings.string());
+      auto splits = io::make_splits(visits.string(), 96 * 1024);
+      if (app.dataset == apps::Dataset::kAccessLogWithRankings) {
+        const auto extra = io::make_splits(rankings.string(), 96 * 1024);
+        splits.insert(splits.end(), extra.begin(), extra.end());
+      }
+      return splits;
+    }
+    case apps::Dataset::kWebGraph:
+      break;  // PageRank is excluded from byte-identity (see above)
+  }
+  return {};
+}
+
+/// Raw bytes of each part file, in part order — the strictest possible
+/// output comparison (content, line order, partition assignment).
+std::vector<std::string> read_raw_parts(
+    const std::vector<std::filesystem::path>& parts) {
+  std::vector<std::string> raw;
+  for (const auto& part : parts) {
+    std::ifstream in(part, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    raw.push_back(std::move(buffer).str());
+  }
+  return raw;
+}
+
+std::multiset<std::string> all_output_lines(
+    const std::vector<std::filesystem::path>& parts) {
+  std::multiset<std::string> lines;
+  for (const auto& part : parts) {
+    std::ifstream in(part);
+    std::string line;
+    while (std::getline(in, line)) lines.insert(line);
+  }
+  return lines;
+}
+
+class DifferentialOracleTest : public ::testing::TestWithParam<DiffParams> {};
+
+TEST_P(DifferentialOracleTest, OptimizedFaultedRunMatchesCleanBaseline) {
+  const auto& p = GetParam();
+  TempDir dir;
+  const apps::AppBundle app = diff_bundle(p.app);
+  const auto splits = diff_dataset(app, p, dir);
+  ASSERT_FALSE(splits.empty());
+  mr::LocalEngine engine;
+
+  // The oracle run: no optimizations, no faults, a roomy spill buffer.
+  const auto oracle = engine.run(
+      test::make_job(app, splits, dir.file("os"), dir.file("oo")));
+
+  auto spec = test::make_job(app, splits, dir.file("cs"), dir.file("co"));
+  spec.spill_buffer_bytes = p.spill_buffer_kb * 1024;
+  spec.use_spill_matcher = p.matcher;
+  spec.spill_format = p.format;
+  if (p.freqbuf) {
+    spec.freqbuf.enabled = true;
+    spec.freqbuf.top_k = 60;
+    spec.freqbuf.sampling_fraction = 0.05;
+  }
+  failpoint::ScopedFailpoints failpoints(p.fail_spec);
+  spec.retry_backoff_base_ms = 0;
+  const auto result = engine.run(spec);
+  if (!p.fail_spec.empty()) {
+    EXPECT_GE(result.metrics.tasks_retried, 1u);
+  }
+
+  if (p.app == "AccessLogJoin") {
+    // Join rows repeat per key and their order within a reduce group
+    // follows the merge schedule, so byte-identity does not apply;
+    // compare the full line multiset instead.
+    EXPECT_EQ(all_output_lines(result.outputs), all_output_lines(oracle.outputs));
+  } else {
+    EXPECT_EQ(read_raw_parts(result.outputs), read_raw_parts(oracle.outputs));
+  }
+
+  if (p.app == "WordCount") {
+    // Ground truth: the ExactCounter oracle over the raw token stream.
+    sketch::ExactCounter counter;
+    std::ifstream in(dir.file("corpus.txt"));
+    std::string line;
+    std::string scratch;
+    while (std::getline(in, line)) {
+      apps::for_each_token(line, scratch,
+                           [&](std::string_view token) { counter.offer(token); });
+    }
+    const auto actual = test::read_outputs(result.outputs);
+    ASSERT_EQ(actual.size(), counter.distinct());
+    for (const auto& [word, count] : actual) {
+      EXPECT_EQ(count, std::to_string(counter.count(word))) << word;
+    }
+  }
+}
+
+/// Pressure runs (ctest -L pressure) multiply the grid by re-running it
+/// with fresh dataset seeds; see tests/CMakeLists.txt.
+std::size_t pressure_scale() {
+  if (const char* env = std::getenv("TEXTMR_PRESSURE_ITERS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 1) return static_cast<std::size_t>(v > 100 ? 100 : v);
+  }
+  return 1;
+}
+
+std::vector<DiffParams> differential_matrix() {
+  const char* app_names[] = {"WordCount", "InvertedIndex", "WordPOSTag",
+                             "AccessLogSum", "AccessLogJoin"};
+  const double alphas[] = {0.7, 1.1, 1.5};
+  const std::string fail_specs[] = {
+      "",
+      "spill.write:nth=1",
+      "dfs.open:nth=1",
+      "map.user_code:nth=1",
+      "reduce.output_rename:nth=1",
+      "spill.read:nth=1",
+  };
+  std::vector<DiffParams> params;
+  std::uint64_t seed = 5000;
+  for (std::size_t round = 0; round < pressure_scale(); ++round) {
+    for (const char* app : app_names) {
+      for (const bool freq : {false, true}) {
+        for (const bool matcher : {false, true}) {
+          ++seed;
+          params.push_back(DiffParams{
+              app, seed, alphas[seed % std::size(alphas)], freq, matcher,
+              seed % 2 == 0 ? io::SpillFormat::kCompactVarint
+                            : io::SpillFormat::kFixed32,
+              static_cast<std::size_t>(seed % 3 == 0 ? 24 : 64),
+              fail_specs[params.size() % std::size(fail_specs)]});
+        }
+      }
+    }
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(Oracle, DifferentialOracleTest,
+                         ::testing::ValuesIn(differential_matrix()));
 
 }  // namespace
 }  // namespace textmr

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+// Counting-allocator verification of the zero-copy record path (ISSUE 4
+// acceptance criterion): the spill path performs amortized O(1) heap
+// allocations per record. Global operator new/delete are replaced with
+// malloc/free wrappers that bump a counter, and the hot loops are
+// measured directly: a warmed RecordArena refills with zero allocations,
+// SpillBuffer::put allocates only on RecordRef-vector growth (logarithmic
+// in the record count), and the stable-view merge/group path hands out
+// views with zero allocations per record.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "mr/merger.hpp"
+#include "mr/record_arena.hpp"
+#include "mr/spill_buffer.hpp"
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  const auto alignment = static_cast<std::size_t>(align);
+  const std::size_t rounded =
+      (size + alignment - 1) / alignment * alignment;
+  if (void* p = std::aligned_alloc(alignment, rounded ? rounded : alignment)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace textmr::mr {
+namespace {
+
+std::uint64_t allocations() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+struct Corpus {
+  std::vector<std::string> keys;
+  std::vector<std::string> values;
+};
+
+Corpus make_corpus(std::size_t n) {
+  Xoshiro256 rng(11);
+  Corpus corpus;
+  corpus.keys.reserve(n);
+  corpus.values.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    corpus.keys.push_back("word" + std::to_string(rng.next_below(500)));
+    corpus.values.push_back(std::to_string(1 + rng.next_below(1000)));
+  }
+  return corpus;
+}
+
+TEST(RecordPathAllocations, WarmedArenaRefillsWithZeroAllocations) {
+  constexpr std::size_t kN = 50000;
+  const Corpus corpus = make_corpus(kN);
+  RecordArena arena;
+  auto fill = [&] {
+    for (std::size_t i = 0; i < kN; ++i) {
+      arena.append(static_cast<std::uint32_t>(i % 4), corpus.keys[i],
+                   corpus.values[i]);
+    }
+  };
+  fill();  // warm-up: chunk storage + RecordRef vector grow here
+  arena.clear();
+  const std::uint64_t before = allocations();
+  fill();
+  EXPECT_EQ(allocations() - before, 0u);
+  EXPECT_EQ(arena.size(), kN);
+}
+
+TEST(RecordPathAllocations, SpillRingPutAllocatesAmortizedConstant) {
+  constexpr std::size_t kN = 20000;
+  const Corpus corpus = make_corpus(kN);
+  // Big buffer, threshold ~1: no spill seals during the loop, so the
+  // measured allocations are exactly the put() hot path — which owns no
+  // per-record strings, only the RecordRef vector (doubling growth).
+  SpillBuffer buffer(8u << 20, 0.99);
+  const std::uint64_t before = allocations();
+  for (std::size_t i = 0; i < kN; ++i) {
+    buffer.put(static_cast<std::uint32_t>(i % 4), corpus.keys[i],
+               corpus.values[i]);
+  }
+  const std::uint64_t delta = allocations() - before;
+  // Amortized O(1): vector doubling gives O(log n) reallocations total for
+  // n records. 64 is a generous ceiling at n = 20000 (vs. n allocations
+  // for the old string-copying path).
+  EXPECT_LE(delta, 64u) << "put() allocates per record";
+  buffer.close();
+  std::size_t drained = 0;
+  while (auto spill = buffer.take()) {
+    drained += spill->records.size();
+    buffer.release(*spill, 1);
+  }
+  EXPECT_EQ(drained, kN);
+}
+
+TEST(RecordPathAllocations, StableViewMergeIteratesWithZeroAllocations) {
+  constexpr std::size_t kN = 20000;
+  const Corpus corpus = make_corpus(kN);
+  RecordArena arena;
+  std::vector<RecordRef> first_run;
+  std::vector<RecordRef> second_run;
+  for (std::size_t i = 0; i < kN; ++i) {
+    (i % 2 == 0 ? first_run : second_run)
+        .push_back(arena.append(0, corpus.keys[i], corpus.values[i]));
+  }
+  std::sort(first_run.begin(), first_run.end(), record_ref_less);
+  std::sort(second_run.begin(), second_run.end(), record_ref_less);
+
+  std::vector<std::unique_ptr<RecordCursor>> cursors;
+  cursors.push_back(std::make_unique<MemoryRunCursor>(&first_run));
+  cursors.push_back(std::make_unique<MemoryRunCursor>(&second_run));
+  MergeStream stream(std::move(cursors));
+  ASSERT_TRUE(stream.stable_views());
+  KeyGroups groups(stream);
+
+  const std::uint64_t before = allocations();
+  std::uint64_t records = 0;
+  std::uint64_t payload = 0;
+  while (auto key = groups.next_group()) {
+    payload += key->size();
+    while (auto value = groups.values().next()) {
+      ++records;
+      payload += value->size();
+    }
+  }
+  EXPECT_EQ(allocations() - before, 0u);
+  EXPECT_EQ(records, kN);
+  EXPECT_GT(payload, 0u);
+}
+
+}  // namespace
+}  // namespace textmr::mr

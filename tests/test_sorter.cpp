@@ -12,24 +12,21 @@
 namespace textmr::mr {
 namespace {
 
-/// Builds a Spill whose RecordRefs point into stable backing storage.
+/// Builds a Spill whose RecordRefs point into an arena the builder owns —
+/// the same framed representation the ring produces. Keep the builder
+/// alive while the Spill is in use.
 class SpillBuilder {
  public:
-  void add(std::uint32_t partition, std::string key, std::string value) {
-    backing_.push_back(std::move(key));
-    const std::string& k = backing_.back();
-    backing_.push_back(std::move(value));
-    const std::string& v = backing_.back();
-    spill_.records.push_back(RecordRef{
-        k.data(), v.data(), static_cast<std::uint32_t>(k.size()),
-        static_cast<std::uint32_t>(v.size()), partition});
-    spill_.data_bytes += k.size() + v.size();
+  void add(std::uint32_t partition, std::string_view key,
+           std::string_view value) {
+    spill_.records.push_back(arena_.append(partition, key, value));
+    spill_.data_bytes += key.size() + value.size();
   }
 
   Spill& spill() { return spill_; }
 
  private:
-  std::deque<std::string> backing_;  // deque: stable addresses
+  RecordArena arena_;
   Spill spill_;
 };
 

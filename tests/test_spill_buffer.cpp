@@ -151,8 +151,12 @@ TEST(SpillBuffer, ThresholdControlsSpillSize) {
   consumer.join();
   ASSERT_GE(spill_sizes.size(), 3u);
   // All but the final spill should be within ~one record of the target.
+  // data_bytes is payload, but the seal trigger counts framed ring bytes
+  // (~3 bytes/record of varint header here), so payload undershoots the
+  // 16 KiB target by up to framing-share + one record: 16384 * 3/106 +
+  // 106 ≈ 570.
   for (std::size_t i = 0; i + 1 < spill_sizes.size(); ++i) {
-    EXPECT_GE(spill_sizes[i], (1u << 14) - 200);
+    EXPECT_GE(spill_sizes[i], (1u << 14) - 600);
   }
 }
 
