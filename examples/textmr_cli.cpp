@@ -11,6 +11,7 @@
 //              [--topk K] [--sample S] [--buffer MB] [--report]
 //              [--trace FILE] [--trace-jsonl FILE] [--metrics-json FILE]
 //              [--failpoints SPEC] [--max-task-attempts N]
+//              [--cluster-workers N] [--no-speculation]
 //   APP = wordcount | invertedindex | wordpostag | accesslogsum |
 //         accesslogjoin | pagerank
 
@@ -82,6 +83,7 @@ int usage() {
                "             [--trace FILE] [--trace-jsonl FILE]\n"
                "             [--metrics-json FILE]\n"
                "             [--failpoints SPEC] [--max-task-attempts N]\n"
+               "             [--cluster-workers N] [--no-speculation]\n"
                "  APP: wordcount invertedindex wordpostag accesslogsum\n"
                "       accesslogjoin pagerank\n");
   return 2;
@@ -193,8 +195,19 @@ int cmd_run(const Args& args) {
   spec.trace.enabled = trace_path != args.options.end() ||
                        jsonl_path != args.options.end();
 
-  mr::LocalEngine engine;
-  const auto result = engine.run(spec);
+  // --cluster-workers N runs the job on the multi-process ClusterEngine
+  // (N forked workers, heartbeats, speculative execution) instead of the
+  // in-process thread pool; output bytes are identical either way.
+  mr::JobResult result;
+  if (const std::uint64_t workers = args.u64("cluster-workers", 0);
+      workers > 0) {
+    cluster::ClusterConfig config;
+    config.num_workers = static_cast<std::uint32_t>(workers);
+    config.speculation = !args.flag("no-speculation");
+    result = cluster::ClusterEngine(config).run(spec);
+  } else {
+    result = mr::LocalEngine().run(spec);
+  }
   if (args.flag("report")) {
     std::fputs(mr::format_job_report(result, spec.name).c_str(), stdout);
   } else {

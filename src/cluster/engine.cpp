@@ -1,0 +1,631 @@
+#include "cluster/engine.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <optional>
+
+#include "cluster/protocol.hpp"
+#include "cluster/worker.hpp"
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "common/stopwatch.hpp"
+#include "mr/task_runner.hpp"
+
+namespace textmr::cluster {
+namespace {
+
+/// Coordinator-side view of one worker process.
+struct WorkerHandle {
+  std::uint32_t id = 0;
+  int fd = -1;
+  pid_t pid = -1;
+  bool alive = true;
+  bool reaped = false;
+  FrameDecoder decoder;
+  // Current dispatch (coordinator's view; confirmed by heartbeats).
+  bool busy = false;
+  TaskKind kind = TaskKind::kNone;
+  std::uint32_t task_id = 0;
+  std::uint32_t attempt = 0;
+};
+
+/// Scheduler state of one task within a phase.
+struct TaskState {
+  bool done = false;
+  std::uint32_t next_attempt = 0;  // attempt id generator
+  std::uint32_t failures = 0;      // charged attempts (worker death is free)
+  bool retried = false;
+  bool speculated = false;
+  std::uint32_t running = 0;  // attempts currently dispatched
+};
+
+constexpr int kPollMs = 5;
+
+class Coordinator {
+ public:
+  Coordinator(const mr::JobSpec& spec, const ClusterConfig& config)
+      : spec_(spec), config_(config), detector_(config.straggler) {}
+
+  mr::JobResult run();
+
+ private:
+  // ---- process management ----
+  void spawn_workers();
+  void on_worker_dead(WorkerHandle& worker);
+  void kill_worker(WorkerHandle& worker);
+  void kill_loser_attempts(TaskKind kind, std::uint32_t task);
+  void shutdown_workers();
+  void kill_and_reap_all();
+
+  // ---- scheduling ----
+  void run_phase(TaskKind kind, std::uint32_t num_tasks);
+  void dispatch_ready(TaskKind kind);
+  bool dispatch_to(WorkerHandle& worker, TaskKind kind, std::uint32_t task);
+  void pump_events();
+  void drain_worker(WorkerHandle& worker);
+  void handle_frame(WorkerHandle& worker, const std::string& frame);
+  void check_stragglers(TaskKind kind);
+  void fail_job(std::exception_ptr error);
+
+  std::uint32_t live_workers() const;
+
+  const mr::JobSpec& spec_;
+  const ClusterConfig& config_;
+  StragglerDetector detector_;
+
+  std::vector<WorkerHandle> workers_;
+  std::unique_ptr<obs::TraceCollector> collector_;
+  obs::TraceBuffer* driver_trace_ = nullptr;
+  std::vector<obs::TraceData> worker_traces_;
+
+  // Phase-scoped scheduler state. phase_ is kNone outside run_phase, so
+  // a speculative loser reporting after its phase ended is recognized as
+  // stale instead of indexing the next phase's task table.
+  TaskKind phase_ = TaskKind::kNone;
+  std::vector<TaskState> tasks_;
+  std::deque<std::uint32_t> queue_;  // task ids awaiting (re)dispatch
+  std::uint32_t done_count_ = 0;
+  std::exception_ptr job_error_;
+
+  // Results.
+  std::vector<mr::MapTaskResult> map_results_;
+  std::vector<mr::ReduceTaskResult> reduce_results_;
+  std::vector<io::SpillRunInfo> map_outputs_;
+
+  // Accounting.
+  std::uint64_t task_attempts_ = 0;
+  std::uint64_t tasks_retried_ = 0;
+  std::uint64_t speculative_attempts_ = 0;
+
+  // Set once kShutdown frames go out: a worker hanging up after that is
+  // a clean exit, not a death worth a warning or a trace event.
+  bool shutting_down_ = false;
+};
+
+void Coordinator::spawn_workers() {
+  workers_.reserve(config_.num_workers);
+  for (std::uint32_t w = 0; w < config_.num_workers; ++w) {
+    int sv[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+      throw IoError("socketpair failed: " + std::string(strerror(errno)));
+    }
+    // Flush stdio so the child doesn't replay buffered output.
+    std::fflush(stdout);
+    std::fflush(stderr);
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(sv[0]);
+      ::close(sv[1]);
+      kill_and_reap_all();
+      throw IoError("fork failed: " + std::string(strerror(errno)));
+    }
+    if (pid == 0) {
+      // Child: become worker `w`. Drop the coordinator ends — including
+      // the channels of previously forked siblings, otherwise this
+      // process would hold them open and mask a sibling's death (EOF).
+      ::close(sv[0]);
+      for (const WorkerHandle& sibling : workers_) ::close(sibling.fd);
+      if (config_.worker_init) config_.worker_init(w);
+      WorkerContext ctx;
+      ctx.fd = sv[1];
+      ctx.worker_id = w;
+      ctx.heartbeat_interval_ms = config_.heartbeat_interval_ms;
+      const int code = worker_main(ctx, spec_);
+      // _exit: a forked clone must not run the parent's atexit chain or
+      // gtest teardown; its heap intentionally dies with it.
+      ::_exit(code);
+    }
+    ::close(sv[1]);
+    const int flags = ::fcntl(sv[0], F_GETFL, 0);
+    ::fcntl(sv[0], F_SETFL, flags | O_NONBLOCK);
+    WorkerHandle handle;
+    handle.id = w;
+    handle.fd = sv[0];
+    handle.pid = pid;
+    workers_.push_back(handle);
+    if (config_.on_worker_spawn) config_.on_worker_spawn(w, pid);
+  }
+}
+
+std::uint32_t Coordinator::live_workers() const {
+  std::uint32_t n = 0;
+  for (const auto& worker : workers_) n += worker.alive ? 1 : 0;
+  return n;
+}
+
+void Coordinator::fail_job(std::exception_ptr error) {
+  if (!job_error_) job_error_ = std::move(error);
+}
+
+void Coordinator::on_worker_dead(WorkerHandle& worker) {
+  if (!worker.alive) return;
+  worker.alive = false;
+  ::close(worker.fd);
+  worker.fd = -1;
+  if (shutting_down_) {
+    TEXTMR_LOG(kDebug) << "cluster worker " << worker.id << " (pid "
+                       << worker.pid << ") exited";
+  } else {
+    TEXTMR_LOG(kWarn) << "cluster worker " << worker.id << " (pid "
+                      << worker.pid << ") died";
+    obs::record_instant(driver_trace_, "cluster", "worker_death", "worker",
+                        static_cast<double>(worker.id));
+  }
+  if (worker.busy) {
+    detector_.on_finish(worker.kind, worker.task_id, worker.attempt);
+    TaskState& task = tasks_[worker.task_id];
+    task.running -= 1;
+    // Worker death is the machine's fault, not the task's: re-queue
+    // without charging max_task_attempts (Hadoop reschedules the same
+    // way). The fresh dispatch gets a fresh attempt id.
+    if (!task.done) queue_.push_back(worker.task_id);
+    worker.busy = false;
+  }
+}
+
+void Coordinator::kill_worker(WorkerHandle& worker) {
+  if (!worker.alive) return;
+  ::kill(worker.pid, SIGKILL);
+  int status = 0;
+  while (::waitpid(worker.pid, &status, 0) < 0 && errno == EINTR) {
+  }
+  worker.reaped = true;
+  on_worker_dead(worker);
+}
+
+/// A task's winning attempt just committed: every other worker still
+/// running a duplicate attempt of it is doing provably useless work and
+/// would stall job completion (the shutdown drain would wait out its
+/// remaining runtime). Kill those workers — Hadoop's backup-task kill,
+/// which for one-slot worker processes means killing the process — and
+/// drop the dead attempts' scratch files. Call with the task already
+/// marked done so on_worker_dead() does not re-queue it.
+void Coordinator::kill_loser_attempts(TaskKind kind, std::uint32_t task) {
+  for (auto& worker : workers_) {
+    if (!worker.alive || !worker.busy) continue;
+    if (worker.kind != kind || worker.task_id != task) continue;
+    const std::uint32_t attempt = worker.attempt;
+    TEXTMR_LOG(kWarn) << "killing worker " << worker.id
+                      << " running lost duplicate of "
+                      << (kind == TaskKind::kMap ? "map" : "reduce")
+                      << " task " << task << " attempt " << attempt;
+    kill_worker(worker);
+    if (kind == TaskKind::kMap) {
+      mr::cleanup_map_attempt(spec_, task, attempt);
+    } else {
+      mr::cleanup_reduce_attempt(mr::reduce_output_path(spec_, task), attempt);
+    }
+  }
+}
+
+bool Coordinator::dispatch_to(WorkerHandle& worker, TaskKind kind,
+                              std::uint32_t task) {
+  TaskState& state = tasks_[task];
+  const std::uint32_t attempt = state.next_attempt++;
+  std::string frame;
+  if (kind == TaskKind::kMap) {
+    frame = encode_run_task(MsgType::kRunMap, RunTaskMsg{task, attempt});
+  } else {
+    RunReduceMsg msg;
+    msg.partition = task;
+    msg.attempt = attempt;
+    msg.map_outputs = map_outputs_;
+    frame = encode_run_reduce(msg);
+  }
+  bool sent = false;
+  try {
+    sent = send_frame(worker.fd, frame);
+  } catch (const IoError&) {
+    sent = false;
+  }
+  if (!sent) {
+    state.next_attempt = attempt;  // attempt never started
+    on_worker_dead(worker);
+    return false;
+  }
+  worker.busy = true;
+  worker.kind = kind;
+  worker.task_id = task;
+  worker.attempt = attempt;
+  state.running += 1;
+  task_attempts_ += 1;
+  detector_.on_dispatch(kind, task, attempt);
+  return true;
+}
+
+void Coordinator::dispatch_ready(TaskKind kind) {
+  for (auto& worker : workers_) {
+    if (queue_.empty()) return;
+    if (!worker.alive || worker.busy) continue;
+    // Take the oldest queued task that still needs running; drop stale
+    // entries for tasks that completed while queued. A speculative
+    // duplicate automatically lands on a different worker than the
+    // straggling attempt: that worker is busy, and busy workers are
+    // never dispatched to.
+    std::optional<std::uint32_t> chosen;
+    while (!queue_.empty()) {
+      const std::uint32_t candidate = queue_.front();
+      queue_.pop_front();
+      if (tasks_[candidate].done) continue;
+      chosen = candidate;
+      break;
+    }
+    if (!chosen.has_value()) continue;
+    dispatch_to(worker, kind, *chosen);
+  }
+}
+
+void Coordinator::handle_frame(WorkerHandle& worker,
+                               const std::string& frame) {
+  WireReader r(frame);
+  const MsgType type = static_cast<MsgType>(r.u8());
+  switch (type) {
+    case MsgType::kHeartbeat: {
+      const HeartbeatMsg msg = decode_heartbeat(r);
+      if (msg.kind != TaskKind::kNone) {
+        detector_.on_beat(msg.kind, msg.id, msg.attempt, msg.progress);
+      }
+      return;
+    }
+    case MsgType::kMapDone: {
+      std::uint32_t task = 0;
+      std::uint32_t attempt = 0;
+      mr::MapTaskResult result;
+      decode_map_done(r, task, attempt, result);
+      worker.busy = false;
+      const std::uint64_t duration =
+          detector_.on_finish(TaskKind::kMap, task, attempt);
+      if (phase_ != TaskKind::kMap) {
+        // A speculative loser still running when the map phase ended,
+        // now finishing during the reduce phase or shutdown: the phase's
+        // scheduler state is gone, only the loser's files need dropping.
+        mr::cleanup_map_attempt(spec_, task, attempt);
+        return;
+      }
+      TaskState& state = tasks_[task];
+      state.running -= 1;
+      if (state.done) {
+        // A speculative (or re-queued) duplicate lost the race: its run
+        // file is redundant — drop the attempt's scratch files.
+        mr::cleanup_map_attempt(spec_, task, attempt);
+        return;
+      }
+      state.done = true;
+      ++done_count_;
+      detector_.note_completed(TaskKind::kMap, duration);
+      map_results_[task] = std::move(result);
+      kill_loser_attempts(TaskKind::kMap, task);
+      return;
+    }
+    case MsgType::kReduceDone: {
+      std::uint32_t partition = 0;
+      std::uint32_t attempt = 0;
+      mr::ReduceTaskResult result;
+      decode_reduce_done(r, partition, attempt, result);
+      worker.busy = false;
+      const std::uint64_t duration =
+          detector_.on_finish(TaskKind::kReduce, partition, attempt);
+      // A post-phase reduce loser already committed byte-identical output
+      // through the atomic rename; nothing to clean up.
+      if (phase_ != TaskKind::kReduce) return;
+      TaskState& state = tasks_[partition];
+      state.running -= 1;
+      if (state.done) return;  // duplicate committed identical bytes
+      state.done = true;
+      ++done_count_;
+      detector_.note_completed(TaskKind::kReduce, duration);
+      reduce_results_[partition] = std::move(result);
+      kill_loser_attempts(TaskKind::kReduce, partition);
+      return;
+    }
+    case MsgType::kTaskFailed: {
+      const TaskFailedMsg msg = decode_task_failed(r);
+      worker.busy = false;
+      detector_.on_finish(msg.kind, msg.id, msg.attempt);
+      if (phase_ != msg.kind) return;  // failure of a post-phase loser
+      TaskState& state = tasks_[msg.id];
+      state.running -= 1;
+      if (state.done) return;  // a sibling attempt already finished
+      const char* kind_name = msg.kind == TaskKind::kMap ? "map" : "reduce";
+      if (!msg.retryable) {
+        fail_job(std::make_exception_ptr(TaskFailedError(
+            std::string(kind_name) + " task " + std::to_string(msg.id) +
+            " failed permanently: " + msg.message)));
+        return;
+      }
+      state.failures += 1;
+      if (state.failures >= spec_.max_task_attempts) {
+        fail_job(std::make_exception_ptr(TaskFailedError(
+            std::string(kind_name) + " task " + std::to_string(msg.id) +
+            " failed after " + std::to_string(state.failures) +
+            (state.failures == 1 ? " attempt: " : " attempts: ") +
+            msg.message)));
+        return;
+      }
+      TEXTMR_LOG(kWarn) << kind_name << " task " << msg.id << " attempt "
+                        << msg.attempt << " failed (" << msg.message
+                        << "); retrying";
+      obs::record_instant(driver_trace_, "retry", "task_retry", "task",
+                          static_cast<double>(msg.id), "failed_attempt",
+                          static_cast<double>(msg.attempt));
+      if (!state.retried) {
+        state.retried = true;
+        tasks_retried_ += 1;
+      }
+      queue_.push_back(msg.id);
+      return;
+    }
+    case MsgType::kTraceUpload: {
+      worker_traces_.push_back(decode_trace_upload(r));
+      return;
+    }
+    default:
+      TEXTMR_LOG(kWarn) << "coordinator: unexpected message type "
+                        << static_cast<int>(type) << " from worker "
+                        << worker.id;
+      return;
+  }
+}
+
+void Coordinator::drain_worker(WorkerHandle& worker) {
+  char buf[65536];
+  while (true) {
+    const ssize_t n = ::recv(worker.fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      worker.decoder.feed(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      // Flush any complete frames that raced the death.
+      while (auto frame = worker.decoder.next()) {
+        handle_frame(worker, *frame);
+      }
+      on_worker_dead(worker);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    on_worker_dead(worker);
+    return;
+  }
+  while (auto frame = worker.decoder.next()) {
+    handle_frame(worker, *frame);
+  }
+}
+
+void Coordinator::pump_events() {
+  std::vector<pollfd> fds;
+  std::vector<WorkerHandle*> owners;
+  for (auto& worker : workers_) {
+    if (!worker.alive) continue;
+    fds.push_back(pollfd{worker.fd, POLLIN, 0});
+    owners.push_back(&worker);
+  }
+  if (fds.empty()) return;
+  const int rc = ::poll(fds.data(), fds.size(), kPollMs);
+  if (rc < 0) {
+    if (errno == EINTR) return;
+    throw IoError("cluster poll failed: " + std::string(strerror(errno)));
+  }
+  for (std::size_t i = 0; i < fds.size(); ++i) {
+    if (fds[i].revents == 0) continue;
+    // A winner draining earlier in this loop may have killed this worker
+    // (kill_loser_attempts); its fd is gone, skip it.
+    if (!owners[i]->alive) continue;
+    if (fds[i].revents & (POLLIN | POLLHUP | POLLERR)) {
+      drain_worker(*owners[i]);
+    }
+  }
+}
+
+void Coordinator::check_stragglers(TaskKind kind) {
+  if (!config_.speculation) return;
+  for (const auto& straggler : detector_.take_stragglers()) {
+    if (straggler.kind != kind) continue;
+    TaskState& state = tasks_[straggler.id];
+    if (state.done || state.speculated) continue;
+    state.speculated = true;
+    speculative_attempts_ += 1;
+    TEXTMR_LOG(kWarn) << "speculating "
+                      << (kind == TaskKind::kMap ? "map" : "reduce")
+                      << " task " << straggler.id
+                      << " (straggling attempt " << straggler.attempt << ")";
+    obs::record_instant(driver_trace_, "cluster", "speculative_attempt",
+                        "task", static_cast<double>(straggler.id),
+                        "straggling_attempt",
+                        static_cast<double>(straggler.attempt));
+    queue_.push_back(straggler.id);
+  }
+}
+
+void Coordinator::run_phase(TaskKind kind, std::uint32_t num_tasks) {
+  phase_ = kind;
+  tasks_.assign(num_tasks, TaskState{});
+  queue_.clear();
+  for (std::uint32_t t = 0; t < num_tasks; ++t) queue_.push_back(t);
+  done_count_ = 0;
+
+  while (done_count_ < num_tasks && !job_error_) {
+    if (live_workers() == 0) {
+      fail_job(std::make_exception_ptr(
+          TaskFailedError("every cluster worker died")));
+      break;
+    }
+    dispatch_ready(kind);
+    pump_events();
+    check_stragglers(kind);
+  }
+  phase_ = TaskKind::kNone;
+  if (job_error_) {
+    shutdown_workers();
+    std::rethrow_exception(job_error_);
+  }
+}
+
+void Coordinator::shutdown_workers() {
+  shutting_down_ = true;
+  for (auto& worker : workers_) {
+    if (!worker.alive) continue;
+    try {
+      if (!send_frame(worker.fd, [] {
+            WireWriter w;
+            w.u8(static_cast<std::uint8_t>(MsgType::kShutdown));
+            return w.take();
+          }())) {
+        on_worker_dead(worker);
+      }
+    } catch (const IoError&) {
+      on_worker_dead(worker);
+    }
+  }
+  // Drain until every worker EOFs (uploading its trace on the way out) or
+  // the grace period expires — a still-running loser attempt can hold a
+  // worker busy past the job's useful lifetime.
+  const std::uint64_t deadline =
+      monotonic_ns() + config_.shutdown_grace_ms * 1000000ull;
+  while (live_workers() > 0 && monotonic_ns() < deadline) {
+    pump_events();
+  }
+  kill_and_reap_all();
+}
+
+void Coordinator::kill_and_reap_all() {
+  for (auto& worker : workers_) {
+    if (worker.alive) {
+      ::kill(worker.pid, SIGKILL);
+      on_worker_dead(worker);
+    }
+  }
+  for (auto& worker : workers_) {
+    if (worker.reaped || worker.pid <= 0) continue;
+    int status = 0;
+    while (::waitpid(worker.pid, &status, 0) < 0 && errno == EINTR) {
+    }
+    worker.reaped = true;
+  }
+}
+
+mr::JobResult Coordinator::run() {
+  mr::validate_job(spec_);
+  if (config_.num_workers == 0) {
+    throw ConfigError("cluster needs >= 1 worker");
+  }
+  std::filesystem::create_directories(spec_.scratch_dir);
+  std::filesystem::create_directories(spec_.output_dir);
+
+  mr::JobResult result;
+  const std::uint64_t job_start = monotonic_ns();
+
+  // Fork before any coordinator thread or collector exists: the children
+  // must be single-threaded clones.
+  spawn_workers();
+
+  if (spec_.trace.enabled) {
+    collector_ = std::make_unique<obs::TraceCollector>(spec_.trace);
+    collector_->set_job_name(spec_.name);
+    driver_trace_ =
+        collector_->make_buffer(obs::kDriverPid, 0, "coordinator", "driver");
+  }
+
+  try {
+    // ---- map phase ------------------------------------------------------
+    obs::SpanTimer map_span(driver_trace_, "phase", "map_phase");
+    const std::uint64_t map_start = monotonic_ns();
+    const std::uint32_t num_map_tasks =
+        static_cast<std::uint32_t>(spec_.inputs.size());
+    map_results_.assign(num_map_tasks, mr::MapTaskResult{});
+    run_phase(TaskKind::kMap, num_map_tasks);
+    map_span.done();
+    result.metrics.map_phase_wall_ns = monotonic_ns() - map_start;
+    result.metrics.map_tasks = num_map_tasks;
+
+    // Ordered by map task id — required for byte-identical reduce merges.
+    map_outputs_.clear();
+    map_outputs_.reserve(num_map_tasks);
+    for (auto& task_result : map_results_) {
+      map_outputs_.push_back(task_result.output);
+      mr::fold_map_result(task_result, result);
+    }
+
+    // ---- reduce phase ---------------------------------------------------
+    obs::SpanTimer reduce_span(driver_trace_, "phase", "reduce_phase");
+    const std::uint64_t reduce_start = monotonic_ns();
+    reduce_results_.assign(spec_.num_reducers, mr::ReduceTaskResult{});
+    run_phase(TaskKind::kReduce, spec_.num_reducers);
+    reduce_span.done();
+    result.metrics.reduce_phase_wall_ns = monotonic_ns() - reduce_start;
+    result.metrics.reduce_tasks = spec_.num_reducers;
+  } catch (...) {
+    kill_and_reap_all();
+    throw;
+  }
+
+  for (auto& reduce_result : reduce_results_) {
+    mr::fold_reduce_result(reduce_result, result);
+  }
+  result.metrics.task_attempts = task_attempts_;
+  result.metrics.tasks_retried = tasks_retried_;
+  result.counters.increment("cluster.speculative_attempts",
+                            speculative_attempts_);
+
+  shutdown_workers();
+
+  if (!spec_.keep_intermediates) {
+    for (const auto& run : map_outputs_) {
+      std::error_code ec;
+      std::filesystem::remove(run.path, ec);
+    }
+  }
+
+  result.metrics.job_wall_ns = monotonic_ns() - job_start;
+  if (collector_ != nullptr) {
+    result.trace = collector_->finish();
+    for (auto& worker_trace : worker_traces_) {
+      obs::merge_trace(result.trace, std::move(worker_trace));
+    }
+    worker_traces_.clear();
+  }
+  return result;
+}
+
+}  // namespace
+
+ClusterEngine::ClusterEngine(ClusterConfig config)
+    : config_(std::move(config)) {}
+
+mr::JobResult ClusterEngine::run(const mr::JobSpec& spec) {
+  Coordinator coordinator(spec, config_);
+  return coordinator.run();
+}
+
+}  // namespace textmr::cluster

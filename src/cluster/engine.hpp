@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "cluster/straggler.hpp"
+#include "mr/job.hpp"
+
+namespace textmr::cluster {
+
+/// Cluster-execution knobs, orthogonal to the JobSpec (which describes
+/// the computation; this describes the machinery running it).
+struct ClusterConfig {
+  /// Worker processes to fork. Each models one shared-nothing node with
+  /// one task slot; map_parallelism/reduce_parallelism in the JobSpec are
+  /// ignored by this engine (parallelism = workers).
+  std::uint32_t num_workers = 2;
+
+  /// Launch speculative duplicate attempts for straggling tasks
+  /// (paper §II-A backup tasks). First finished attempt wins; the
+  /// duplicate's output commits through the same tmp+rename path, so a
+  /// lost race never corrupts output.
+  bool speculation = true;
+
+  std::uint32_t heartbeat_interval_ms = 25;
+  StragglerPolicy straggler;
+
+  /// How long shutdown waits for a worker to drain and exit before
+  /// SIGKILLing it (a straggling duplicate attempt may still be running).
+  std::uint64_t shutdown_grace_ms = 10000;
+
+  /// Test seam: runs inside each child process right after fork, before
+  /// any task executes — e.g. re-arm failpoints asymmetrically so only
+  /// worker 0 is slow. Inherited armed failpoints stay armed in every
+  /// worker otherwise.
+  std::function<void(std::uint32_t worker_id)> worker_init;
+
+  /// Test seam: observes spawned worker pids in the coordinator
+  /// (SIGKILL-based fault injection).
+  std::function<void(std::uint32_t worker_id, int pid)> on_worker_spawn;
+};
+
+/// Multi-process shared-nothing MapReduce engine (DESIGN.md §10): forks
+/// `num_workers` clones of the current process, dispatches map/reduce
+/// tasks over per-worker socketpair control channels, shuffles through
+/// spill-run files on the shared filesystem, and recovers from worker
+/// death and stragglers (heartbeats + speculative execution). Produces
+/// byte-identical output to LocalEngine for deterministic applications —
+/// the cross-engine differential battery enforces exactly that.
+class ClusterEngine {
+ public:
+  explicit ClusterEngine(ClusterConfig config = {});
+
+  /// Validates `spec`, runs the job across worker processes, returns
+  /// outputs + metrics (+ the merged multi-process trace when enabled).
+  /// Throws ConfigError for invalid specs and TaskFailedError when a
+  /// task exhausts max_task_attempts or every worker dies.
+  mr::JobResult run(const mr::JobSpec& spec);
+
+ private:
+  ClusterConfig config_;
+};
+
+}  // namespace textmr::cluster

@@ -1,0 +1,531 @@
+#include "cluster/protocol.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstring>
+#include <unordered_map>
+
+#include "common/error.hpp"
+
+namespace textmr::cluster {
+
+// ---- WireWriter / WireReader ---------------------------------------------
+
+void WireWriter::u32(std::uint32_t v) {
+  char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  buf_.append(b, 4);
+}
+
+void WireWriter::u64(std::uint64_t v) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  buf_.append(b, 8);
+}
+
+void WireWriter::f64(double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+void WireWriter::str(std::string_view v) {
+  u32(static_cast<std::uint32_t>(v.size()));
+  buf_.append(v);
+}
+
+std::uint8_t WireReader::u8() {
+  if (in_.empty()) throw FormatError("cluster frame truncated");
+  const std::uint8_t v = static_cast<std::uint8_t>(in_[0]);
+  in_.remove_prefix(1);
+  return v;
+}
+
+std::uint32_t WireReader::u32() {
+  if (in_.size() < 4) throw FormatError("cluster frame truncated");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(in_[i]))
+         << (8 * i);
+  }
+  in_.remove_prefix(4);
+  return v;
+}
+
+std::uint64_t WireReader::u64() {
+  if (in_.size() < 8) throw FormatError("cluster frame truncated");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(in_[i]))
+         << (8 * i);
+  }
+  in_.remove_prefix(8);
+  return v;
+}
+
+double WireReader::f64() {
+  const std::uint64_t bits = u64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string WireReader::str() {
+  const std::uint32_t len = u32();
+  if (in_.size() < len) throw FormatError("cluster frame truncated");
+  std::string v(in_.substr(0, len));
+  in_.remove_prefix(len);
+  return v;
+}
+
+void WireReader::expect_done() const {
+  if (!in_.empty()) throw FormatError("cluster frame has trailing bytes");
+}
+
+// ---- field-group helpers --------------------------------------------------
+
+namespace {
+
+void put_metrics(WireWriter& w, const mr::TaskMetrics& m) {
+  w.u32(static_cast<std::uint32_t>(mr::kNumOps));
+  for (std::uint64_t ns : m.ns) w.u64(ns);
+  w.u64(m.input_records);
+  w.u64(m.input_bytes);
+  w.u64(m.map_output_records);
+  w.u64(m.map_output_bytes);
+  w.u64(m.freq_hits);
+  w.u64(m.freq_flushes);
+  w.u64(m.spill_input_records);
+  w.u64(m.spill_input_bytes);
+  w.u64(m.spilled_records);
+  w.u64(m.spilled_bytes);
+  w.u64(m.spill_count);
+  w.u64(m.merged_records);
+  w.u64(m.merged_bytes);
+  w.u64(m.shuffled_bytes);
+  w.u64(m.reduce_input_records);
+  w.u64(m.reduce_groups);
+  w.u64(m.output_records);
+  w.u64(m.output_bytes);
+}
+
+mr::TaskMetrics get_metrics(WireReader& r) {
+  mr::TaskMetrics m;
+  const std::uint32_t ops = r.u32();
+  if (ops != mr::kNumOps) {
+    throw FormatError("cluster metrics op-count mismatch");
+  }
+  for (std::size_t i = 0; i < mr::kNumOps; ++i) m.ns[i] = r.u64();
+  m.input_records = r.u64();
+  m.input_bytes = r.u64();
+  m.map_output_records = r.u64();
+  m.map_output_bytes = r.u64();
+  m.freq_hits = r.u64();
+  m.freq_flushes = r.u64();
+  m.spill_input_records = r.u64();
+  m.spill_input_bytes = r.u64();
+  m.spilled_records = r.u64();
+  m.spilled_bytes = r.u64();
+  m.spill_count = r.u64();
+  m.merged_records = r.u64();
+  m.merged_bytes = r.u64();
+  m.shuffled_bytes = r.u64();
+  m.reduce_input_records = r.u64();
+  m.reduce_groups = r.u64();
+  m.output_records = r.u64();
+  m.output_bytes = r.u64();
+  return m;
+}
+
+void put_counters(WireWriter& w, const mr::Counters& counters) {
+  w.u32(static_cast<std::uint32_t>(counters.all().size()));
+  for (const auto& [name, value] : counters.all()) {
+    w.str(name);
+    w.u64(value);
+  }
+}
+
+mr::Counters get_counters(WireReader& r) {
+  mr::Counters counters;
+  const std::uint32_t n = r.u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::string name = r.str();
+    counters.increment(name, r.u64());
+  }
+  return counters;
+}
+
+void put_run_info(WireWriter& w, const io::SpillRunInfo& run) {
+  w.str(run.path);
+  w.u64(run.bytes);
+  w.u64(run.records);
+  w.u32(static_cast<std::uint32_t>(run.partitions.size()));
+  for (const auto& extent : run.partitions) {
+    w.u64(extent.offset);
+    w.u64(extent.bytes);
+    w.u64(extent.records);
+  }
+}
+
+io::SpillRunInfo get_run_info(WireReader& r) {
+  io::SpillRunInfo run;
+  run.path = r.str();
+  run.bytes = r.u64();
+  run.records = r.u64();
+  const std::uint32_t n = r.u32();
+  run.partitions.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    io::PartitionExtent extent;
+    extent.offset = r.u64();
+    extent.bytes = r.u64();
+    extent.records = r.u64();
+    run.partitions.push_back(extent);
+  }
+  return run;
+}
+
+}  // namespace
+
+// ---- messages -------------------------------------------------------------
+
+std::string encode_run_task(MsgType type, const RunTaskMsg& msg) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u32(msg.id);
+  w.u32(msg.attempt);
+  return w.take();
+}
+
+RunTaskMsg decode_run_task(WireReader& r) {
+  RunTaskMsg msg;
+  msg.id = r.u32();
+  msg.attempt = r.u32();
+  r.expect_done();
+  return msg;
+}
+
+std::string encode_run_reduce(const RunReduceMsg& msg) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kRunReduce));
+  w.u32(msg.partition);
+  w.u32(msg.attempt);
+  w.u32(static_cast<std::uint32_t>(msg.map_outputs.size()));
+  for (const auto& run : msg.map_outputs) put_run_info(w, run);
+  return w.take();
+}
+
+RunReduceMsg decode_run_reduce(WireReader& r) {
+  RunReduceMsg msg;
+  msg.partition = r.u32();
+  msg.attempt = r.u32();
+  const std::uint32_t n = r.u32();
+  msg.map_outputs.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    msg.map_outputs.push_back(get_run_info(r));
+  }
+  r.expect_done();
+  return msg;
+}
+
+std::string encode_heartbeat(const HeartbeatMsg& msg) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kHeartbeat));
+  w.u32(msg.worker_id);
+  w.u8(static_cast<std::uint8_t>(msg.kind));
+  w.u32(msg.id);
+  w.u32(msg.attempt);
+  w.f64(msg.progress);
+  return w.take();
+}
+
+HeartbeatMsg decode_heartbeat(WireReader& r) {
+  HeartbeatMsg msg;
+  msg.worker_id = r.u32();
+  msg.kind = static_cast<TaskKind>(r.u8());
+  msg.id = r.u32();
+  msg.attempt = r.u32();
+  msg.progress = r.f64();
+  r.expect_done();
+  return msg;
+}
+
+std::string encode_task_failed(const TaskFailedMsg& msg) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kTaskFailed));
+  w.u8(static_cast<std::uint8_t>(msg.kind));
+  w.u32(msg.id);
+  w.u32(msg.attempt);
+  w.u8(msg.retryable ? 1 : 0);
+  w.str(msg.message);
+  return w.take();
+}
+
+TaskFailedMsg decode_task_failed(WireReader& r) {
+  TaskFailedMsg msg;
+  msg.kind = static_cast<TaskKind>(r.u8());
+  msg.id = r.u32();
+  msg.attempt = r.u32();
+  msg.retryable = r.u8() != 0;
+  msg.message = r.str();
+  r.expect_done();
+  return msg;
+}
+
+std::string encode_map_done(std::uint32_t task, std::uint32_t attempt,
+                            const mr::MapTaskResult& result) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kMapDone));
+  w.u32(task);
+  w.u32(attempt);
+  put_run_info(w, result.output);
+  put_metrics(w, result.map_thread);
+  put_metrics(w, result.support_thread);
+  put_counters(w, result.counters);
+  w.u64(result.wall_ns);
+  w.u64(result.pipeline_wall_ns);
+  w.u64(result.spills);
+  w.f64(result.final_spill_threshold);
+  w.u8(static_cast<std::uint8_t>(result.freq_stage_at_end));
+  w.f64(result.freq_sampling_fraction);
+  return w.take();
+}
+
+void decode_map_done(WireReader& r, std::uint32_t& task,
+                     std::uint32_t& attempt, mr::MapTaskResult& result) {
+  task = r.u32();
+  attempt = r.u32();
+  result.output = get_run_info(r);
+  result.map_thread = get_metrics(r);
+  result.support_thread = get_metrics(r);
+  result.counters = get_counters(r);
+  result.wall_ns = r.u64();
+  result.pipeline_wall_ns = r.u64();
+  result.spills = r.u64();
+  result.final_spill_threshold = r.f64();
+  result.freq_stage_at_end =
+      static_cast<freqbuf::FreqBufferController::Stage>(r.u8());
+  result.freq_sampling_fraction = r.f64();
+  r.expect_done();
+}
+
+std::string encode_reduce_done(std::uint32_t partition, std::uint32_t attempt,
+                               const mr::ReduceTaskResult& result) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kReduceDone));
+  w.u32(partition);
+  w.u32(attempt);
+  w.str(result.output_path.string());
+  put_metrics(w, result.metrics);
+  put_counters(w, result.counters);
+  w.u64(result.wall_ns);
+  return w.take();
+}
+
+void decode_reduce_done(WireReader& r, std::uint32_t& partition,
+                        std::uint32_t& attempt, mr::ReduceTaskResult& result) {
+  partition = r.u32();
+  attempt = r.u32();
+  result.output_path = r.str();
+  result.metrics = get_metrics(r);
+  result.counters = get_counters(r);
+  result.wall_ns = r.u64();
+  r.expect_done();
+}
+
+std::string encode_trace_upload(const obs::TraceData& trace) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kTraceUpload));
+  w.u8(trace.enabled ? 1 : 0);
+  w.str(trace.job_name);
+  w.u64(trace.epoch_ns);
+  w.u64(trace.dropped_events);
+  w.u32(static_cast<std::uint32_t>(trace.process_names.size()));
+  for (const auto& [pid, name] : trace.process_names) {
+    w.u32(pid);
+    w.str(name);
+  }
+  w.u32(static_cast<std::uint32_t>(trace.thread_names.size()));
+  for (const auto& thread : trace.thread_names) {
+    w.u32(thread.pid);
+    w.u32(thread.tid);
+    w.str(thread.name);
+  }
+  w.u32(static_cast<std::uint32_t>(trace.events.size()));
+  for (const auto& e : trace.events) {
+    w.str(e.name != nullptr ? e.name : "");
+    w.str(e.category != nullptr ? e.category : "");
+    w.u64(e.ts_ns);
+    w.u64(e.dur_ns);
+    w.u32(e.pid);
+    w.u32(e.tid);
+    w.u8(static_cast<std::uint8_t>(e.kind));
+    w.u8(e.num_args);
+    for (std::uint8_t i = 0; i < e.num_args; ++i) {
+      w.str(e.arg_names[i] != nullptr ? e.arg_names[i] : "");
+      w.f64(e.args[i]);
+    }
+  }
+  return w.take();
+}
+
+obs::TraceData decode_trace_upload(WireReader& r) {
+  obs::TraceData trace;
+  trace.enabled = r.u8() != 0;
+  trace.job_name = r.str();
+  trace.epoch_ns = r.u64();
+  trace.dropped_events = r.u64();
+  const std::uint32_t num_procs = r.u32();
+  for (std::uint32_t i = 0; i < num_procs; ++i) {
+    const std::uint32_t pid = r.u32();
+    trace.process_names.emplace_back(pid, r.str());
+  }
+  const std::uint32_t num_threads = r.u32();
+  for (std::uint32_t i = 0; i < num_threads; ++i) {
+    obs::TraceData::ThreadName thread;
+    thread.pid = r.u32();
+    thread.tid = r.u32();
+    thread.name = r.str();
+    trace.thread_names.push_back(std::move(thread));
+  }
+  // Dedupe interning: a worker's events repeat a handful of literal
+  // names, so the pool stays tiny even for large rings.
+  std::unordered_map<std::string, const char*> seen;
+  auto intern = [&trace, &seen](std::string s) -> const char* {
+    auto it = seen.find(s);
+    if (it != seen.end()) return it->second;
+    const char* p = trace.intern(s);
+    seen.emplace(std::move(s), p);
+    return p;
+  };
+  const std::uint32_t num_events = r.u32();
+  trace.events.reserve(num_events);
+  for (std::uint32_t i = 0; i < num_events; ++i) {
+    obs::TraceEvent e;
+    e.name = intern(r.str());
+    e.category = intern(r.str());
+    e.ts_ns = r.u64();
+    e.dur_ns = r.u64();
+    e.pid = r.u32();
+    e.tid = r.u32();
+    e.kind = static_cast<obs::EventKind>(r.u8());
+    e.num_args = r.u8();
+    if (e.num_args > 3) throw FormatError("cluster trace event arg overflow");
+    for (std::uint8_t a = 0; a < e.num_args; ++a) {
+      e.arg_names[a] = intern(r.str());
+      e.args[a] = r.f64();
+    }
+    trace.events.push_back(e);
+  }
+  r.expect_done();
+  return trace;
+}
+
+// ---- framed socket I/O ----------------------------------------------------
+
+namespace {
+
+/// Waits until `fd` is ready for `events`; throws IoError on poll failure.
+void wait_ready(int fd, short events) {
+  pollfd pfd{fd, events, 0};
+  while (true) {
+    const int rc = ::poll(&pfd, 1, -1);
+    if (rc > 0) return;
+    if (rc < 0 && errno != EINTR) {
+      throw IoError("cluster poll failed: " + std::string(strerror(errno)));
+    }
+  }
+}
+
+/// Writes all of `data`; false if the peer is gone.
+bool send_all(int fd, const char* data, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::send(fd, data + off, n - off, MSG_NOSIGNAL);
+    if (w > 0) {
+      off += static_cast<std::size_t>(w);
+      continue;
+    }
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      wait_ready(fd, POLLOUT);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    if (w < 0 && (errno == EPIPE || errno == ECONNRESET)) return false;
+    throw IoError("cluster send failed: " + std::string(strerror(errno)));
+  }
+  return true;
+}
+
+}  // namespace
+
+bool send_frame(int fd, std::string_view payload) {
+  char header[4];
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) {
+    header[i] = static_cast<char>((len >> (8 * i)) & 0xff);
+  }
+  if (!send_all(fd, header, 4)) return false;
+  return send_all(fd, payload.data(), payload.size());
+}
+
+std::optional<std::string> recv_frame(int fd) {
+  char header[4];
+  std::size_t got = 0;
+  while (got < 4) {
+    const ssize_t n = ::recv(fd, header + got, 4 - got, 0);
+    if (n > 0) {
+      got += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      if (got == 0) return std::nullopt;  // clean EOF between frames
+      throw IoError("cluster channel closed mid-frame");
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      wait_ready(fd, POLLIN);
+      continue;
+    }
+    throw IoError("cluster recv failed: " + std::string(strerror(errno)));
+  }
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(header[i]))
+           << (8 * i);
+  }
+  std::string payload(len, '\0');
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::recv(fd, payload.data() + off, len - off, 0);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n == 0) throw IoError("cluster channel closed mid-frame");
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      wait_ready(fd, POLLIN);
+      continue;
+    }
+    throw IoError("cluster recv failed: " + std::string(strerror(errno)));
+  }
+  return payload;
+}
+
+std::optional<std::string> FrameDecoder::next() {
+  if (buf_.size() < 4) return std::nullopt;
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(buf_[i]))
+           << (8 * i);
+  }
+  if (buf_.size() < 4u + len) return std::nullopt;
+  std::string frame = buf_.substr(4, len);
+  buf_.erase(0, 4u + len);
+  return frame;
+}
+
+}  // namespace textmr::cluster

@@ -1,0 +1,155 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mr/map_task.hpp"
+#include "mr/reduce_task.hpp"
+#include "obs/trace.hpp"
+
+namespace textmr::cluster {
+
+/// Control protocol between the cluster coordinator and its worker
+/// processes (DESIGN.md §10). Transport: one AF_UNIX stream socketpair
+/// per worker carrying little-endian u32 length-prefixed frames; the
+/// first payload byte is the message type. Bulk data (input splits,
+/// spill runs, final part files) never crosses the channel — it moves
+/// through the shared filesystem, exactly like a DFS-backed deployment —
+/// so frames stay small except for the one trace upload at shutdown.
+
+enum class MsgType : std::uint8_t {
+  // coordinator -> worker
+  kRunMap = 1,     // u32 task, u32 attempt
+  kRunReduce = 2,  // u32 partition, u32 attempt
+  kShutdown = 3,   // no payload; worker uploads its trace and exits
+  // worker -> coordinator
+  kHeartbeat = 10,    // worker liveness + progress of the running task
+  kMapDone = 11,      // u32 task, u32 attempt, MapTaskResult
+  kReduceDone = 12,   // u32 partition, u32 attempt, ReduceTaskResult
+  kTaskFailed = 13,   // one attempt failed (the worker itself is healthy)
+  kTraceUpload = 14,  // worker's TraceData, sent once before exit
+};
+
+/// What kind of task an id refers to in heartbeat / failure messages.
+enum class TaskKind : std::uint8_t { kNone = 0, kMap = 1, kReduce = 2 };
+
+struct RunTaskMsg {
+  std::uint32_t id = 0;  // map task id or reduce partition
+  std::uint32_t attempt = 0;
+};
+
+/// Reduce dispatch also names the map-output runs to shuffle from,
+/// ordered by map task id — the ordering every engine must use for
+/// byte-identical merges.
+struct RunReduceMsg {
+  std::uint32_t partition = 0;
+  std::uint32_t attempt = 0;
+  std::vector<io::SpillRunInfo> map_outputs;
+};
+
+struct HeartbeatMsg {
+  std::uint32_t worker_id = 0;
+  TaskKind kind = TaskKind::kNone;  // kNone: idle worker
+  std::uint32_t id = 0;
+  std::uint32_t attempt = 0;
+  double progress = 0.0;  // input fraction consumed (map tasks)
+};
+
+struct TaskFailedMsg {
+  TaskKind kind = TaskKind::kNone;
+  std::uint32_t id = 0;
+  std::uint32_t attempt = 0;
+  bool retryable = true;
+  std::string message;
+};
+
+// ---- serialization --------------------------------------------------------
+
+/// Append-only little-endian encoder for frame payloads.
+class WireWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void f64(double v);
+  void str(std::string_view v);
+
+  std::string take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+/// Matching decoder; throws FormatError on truncated or trailing bytes.
+class WireReader {
+ public:
+  explicit WireReader(std::string_view in) : in_(in) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  double f64();
+  std::string str();
+
+  bool done() const { return in_.empty(); }
+  void expect_done() const;
+
+ private:
+  std::string_view in_;
+};
+
+// Message payload encode/decode. Encoders produce the payload including
+// the leading type byte; decoders expect the byte already consumed.
+std::string encode_run_task(MsgType type, const RunTaskMsg& msg);
+RunTaskMsg decode_run_task(WireReader& r);
+
+std::string encode_run_reduce(const RunReduceMsg& msg);
+RunReduceMsg decode_run_reduce(WireReader& r);
+
+std::string encode_heartbeat(const HeartbeatMsg& msg);
+HeartbeatMsg decode_heartbeat(WireReader& r);
+
+std::string encode_task_failed(const TaskFailedMsg& msg);
+TaskFailedMsg decode_task_failed(WireReader& r);
+
+std::string encode_map_done(std::uint32_t task, std::uint32_t attempt,
+                            const mr::MapTaskResult& result);
+void decode_map_done(WireReader& r, std::uint32_t& task,
+                     std::uint32_t& attempt, mr::MapTaskResult& result);
+
+std::string encode_reduce_done(std::uint32_t partition, std::uint32_t attempt,
+                               const mr::ReduceTaskResult& result);
+void decode_reduce_done(WireReader& r, std::uint32_t& partition,
+                        std::uint32_t& attempt, mr::ReduceTaskResult& result);
+
+std::string encode_trace_upload(const obs::TraceData& trace);
+/// Decoded events point into `trace.string_pool` (owned storage).
+obs::TraceData decode_trace_upload(WireReader& r);
+
+// ---- framed socket I/O ----------------------------------------------------
+
+/// Sends one length-prefixed frame, blocking until fully written (polls
+/// on EAGAIN so it also works on non-blocking fds). Returns false if the
+/// peer is gone (EPIPE/ECONNRESET); throws IoError on other errors.
+bool send_frame(int fd, std::string_view payload);
+
+/// Blocking receive of one full frame; nullopt on clean EOF. Throws
+/// IoError on errors or a torn frame. Worker-side only (the coordinator
+/// reads through FrameDecoder so one slow worker cannot stall it).
+std::optional<std::string> recv_frame(int fd);
+
+/// Incremental frame reassembly over a non-blocking fd: feed() raw bytes
+/// as poll() reports them readable, next() yields completed frames.
+class FrameDecoder {
+ public:
+  void feed(const char* data, std::size_t n) { buf_.append(data, n); }
+  std::optional<std::string> next();
+
+ private:
+  std::string buf_;
+};
+
+}  // namespace textmr::cluster

@@ -1,0 +1,242 @@
+#include "cluster/worker.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "cluster/protocol.hpp"
+#include "common/failpoint.hpp"
+#include "common/logging.hpp"
+#include "common/mutex.hpp"
+#include "mr/task_runner.hpp"
+
+namespace textmr::cluster {
+namespace {
+
+/// Trace pid for worker-scoped events (task lifecycle as the worker sees
+/// it). Task-scoped events keep the standard map_task_pid/reduce_task_pid
+/// conventions, which are globally unique across workers because a task
+/// runs its winning attempt on exactly one timeline row.
+constexpr std::uint32_t worker_pid(std::uint32_t worker_id) {
+  return 200000 + worker_id;
+}
+
+/// State shared between the worker's task loop and its heartbeat thread.
+/// One mutex serializes both the channel writes (frames from two threads
+/// must not interleave) and the current-task fields the beats report.
+struct Channel {
+  explicit Channel(int fd) : fd(fd) {}
+
+  const int fd;
+  textmr::Mutex mu{textmr::LockRank::kCluster, "cluster.worker_channel"};
+  textmr::CondVar wake;
+  bool stop TEXTMR_GUARDED_BY(mu) = false;
+  bool broken TEXTMR_GUARDED_BY(mu) = false;
+  TaskKind kind TEXTMR_GUARDED_BY(mu) = TaskKind::kNone;
+  std::uint32_t task_id TEXTMR_GUARDED_BY(mu) = 0;
+  std::uint32_t attempt TEXTMR_GUARDED_BY(mu) = 0;
+  // Written by the map thread mid-task, read by the heartbeat thread.
+  std::atomic<double> progress{0.0};
+
+  /// Sends one frame under the channel lock; records a broken peer.
+  bool send(std::string_view payload) {
+    textmr::MutexLock lock(mu);
+    if (broken) return false;
+    if (!send_frame(fd, payload)) {
+      broken = true;
+      return false;
+    }
+    return true;
+  }
+
+  void set_task(TaskKind k, std::uint32_t id, std::uint32_t a) {
+    progress.store(0.0, std::memory_order_relaxed);
+    textmr::MutexLock lock(mu);
+    kind = k;
+    task_id = id;
+    attempt = a;
+  }
+
+  void set_idle() { set_task(TaskKind::kNone, 0, 0); }
+};
+
+/// Heartbeat loop: one beat per interval describing what the worker is
+/// doing. The `worker.heartbeat` failpoint acts here — kDelay stalls the
+/// beats (making the coordinator see a straggler) and any throw-style
+/// action drops the beat; neither kills the thread, so the fault model
+/// is "heartbeats stop flowing", not "worker dies".
+void heartbeat_loop(Channel& channel, std::uint32_t worker_id,
+                    std::uint32_t interval_ms) {
+  while (true) {
+    HeartbeatMsg msg;
+    msg.worker_id = worker_id;
+    {
+      textmr::MutexLock lock(channel.mu);
+      if (channel.stop || channel.broken) return;
+      channel.wake.wait_for(channel.mu,
+                            std::chrono::milliseconds(interval_ms));
+      if (channel.stop || channel.broken) return;
+      msg.kind = channel.kind;
+      msg.id = channel.task_id;
+      msg.attempt = channel.attempt;
+    }
+    msg.progress = channel.progress.load(std::memory_order_relaxed);
+    if (failpoint::enabled()) {
+      if (auto action = failpoint::consume("worker.heartbeat")) {
+        if (action->kind == failpoint::ActionKind::kDelay) {
+          failpoint::maybe_delay(*action);
+        } else {
+          continue;  // drop this beat
+        }
+      }
+    }
+    if (!channel.send(encode_heartbeat(msg))) return;
+  }
+}
+
+}  // namespace
+
+int worker_main(const WorkerContext& ctx, const mr::JobSpec& spec) {
+  try {
+    Channel channel(ctx.fd);
+
+    // Worker-local trace collector; uploaded to the coordinator at
+    // shutdown and merged into the job timeline. All processes share the
+    // monotonic clock, so timestamps need no translation.
+    std::unique_ptr<obs::TraceCollector> collector;
+    obs::TraceBuffer* worker_trace = nullptr;
+    if (spec.trace.enabled) {
+      collector = std::make_unique<obs::TraceCollector>(spec.trace);
+      worker_trace = collector->make_buffer(
+          worker_pid(ctx.worker_id), 0, "task-loop",
+          "worker-" + std::to_string(ctx.worker_id));
+    }
+
+    // This worker models one node: its map tasks share a frozen
+    // frequent-key set, persisted so a replacement worker for the same
+    // node id reuses it (§III-B, DESIGN.md §10).
+    freqbuf::NodeKeyCache node_cache;
+    if (spec.freqbuf.enabled && spec.freqbuf.share_across_tasks) {
+      node_cache.attach_file(
+          spec.scratch_dir /
+          ("node-" + std::to_string(ctx.worker_id) + ".keycache"));
+    }
+
+    const mr::MemorySplit mem = mr::split_memory(spec);
+
+    std::thread heartbeats(heartbeat_loop, std::ref(channel), ctx.worker_id,
+                           ctx.heartbeat_interval_ms);
+    const auto stop_heartbeats = [&] {
+      {
+        textmr::MutexLock lock(channel.mu);
+        channel.stop = true;
+      }
+      channel.wake.notify_all();
+      heartbeats.join();
+    };
+
+    while (true) {
+      std::optional<std::string> frame;
+      try {
+        frame = recv_frame(ctx.fd);
+      } catch (const IoError&) {
+        break;  // coordinator died mid-frame
+      }
+      if (!frame.has_value()) break;  // clean EOF: coordinator closed
+      WireReader r(*frame);
+      const MsgType type = static_cast<MsgType>(r.u8());
+
+      if (type == MsgType::kShutdown) {
+        if (collector != nullptr) {
+          // Trace rings of finished tasks have no live writers and the
+          // heartbeat thread never records, so finishing here is safe.
+          channel.send(encode_trace_upload(collector->finish()));
+        }
+        break;
+      }
+
+      if (type == MsgType::kRunMap) {
+        const RunTaskMsg msg = decode_run_task(r);
+        channel.set_task(TaskKind::kMap, msg.id, msg.attempt);
+        obs::record_instant(worker_trace, "cluster", "map_dispatch", "task",
+                            static_cast<double>(msg.id), "attempt",
+                            static_cast<double>(msg.attempt));
+        TaskFailedMsg failure;
+        try {
+          if (failpoint::enabled()) {
+            failpoint::check("cluster.dispatch");
+          }
+          mr::MapTaskConfig config = mr::make_map_task_config(
+              spec, mem, msg.id, msg.attempt, &node_cache, collector.get());
+          config.progress = &channel.progress;
+          const mr::MapTaskResult result = mr::run_map_task(config);
+          channel.set_idle();
+          if (!channel.send(encode_map_done(msg.id, msg.attempt, result))) {
+            break;
+          }
+          continue;
+        } catch (...) {
+          failure.kind = TaskKind::kMap;
+          failure.id = msg.id;
+          failure.attempt = msg.attempt;
+          failure.retryable = mr::is_retryable_error();
+          failure.message = mr::current_error_message();
+          mr::cleanup_map_attempt(spec, msg.id, msg.attempt);
+        }
+        channel.set_idle();
+        if (!channel.send(encode_task_failed(failure))) break;
+        continue;
+      }
+
+      if (type == MsgType::kRunReduce) {
+        RunReduceMsg msg = decode_run_reduce(r);
+        channel.set_task(TaskKind::kReduce, msg.partition, msg.attempt);
+        obs::record_instant(worker_trace, "cluster", "reduce_dispatch",
+                            "partition", static_cast<double>(msg.partition),
+                            "attempt", static_cast<double>(msg.attempt));
+        TaskFailedMsg failure;
+        try {
+          if (failpoint::enabled()) {
+            failpoint::check("cluster.dispatch");
+          }
+          const mr::ReduceTaskConfig config = mr::make_reduce_task_config(
+              spec, msg.partition, msg.attempt, std::move(msg.map_outputs),
+              collector.get());
+          const mr::ReduceTaskResult result = mr::run_reduce_task(config);
+          channel.set_idle();
+          if (!channel.send(
+                  encode_reduce_done(msg.partition, msg.attempt, result))) {
+            break;
+          }
+          continue;
+        } catch (...) {
+          failure.kind = TaskKind::kReduce;
+          failure.id = msg.partition;
+          failure.attempt = msg.attempt;
+          failure.retryable = mr::is_retryable_error();
+          failure.message = mr::current_error_message();
+          mr::cleanup_reduce_attempt(mr::reduce_output_path(spec, msg.partition),
+                                     msg.attempt);
+        }
+        channel.set_idle();
+        if (!channel.send(encode_task_failed(failure))) break;
+        continue;
+      }
+
+      TEXTMR_LOG(kWarn) << "worker " << ctx.worker_id
+                        << ": unknown message type "
+                        << static_cast<int>(type);
+    }
+
+    stop_heartbeats();
+    return 0;
+  } catch (const std::exception& e) {
+    TEXTMR_LOG(kError) << "cluster worker crashed: " << e.what();
+    return 1;
+  } catch (...) {
+    return 1;
+  }
+}
+
+}  // namespace textmr::cluster

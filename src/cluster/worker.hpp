@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstdint>
+
+#include "mr/job.hpp"
+
+namespace textmr::cluster {
+
+/// One worker process's view of the cluster: the control-channel fd to
+/// the coordinator and its stable worker (node) id. The JobSpec is
+/// inherited through fork — the engine runs workers as forked clones of
+/// the coordinator process, which is what lets JobSpec carry arbitrary
+/// std::function factories without a serialization story (DESIGN.md §10).
+struct WorkerContext {
+  int fd = -1;
+  std::uint32_t worker_id = 0;
+  std::uint32_t heartbeat_interval_ms = 25;
+};
+
+/// Worker main loop: sends heartbeats from a side thread, executes
+/// map/reduce tasks the coordinator dispatches, reports results or
+/// per-attempt failures, uploads its trace on shutdown. Returns the
+/// process exit code; never throws (a broken channel means the
+/// coordinator died, and the worker just exits). The caller must
+/// `_exit()` with the returned code — a forked child must not run the
+/// parent's atexit/static-destructor chain.
+int worker_main(const WorkerContext& ctx, const mr::JobSpec& spec);
+
+}  // namespace textmr::cluster

@@ -1,0 +1,10 @@
+#include "common/clock.hpp"
+
+namespace textmr::common {
+
+const Clock& system_clock() {
+  static const SystemClock clock;
+  return clock;
+}
+
+}  // namespace textmr::common

@@ -9,6 +9,7 @@ namespace textmr {
 const char* lock_rank_name(LockRank rank) {
   switch (rank) {
     case LockRank::kEngine: return "engine";
+    case LockRank::kCluster: return "cluster";
     case LockRank::kMapTask: return "map_task";
     case LockRank::kFreqBuf: return "freqbuf";
     case LockRank::kSpillBuffer: return "spill_buffer";

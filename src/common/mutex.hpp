@@ -1,5 +1,6 @@
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
@@ -22,6 +23,7 @@ namespace textmr {
 /// first inversion — no lucky interleaving required.
 enum class LockRank : std::uint32_t {
   kEngine = 100,       // mr/engine: retry scheduler error state
+  kCluster = 150,      // cluster: worker control-channel writer state
   kMapTask = 200,      // mr/map_task: support-thread shared results
   kFreqBuf = 300,      // freqbuf: per-node frozen frequent-key cache
   kSpillBuffer = 400,  // mr/spill_buffer: circular ring + spill queue
@@ -81,6 +83,16 @@ class CondVar {
   CondVar& operator=(const CondVar&) = delete;
 
   void wait(Mutex& mu) TEXTMR_REQUIRES(mu) { cv_.wait(mu); }
+
+  /// Timed wait; returns false on timeout. Used by periodic loops (the
+  /// cluster worker's heartbeat thread) that must also wake promptly on
+  /// shutdown.
+  template <typename Rep, typename Period>
+  bool wait_for(Mutex& mu, std::chrono::duration<Rep, Period> timeout)
+      TEXTMR_REQUIRES(mu) {
+    return cv_.wait_for(mu, timeout) == std::cv_status::no_timeout;
+  }
+
   void notify_one() { cv_.notify_one(); }
   void notify_all() { cv_.notify_all(); }
 
@@ -99,7 +111,7 @@ struct MutexInfo {
 /// compiled out (TEXTMR_LOCK_RANK_CHECKS=0).
 std::vector<MutexInfo> lock_rank_registry();
 
-/// Number of textmr::Mutex locks the calling thread currently holds
+///// Number of textmr::Mutex locks the calling thread currently holds
 /// (always 0 when the checker is compiled out).
 std::size_t held_lock_count();
 

@@ -4,11 +4,20 @@
 #include <cstdio>
 #include <filesystem>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "io/line_reader.hpp"
 
 namespace textmr::io {
+
+/// Atomically replaces `path` with `contents`: writes `path` + ".tmp" and
+/// renames it into place, so readers never observe a partial file. This is
+/// the commit primitive shared by the reduce-output rename path, the
+/// cluster engine's first-writer-wins task commit, and the per-node
+/// frequent-key cache files (DESIGN.md §10). Throws IoError on failure.
+void atomic_write_file(const std::filesystem::path& path,
+                       std::string_view contents);
 
 /// A split plus its block-locality hint, the information a MapReduce
 /// scheduler uses to place map tasks near their data.

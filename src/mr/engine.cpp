@@ -1,192 +1,15 @@
 #include "mr/engine.hpp"
 
 #include <atomic>
-#include <chrono>
 #include <thread>
 
-#include "common/error.hpp"
-#include "common/logging.hpp"
-#include "common/mutex.hpp"
 #include "common/stopwatch.hpp"
+#include "mr/task_runner.hpp"
 
 namespace textmr::mr {
-namespace {
-
-void validate(const JobSpec& spec) {
-  if (spec.inputs.empty()) throw ConfigError("job has no input splits");
-  if (!spec.mapper) throw ConfigError("job has no mapper");
-  if (!spec.reducer) throw ConfigError("job has no reducer");
-  if (spec.num_reducers == 0) throw ConfigError("num_reducers must be >= 1");
-  if (spec.map_parallelism == 0 || spec.reduce_parallelism == 0) {
-    throw ConfigError("parallelism must be >= 1");
-  }
-  if (spec.support_threads == 0 || spec.support_threads > 64) {
-    throw ConfigError("support_threads must be in [1, 64]");
-  }
-  if (spec.max_task_attempts == 0) {
-    throw ConfigError("max_task_attempts must be >= 1");
-  }
-  if (spec.scratch_dir.empty()) throw ConfigError("scratch_dir is required");
-  if (spec.output_dir.empty()) throw ConfigError("output_dir is required");
-  if (spec.spill_threshold <= 0.0 || spec.spill_threshold >= 1.0) {
-    throw ConfigError("spill_threshold must be in (0, 1)");
-  }
-  if (spec.freqbuf.enabled) {
-    if (spec.freqbuf.table_budget_fraction <= 0.0 ||
-        spec.freqbuf.table_budget_fraction >= 1.0) {
-      throw ConfigError("freqbuf table_budget_fraction must be in (0, 1)");
-    }
-    if (!spec.combiner) {
-      TEXTMR_LOG(kWarn) << "frequency-buffering without a combiner cannot "
-                           "shrink intermediate data";
-    }
-  }
-}
-
-std::string part_name(std::uint32_t partition) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "part-r-%05u", partition);
-  return buf;
-}
-
-/// Message of the in-flight exception; call only inside a catch block.
-std::string current_error_message() {
-  try {
-    throw;
-  } catch (const std::exception& e) {
-    return e.what();
-  } catch (...) {
-    return "unknown error";
-  }
-}
-
-/// Whether the in-flight exception is worth a re-execution. Transient
-/// failures (I/O, user-code throws) are; InternalError (invariant bug)
-/// and ConfigError (bad spec) are deterministic and fail the job
-/// immediately with their original type. Call only inside a catch block.
-bool is_retryable() {
-  try {
-    throw;
-  } catch (const InternalError&) {
-    return false;
-  } catch (const ConfigError&) {
-    return false;
-  } catch (...) {
-    return true;
-  }
-}
-
-/// Deletes everything in `dir` whose filename starts with `prefix` — the
-/// scratch files of one dead task attempt. Best-effort: cleanup must
-/// never mask the task's own error.
-void remove_attempt_files(const std::filesystem::path& dir,
-                          const std::string& prefix) {
-  std::error_code ec;
-  std::filesystem::directory_iterator it(dir, ec);
-  if (ec) return;
-  for (const auto& entry : it) {
-    const std::string name = entry.path().filename().string();
-    if (name.rfind(prefix, 0) == 0) {
-      std::error_code rm_ec;
-      std::filesystem::remove(entry.path(), rm_ec);
-    }
-  }
-}
-
-void backoff_sleep(std::uint32_t base_ms, std::uint32_t failed_attempt) {
-  if (base_ms == 0) return;
-  const std::uint64_t ms = static_cast<std::uint64_t>(base_ms)
-                           << std::min<std::uint32_t>(failed_attempt, 10);
-  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
-}
-
-/// Shared state of the retry scheduler: attempt accounting plus the
-/// first permanent task failure (which dooms the job).
-struct RetryState {
-  std::uint32_t max_attempts;
-  std::uint32_t backoff_base_ms;
-  std::atomic<std::uint64_t> task_attempts{0};
-  std::atomic<std::uint64_t> tasks_retried{0};
-  std::atomic<bool> job_failed{false};
-  textmr::Mutex error_mu{textmr::LockRank::kEngine, "mr.engine.retry_error"};
-  std::exception_ptr job_error TEXTMR_GUARDED_BY(error_mu);
-
-  void record_permanent_failure(const std::string& what) {
-    record_permanent_error(std::make_exception_ptr(TaskFailedError(what)));
-  }
-
-  void record_permanent_error(std::exception_ptr error) {
-    textmr::MutexLock lock(error_mu);
-    if (!job_error) job_error = std::move(error);
-    job_failed.store(true, std::memory_order_relaxed);
-  }
-
-  // Annotation-surfaced fix (PR 3): this used to read job_error unlocked,
-  // racing a straggler worker's record_permanent_error() — benign-looking
-  // because the engine joins first, but the phase barrier only covers the
-  // phase's own workers, and the unlocked read was unprovable anyway.
-  void rethrow_if_failed() {
-    std::exception_ptr error;
-    {
-      textmr::MutexLock lock(error_mu);
-      error = job_error;
-    }
-    if (error) std::rethrow_exception(error);
-  }
-};
-
-/// Runs one task with bounded retries. `run_attempt(attempt)` executes
-/// the task; `cleanup_attempt(attempt)` removes a dead attempt's files.
-/// Returns false when the task failed permanently (the job is doomed and
-/// the caller's worker should stop claiming tasks).
-template <typename RunAttempt, typename CleanupAttempt>
-bool run_with_retries(RetryState& retry, const char* kind, std::uint32_t id,
-                      obs::TraceCollector* collector,
-                      obs::TraceBuffer** worker_trace, std::uint32_t pid,
-                      std::uint32_t tid, const std::string& worker_name,
-                      RunAttempt&& run_attempt,
-                      CleanupAttempt&& cleanup_attempt) {
-  for (std::uint32_t attempt = 0;; ++attempt) {
-    retry.task_attempts.fetch_add(1, std::memory_order_relaxed);
-    try {
-      run_attempt(attempt);
-      return true;
-    } catch (...) {
-      const std::string cause = current_error_message();
-      cleanup_attempt(attempt);
-      if (!is_retryable()) {
-        // Invariant/contract violations are deterministic: re-running
-        // cannot succeed, so propagate the original typed error at once.
-        retry.record_permanent_error(std::current_exception());
-        return false;
-      }
-      if (attempt + 1 >= retry.max_attempts) {
-        retry.record_permanent_failure(
-            std::string(kind) + " task " + std::to_string(id) +
-            " failed after " + std::to_string(attempt + 1) +
-            (attempt == 0 ? " attempt: " : " attempts: ") + cause);
-        return false;
-      }
-      if (attempt == 0) {
-        retry.tasks_retried.fetch_add(1, std::memory_order_relaxed);
-      }
-      TEXTMR_LOG(kWarn) << kind << " task " << id << " attempt " << attempt
-                        << " failed (" << cause << "); retrying";
-      if (collector != nullptr && *worker_trace == nullptr) {
-        *worker_trace = collector->make_buffer(pid, tid, worker_name);
-      }
-      obs::record_instant(*worker_trace, "retry", "task_retry", "task",
-                          static_cast<double>(id), "failed_attempt",
-                          static_cast<double>(attempt));
-      backoff_sleep(retry.backoff_base_ms, attempt);
-    }
-  }
-}
-
-}  // namespace
 
 JobResult LocalEngine::run(const JobSpec& spec) {
-  validate(spec);
+  validate_job(spec);
   std::filesystem::create_directories(spec.scratch_dir);
   std::filesystem::create_directories(spec.output_dir);
 
@@ -207,14 +30,7 @@ JobResult LocalEngine::run(const JobSpec& spec) {
 
   // Memory split between the spill buffer and the frequent-key table
   // (total fixed, paper §V-B2).
-  std::size_t spill_bytes = spec.spill_buffer_bytes;
-  std::uint64_t table_budget = 0;
-  if (spec.freqbuf.enabled) {
-    table_budget = static_cast<std::uint64_t>(
-        static_cast<double>(spec.spill_buffer_bytes) *
-        spec.freqbuf.table_budget_fraction);
-    spill_bytes -= static_cast<std::size_t>(table_budget);
-  }
+  const MemorySplit mem = split_memory(spec);
 
   // Task recovery (DESIGN.md §6): a failed attempt is cleaned up and the
   // task re-run under a fresh attempt id; the worker keeps draining the
@@ -248,38 +64,13 @@ JobResult LocalEngine::run(const JobSpec& spec) {
             obs::kDriverPid, obs::kMapWorkerTidBase + worker_id,
             "map-worker-" + std::to_string(worker_id),
             [&](std::uint32_t attempt) {
-              MapTaskConfig config;
-              config.task_id = task;
-              config.attempt = attempt;
-              config.split = spec.inputs[task];
-              config.num_partitions = spec.num_reducers;
-              config.mapper = spec.mapper;
-              config.combiner = spec.combiner;
-              config.spill_buffer_bytes = spill_bytes;
-              config.spill_format = spec.spill_format;
-              config.support_threads = spec.support_threads;
-              config.scratch_dir = spec.scratch_dir;
-              if (spec.use_spill_matcher) {
-                config.spill_policy = [] {
-                  return std::make_unique<spillmatch::SpillMatcher>();
-                };
-              } else {
-                const double threshold = spec.spill_threshold;
-                config.spill_policy = [threshold] {
-                  return std::make_unique<spillmatch::FixedSpillPolicy>(
-                      threshold);
-                };
-              }
-              config.freqbuf = spec.freqbuf;
-              config.freq_table_budget_bytes = table_budget;
-              config.node_cache = &caches[worker_id];
-              config.keep_spill_runs = spec.keep_intermediates;
-              config.trace = collector.get();
-              map_results[task] = run_map_task(config);
+              map_results[task] =
+                  run_map_task(make_map_task_config(spec, mem, task, attempt,
+                                                    &caches[worker_id],
+                                                    collector.get()));
             },
             [&](std::uint32_t attempt) {
-              remove_attempt_files(spec.scratch_dir,
-                                   map_attempt_prefix(task, attempt));
+              cleanup_map_attempt(spec, task, attempt);
             });
         if (!ok) return;
       }
@@ -305,23 +96,7 @@ JobResult LocalEngine::run(const JobSpec& spec) {
   map_outputs.reserve(num_map_tasks);
   for (auto& task_result : map_results) {
     map_outputs.push_back(task_result.output);
-    result.metrics.work += task_result.map_thread;
-    result.metrics.work += task_result.support_thread;
-    result.metrics.map_work += task_result.map_thread;
-    result.metrics.support_work += task_result.support_thread;
-    result.counters += task_result.counters;
-    result.metrics.map_thread_wall_ns += task_result.pipeline_wall_ns;
-    result.metrics.support_thread_wall_ns += task_result.pipeline_wall_ns;
-    result.metrics.map_thread_idle_ns +=
-        task_result.map_thread.op_ns(Op::kMapIdle);
-    result.metrics.support_thread_idle_ns +=
-        task_result.support_thread.op_ns(Op::kSupportIdle);
-    result.map_tasks.push_back(JobResult::MapTaskSummary{
-        task_result.wall_ns, task_result.pipeline_wall_ns,
-        task_result.map_thread.op_ns(Op::kMapIdle),
-        task_result.support_thread.op_ns(Op::kSupportIdle),
-        task_result.spills, task_result.final_spill_threshold,
-        task_result.freq_sampling_fraction});
+    fold_map_result(task_result, result);
   }
 
   // ---- reduce phase --------------------------------------------------------
@@ -337,27 +112,18 @@ JobResult LocalEngine::run(const JobSpec& spec) {
         const std::uint32_t partition = next_partition.fetch_add(1);
         if (partition >= spec.num_reducers) return;
         const std::filesystem::path output_path =
-            spec.output_dir / part_name(partition);
+            reduce_output_path(spec, partition);
         const bool ok = run_with_retries(
             retry, "reduce", partition, collector.get(), &worker_trace,
             obs::kDriverPid, obs::kReduceWorkerTidBase + worker_id,
             "reduce-worker-" + std::to_string(worker_id),
             [&](std::uint32_t attempt) {
-              ReduceTaskConfig config;
-              config.partition = partition;
-              config.attempt = attempt;
-              config.map_outputs = map_outputs;
-              config.reducer = spec.reducer;
-              config.grouping = spec.grouping;
-              config.spill_format = spec.spill_format;
-              config.output_path = output_path;
-              config.trace = collector.get();
-              reduce_results[partition] = run_reduce_task(config);
+              reduce_results[partition] = run_reduce_task(
+                  make_reduce_task_config(spec, partition, attempt,
+                                          map_outputs, collector.get()));
             },
             [&](std::uint32_t attempt) {
-              std::error_code ec;
-              std::filesystem::remove(
-                  reduce_attempt_tmp_path(output_path, attempt), ec);
+              cleanup_reduce_attempt(output_path, attempt);
             });
         if (!ok) return;
       }
@@ -386,10 +152,7 @@ JobResult LocalEngine::run(const JobSpec& spec) {
       retry.tasks_retried.load(std::memory_order_relaxed);
 
   for (auto& reduce_result : reduce_results) {
-    result.outputs.push_back(reduce_result.output_path);
-    result.metrics.work += reduce_result.metrics;
-    result.metrics.reduce_work += reduce_result.metrics;
-    result.counters += reduce_result.counters;
+    fold_reduce_result(reduce_result, result);
   }
 
   if (!spec.keep_intermediates) {

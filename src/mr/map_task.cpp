@@ -233,6 +233,10 @@ MapTaskResult run_map_task(const MapTaskConfig& config) {
       if (freq != nullptr) {
         freq->set_progress(reader.fraction_consumed());
       }
+      if (config.progress != nullptr) {
+        config.progress->store(reader.fraction_consumed(),
+                               std::memory_order_relaxed);
+      }
       TEXTMR_FAILPOINT("map.user_code");
       {
         ScopedTimer map_timer(result.map_thread, Op::kMapUser);

@@ -17,12 +17,13 @@ constexpr double kMaxThreshold = 0.99;
 
 SpillBuffer::SpillBuffer(std::size_t capacity_bytes, double initial_threshold,
                          std::uint32_t max_outstanding, io::SpillFormat format,
-                         obs::TraceBuffer* trace)
+                         obs::TraceBuffer* trace, const common::Clock* clock)
     : capacity_(capacity_bytes),
       format_(format),
       ring_(capacity_bytes),
       max_outstanding_(max_outstanding),
-      trace_(trace) {
+      trace_(trace),
+      clock_(clock != nullptr ? clock : &common::system_clock()) {
   TEXTMR_CHECK(capacity_bytes >= 1024, "spill buffer must be >= 1 KiB");
   TEXTMR_CHECK(max_outstanding >= 1, "need >= 1 outstanding spill slot");
   threshold_ = std::clamp(initial_threshold, kMinThreshold, kMaxThreshold);
@@ -46,7 +47,7 @@ void SpillBuffer::seal_locked() {
   spill.format = format_;
   spill.ring_bytes = current_ring_bytes_;
   spill.data_bytes = current_data_bytes_;
-  spill.produce_ns = monotonic_ns() - current_started_ns_ - current_wait_ns_;
+  spill.produce_ns = clock_->now_ns() - current_started_ns_ - current_wait_ns_;
   spill.sequence = sequence_++;
   current_records_ = {};
   current_ring_bytes_ = 0;
@@ -83,7 +84,7 @@ void SpillBuffer::put(std::uint32_t partition, std::string_view key,
   TEXTMR_CHECK(!closed_, "put after close");
   if (aborted_) throw InternalError("spill buffer aborted (consumer failed)");
   if (current_records_.empty()) {
-    current_started_ns_ = monotonic_ns();
+    current_started_ns_ = clock_->now_ns();
   }
 
   // Reserve `need` contiguous bytes, padding past the wrap point if the
@@ -99,9 +100,11 @@ void SpillBuffer::put(std::uint32_t partition, std::string_view key,
     // regardless of the threshold (otherwise producer and consumer would
     // deadlock waiting on each other).
     if (outstanding_ < max_outstanding_) seal_locked();
-    const std::uint64_t wait_start = monotonic_ns();
+    const std::uint64_t wait_start = clock_->now_ns();
+    producer_waiting_ = true;
     space_available_.wait(mu_);
-    const std::uint64_t waited = monotonic_ns() - wait_start;
+    producer_waiting_ = false;
+    const std::uint64_t waited = clock_->now_ns() - wait_start;
     producer_wait_ns_ += waited;
     current_wait_ns_ += waited;
     if (aborted_) throw InternalError("spill buffer aborted (consumer failed)");
@@ -162,9 +165,11 @@ void SpillBuffer::abort() {
 std::optional<Spill> SpillBuffer::take() {
   MutexLock lock(mu_);
   while (sealed_.empty() && !closed_ && !aborted_) {
-    const std::uint64_t wait_start = monotonic_ns();
+    const std::uint64_t wait_start = clock_->now_ns();
+    consumer_waiting_ = true;
     spill_available_.wait(mu_);
-    consumer_wait_ns_ += monotonic_ns() - wait_start;
+    consumer_waiting_ = false;
+    consumer_wait_ns_ += clock_->now_ns() - wait_start;
   }
   if (aborted_ || sealed_.empty()) return std::nullopt;
   Spill spill = std::move(sealed_.front());
@@ -207,6 +212,16 @@ void SpillBuffer::release(const Spill& spill, std::uint64_t consume_ns) {
 std::uint64_t SpillBuffer::producer_wait_ns() const {
   MutexLock lock(mu_);
   return producer_wait_ns_;
+}
+
+bool SpillBuffer::producer_waiting() const {
+  MutexLock lock(mu_);
+  return producer_waiting_;
+}
+
+bool SpillBuffer::consumer_waiting() const {
+  MutexLock lock(mu_);
+  return consumer_waiting_;
 }
 
 std::uint64_t SpillBuffer::consumer_wait_ns() const {

@@ -7,6 +7,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/clock.hpp"
 #include "common/mutex.hpp"
 #include "mr/record_arena.hpp"
 #include "obs/trace.hpp"
@@ -70,11 +71,15 @@ class SpillBuffer {
   /// threshold counter samples. Both pipeline threads record into it,
   /// which is safe because every record happens under `mu_` (the one
   /// sanctioned exception to TraceBuffer's single-writer rule).
+  /// `clock`, when non-null, replaces the monotonic clock for the
+  /// produce/wait timing that feeds the spill policy — tests drive it
+  /// with a common::ManualClock to pin eq. (1) inputs exactly.
   explicit SpillBuffer(std::size_t capacity_bytes,
                        double initial_threshold = 0.8,
                        std::uint32_t max_outstanding = 1,
                        io::SpillFormat format = io::SpillFormat::kCompactVarint,
-                       obs::TraceBuffer* trace = nullptr);
+                       obs::TraceBuffer* trace = nullptr,
+                       const common::Clock* clock = nullptr);
 
   std::size_t capacity() const { return capacity_; }
   io::SpillFormat format() const { return format_; }
@@ -119,6 +124,13 @@ class SpillBuffer {
   std::uint64_t producer_wait_ns() const;
   std::uint64_t consumer_wait_ns() const;
   std::uint64_t spills_sealed() const;
+
+  /// Whether a thread is currently parked in put() (ring full) / take()
+  /// (no sealed spill). Test seam: lets a ManualClock-driven test advance
+  /// the clock only while the opposite side is provably inside its
+  /// measured wait, making the wait-accounting assertions deterministic.
+  bool producer_waiting() const;
+  bool consumer_waiting() const;
 
   /// Timing of the most recently released spill, if any.
   std::optional<SpillTiming> last_timing() const;
@@ -171,9 +183,12 @@ class SpillBuffer {
 
   std::uint64_t producer_wait_ns_ TEXTMR_GUARDED_BY(mu_) = 0;
   std::uint64_t consumer_wait_ns_ TEXTMR_GUARDED_BY(mu_) = 0;
+  bool producer_waiting_ TEXTMR_GUARDED_BY(mu_) = false;
+  bool consumer_waiting_ TEXTMR_GUARDED_BY(mu_) = false;
   std::optional<SpillTiming> last_timing_ TEXTMR_GUARDED_BY(mu_);
 
   obs::TraceBuffer* const trace_;  // pointee written only under mu_
+  const common::Clock* const clock_;
 };
 
 }  // namespace textmr::mr

@@ -63,6 +63,36 @@ TraceData TraceCollector::finish() {
   return data;
 }
 
+void merge_trace(TraceData& into, TraceData&& from) {
+  if (!from.enabled) return;
+  into.enabled = true;
+  if (into.job_name.empty()) into.job_name = std::move(from.job_name);
+  if (into.epoch_ns == 0 || (from.epoch_ns != 0 && from.epoch_ns < into.epoch_ns)) {
+    into.epoch_ns = from.epoch_ns;
+  }
+  into.events.insert(into.events.end(), from.events.begin(), from.events.end());
+  into.dropped_events += from.dropped_events;
+  for (auto& entry : from.process_names) {
+    const std::uint32_t pid = entry.first;
+    const bool known =
+        std::any_of(into.process_names.begin(), into.process_names.end(),
+                    [pid](const auto& existing) { return existing.first == pid; });
+    if (!known) into.process_names.push_back(std::move(entry));
+  }
+  into.thread_names.insert(into.thread_names.end(),
+                           std::make_move_iterator(from.thread_names.begin()),
+                           std::make_move_iterator(from.thread_names.end()));
+  // Adopt the pool: the shared_ptrs move but the strings they own do not,
+  // so the events' pointers stay valid.
+  into.string_pool.insert(into.string_pool.end(),
+                          std::make_move_iterator(from.string_pool.begin()),
+                          std::make_move_iterator(from.string_pool.end()));
+  std::stable_sort(into.events.begin(), into.events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_ns < b.ts_ns;
+                   });
+}
+
 namespace {
 
 double to_us(std::uint64_t ns, std::uint64_t epoch_ns) {

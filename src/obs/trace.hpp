@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <deque>
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -118,7 +119,30 @@ struct TraceData {
     std::string name;
   };
   std::vector<ThreadName> thread_names;
+
+  /// Backing store for event name/arg strings that do not outlive their
+  /// producer — events recorded in-process point at string literals, but
+  /// a trace deserialized from another process (the cluster engine's
+  /// per-worker uploads) needs owned storage. Each string is held behind
+  /// a shared_ptr so copying or moving the TraceData (or merging pools)
+  /// never relocates the bytes the events point at.
+  std::vector<std::shared_ptr<const std::string>> string_pool;
+
+  /// Copies `s` into the pool and returns a pointer valid as long as any
+  /// copy of this TraceData lives (no deduplication — callers cache).
+  const char* intern(std::string_view s) {
+    string_pool.push_back(std::make_shared<const std::string>(s));
+    return string_pool.back()->c_str();
+  }
 };
+
+/// Merges `from` into `into` (cluster engine: per-worker trace uploads
+/// into the coordinator's timeline). Appends events, process/thread
+/// names, drop counts; adopts `from`'s string pool so event pointers
+/// survive; re-sorts the combined events by timestamp. The earliest
+/// epoch wins, which is correct because every process stamps events with
+/// the same monotonic clock.
+void merge_trace(TraceData& into, TraceData&& from);
 
 /// Owns one TraceBuffer per registered thread. make_buffer() is
 /// thread-safe (called at task/thread start, never on a hot path);

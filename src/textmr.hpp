@@ -18,6 +18,7 @@
 ///   spec.freqbuf.enabled = true;           // paper §III
 ///   auto result = textmr::mr::LocalEngine().run(spec);
 
+#include "common/clock.hpp"
 #include "common/error.hpp"
 #include "common/harmonic.hpp"
 #include "common/hash.hpp"
@@ -45,6 +46,11 @@
 
 #include "freqbuf/controller.hpp"
 #include "freqbuf/frequent_key_table.hpp"
+
+#include "cluster/engine.hpp"
+#include "cluster/protocol.hpp"
+#include "cluster/straggler.hpp"
+#include "cluster/worker.hpp"
 
 #include "mr/engine.hpp"
 #include "mr/job.hpp"

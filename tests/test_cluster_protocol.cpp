@@ -1,0 +1,429 @@
+#include <gtest/gtest.h>
+
+// Unit tests for the cluster control protocol (wire codecs, framing) and
+// the straggler detector's threshold arithmetic under a ManualClock. The
+// process-level battery lives in test_cluster.cpp; everything here is
+// in-process and deterministic.
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "textmr.hpp"
+
+namespace textmr::cluster {
+namespace {
+
+WireReader reader_skipping_type(const std::string& frame, MsgType expected) {
+  WireReader r(frame);
+  EXPECT_EQ(static_cast<MsgType>(r.u8()), expected);
+  return r;
+}
+
+TEST(WireCodec, ScalarRoundTrip) {
+  WireWriter w;
+  w.u8(0xab);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefull);
+  w.f64(-1.5);
+  w.str("hello\0world");  // embedded NUL is cut by the literal, still fine
+  w.str("");
+  const std::string buf = w.take();
+
+  WireReader r(buf);
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefull);
+  EXPECT_EQ(r.f64(), -1.5);
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.str(), "");
+  EXPECT_TRUE(r.done());
+  EXPECT_NO_THROW(r.expect_done());
+}
+
+TEST(WireCodec, LittleEndianLayout) {
+  WireWriter w;
+  w.u32(0x01020304);
+  const std::string buf = w.take();
+  ASSERT_EQ(buf.size(), 4u);
+  EXPECT_EQ(static_cast<std::uint8_t>(buf[0]), 0x04);
+  EXPECT_EQ(static_cast<std::uint8_t>(buf[3]), 0x01);
+}
+
+TEST(WireCodec, TruncatedReadsThrowFormatError) {
+  WireWriter w;
+  w.u32(7);
+  const std::string buf = w.take();
+  WireReader r(buf);
+  r.u32();
+  EXPECT_THROW(r.u8(), FormatError);
+
+  WireReader r2(buf);
+  EXPECT_THROW(r2.u64(), FormatError);
+
+  // A string whose declared length exceeds the remaining bytes.
+  WireWriter w3;
+  w3.u32(1000);
+  const std::string buf3 = w3.take();
+  WireReader r3(buf3);
+  EXPECT_THROW(r3.str(), FormatError);
+}
+
+TEST(WireCodec, TrailingBytesDetected) {
+  WireWriter w;
+  w.u32(1);
+  w.u8(9);
+  const std::string buf = w.take();
+  WireReader r(buf);
+  r.u32();
+  EXPECT_THROW(r.expect_done(), FormatError);
+}
+
+TEST(ProtocolCodec, RunTaskRoundTrip) {
+  const std::string frame =
+      encode_run_task(MsgType::kRunMap, RunTaskMsg{42, 3});
+  auto r = reader_skipping_type(frame, MsgType::kRunMap);
+  const RunTaskMsg msg = decode_run_task(r);
+  EXPECT_EQ(msg.id, 42u);
+  EXPECT_EQ(msg.attempt, 3u);
+}
+
+TEST(ProtocolCodec, RunReduceRoundTripCarriesMapOutputs) {
+  RunReduceMsg msg;
+  msg.partition = 2;
+  msg.attempt = 1;
+  for (int i = 0; i < 3; ++i) {
+    io::SpillRunInfo run;
+    run.path = "/scratch/map" + std::to_string(i) + "_final";
+    run.bytes = 1000 + i;
+    run.records = 50 + i;
+    for (int p = 0; p < 2; ++p) {
+      io::PartitionExtent extent;
+      extent.offset = p * 512;
+      extent.bytes = 512;
+      extent.records = 25;
+      run.partitions.push_back(extent);
+    }
+    msg.map_outputs.push_back(run);
+  }
+  const std::string frame = encode_run_reduce(msg);
+  auto r = reader_skipping_type(frame, MsgType::kRunReduce);
+  const RunReduceMsg out = decode_run_reduce(r);
+  EXPECT_EQ(out.partition, 2u);
+  EXPECT_EQ(out.attempt, 1u);
+  ASSERT_EQ(out.map_outputs.size(), 3u);
+  EXPECT_EQ(out.map_outputs[1].path, "/scratch/map1_final");
+  EXPECT_EQ(out.map_outputs[1].bytes, 1001u);
+  ASSERT_EQ(out.map_outputs[2].partitions.size(), 2u);
+  EXPECT_EQ(out.map_outputs[2].partitions[1].offset, 512u);
+  EXPECT_EQ(out.map_outputs[2].partitions[1].records, 25u);
+}
+
+TEST(ProtocolCodec, HeartbeatRoundTrip) {
+  HeartbeatMsg msg;
+  msg.worker_id = 5;
+  msg.kind = TaskKind::kMap;
+  msg.id = 17;
+  msg.attempt = 2;
+  msg.progress = 0.625;
+  const std::string frame = encode_heartbeat(msg);
+  auto r = reader_skipping_type(frame, MsgType::kHeartbeat);
+  const HeartbeatMsg out = decode_heartbeat(r);
+  EXPECT_EQ(out.worker_id, 5u);
+  EXPECT_EQ(out.kind, TaskKind::kMap);
+  EXPECT_EQ(out.id, 17u);
+  EXPECT_EQ(out.attempt, 2u);
+  EXPECT_EQ(out.progress, 0.625);
+}
+
+TEST(ProtocolCodec, TaskFailedRoundTrip) {
+  TaskFailedMsg msg;
+  msg.kind = TaskKind::kReduce;
+  msg.id = 9;
+  msg.attempt = 4;
+  msg.retryable = false;
+  msg.message = "io error: disk on fire";
+  const std::string frame = encode_task_failed(msg);
+  auto r = reader_skipping_type(frame, MsgType::kTaskFailed);
+  const TaskFailedMsg out = decode_task_failed(r);
+  EXPECT_EQ(out.kind, TaskKind::kReduce);
+  EXPECT_EQ(out.id, 9u);
+  EXPECT_EQ(out.attempt, 4u);
+  EXPECT_FALSE(out.retryable);
+  EXPECT_EQ(out.message, "io error: disk on fire");
+}
+
+TEST(ProtocolCodec, MapDoneRoundTripPreservesMetricsAndCounters) {
+  mr::MapTaskResult result;
+  result.output.path = "/scratch/map7_a0_final";
+  result.output.bytes = 4096;
+  result.output.records = 123;
+  io::PartitionExtent extent;
+  extent.offset = 0;
+  extent.bytes = 4096;
+  extent.records = 123;
+  result.output.partitions.push_back(extent);
+  result.map_thread.op_ns(mr::Op::kMapUser) = 111;
+  result.map_thread.input_records = 1000;
+  result.support_thread.op_ns(mr::Op::kSort) = 222;
+  result.support_thread.spilled_bytes = 9999;
+  result.counters.increment("tokens", 1000);
+  result.counters.increment("skipped", 3);
+  result.wall_ns = 5555;
+  result.pipeline_wall_ns = 4444;
+  result.spills = 6;
+  result.final_spill_threshold = 0.42;
+  result.freq_sampling_fraction = 0.0625;
+
+  const std::string frame = encode_map_done(7, 1, result);
+  auto r = reader_skipping_type(frame, MsgType::kMapDone);
+  std::uint32_t task = 0;
+  std::uint32_t attempt = 0;
+  mr::MapTaskResult out;
+  decode_map_done(r, task, attempt, out);
+  EXPECT_EQ(task, 7u);
+  EXPECT_EQ(attempt, 1u);
+  EXPECT_EQ(out.output.path, result.output.path);
+  EXPECT_EQ(out.output.records, 123u);
+  EXPECT_EQ(out.map_thread.op_ns(mr::Op::kMapUser), 111u);
+  EXPECT_EQ(out.map_thread.input_records, 1000u);
+  EXPECT_EQ(out.support_thread.op_ns(mr::Op::kSort), 222u);
+  EXPECT_EQ(out.support_thread.spilled_bytes, 9999u);
+  EXPECT_EQ(out.counters.value("tokens"), 1000u);
+  EXPECT_EQ(out.counters.value("skipped"), 3u);
+  EXPECT_EQ(out.wall_ns, 5555u);
+  EXPECT_EQ(out.pipeline_wall_ns, 4444u);
+  EXPECT_EQ(out.spills, 6u);
+  EXPECT_EQ(out.final_spill_threshold, 0.42);
+  EXPECT_EQ(out.freq_sampling_fraction, 0.0625);
+}
+
+TEST(ProtocolCodec, ReduceDoneRoundTrip) {
+  mr::ReduceTaskResult result;
+  result.output_path = "/out/part-r-00002";
+  result.metrics.op_ns(mr::Op::kReduceUser) = 777;
+  result.metrics.output_records = 88;
+  result.counters.increment("groups", 88);
+  result.wall_ns = 3141;
+
+  const std::string frame = encode_reduce_done(2, 0, result);
+  auto r = reader_skipping_type(frame, MsgType::kReduceDone);
+  std::uint32_t partition = 0;
+  std::uint32_t attempt = 99;
+  mr::ReduceTaskResult out;
+  decode_reduce_done(r, partition, attempt, out);
+  EXPECT_EQ(partition, 2u);
+  EXPECT_EQ(attempt, 0u);
+  EXPECT_EQ(out.output_path, result.output_path);
+  EXPECT_EQ(out.metrics.op_ns(mr::Op::kReduceUser), 777u);
+  EXPECT_EQ(out.metrics.output_records, 88u);
+  EXPECT_EQ(out.counters.value("groups"), 88u);
+  EXPECT_EQ(out.wall_ns, 3141u);
+}
+
+TEST(ProtocolCodec, TraceUploadRoundTripOwnsStrings) {
+  obs::TraceData trace;
+  trace.enabled = true;
+  trace.job_name = "wc";
+  trace.epoch_ns = 100;
+  trace.dropped_events = 2;
+  trace.process_names.emplace_back(200001, "worker-1");
+  trace.thread_names.push_back({200001, 0, "task-loop"});
+  {
+    // Build events whose strings die before decoding reads them — the
+    // decoder must intern copies, not rely on the encoder's storage.
+    const std::string name = "map_dispatch";
+    const std::string category = "cluster";
+    obs::TraceEvent e;
+    e.name = name.c_str();
+    e.category = category.c_str();
+    e.ts_ns = 500;
+    e.kind = obs::EventKind::kInstant;
+    e.num_args = 1;
+    e.arg_names[0] = "task";
+    e.args[0] = 3.0;
+    trace.events.push_back(e);
+    e.ts_ns = 600;
+    e.args[0] = 4.0;
+    trace.events.push_back(e);
+  }
+  const std::string frame = encode_trace_upload(trace);
+
+  auto r = reader_skipping_type(frame, MsgType::kTraceUpload);
+  const obs::TraceData out = decode_trace_upload(r);
+  EXPECT_TRUE(out.enabled);
+  EXPECT_EQ(out.job_name, "wc");
+  EXPECT_EQ(out.epoch_ns, 100u);
+  EXPECT_EQ(out.dropped_events, 2u);
+  ASSERT_EQ(out.process_names.size(), 1u);
+  EXPECT_EQ(out.process_names[0].second, "worker-1");
+  ASSERT_EQ(out.events.size(), 2u);
+  EXPECT_STREQ(out.events[0].name, "map_dispatch");
+  EXPECT_STREQ(out.events[0].category, "cluster");
+  EXPECT_EQ(out.events[0].args[0], 3.0);
+  EXPECT_EQ(out.events[1].args[0], 4.0);
+  // Dedupe interning: both events share the same pooled pointer.
+  EXPECT_EQ(out.events[0].name, out.events[1].name);
+}
+
+TEST(FrameDecoderTest, ReassemblesFramesAcrossArbitrarySplits) {
+  const std::string a = encode_run_task(MsgType::kRunMap, RunTaskMsg{1, 0});
+  const std::string b = encode_heartbeat(HeartbeatMsg{});
+  std::string stream;
+  for (const std::string* payload : {&a, &b}) {
+    const std::uint32_t len = static_cast<std::uint32_t>(payload->size());
+    for (int i = 0; i < 4; ++i) {
+      stream.push_back(static_cast<char>((len >> (8 * i)) & 0xff));
+    }
+    stream += *payload;
+  }
+
+  // Feed one byte at a time: frames must come out whole and in order.
+  FrameDecoder decoder;
+  std::vector<std::string> frames;
+  for (char c : stream) {
+    decoder.feed(&c, 1);
+    while (auto frame = decoder.next()) frames.push_back(*frame);
+  }
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0], a);
+  EXPECT_EQ(frames[1], b);
+  EXPECT_FALSE(decoder.next().has_value());
+}
+
+TEST(FrameDecoderTest, EmptyFrameIsDelivered) {
+  FrameDecoder decoder;
+  const char header[4] = {0, 0, 0, 0};
+  decoder.feed(header, 4);
+  const auto frame = decoder.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_TRUE(frame->empty());
+}
+
+TEST(FrameIo, SendRecvOverSocketpair) {
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  const std::string payload = encode_heartbeat(HeartbeatMsg{7});
+  ASSERT_TRUE(send_frame(sv[0], payload));
+  const auto got = recv_frame(sv[1]);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, payload);
+  ::close(sv[0]);
+  EXPECT_FALSE(recv_frame(sv[1]).has_value());  // clean EOF
+  ::close(sv[1]);
+}
+
+// ---- StragglerDetector under a ManualClock --------------------------------
+
+constexpr std::uint64_t kMs = 1000000ull;
+
+TEST(StragglerDetectorTest, StaleHeartbeatFlagsAttemptOnceAndOnlyOnce) {
+  common::ManualClock clock(1000 * kMs);
+  StragglerPolicy policy;
+  policy.heartbeat_timeout_ms = 100;
+  policy.slowness_factor = 1e9;  // isolate the heartbeat path
+  StragglerDetector detector(policy, &clock);
+
+  detector.on_dispatch(TaskKind::kMap, 0, 0);
+  clock.advance_ms(99);
+  EXPECT_TRUE(detector.take_stragglers().empty());  // not stale yet
+
+  clock.advance_ms(2);  // 101ms since the dispatch-time implicit beat
+  auto flagged = detector.take_stragglers();
+  ASSERT_EQ(flagged.size(), 1u);
+  EXPECT_EQ(flagged[0].kind, TaskKind::kMap);
+  EXPECT_EQ(flagged[0].id, 0u);
+  EXPECT_EQ(flagged[0].attempt, 0u);
+
+  // Latched: the same attempt is never reported twice.
+  clock.advance_ms(1000);
+  EXPECT_TRUE(detector.take_stragglers().empty());
+}
+
+TEST(StragglerDetectorTest, HeartbeatRefreshesStaleness) {
+  common::ManualClock clock;
+  StragglerPolicy policy;
+  policy.heartbeat_timeout_ms = 100;
+  policy.slowness_factor = 1e9;
+  StragglerDetector detector(policy, &clock);
+
+  detector.on_dispatch(TaskKind::kMap, 3, 1);
+  for (int i = 0; i < 5; ++i) {
+    clock.advance_ms(80);
+    detector.on_beat(TaskKind::kMap, 3, 1, 0.1 * i);
+    EXPECT_TRUE(detector.take_stragglers().empty()) << i;
+  }
+  clock.advance_ms(101);  // beats stop
+  EXPECT_EQ(detector.take_stragglers().size(), 1u);
+}
+
+TEST(StragglerDetectorTest, SlownessNeedsMedianBaseline) {
+  common::ManualClock clock;
+  StragglerPolicy policy;
+  policy.heartbeat_timeout_ms = 1u << 30;  // isolate the slowness path
+  policy.slowness_factor = 4.0;
+  policy.min_completed_for_median = 2;
+  StragglerDetector detector(policy, &clock);
+
+  detector.on_dispatch(TaskKind::kMap, 9, 0);
+  clock.advance_ms(500);
+  // No completions yet: runtime alone never flags.
+  EXPECT_TRUE(detector.take_stragglers().empty());
+
+  detector.note_completed(TaskKind::kMap, 10 * kMs);
+  EXPECT_TRUE(detector.take_stragglers().empty());  // below min_completed
+
+  detector.note_completed(TaskKind::kMap, 20 * kMs);
+  // Median 20ms, factor 4 -> threshold 80ms; the attempt is 500ms old.
+  auto flagged = detector.take_stragglers();
+  ASSERT_EQ(flagged.size(), 1u);
+  EXPECT_EQ(flagged[0].id, 9u);
+}
+
+TEST(StragglerDetectorTest, SlownessComparesAgainstOwnKindsMedian) {
+  common::ManualClock clock;
+  StragglerPolicy policy;
+  policy.heartbeat_timeout_ms = 1u << 30;
+  policy.slowness_factor = 4.0;
+  policy.min_completed_for_median = 2;
+  StragglerDetector detector(policy, &clock);
+
+  // Fast *map* completions must not flag a running *reduce* attempt.
+  detector.note_completed(TaskKind::kMap, 1 * kMs);
+  detector.note_completed(TaskKind::kMap, 1 * kMs);
+  detector.on_dispatch(TaskKind::kReduce, 0, 0);
+  clock.advance_ms(500);
+  // A fresh beat keeps the heartbeat path quiet.
+  detector.on_beat(TaskKind::kReduce, 0, 0, 0.5);
+  EXPECT_TRUE(detector.take_stragglers().empty());
+
+  detector.note_completed(TaskKind::kReduce, 10 * kMs);
+  detector.note_completed(TaskKind::kReduce, 10 * kMs);
+  detector.on_beat(TaskKind::kReduce, 0, 0, 0.6);
+  EXPECT_EQ(detector.take_stragglers().size(), 1u);
+}
+
+TEST(StragglerDetectorTest, OnFinishReturnsDurationAndStopsTracking) {
+  common::ManualClock clock;
+  StragglerDetector detector(StragglerPolicy{}, &clock);
+  detector.on_dispatch(TaskKind::kMap, 1, 0);
+  EXPECT_EQ(detector.running(), 1u);
+  clock.advance_ms(42);
+  EXPECT_EQ(detector.on_finish(TaskKind::kMap, 1, 0), 42 * kMs);
+  EXPECT_EQ(detector.running(), 0u);
+  // Finishing an unknown attempt is a no-op reporting zero duration.
+  EXPECT_EQ(detector.on_finish(TaskKind::kMap, 1, 0), 0u);
+}
+
+TEST(StragglerDetectorTest, MedianIsPerKind) {
+  common::ManualClock clock;
+  StragglerDetector detector(StragglerPolicy{}, &clock);
+  detector.note_completed(TaskKind::kMap, 10);
+  detector.note_completed(TaskKind::kMap, 30);
+  detector.note_completed(TaskKind::kMap, 20);
+  detector.note_completed(TaskKind::kReduce, 500);
+  EXPECT_EQ(detector.median_duration_ns(TaskKind::kMap), 20u);
+  EXPECT_EQ(detector.median_duration_ns(TaskKind::kReduce), 500u);
+}
+
+}  // namespace
+}  // namespace textmr::cluster

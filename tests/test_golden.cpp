@@ -40,20 +40,26 @@ void write_file(const std::filesystem::path& path, const std::string& bytes) {
   out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
 }
 
-/// Runs `app` over the golden corpus with a fixed configuration chosen to
-/// exercise multiple map tasks, multiple spills and the final merge, and
-/// compares every part file byte-for-byte against the checked-in golden.
-void run_golden_case(const apps::AppBundle& app, const std::string& stem) {
+/// Runs `app` over a checked-in input with a fixed configuration chosen
+/// to exercise multiple map tasks, multiple spills and the final merge,
+/// and compares every part file byte-for-byte against the checked-in
+/// golden. `inputs` are fixture filenames under tests/golden/, split and
+/// concatenated in order (AccessLogJoin-style apps take two).
+void run_golden_case(const apps::AppBundle& app, const std::string& stem,
+                     const std::vector<std::string>& inputs = {"corpus.txt"}) {
   TempDir dir;
-  const auto corpus = golden_dir() / "corpus.txt";
-  ASSERT_TRUE(std::filesystem::exists(corpus)) << corpus;
-
   // Tiny splits and spill buffer: several map tasks, several spills each,
   // so the golden run covers sort, combine, spill and merge — not just
   // the single-spill fast path. All knobs fixed for determinism.
-  auto spec = test::make_job(app, io::make_splits(corpus.string(), 512),
-                             dir.file("scratch"), dir.file("out"),
-                             /*num_reducers=*/2);
+  std::vector<io::InputSplit> splits;
+  for (const auto& name : inputs) {
+    const auto input = golden_dir() / name;
+    ASSERT_TRUE(std::filesystem::exists(input)) << input;
+    const auto extra = io::make_splits(input.string(), 512);
+    splits.insert(splits.end(), extra.begin(), extra.end());
+  }
+  auto spec = test::make_job(app, std::move(splits), dir.file("scratch"),
+                             dir.file("out"), /*num_reducers=*/2);
   spec.spill_buffer_bytes = 4 * 1024;
 
   mr::LocalEngine engine;
@@ -81,17 +87,49 @@ TEST(Golden, InvertedIndex) {
   run_golden_case(apps::inverted_index_app(), "inverted_index");
 }
 
-/// The corpus itself is a fixture: if someone edits it, the goldens must
-/// be regenerated, so pin its size and a simple checksum.
-TEST(Golden, CorpusFixtureUnchanged) {
-  const std::string corpus = read_file(golden_dir() / "corpus.txt");
-  std::uint64_t checksum = 1469598103934665603ull;  // FNV-1a
-  for (const unsigned char c : corpus) {
+TEST(Golden, WordPOSTag) {
+  // Dictionary tagger with context window 1 — the paper's POS-tagging
+  // workload (§V) pinned to fixed bytes.
+  run_golden_case(apps::word_pos_tag_app(1), "pos_tag");
+}
+
+TEST(Golden, AccessLogSum) {
+  run_golden_case(apps::access_log_sum_app(), "access_log_sum",
+                  {"access_log.txt"});
+}
+
+TEST(Golden, AccessLogJoin) {
+  // One fixed engine configuration is deterministic even for the join
+  // (within-group row order follows the merge schedule, which is pinned
+  // by the fixed split/spill geometry here).
+  run_golden_case(apps::access_log_join_app(), "access_log_join",
+                  {"access_log.txt", "rankings.txt"});
+}
+
+std::uint64_t fnv1a(const std::string& bytes) {
+  std::uint64_t checksum = 1469598103934665603ull;
+  for (const unsigned char c : bytes) {
     checksum = (checksum ^ c) * 1099511628211ull;
   }
+  return checksum;
+}
+
+/// The inputs themselves are fixtures: if someone edits one, the goldens
+/// must be regenerated, so pin each input's size and checksum.
+TEST(Golden, CorpusFixtureUnchanged) {
+  const std::string corpus = read_file(golden_dir() / "corpus.txt");
   EXPECT_EQ(corpus.size(), 1593u);
-  EXPECT_EQ(checksum, 0xebf43344e8c207fbull)
+  EXPECT_EQ(fnv1a(corpus), 0xebf43344e8c207fbull)
       << "corpus.txt changed; regenerate the goldens";
+}
+
+TEST(Golden, AccessLogFixturesUnchanged) {
+  const std::string visits = read_file(golden_dir() / "access_log.txt");
+  const std::string rankings = read_file(golden_dir() / "rankings.txt");
+  EXPECT_EQ(visits.size(), 11955u);
+  EXPECT_EQ(rankings.size(), 1192u);
+  EXPECT_EQ(fnv1a(visits), 0xc462622cadb7b48aull) << "access_log.txt changed; regenerate";
+  EXPECT_EQ(fnv1a(rankings), 0xa35c1140d546120full) << "rankings.txt changed; regenerate";
 }
 
 }  // namespace

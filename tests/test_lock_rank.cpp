@@ -26,9 +26,9 @@ void double_lock(Mutex& mu) TEXTMR_NO_THREAD_SAFETY_ANALYSIS {
 
 TEST(LockRankTest, EveryRankBandHasAName) {
   const LockRank all[] = {
-      LockRank::kEngine,      LockRank::kMapTask,   LockRank::kFreqBuf,
-      LockRank::kSpillBuffer, LockRank::kTempDir,   LockRank::kFailpoint,
-      LockRank::kTrace,       LockRank::kLogging,
+      LockRank::kEngine,      LockRank::kCluster,   LockRank::kMapTask,
+      LockRank::kFreqBuf,     LockRank::kSpillBuffer, LockRank::kTempDir,
+      LockRank::kFailpoint,   LockRank::kTrace,     LockRank::kLogging,
   };
   std::set<std::uint32_t> seen;
   for (LockRank rank : all) {

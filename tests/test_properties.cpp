@@ -411,5 +411,89 @@ std::vector<DiffParams> differential_matrix() {
 INSTANTIATE_TEST_SUITE_P(Oracle, DifferentialOracleTest,
                          ::testing::ValuesIn(differential_matrix()));
 
+// ---------------------------------------------------------------------------
+// Cross-engine differential grid: every deterministic app runs under the
+// multi-process ClusterEngine at 1/2/4 workers, with and without the two
+// paper optimizations, and must reproduce the bytes of a LocalEngine run
+// of the identical spec. This is the contract DESIGN.md §10 promises:
+// which engine scheduled a task — threads or forked worker processes with
+// speculative duplicates — is unobservable in the output.
+
+struct ClusterDiffParams {
+  std::string app;
+  std::uint32_t workers;
+  bool freqbuf;
+  bool matcher;
+};
+
+void PrintTo(const ClusterDiffParams& p, std::ostream* os) {
+  *os << p.app << " workers=" << p.workers << " freq=" << p.freqbuf
+      << " matcher=" << p.matcher;
+}
+
+class ClusterDifferentialTest
+    : public ::testing::TestWithParam<ClusterDiffParams> {};
+
+TEST_P(ClusterDifferentialTest, ClusterRunReproducesLocalEngineBytes) {
+  const auto& p = GetParam();
+  TempDir dir;
+  DiffParams dataset_params;
+  dataset_params.app = p.app;
+  dataset_params.seed = 9000 + p.workers * 10 + (p.freqbuf ? 2 : 0) +
+                        (p.matcher ? 1 : 0);
+  dataset_params.alpha = p.freqbuf ? 1.5 : 1.1;  // skewed when freq is on
+  const apps::AppBundle app = diff_bundle(p.app);
+  const auto splits = diff_dataset(app, dataset_params, dir);
+  ASSERT_FALSE(splits.empty());
+
+  const auto make = [&](const std::string& tag) {
+    auto spec = test::make_job(app, splits, dir.file("s-" + tag),
+                               dir.file("o-" + tag));
+    spec.use_spill_matcher = p.matcher;
+    if (p.freqbuf) {
+      spec.freqbuf.enabled = true;
+      spec.freqbuf.top_k = 60;
+      spec.freqbuf.sampling_fraction = 0.05;
+    }
+    spec.retry_backoff_base_ms = 0;
+    return spec;
+  };
+
+  const auto oracle = mr::LocalEngine().run(make("local"));
+  cluster::ClusterConfig config;
+  config.num_workers = p.workers;
+  const auto result = cluster::ClusterEngine(config).run(make("cluster"));
+
+  ASSERT_EQ(result.outputs.size(), oracle.outputs.size());
+  if (p.app == "AccessLogJoin") {
+    // Join rows within a reduce group follow the merge schedule (same
+    // rationale as the local differential grid above).
+    EXPECT_EQ(all_output_lines(result.outputs),
+              all_output_lines(oracle.outputs));
+  } else {
+    EXPECT_EQ(read_raw_parts(result.outputs), read_raw_parts(oracle.outputs));
+  }
+  EXPECT_EQ(result.metrics.map_tasks, oracle.metrics.map_tasks);
+  EXPECT_EQ(result.metrics.reduce_tasks, oracle.metrics.reduce_tasks);
+}
+
+std::vector<ClusterDiffParams> cluster_differential_matrix() {
+  std::vector<ClusterDiffParams> params;
+  for (const char* app : {"WordCount", "InvertedIndex", "WordPOSTag",
+                          "AccessLogSum", "AccessLogJoin"}) {
+    for (const std::uint32_t workers : {1u, 2u, 4u}) {
+      for (const bool freq : {false, true}) {
+        for (const bool matcher : {false, true}) {
+          params.push_back(ClusterDiffParams{app, workers, freq, matcher});
+        }
+      }
+    }
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(ClusterGrid, ClusterDifferentialTest,
+                         ::testing::ValuesIn(cluster_differential_matrix()));
+
 }  // namespace
 }  // namespace textmr

@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
 #include <vector>
 
+#include "common/clock.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "mr/spill_buffer.hpp"
@@ -50,31 +52,74 @@ TEST(SpillBuffer, DeliversAllRecordsInOrder) {
   EXPECT_GT(out.spills, 1u);  // buffer far smaller than the data
 }
 
+// The two wait-accounting tests used to model slowness with real
+// sleeps, which made them both slow and timing-sensitive. They now
+// inject a common::ManualClock (the SpillBuffer's measured waits read
+// the injected clock) and advance it only while the opposite side is
+// provably parked — the producer_waiting()/consumer_waiting() seam — so
+// the asserted wait durations are exact, not best-effort lower bounds.
+
 TEST(SpillBuffer, SlowConsumerForcesProducerWait) {
-  SpillBuffer buffer(8 * 1024, 0.5);
+  common::ManualClock clock;
+  SpillBuffer buffer(8 * 1024, 0.5, /*max_outstanding=*/1,
+                     io::SpillFormat::kCompactVarint, /*trace=*/nullptr,
+                     &clock);
+  constexpr std::uint64_t kConsumeNs = 2'000'000;  // 2 ms per spill
   Collected out;
-  std::thread consumer([&] { out = drain(buffer, /*consume_delay_us=*/500); });
+  std::atomic<bool> producer_done{false};
+  std::thread consumer([&] {
+    while (auto spill = buffer.take()) {
+      // Hold the spill until the producer is parked on ring space (it
+      // must park: the data is several times the ring capacity), then
+      // charge the modelled consume time to the fake clock while the
+      // producer's wait measurement brackets it.
+      while (!buffer.producer_waiting() && !producer_done.load()) {
+        std::this_thread::yield();
+      }
+      clock.advance_ns(kConsumeNs);
+      for (const auto& ref : spill->records) {
+        out.records.emplace_back(std::string(ref.key()),
+                                 std::string(ref.value()));
+      }
+      out.spills += 1;
+      buffer.release(*spill, kConsumeNs);
+    }
+  });
   for (int i = 0; i < 2000; ++i) {
     buffer.put(0, "k" + std::to_string(i), std::string(64, 'v'));
   }
   buffer.close();
+  producer_done.store(true);
   consumer.join();
   EXPECT_EQ(out.records.size(), 2000u);
-  EXPECT_GT(buffer.producer_wait_ns(), 0u);
+  EXPECT_GT(out.spills, 1u);
+  // Every advance happened while the producer was inside its measured
+  // wait, so at least one full consume interval is attributed to it.
+  EXPECT_GE(buffer.producer_wait_ns(), kConsumeNs);
 }
 
 TEST(SpillBuffer, SlowProducerForcesConsumerWait) {
-  SpillBuffer buffer(1 << 16, 0.1);
+  common::ManualClock clock;
+  SpillBuffer buffer(1 << 16, 0.1, /*max_outstanding=*/1,
+                     io::SpillFormat::kCompactVarint, /*trace=*/nullptr,
+                     &clock);
+  constexpr std::uint64_t kProduceGapNs = 3'000'000;  // 3 ms of map work
   Collected out;
   std::thread consumer([&] { out = drain(buffer); });
+  // The consumer calls take() with nothing sealed and parks; the fake
+  // clock advances only during that window, so the whole advance lands
+  // in consumer_wait_ns.
+  while (!buffer.consumer_waiting()) {
+    std::this_thread::yield();
+  }
+  clock.advance_ns(kProduceGapNs);
   for (int i = 0; i < 50; ++i) {
-    std::this_thread::sleep_for(std::chrono::microseconds(200));
     buffer.put(0, "k", "v");
   }
   buffer.close();
   consumer.join();
   EXPECT_EQ(out.records.size(), 50u);
-  EXPECT_GT(buffer.consumer_wait_ns(), 0u);
+  EXPECT_GE(buffer.consumer_wait_ns(), kProduceGapNs);
 }
 
 TEST(SpillBuffer, RecordsLargerThanTailGapWrapCorrectly) {
