@@ -183,12 +183,18 @@ void Coordinator::on_worker_dead(WorkerHandle& worker) {
   }
   if (worker.busy) {
     detector_.on_finish(worker.kind, worker.task_id, worker.attempt);
-    TaskState& task = tasks_[worker.task_id];
-    task.running -= 1;
-    // Worker death is the machine's fault, not the task's: re-queue
-    // without charging max_task_attempts (Hadoop reschedules the same
-    // way). The fresh dispatch gets a fresh attempt id.
-    if (!task.done) queue_.push_back(worker.task_id);
+    // Same stale-attempt guard as handle_frame: a worker still busy with
+    // a previous phase's task (a speculative loser) dying later must not
+    // index the current phase's task table — its task id belongs to a
+    // scheduler state that no longer exists.
+    if (worker.kind == phase_) {
+      TaskState& task = tasks_[worker.task_id];
+      task.running -= 1;
+      // Worker death is the machine's fault, not the task's: re-queue
+      // without charging max_task_attempts (Hadoop reschedules the same
+      // way). The fresh dispatch gets a fresh attempt id.
+      if (!task.done) queue_.push_back(worker.task_id);
+    }
     worker.busy = false;
   }
 }
@@ -281,7 +287,11 @@ void Coordinator::dispatch_ready(TaskKind kind) {
       break;
     }
     if (!chosen.has_value()) continue;
-    dispatch_to(worker, kind, *chosen);
+    if (!dispatch_to(worker, kind, *chosen)) {
+      // The worker died between poll and dispatch: the task never left
+      // the coordinator, so put it back at the head for the next worker.
+      queue_.push_front(*chosen);
+    }
   }
 }
 

@@ -496,6 +496,11 @@ std::optional<std::string> recv_frame(int fd) {
     len |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(header[i]))
            << (8 * i);
   }
+  if (len > kMaxFramePayload) {
+    throw IoError("cluster frame length " + std::to_string(len) +
+                  " exceeds cap " + std::to_string(kMaxFramePayload) +
+                  " (desynchronized or corrupted stream)");
+  }
   std::string payload(len, '\0');
   std::size_t off = 0;
   while (off < len) {
@@ -521,6 +526,11 @@ std::optional<std::string> FrameDecoder::next() {
   for (int i = 0; i < 4; ++i) {
     len |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(buf_[i]))
            << (8 * i);
+  }
+  if (len > kMaxFramePayload) {
+    throw IoError("cluster frame length " + std::to_string(len) +
+                  " exceeds cap " + std::to_string(kMaxFramePayload) +
+                  " (desynchronized or corrupted stream)");
   }
   if (buf_.size() < 4u + len) return std::nullopt;
   std::string frame = buf_.substr(4, len);

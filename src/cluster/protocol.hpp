@@ -131,6 +131,12 @@ obs::TraceData decode_trace_upload(WireReader& r);
 
 // ---- framed socket I/O ----------------------------------------------------
 
+/// Sanity cap on a frame's payload length. The largest legitimate frame
+/// is a shutdown trace upload (a few MB at worst); a 4-byte prefix read
+/// from a desynchronized or corrupted stream could otherwise demand an
+/// allocation of up to ~4 GiB. Oversized frames raise IoError instead.
+constexpr std::uint32_t kMaxFramePayload = 256u * 1024 * 1024;
+
 /// Sends one length-prefixed frame, blocking until fully written (polls
 /// on EAGAIN so it also works on non-blocking fds). Returns false if the
 /// peer is gone (EPIPE/ECONNRESET); throws IoError on other errors.

@@ -127,14 +127,22 @@ int worker_main(const WorkerContext& ctx, const mr::JobSpec& spec) {
 
     std::thread heartbeats(heartbeat_loop, std::ref(channel), ctx.worker_id,
                            ctx.heartbeat_interval_ms);
-    const auto stop_heartbeats = [&] {
-      {
-        textmr::MutexLock lock(channel.mu);
-        channel.stop = true;
+    // RAII joiner: an exception thrown anywhere in the dispatch loop
+    // (corrupt frame, channel IoError) must stop and join the heartbeat
+    // thread before the std::thread destructor runs — a joinable
+    // destructor calls std::terminate, skipping the crash log below.
+    struct HeartbeatJoiner {
+      Channel& channel;
+      std::thread& thread;
+      ~HeartbeatJoiner() {
+        {
+          textmr::MutexLock lock(channel.mu);
+          channel.stop = true;
+        }
+        channel.wake.notify_all();
+        if (thread.joinable()) thread.join();
       }
-      channel.wake.notify_all();
-      heartbeats.join();
-    };
+    } heartbeat_joiner{channel, heartbeats};
 
     while (true) {
       std::optional<std::string> frame;
@@ -229,7 +237,6 @@ int worker_main(const WorkerContext& ctx, const mr::JobSpec& spec) {
                         << static_cast<int>(type);
     }
 
-    stop_heartbeats();
     return 0;
   } catch (const std::exception& e) {
     TEXTMR_LOG(kError) << "cluster worker crashed: " << e.what();

@@ -299,6 +299,25 @@ TEST(FrameDecoderTest, EmptyFrameIsDelivered) {
   EXPECT_TRUE(frame->empty());
 }
 
+TEST(FrameDecoderTest, OversizedLengthPrefixThrows) {
+  // A desynchronized stream whose next 4 bytes decode to ~4 GiB must be
+  // rejected as a protocol error, not turned into a giant allocation.
+  FrameDecoder decoder;
+  const char header[4] = {'\xff', '\xff', '\xff', '\xff'};
+  decoder.feed(header, 4);
+  EXPECT_THROW(decoder.next(), IoError);
+}
+
+TEST(FrameIo, RecvOversizedLengthPrefixThrows) {
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  const char header[4] = {'\xff', '\xff', '\xff', '\xff'};
+  ASSERT_EQ(::send(sv[0], header, 4, 0), 4);
+  EXPECT_THROW(recv_frame(sv[1]), IoError);
+  ::close(sv[0]);
+  ::close(sv[1]);
+}
+
 TEST(FrameIo, SendRecvOverSocketpair) {
   int sv[2];
   ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
