@@ -37,6 +37,12 @@ struct WorkerHandle {
   TaskKind kind = TaskKind::kNone;
   std::uint32_t task_id = 0;
   std::uint32_t attempt = 0;
+  // Telemetry: clock handshake result and the latest cumulative stats
+  // snapshot (heartbeats and trace chunks both refresh it).
+  std::int64_t clock_offset_ns = 0;
+  bool clock_synced = false;
+  bool got_final_telemetry = false;
+  WorkerMetrics stats;
 };
 
 /// Scheduler state of one task within a phase.
@@ -61,6 +67,7 @@ class Coordinator {
  private:
   // ---- process management ----
   void spawn_workers();
+  void send_clock_probes();
   void on_worker_dead(WorkerHandle& worker);
   void kill_worker(WorkerHandle& worker);
   void kill_loser_attempts(TaskKind kind, std::uint32_t task);
@@ -154,6 +161,26 @@ void Coordinator::spawn_workers() {
     handle.pid = pid;
     workers_.push_back(handle);
     if (config_.on_worker_spawn) config_.on_worker_spawn(w, pid);
+  }
+}
+
+/// Clock handshake, one probe per worker right after spawn. The worker
+/// echoes the probe with its own clock; handle_frame computes the offset
+/// used to rebase that worker's trace chunks onto the coordinator
+/// timeline before the merge. A worker that dies before replying simply
+/// keeps offset 0 — correct for forked workers sharing CLOCK_MONOTONIC.
+void Coordinator::send_clock_probes() {
+  for (auto& worker : workers_) {
+    if (!worker.alive) continue;
+    ClockProbeMsg probe;
+    probe.t_send = monotonic_ns();
+    try {
+      if (!send_frame(worker.fd, encode_clock_probe(probe))) {
+        on_worker_dead(worker);
+      }
+    } catch (const IoError&) {
+      on_worker_dead(worker);
+    }
   }
 }
 
@@ -301,9 +328,29 @@ void Coordinator::handle_frame(WorkerHandle& worker,
   const MsgType type = static_cast<MsgType>(r.u8());
   switch (type) {
     case MsgType::kHeartbeat: {
-      const HeartbeatMsg msg = decode_heartbeat(r);
+      HeartbeatMsg msg = decode_heartbeat(r);
+      worker.stats = std::move(msg.stats);
       if (msg.kind != TaskKind::kNone) {
         detector_.on_beat(msg.kind, msg.id, msg.attempt, msg.progress);
+      }
+      return;
+    }
+    case MsgType::kClockSync: {
+      const ClockSyncMsg msg = decode_clock_sync(r);
+      worker.clock_offset_ns =
+          estimate_clock_offset(msg.t_probe, monotonic_ns(), msg.t_worker);
+      worker.clock_synced = true;
+      obs::record_instant(driver_trace_, "cluster", "clock_sync", "worker",
+                          static_cast<double>(worker.id), "offset_ns",
+                          static_cast<double>(worker.clock_offset_ns));
+      return;
+    }
+    case MsgType::kTraceChunk: {
+      TraceChunkMsg msg = decode_trace_chunk(r);
+      worker.stats = std::move(msg.stats);
+      if (msg.final_chunk) worker.got_final_telemetry = true;
+      if (msg.trace.enabled && worker.id < worker_traces_.size()) {
+        obs::merge_trace(worker_traces_[worker.id], std::move(msg.trace));
       }
       return;
     }
@@ -393,10 +440,6 @@ void Coordinator::handle_frame(WorkerHandle& worker,
         tasks_retried_ += 1;
       }
       queue_.push_back(msg.id);
-      return;
-    }
-    case MsgType::kTraceUpload: {
-      worker_traces_.push_back(decode_trace_upload(r));
       return;
     }
     default:
@@ -518,9 +561,9 @@ void Coordinator::shutdown_workers() {
       on_worker_dead(worker);
     }
   }
-  // Drain until every worker EOFs (uploading its trace on the way out) or
-  // the grace period expires — a still-running loser attempt can hold a
-  // worker busy past the job's useful lifetime.
+  // Drain until every worker EOFs (shipping its final trace chunks and
+  // stats on the way out) or the grace period expires — a still-running
+  // loser attempt can hold a worker busy past the job's useful lifetime.
   const std::uint64_t deadline =
       monotonic_ns() + config_.shutdown_grace_ms * 1000000ull;
   while (live_workers() > 0 && monotonic_ns() < deadline) {
@@ -559,6 +602,7 @@ mr::JobResult Coordinator::run() {
   // Fork before any coordinator thread or collector exists: the children
   // must be single-threaded clones.
   spawn_workers();
+  worker_traces_.assign(config_.num_workers, obs::TraceData{});
 
   if (spec_.trace.enabled) {
     collector_ = std::make_unique<obs::TraceCollector>(spec_.trace);
@@ -566,6 +610,7 @@ mr::JobResult Coordinator::run() {
     driver_trace_ =
         collector_->make_buffer(obs::kDriverPid, 0, "coordinator", "driver");
   }
+  send_clock_probes();
 
   try {
     // ---- map phase ------------------------------------------------------
@@ -618,12 +663,40 @@ mr::JobResult Coordinator::run() {
   }
 
   result.metrics.job_wall_ns = monotonic_ns() - job_start;
+
+  // Fold each worker's telemetry into the job result. A worker that died
+  // before its final chunk (SIGKILL, crash) leaves whatever chunks it
+  // did ship plus a telemetry_incomplete flag — partial telemetry is
+  // reported, never a job failure.
+  for (const auto& worker : workers_) {
+    mr::WorkerTelemetry telemetry;
+    telemetry.worker_id = worker.id;
+    telemetry.records = worker.stats.records;
+    telemetry.bytes = worker.stats.bytes;
+    telemetry.spills = worker.stats.spills;
+    telemetry.tasks_completed = worker.stats.tasks_completed;
+    telemetry.task_failures = worker.stats.task_failures;
+    telemetry.trace_dropped = worker.stats.trace_dropped;
+    telemetry.task_latency_ns = worker.stats.task_latency_ns;
+    telemetry.telemetry_complete = worker.got_final_telemetry;
+    if (!worker.got_final_telemetry) {
+      result.metrics.telemetry_incomplete = true;
+    }
+    result.metrics.workers.push_back(std::move(telemetry));
+  }
+
   if (collector_ != nullptr) {
     result.trace = collector_->finish();
-    for (auto& worker_trace : worker_traces_) {
-      obs::merge_trace(result.trace, std::move(worker_trace));
+    for (std::size_t w = 0; w < worker_traces_.size(); ++w) {
+      // Rebase onto the coordinator clock before merging so one merged
+      // file holds a single consistent timeline.
+      obs::rebase_trace(worker_traces_[w], workers_[w].clock_offset_ns);
+      obs::merge_trace(result.trace, std::move(worker_traces_[w]));
     }
     worker_traces_.clear();
+    result.trace.incomplete =
+        result.trace.incomplete || result.metrics.telemetry_incomplete;
+    result.metrics.trace_ring_dropped = result.trace.dropped_events;
   }
   return result;
 }

@@ -11,6 +11,22 @@
 
 namespace textmr::cluster {
 
+const char* msg_type_name(MsgType type) {
+  switch (type) {
+    case MsgType::kRunMap: return "run_map";
+    case MsgType::kRunReduce: return "run_reduce";
+    case MsgType::kShutdown: return "shutdown";
+    case MsgType::kClockProbe: return "clock_probe";
+    case MsgType::kHeartbeat: return "heartbeat";
+    case MsgType::kMapDone: return "map_done";
+    case MsgType::kReduceDone: return "reduce_done";
+    case MsgType::kTaskFailed: return "task_failed";
+    case MsgType::kClockSync: return "clock_sync";
+    case MsgType::kTraceChunk: return "trace_chunk";
+  }
+  return "unknown";
+}
+
 // ---- WireWriter / WireReader ---------------------------------------------
 
 void WireWriter::u32(std::uint32_t v) {
@@ -187,6 +203,43 @@ io::SpillRunInfo get_run_info(WireReader& r) {
   return run;
 }
 
+void put_worker_metrics(WireWriter& w, const WorkerMetrics& m) {
+  w.u64(m.records);
+  w.u64(m.bytes);
+  w.u64(m.spills);
+  w.u64(m.tasks_completed);
+  w.u64(m.task_failures);
+  w.u64(m.trace_dropped);
+  w.str(m.task_latency_ns.serialize());
+}
+
+WorkerMetrics get_worker_metrics(WireReader& r) {
+  WorkerMetrics m;
+  m.records = r.u64();
+  m.bytes = r.u64();
+  m.spills = r.u64();
+  m.tasks_completed = r.u64();
+  m.task_failures = r.u64();
+  m.trace_dropped = r.u64();
+  m.task_latency_ns = obs::LatencyHistogram::deserialize(r.str());
+  return m;
+}
+
+void put_event(WireWriter& w, const obs::TraceEvent& e) {
+  w.str(e.name != nullptr ? e.name : "");
+  w.str(e.category != nullptr ? e.category : "");
+  w.u64(e.ts_ns);
+  w.u64(e.dur_ns);
+  w.u32(e.pid);
+  w.u32(e.tid);
+  w.u8(static_cast<std::uint8_t>(e.kind));
+  w.u8(e.num_args);
+  for (std::uint8_t i = 0; i < e.num_args; ++i) {
+    w.str(e.arg_names[i] != nullptr ? e.arg_names[i] : "");
+    w.f64(e.args[i]);
+  }
+}
+
 }  // namespace
 
 // ---- messages -------------------------------------------------------------
@@ -238,6 +291,7 @@ std::string encode_heartbeat(const HeartbeatMsg& msg) {
   w.u32(msg.id);
   w.u32(msg.attempt);
   w.f64(msg.progress);
+  put_worker_metrics(w, msg.stats);
   return w.take();
 }
 
@@ -248,6 +302,7 @@ HeartbeatMsg decode_heartbeat(WireReader& r) {
   msg.id = r.u32();
   msg.attempt = r.u32();
   msg.progress = r.f64();
+  msg.stats = get_worker_metrics(r);
   r.expect_done();
   return msg;
 }
@@ -335,48 +390,142 @@ void decode_reduce_done(WireReader& r, std::uint32_t& partition,
   r.expect_done();
 }
 
-std::string encode_trace_upload(const obs::TraceData& trace) {
+std::string encode_clock_probe(const ClockProbeMsg& msg) {
   WireWriter w;
-  w.u8(static_cast<std::uint8_t>(MsgType::kTraceUpload));
+  w.u8(static_cast<std::uint8_t>(MsgType::kClockProbe));
+  w.u64(msg.t_send);
+  return w.take();
+}
+
+ClockProbeMsg decode_clock_probe(WireReader& r) {
+  ClockProbeMsg msg;
+  msg.t_send = r.u64();
+  r.expect_done();
+  return msg;
+}
+
+std::string encode_clock_sync(const ClockSyncMsg& msg) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kClockSync));
+  w.u32(msg.worker_id);
+  w.u64(msg.t_probe);
+  w.u64(msg.t_worker);
+  return w.take();
+}
+
+ClockSyncMsg decode_clock_sync(WireReader& r) {
+  ClockSyncMsg msg;
+  msg.worker_id = r.u32();
+  msg.t_probe = r.u64();
+  msg.t_worker = r.u64();
+  r.expect_done();
+  return msg;
+}
+
+namespace {
+
+constexpr std::uint8_t kChunkFlagFinal = 1;
+
+/// Everything in a chunk except its events; metadata rides only on the
+/// first frame of a batch so frames 2..n stay almost pure event payload.
+std::string encode_chunk_header(const TraceChunkMsg& msg, bool first,
+                                bool last) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kTraceChunk));
+  w.u32(msg.worker_id);
+  w.u8((last && msg.final_chunk) ? kChunkFlagFinal : 0);
+  put_worker_metrics(w, msg.stats);
+  const obs::TraceData& trace = msg.trace;
   w.u8(trace.enabled ? 1 : 0);
-  w.str(trace.job_name);
+  w.str(first ? trace.job_name : std::string());
   w.u64(trace.epoch_ns);
-  w.u64(trace.dropped_events);
-  w.u32(static_cast<std::uint32_t>(trace.process_names.size()));
-  for (const auto& [pid, name] : trace.process_names) {
-    w.u32(pid);
-    w.str(name);
+  w.u64(first ? trace.dropped_events : 0);
+  const std::size_t num_rings = first ? trace.ring_drops.size() : 0;
+  w.u32(static_cast<std::uint32_t>(num_rings));
+  for (std::size_t i = 0; i < num_rings; ++i) {
+    w.u32(trace.ring_drops[i].pid);
+    w.u32(trace.ring_drops[i].tid);
+    w.u64(trace.ring_drops[i].dropped);
   }
-  w.u32(static_cast<std::uint32_t>(trace.thread_names.size()));
-  for (const auto& thread : trace.thread_names) {
-    w.u32(thread.pid);
-    w.u32(thread.tid);
-    w.str(thread.name);
+  const std::size_t num_procs = first ? trace.process_names.size() : 0;
+  w.u32(static_cast<std::uint32_t>(num_procs));
+  for (std::size_t i = 0; i < num_procs; ++i) {
+    w.u32(trace.process_names[i].first);
+    w.str(trace.process_names[i].second);
   }
-  w.u32(static_cast<std::uint32_t>(trace.events.size()));
-  for (const auto& e : trace.events) {
-    w.str(e.name != nullptr ? e.name : "");
-    w.str(e.category != nullptr ? e.category : "");
-    w.u64(e.ts_ns);
-    w.u64(e.dur_ns);
-    w.u32(e.pid);
-    w.u32(e.tid);
-    w.u8(static_cast<std::uint8_t>(e.kind));
-    w.u8(e.num_args);
-    for (std::uint8_t i = 0; i < e.num_args; ++i) {
-      w.str(e.arg_names[i] != nullptr ? e.arg_names[i] : "");
-      w.f64(e.args[i]);
-    }
+  const std::size_t num_threads = first ? trace.thread_names.size() : 0;
+  w.u32(static_cast<std::uint32_t>(num_threads));
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    w.u32(trace.thread_names[i].pid);
+    w.u32(trace.thread_names[i].tid);
+    w.str(trace.thread_names[i].name);
   }
   return w.take();
 }
 
-obs::TraceData decode_trace_upload(WireReader& r) {
-  obs::TraceData trace;
+}  // namespace
+
+std::vector<std::string> encode_trace_chunks(const TraceChunkMsg& msg,
+                                             std::size_t max_payload) {
+  // Greedy packing: serialize events one by one, starting a new frame
+  // whenever the next event would push the payload past the budget. A
+  // single oversized event still ships (in its own frame) rather than
+  // being dropped; kMaxFramePayload is 64x the default budget, so only
+  // a pathological event could trip the frame cap.
+  std::vector<std::pair<std::size_t, std::size_t>> frames;  // [begin, end)
+  std::vector<std::string> encoded_events;
+  encoded_events.reserve(msg.trace.events.size());
+  std::size_t frame_begin = 0;
+  std::size_t frame_bytes = 0;
+  for (std::size_t i = 0; i < msg.trace.events.size(); ++i) {
+    WireWriter event_writer;
+    put_event(event_writer, msg.trace.events[i]);
+    std::string bytes = event_writer.take();
+    if (i > frame_begin && frame_bytes + bytes.size() > max_payload) {
+      frames.emplace_back(frame_begin, i);
+      frame_begin = i;
+      frame_bytes = 0;
+    }
+    frame_bytes += bytes.size();
+    encoded_events.push_back(std::move(bytes));
+  }
+  frames.emplace_back(frame_begin, msg.trace.events.size());
+
+  std::vector<std::string> payloads;
+  payloads.reserve(frames.size());
+  for (std::size_t f = 0; f < frames.size(); ++f) {
+    const bool first = f == 0;
+    const bool last = f + 1 == frames.size();
+    std::string payload = encode_chunk_header(msg, first, last);
+    WireWriter count;
+    count.u32(static_cast<std::uint32_t>(frames[f].second - frames[f].first));
+    payload += count.take();
+    for (std::size_t i = frames[f].first; i < frames[f].second; ++i) {
+      payload += encoded_events[i];
+    }
+    payloads.push_back(std::move(payload));
+  }
+  return payloads;
+}
+
+TraceChunkMsg decode_trace_chunk(WireReader& r) {
+  TraceChunkMsg msg;
+  msg.worker_id = r.u32();
+  msg.final_chunk = (r.u8() & kChunkFlagFinal) != 0;
+  msg.stats = get_worker_metrics(r);
+  obs::TraceData& trace = msg.trace;
   trace.enabled = r.u8() != 0;
   trace.job_name = r.str();
   trace.epoch_ns = r.u64();
   trace.dropped_events = r.u64();
+  const std::uint32_t num_rings = r.u32();
+  for (std::uint32_t i = 0; i < num_rings; ++i) {
+    obs::TraceData::RingDrops drops;
+    drops.pid = r.u32();
+    drops.tid = r.u32();
+    drops.dropped = r.u64();
+    trace.ring_drops.push_back(drops);
+  }
   const std::uint32_t num_procs = r.u32();
   for (std::uint32_t i = 0; i < num_procs; ++i) {
     const std::uint32_t pid = r.u32();
@@ -420,7 +569,7 @@ obs::TraceData decode_trace_upload(WireReader& r) {
     trace.events.push_back(e);
   }
   r.expect_done();
-  return trace;
+  return msg;
 }
 
 // ---- framed socket I/O ----------------------------------------------------

@@ -8,6 +8,7 @@
 
 #include "mr/map_task.hpp"
 #include "mr/reduce_task.hpp"
+#include "obs/histogram.hpp"
 #include "obs/trace.hpp"
 
 namespace textmr::cluster {
@@ -18,20 +19,26 @@ namespace textmr::cluster {
 /// first payload byte is the message type. Bulk data (input splits,
 /// spill runs, final part files) never crosses the channel — it moves
 /// through the shared filesystem, exactly like a DFS-backed deployment —
-/// so frames stay small except for the one trace upload at shutdown.
+/// so frames stay small: telemetry ships as bounded trace chunks at task
+/// boundaries instead of one monolithic upload.
 
 enum class MsgType : std::uint8_t {
   // coordinator -> worker
-  kRunMap = 1,     // u32 task, u32 attempt
-  kRunReduce = 2,  // u32 partition, u32 attempt
-  kShutdown = 3,   // no payload; worker uploads its trace and exits
+  kRunMap = 1,      // u32 task, u32 attempt
+  kRunReduce = 2,   // u32 partition, u32 attempt
+  kShutdown = 3,    // no payload; worker ships final telemetry and exits
+  kClockProbe = 4,  // u64 coordinator monotonic_ns at send (clock handshake)
   // worker -> coordinator
-  kHeartbeat = 10,    // worker liveness + progress of the running task
-  kMapDone = 11,      // u32 task, u32 attempt, MapTaskResult
-  kReduceDone = 12,   // u32 partition, u32 attempt, ReduceTaskResult
-  kTaskFailed = 13,   // one attempt failed (the worker itself is healthy)
-  kTraceUpload = 14,  // worker's TraceData, sent once before exit
+  kHeartbeat = 10,   // worker liveness + progress + live counter snapshot
+  kMapDone = 11,     // u32 task, u32 attempt, MapTaskResult
+  kReduceDone = 12,  // u32 partition, u32 attempt, ReduceTaskResult
+  kTaskFailed = 13,  // one attempt failed (the worker itself is healthy)
+  kClockSync = 14,   // probe echo + worker monotonic_ns (clock handshake)
+  kTraceChunk = 15,  // one bounded slice of the worker's trace + stats
 };
+
+/// Wire name for logs and the analyzer; lint checks exhaustiveness.
+const char* msg_type_name(MsgType type);
 
 /// What kind of task an id refers to in heartbeat / failure messages.
 enum class TaskKind : std::uint8_t { kNone = 0, kMap = 1, kReduce = 2 };
@@ -50,12 +57,27 @@ struct RunReduceMsg {
   std::vector<io::SpillRunInfo> map_outputs;
 };
 
+/// Live counter snapshot a worker piggybacks on every heartbeat and
+/// trace chunk. Values are cumulative since worker start — not deltas —
+/// so the coordinator's view is always "latest wins" and a dropped or
+/// reordered frame can never desynchronize the aggregate.
+struct WorkerMetrics {
+  std::uint64_t records = 0;  // input records consumed by finished tasks
+  std::uint64_t bytes = 0;    // input/shuffle bytes consumed
+  std::uint64_t spills = 0;
+  std::uint64_t tasks_completed = 0;
+  std::uint64_t task_failures = 0;
+  std::uint64_t trace_dropped = 0;  // ring-overflow drops shipped so far
+  obs::LatencyHistogram task_latency_ns;  // wall time per finished task
+};
+
 struct HeartbeatMsg {
   std::uint32_t worker_id = 0;
   TaskKind kind = TaskKind::kNone;  // kNone: idle worker
   std::uint32_t id = 0;
   std::uint32_t attempt = 0;
   double progress = 0.0;  // input fraction consumed (map tasks)
+  WorkerMetrics stats;
 };
 
 struct TaskFailedMsg {
@@ -65,6 +87,61 @@ struct TaskFailedMsg {
   bool retryable = true;
   std::string message;
 };
+
+// ---- clock handshake ------------------------------------------------------
+
+/// Coordinator -> worker right after spawn: carries the coordinator's
+/// monotonic clock at send time.
+struct ClockProbeMsg {
+  std::uint64_t t_send = 0;
+};
+
+/// Worker's reply: echoes the probe and stamps its own clock.
+struct ClockSyncMsg {
+  std::uint32_t worker_id = 0;
+  std::uint64_t t_probe = 0;   // echoed ClockProbeMsg::t_send
+  std::uint64_t t_worker = 0;  // worker monotonic_ns at echo
+};
+
+/// NTP-style two-sample offset estimate: the worker stamped t_worker
+/// somewhere between the coordinator's t_send and t_recv, so assuming a
+/// symmetric channel its clock reads t_worker when the coordinator's
+/// reads (t_send + t_recv) / 2. Returns worker_clock - coordinator_clock;
+/// the estimate error is bounded by half the round-trip time. Forked
+/// workers share CLOCK_MONOTONIC so the offset is ~0 today, but the
+/// handshake keeps merged traces correct for any future transport where
+/// workers live on other machines (ROADMAP item 2's resident service).
+inline std::int64_t estimate_clock_offset(std::uint64_t t_send,
+                                          std::uint64_t t_recv,
+                                          std::uint64_t t_worker) {
+  const auto midpoint =
+      static_cast<std::int64_t>(t_send / 2 + t_recv / 2 +
+                                (t_send % 2 + t_recv % 2) / 2);
+  return static_cast<std::int64_t>(t_worker) - midpoint;
+}
+
+// ---- trace chunks ---------------------------------------------------------
+
+/// One bounded slice of a worker's telemetry. Workers drain their
+/// TraceCollector at task completion and at shutdown, split the drained
+/// events into frames of at most kTraceChunkPayloadTarget bytes, and
+/// ship each as a self-contained chunk: the coordinator can merge them
+/// in arrival order (merge_trace sums drop deltas and dedupes names).
+/// `final_chunk` marks the worker's last telemetry before exit — a
+/// worker that dies without sending it leaves the job's telemetry
+/// flagged incomplete instead of failing the merge.
+struct TraceChunkMsg {
+  std::uint32_t worker_id = 0;
+  bool final_chunk = false;
+  WorkerMetrics stats;   // cumulative snapshot at send time
+  obs::TraceData trace;  // events since the previous chunk
+};
+
+/// Target payload size for one trace chunk: large enough that even a
+/// drain of a full default ring fits in a couple of frames, small enough
+/// (1/64 of kMaxFramePayload) that chunked shipping never risks the
+/// frame cap and the coordinator's read loop stays responsive.
+constexpr std::size_t kTraceChunkPayloadTarget = 4u * 1024 * 1024;
 
 // ---- serialization --------------------------------------------------------
 
@@ -125,16 +202,29 @@ std::string encode_reduce_done(std::uint32_t partition, std::uint32_t attempt,
 void decode_reduce_done(WireReader& r, std::uint32_t& partition,
                         std::uint32_t& attempt, mr::ReduceTaskResult& result);
 
-std::string encode_trace_upload(const obs::TraceData& trace);
-/// Decoded events point into `trace.string_pool` (owned storage).
-obs::TraceData decode_trace_upload(WireReader& r);
+std::string encode_clock_probe(const ClockProbeMsg& msg);
+ClockProbeMsg decode_clock_probe(WireReader& r);
+
+std::string encode_clock_sync(const ClockSyncMsg& msg);
+ClockSyncMsg decode_clock_sync(WireReader& r);
+
+/// Splits `msg` into one or more kTraceChunk frame payloads, each at
+/// most ~max_payload bytes. Every frame is independently decodable and
+/// carries the stats snapshot; trace metadata (names, drop deltas) rides
+/// only on the first frame and the final_chunk flag only on the last.
+std::vector<std::string> encode_trace_chunks(
+    const TraceChunkMsg& msg,
+    std::size_t max_payload = kTraceChunkPayloadTarget);
+/// Decoded events point into `msg.trace.string_pool` (owned storage).
+TraceChunkMsg decode_trace_chunk(WireReader& r);
 
 // ---- framed socket I/O ----------------------------------------------------
 
 /// Sanity cap on a frame's payload length. The largest legitimate frame
-/// is a shutdown trace upload (a few MB at worst); a 4-byte prefix read
-/// from a desynchronized or corrupted stream could otherwise demand an
-/// allocation of up to ~4 GiB. Oversized frames raise IoError instead.
+/// is a trace chunk (bounded by kTraceChunkPayloadTarget plus one event's
+/// overshoot); a 4-byte prefix read from a desynchronized or corrupted
+/// stream could otherwise demand an allocation of up to ~4 GiB.
+/// Oversized frames raise IoError instead.
 constexpr std::uint32_t kMaxFramePayload = 256u * 1024 * 1024;
 
 /// Sends one length-prefixed frame, blocking until fully written (polls

@@ -9,18 +9,11 @@
 #include "common/failpoint.hpp"
 #include "common/logging.hpp"
 #include "common/mutex.hpp"
+#include "common/stopwatch.hpp"
 #include "mr/task_runner.hpp"
 
 namespace textmr::cluster {
 namespace {
-
-/// Trace pid for worker-scoped events (task lifecycle as the worker sees
-/// it). Task-scoped events keep the standard map_task_pid/reduce_task_pid
-/// conventions, which are globally unique across workers because a task
-/// runs its winning attempt on exactly one timeline row.
-constexpr std::uint32_t worker_pid(std::uint32_t worker_id) {
-  return 200000 + worker_id;
-}
 
 /// State shared between the worker's task loop and its heartbeat thread.
 /// One mutex serializes both the channel writes (frames from two threads
@@ -36,12 +29,19 @@ struct Channel {
   TaskKind kind TEXTMR_GUARDED_BY(mu) = TaskKind::kNone;
   std::uint32_t task_id TEXTMR_GUARDED_BY(mu) = 0;
   std::uint32_t attempt TEXTMR_GUARDED_BY(mu) = 0;
+  // Cumulative since worker start; the task loop folds each finished
+  // task in, the heartbeat thread snapshots it into every beat.
+  WorkerMetrics stats TEXTMR_GUARDED_BY(mu);
   // Written by the map thread mid-task, read by the heartbeat thread.
   std::atomic<double> progress{0.0};
 
   /// Sends one frame under the channel lock; records a broken peer.
   bool send(std::string_view payload) {
     textmr::MutexLock lock(mu);
+    return send_locked(payload);
+  }
+
+  bool send_locked(std::string_view payload) TEXTMR_REQUIRES(mu) {
     if (broken) return false;
     if (!send_frame(fd, payload)) {
       broken = true;
@@ -59,7 +59,41 @@ struct Channel {
   }
 
   void set_idle() { set_task(TaskKind::kNone, 0, 0); }
+
+  WorkerMetrics stats_snapshot() {
+    textmr::MutexLock lock(mu);
+    return stats;
+  }
 };
+
+/// Drains the collector and ships the result as one or more kTraceChunk
+/// frames together with the current stats snapshot. With tracing off the
+/// final chunk still goes out carrying an empty trace, so the
+/// coordinator always gets a terminal stats snapshot and a clean
+/// "telemetry complete" signal for this worker.
+bool ship_trace_chunks(Channel& channel, obs::TraceCollector* collector,
+                       std::uint32_t worker_id, bool final_chunk) {
+  // Mid-job chunks only matter when tracing: heartbeats already carry
+  // the stats, so an empty per-task chunk would be pure overhead.
+  if (collector == nullptr && !final_chunk) return true;
+  TraceChunkMsg msg;
+  msg.worker_id = worker_id;
+  msg.final_chunk = final_chunk;
+  if (collector != nullptr) {
+    msg.trace = collector->drain();
+  }
+  std::uint64_t drained_drops = 0;
+  for (const auto& ring : msg.trace.ring_drops) drained_drops += ring.dropped;
+  {
+    textmr::MutexLock lock(channel.mu);
+    channel.stats.trace_dropped += drained_drops;
+    msg.stats = channel.stats;
+    for (const std::string& payload : encode_trace_chunks(msg)) {
+      if (!channel.send_locked(payload)) return false;
+    }
+  }
+  return true;
+}
 
 /// Heartbeat loop: one beat per interval describing what the worker is
 /// doing. The `worker.heartbeat` failpoint acts here — kDelay stalls the
@@ -80,6 +114,7 @@ void heartbeat_loop(Channel& channel, std::uint32_t worker_id,
       msg.kind = channel.kind;
       msg.id = channel.task_id;
       msg.attempt = channel.attempt;
+      msg.stats = channel.stats;
     }
     msg.progress = channel.progress.load(std::memory_order_relaxed);
     if (failpoint::enabled()) {
@@ -101,15 +136,16 @@ int worker_main(const WorkerContext& ctx, const mr::JobSpec& spec) {
   try {
     Channel channel(ctx.fd);
 
-    // Worker-local trace collector; uploaded to the coordinator at
-    // shutdown and merged into the job timeline. All processes share the
-    // monotonic clock, so timestamps need no translation.
+    // Worker-local trace collector; drained and shipped to the
+    // coordinator as bounded chunks at every task completion and at
+    // shutdown, then rebased onto the coordinator's clock via the
+    // kClockProbe/kClockSync handshake before the merge.
     std::unique_ptr<obs::TraceCollector> collector;
     obs::TraceBuffer* worker_trace = nullptr;
     if (spec.trace.enabled) {
       collector = std::make_unique<obs::TraceCollector>(spec.trace);
       worker_trace = collector->make_buffer(
-          worker_pid(ctx.worker_id), 0, "task-loop",
+          obs::worker_pid(ctx.worker_id), 0, "task-loop",
           "worker-" + std::to_string(ctx.worker_id));
     }
 
@@ -156,12 +192,25 @@ int worker_main(const WorkerContext& ctx, const mr::JobSpec& spec) {
       const MsgType type = static_cast<MsgType>(r.u8());
 
       if (type == MsgType::kShutdown) {
-        if (collector != nullptr) {
-          // Trace rings of finished tasks have no live writers and the
-          // heartbeat thread never records, so finishing here is safe.
-          channel.send(encode_trace_upload(collector->finish()));
-        }
+        // Trace rings of finished tasks have no live writers and the
+        // heartbeat thread never records, so finishing here is safe.
+        // The final chunk goes out even with tracing disabled: it
+        // carries the terminal stats snapshot and marks this worker's
+        // telemetry complete.
+        ship_trace_chunks(channel, collector.get(), ctx.worker_id,
+                          /*final_chunk=*/true);
+        if (collector != nullptr) collector->finish();
         break;
+      }
+
+      if (type == MsgType::kClockProbe) {
+        const ClockProbeMsg probe = decode_clock_probe(r);
+        ClockSyncMsg sync;
+        sync.worker_id = ctx.worker_id;
+        sync.t_probe = probe.t_send;
+        sync.t_worker = monotonic_ns();
+        if (!channel.send(encode_clock_sync(sync))) break;
+        continue;
       }
 
       if (type == MsgType::kRunMap) {
@@ -171,29 +220,57 @@ int worker_main(const WorkerContext& ctx, const mr::JobSpec& spec) {
                             static_cast<double>(msg.id), "attempt",
                             static_cast<double>(msg.attempt));
         TaskFailedMsg failure;
-        try {
-          if (failpoint::enabled()) {
-            failpoint::check("cluster.dispatch");
+        bool ok = false;
+        mr::MapTaskResult result;
+        {
+          // Worker-lane busy span: the analyzer derives per-worker
+          // utilization from these, so the span must close (destructor)
+          // on the failure path too.
+          obs::SpanTimer exec(worker_trace, "cluster", "map_exec");
+          exec.arg("task", static_cast<double>(msg.id));
+          exec.arg("attempt", static_cast<double>(msg.attempt));
+          try {
+            if (failpoint::enabled()) {
+              failpoint::check("cluster.dispatch");
+            }
+            mr::MapTaskConfig config = mr::make_map_task_config(
+                spec, mem, msg.id, msg.attempt, &node_cache, collector.get());
+            config.progress = &channel.progress;
+            result = mr::run_map_task(config);
+            ok = true;
+          } catch (...) {
+            failure.kind = TaskKind::kMap;
+            failure.id = msg.id;
+            failure.attempt = msg.attempt;
+            failure.retryable = mr::is_retryable_error();
+            failure.message = mr::current_error_message();
+            mr::cleanup_map_attempt(spec, msg.id, msg.attempt);
           }
-          mr::MapTaskConfig config = mr::make_map_task_config(
-              spec, mem, msg.id, msg.attempt, &node_cache, collector.get());
-          config.progress = &channel.progress;
-          const mr::MapTaskResult result = mr::run_map_task(config);
-          channel.set_idle();
+        }
+        {
+          textmr::MutexLock lock(channel.mu);
+          if (ok) {
+            channel.stats.records += result.map_thread.input_records;
+            channel.stats.bytes += result.map_thread.input_bytes;
+            channel.stats.spills += result.spills;
+            channel.stats.tasks_completed += 1;
+            channel.stats.task_latency_ns.record(result.wall_ns);
+          } else {
+            channel.stats.task_failures += 1;
+          }
+        }
+        channel.set_idle();
+        if (ok) {
           if (!channel.send(encode_map_done(msg.id, msg.attempt, result))) {
             break;
           }
-          continue;
-        } catch (...) {
-          failure.kind = TaskKind::kMap;
-          failure.id = msg.id;
-          failure.attempt = msg.attempt;
-          failure.retryable = mr::is_retryable_error();
-          failure.message = mr::current_error_message();
-          mr::cleanup_map_attempt(spec, msg.id, msg.attempt);
+        } else {
+          if (!channel.send(encode_task_failed(failure))) break;
         }
-        channel.set_idle();
-        if (!channel.send(encode_task_failed(failure))) break;
+        if (!ship_trace_chunks(channel, collector.get(), ctx.worker_id,
+                               /*final_chunk=*/false)) {
+          break;
+        }
         continue;
       }
 
@@ -204,31 +281,55 @@ int worker_main(const WorkerContext& ctx, const mr::JobSpec& spec) {
                             "partition", static_cast<double>(msg.partition),
                             "attempt", static_cast<double>(msg.attempt));
         TaskFailedMsg failure;
-        try {
-          if (failpoint::enabled()) {
-            failpoint::check("cluster.dispatch");
+        bool ok = false;
+        mr::ReduceTaskResult result;
+        {
+          obs::SpanTimer exec(worker_trace, "cluster", "reduce_exec");
+          exec.arg("partition", static_cast<double>(msg.partition));
+          exec.arg("attempt", static_cast<double>(msg.attempt));
+          try {
+            if (failpoint::enabled()) {
+              failpoint::check("cluster.dispatch");
+            }
+            const mr::ReduceTaskConfig config = mr::make_reduce_task_config(
+                spec, msg.partition, msg.attempt, std::move(msg.map_outputs),
+                collector.get());
+            result = mr::run_reduce_task(config);
+            ok = true;
+          } catch (...) {
+            failure.kind = TaskKind::kReduce;
+            failure.id = msg.partition;
+            failure.attempt = msg.attempt;
+            failure.retryable = mr::is_retryable_error();
+            failure.message = mr::current_error_message();
+            mr::cleanup_reduce_attempt(
+                mr::reduce_output_path(spec, msg.partition), msg.attempt);
           }
-          const mr::ReduceTaskConfig config = mr::make_reduce_task_config(
-              spec, msg.partition, msg.attempt, std::move(msg.map_outputs),
-              collector.get());
-          const mr::ReduceTaskResult result = mr::run_reduce_task(config);
-          channel.set_idle();
+        }
+        {
+          textmr::MutexLock lock(channel.mu);
+          if (ok) {
+            channel.stats.records += result.metrics.reduce_input_records;
+            channel.stats.bytes += result.metrics.shuffled_bytes;
+            channel.stats.tasks_completed += 1;
+            channel.stats.task_latency_ns.record(result.wall_ns);
+          } else {
+            channel.stats.task_failures += 1;
+          }
+        }
+        channel.set_idle();
+        if (ok) {
           if (!channel.send(
                   encode_reduce_done(msg.partition, msg.attempt, result))) {
             break;
           }
-          continue;
-        } catch (...) {
-          failure.kind = TaskKind::kReduce;
-          failure.id = msg.partition;
-          failure.attempt = msg.attempt;
-          failure.retryable = mr::is_retryable_error();
-          failure.message = mr::current_error_message();
-          mr::cleanup_reduce_attempt(mr::reduce_output_path(spec, msg.partition),
-                                     msg.attempt);
+        } else {
+          if (!channel.send(encode_task_failed(failure))) break;
         }
-        channel.set_idle();
-        if (!channel.send(encode_task_failed(failure))) break;
+        if (!ship_trace_chunks(channel, collector.get(), ctx.worker_id,
+                               /*final_chunk=*/false)) {
+          break;
+        }
         continue;
       }
 

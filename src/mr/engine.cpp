@@ -163,7 +163,10 @@ JobResult LocalEngine::run(const JobSpec& spec) {
   }
 
   result.metrics.job_wall_ns = monotonic_ns() - job_start;
-  if (collector != nullptr) result.trace = collector->finish();
+  if (collector != nullptr) {
+    result.trace = collector->finish();
+    result.metrics.trace_ring_dropped = result.trace.dropped_events;
+  }
   return result;
 }
 

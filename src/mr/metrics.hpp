@@ -3,8 +3,10 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/stopwatch.hpp"
+#include "obs/histogram.hpp"
 
 namespace textmr::mr {
 
@@ -77,6 +79,23 @@ struct TaskMetrics {
   std::uint64_t abstraction_ns(bool include_idle = false) const;
 };
 
+/// Per-worker telemetry aggregated by the cluster coordinator from
+/// heartbeat stats snapshots (ISSUE 6). Counters are cumulative over the
+/// worker's lifetime; `telemetry_complete` is false when the worker died
+/// (or was killed) before shipping its final trace chunk, so the numbers
+/// are a last-heartbeat lower bound rather than a final accounting.
+struct WorkerTelemetry {
+  std::uint32_t worker_id = 0;
+  std::uint64_t records = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t spills = 0;
+  std::uint64_t tasks_completed = 0;
+  std::uint64_t task_failures = 0;
+  std::uint64_t trace_dropped = 0;
+  obs::LatencyHistogram task_latency_ns;
+  bool telemetry_complete = true;
+};
+
 /// Whole-job metrics: the serialized work view plus phase wall clocks.
 struct JobMetrics {
   TaskMetrics work;          // summed over every thread of every task
@@ -111,6 +130,29 @@ struct JobMetrics {
                ? 0.0
                : static_cast<double>(support_thread_idle_ns) /
                      static_cast<double>(support_thread_wall_ns);
+  }
+
+  // Cluster telemetry (empty / zero for single-process engines unless
+  // noted). trace_ring_dropped counts events lost to trace-ring overflow
+  // across every process — the local engine reports it too.
+  std::vector<WorkerTelemetry> workers;
+  std::uint64_t trace_ring_dropped = 0;
+  bool telemetry_incomplete = false;
+
+  /// Input-records skew across workers: max/mean, 1.0 = perfectly even.
+  /// Zero when there are no workers or no records at all.
+  double worker_records_skew() const {
+    if (workers.empty()) return 0.0;
+    std::uint64_t total = 0;
+    std::uint64_t max = 0;
+    for (const auto& worker : workers) {
+      total += worker.records;
+      if (worker.records > max) max = worker.records;
+    }
+    if (total == 0) return 0.0;
+    const double mean =
+        static_cast<double>(total) / static_cast<double>(workers.size());
+    return static_cast<double>(max) / mean;
   }
 };
 

@@ -120,6 +120,28 @@ std::string format_job_report(const JobResult& result,
   appendf(out, "  output           %10llu records %12.1f KB\n",
           static_cast<unsigned long long>(work.output_records),
           static_cast<double>(work.output_bytes) / 1024.0);
+  if (!m.workers.empty()) {
+    appendf(out, "cluster workers (records skew %.2fx%s):\n",
+            m.worker_records_skew(),
+            m.telemetry_incomplete ? ", telemetry incomplete" : "");
+    for (const auto& worker : m.workers) {
+      appendf(out,
+              "  worker %-3u %8llu records %10.1f KB, %llu tasks "
+              "(%llu failed), task p50 %.3fs p99 %.3fs%s\n",
+              worker.worker_id,
+              static_cast<unsigned long long>(worker.records),
+              static_cast<double>(worker.bytes) / 1024.0,
+              static_cast<unsigned long long>(worker.tasks_completed),
+              static_cast<unsigned long long>(worker.task_failures),
+              seconds(worker.task_latency_ns.quantile(0.5)),
+              seconds(worker.task_latency_ns.quantile(0.99)),
+              worker.telemetry_complete ? "" : "  [partial]");
+    }
+  }
+  if (m.trace_ring_dropped > 0) {
+    appendf(out, "trace: %llu events dropped to ring overflow\n",
+            static_cast<unsigned long long>(m.trace_ring_dropped));
+  }
   if (!result.counters.empty()) {
     appendf(out, "user counters:\n");
     for (const auto& [name, value] : result.counters.all()) {
@@ -219,6 +241,36 @@ std::string format_job_metrics_json(const JobResult& result,
     w.end_object();
   }
   w.end_array();
+
+  w.field("trace_ring_dropped", m.trace_ring_dropped);
+  w.field("telemetry_incomplete", m.telemetry_incomplete);
+  if (!m.workers.empty()) {
+    w.key("cluster").begin_object();
+    w.field("worker_records_skew", m.worker_records_skew());
+    w.key("workers").begin_array();
+    for (const auto& worker : m.workers) {
+      w.begin_object();
+      w.field("worker_id", worker.worker_id);
+      w.field("records", worker.records);
+      w.field("bytes", worker.bytes);
+      w.field("spills", worker.spills);
+      w.field("tasks_completed", worker.tasks_completed);
+      w.field("task_failures", worker.task_failures);
+      w.field("trace_dropped", worker.trace_dropped);
+      w.field("telemetry_complete", worker.telemetry_complete);
+      w.key("task_latency_ns").begin_object();
+      w.field("count", worker.task_latency_ns.count());
+      w.field("mean", worker.task_latency_ns.mean());
+      w.field("p50", worker.task_latency_ns.quantile(0.5));
+      w.field("p90", worker.task_latency_ns.quantile(0.9));
+      w.field("p99", worker.task_latency_ns.quantile(0.99));
+      w.field("max", worker.task_latency_ns.max());
+      w.end_object();
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
 
   w.key("counters").begin_object();
   for (const auto& [name, value] : result.counters.all()) {

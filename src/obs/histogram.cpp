@@ -1,0 +1,148 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace textmr::obs {
+
+std::uint32_t LatencyHistogram::bucket_index(std::uint64_t value) {
+  if (value < kSubBuckets) return static_cast<std::uint32_t>(value);
+  const auto msb = static_cast<std::uint32_t>(std::bit_width(value) - 1);
+  if (msb >= kMaxExponent) return kNumBuckets - 1;  // overflow bucket
+  const auto sub =
+      static_cast<std::uint32_t>((value >> (msb - kSubBits)) & (kSubBuckets - 1));
+  return kSubBuckets + (msb - kSubBits) * kSubBuckets + sub;
+}
+
+std::uint64_t LatencyHistogram::bucket_upper_bound(std::uint32_t index) {
+  if (index < kSubBuckets) return index;
+  if (index >= kNumBuckets - 1) return std::numeric_limits<std::uint64_t>::max();
+  const std::uint32_t rel = index - kSubBuckets;
+  const std::uint32_t octave = rel / kSubBuckets;  // msb == kSubBits + octave
+  const std::uint32_t sub = rel % kSubBuckets;
+  return ((static_cast<std::uint64_t>(kSubBuckets + sub + 1)) << octave) - 1;
+}
+
+void LatencyHistogram::record(std::uint64_t value) {
+  counts_[bucket_index(value)] += 1;
+  count_ += 1;
+  sum_ += value;
+  max_ = std::max(max_, value);
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (std::uint32_t i = 0; i < kNumBuckets; ++i) counts_[i] += other.counts_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  max_ = std::max(max_, other.max_);
+}
+
+void LatencyHistogram::clear() {
+  counts_.fill(0);
+  count_ = 0;
+  sum_ = 0;
+  max_ = 0;
+}
+
+std::uint64_t LatencyHistogram::quantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  std::uint64_t seen = 0;
+  for (std::uint32_t i = 0; i < kNumBuckets; ++i) {
+    seen += counts_[i];
+    if (seen >= target && counts_[i] > 0) {
+      return std::min(bucket_upper_bound(i), max_);
+    }
+  }
+  return max_;
+}
+
+std::vector<LatencyHistogram::Bucket> LatencyHistogram::nonzero_buckets() const {
+  std::vector<Bucket> buckets;
+  for (std::uint32_t i = 0; i < kNumBuckets; ++i) {
+    if (counts_[i] != 0) buckets.push_back(Bucket{i, counts_[i]});
+  }
+  return buckets;
+}
+
+namespace {
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+std::uint32_t take_u32(std::string_view& in) {
+  if (in.size() < 4) throw FormatError("histogram blob truncated");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(in[i])) << (8 * i);
+  }
+  in.remove_prefix(4);
+  return v;
+}
+
+std::uint64_t take_u64(std::string_view& in) {
+  if (in.size() < 8) throw FormatError("histogram blob truncated");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(in[i])) << (8 * i);
+  }
+  in.remove_prefix(8);
+  return v;
+}
+
+}  // namespace
+
+std::string LatencyHistogram::serialize() const {
+  const std::vector<Bucket> buckets = nonzero_buckets();
+  std::string out;
+  out.reserve(28 + buckets.size() * 12);
+  put_u32(out, static_cast<std::uint32_t>(buckets.size()));
+  put_u64(out, count_);
+  put_u64(out, sum_);
+  put_u64(out, max_);
+  for (const Bucket& bucket : buckets) {
+    put_u32(out, bucket.index);
+    put_u64(out, bucket.count);
+  }
+  return out;
+}
+
+LatencyHistogram LatencyHistogram::deserialize(std::string_view bytes) {
+  LatencyHistogram h;
+  const std::uint32_t num_buckets = take_u32(bytes);
+  h.count_ = take_u64(bytes);
+  h.sum_ = take_u64(bytes);
+  h.max_ = take_u64(bytes);
+  std::uint64_t total = 0;
+  for (std::uint32_t i = 0; i < num_buckets; ++i) {
+    const std::uint32_t index = take_u32(bytes);
+    const std::uint64_t count = take_u64(bytes);
+    if (index >= kNumBuckets) {
+      throw FormatError("histogram bucket index out of range");
+    }
+    h.counts_[index] += count;
+    total += count;
+  }
+  if (!bytes.empty()) throw FormatError("histogram blob has trailing bytes");
+  if (total != h.count_) {
+    throw FormatError("histogram bucket counts disagree with total");
+  }
+  return h;
+}
+
+}  // namespace textmr::obs

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace textmr::obs {
+
+/// Log-linear latency histogram (HdrHistogram-style, ISSUE 6): each
+/// power-of-two range is split into kSubBuckets linear sub-buckets, so
+/// relative error is bounded by 1/kSubBuckets (~6%) across the whole
+/// range while the footprint stays a few KB. Workers record per-task
+/// latencies into one of these and piggyback it on heartbeats and trace
+/// chunks; the coordinator merges them into cluster-wide quantiles.
+///
+/// Values are dimensionless u64s (the cluster uses nanoseconds). Not
+/// thread-safe: owned by one writer, merged after the fact — the same
+/// contract as TaskMetrics.
+class LatencyHistogram {
+ public:
+  static constexpr std::uint32_t kSubBits = 4;  // 16 sub-buckets per octave
+  static constexpr std::uint32_t kSubBuckets = 1u << kSubBits;
+  /// Values at or above 2^kMaxExponent land in one overflow bucket.
+  /// 2^42 ns is ~73 minutes — far beyond any plausible task latency.
+  static constexpr std::uint32_t kMaxExponent = 42;
+  static constexpr std::uint32_t kNumBuckets =
+      kSubBuckets + (kMaxExponent - kSubBits) * kSubBuckets + 1;
+
+  /// Bucket index for a value; the last index is the overflow bucket.
+  static std::uint32_t bucket_index(std::uint64_t value);
+
+  /// Largest value mapping to the bucket (inclusive). The overflow
+  /// bucket reports UINT64_MAX.
+  static std::uint64_t bucket_upper_bound(std::uint32_t index);
+
+  void record(std::uint64_t value);
+  void merge(const LatencyHistogram& other);
+  void clear();
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t max() const { return max_; }
+  bool empty() const { return count_ == 0; }
+  double mean() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+
+  /// Value at quantile q in [0, 1]: the upper bound of the bucket holding
+  /// the ceil(q * count)-th sample, clamped to the exact observed max so
+  /// quantile(1.0) == max(). Returns 0 on an empty histogram.
+  std::uint64_t quantile(double q) const;
+
+  struct Bucket {
+    std::uint32_t index = 0;
+    std::uint64_t count = 0;
+  };
+  /// Populated buckets in index order (sparse view for serialization).
+  std::vector<Bucket> nonzero_buckets() const;
+
+  /// Compact little-endian sparse encoding: count/sum/max plus
+  /// (index, count) pairs for populated buckets. A fresh histogram
+  /// serializes to 28 bytes; a busy one to a few hundred.
+  std::string serialize() const;
+
+  /// Inverse of serialize(); throws FormatError on malformed input.
+  [[nodiscard]] static LatencyHistogram deserialize(std::string_view bytes);
+
+  bool operator==(const LatencyHistogram& other) const {
+    return count_ == other.count_ && sum_ == other.sum_ &&
+           max_ == other.max_ && counts_ == other.counts_;
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t max_ = 0;
+  std::array<std::uint64_t, kNumBuckets> counts_{};
+};
+
+}  // namespace textmr::obs

@@ -1,8 +1,11 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace textmr::obs {
 
@@ -77,5 +80,60 @@ class JsonWriter {
 /// capped at 256). Used by tests and the CI smoke bench to prove that
 /// exported artifacts parse; not a general-purpose parser.
 bool json_valid(std::string_view text);
+
+/// Parsed JSON document node (recursive-descent, same grammar and depth
+/// cap as json_valid). Built for reading back the engine's own exports —
+/// textmr-analyze loads merged trace files through this — so numbers are
+/// doubles (trace timestamps fit in the 2^53 integer range) and object
+/// member order is preserved as written.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Whole-document parse; nullopt on malformed input or trailing bytes.
+  static std::optional<JsonValue> parse(std::string_view text);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool bool_or(bool fallback) const {
+    return type_ == Type::kBool ? bool_ : fallback;
+  }
+  double number_or(double fallback) const {
+    return type_ == Type::kNumber ? number_ : fallback;
+  }
+  /// Empty string when this is not a string node.
+  const std::string& string_value() const { return string_; }
+  /// Empty for non-arrays.
+  const std::vector<JsonValue>& array() const { return array_; }
+  /// Object members in document order; empty for non-objects.
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  /// First member with the given key, or nullptr (also for non-objects).
+  const JsonValue* get(std::string_view key) const;
+
+  // Node construction (parser + tests).
+  static JsonValue make_null() { return JsonValue(); }
+  static JsonValue make_bool(bool v);
+  static JsonValue make_number(double v);
+  static JsonValue make_string(std::string v);
+  static JsonValue make_array(std::vector<JsonValue> v);
+  static JsonValue make_object(std::vector<std::pair<std::string, JsonValue>> v);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
 
 }  // namespace textmr::obs

@@ -11,7 +11,8 @@ namespace textmr::obs {
 std::vector<TraceEvent> TraceBuffer::snapshot() const {
   std::vector<TraceEvent> events;
   events.reserve(ring_.size());
-  if (dropped_ == 0) {
+  if (dropped_ == drained_dropped_) {
+    // No overwrite since the last drain: the ring is in record order.
     events.assign(ring_.begin(), ring_.end());
   } else {
     // The ring wrapped: oldest surviving event sits at next_overwrite_.
@@ -20,6 +21,16 @@ std::vector<TraceEvent> TraceBuffer::snapshot() const {
                   ring_.begin() + next_overwrite_);
   }
   return events;
+}
+
+TraceBuffer::Drained TraceBuffer::drain() {
+  Drained out;
+  out.events = snapshot();
+  out.dropped = dropped_ - drained_dropped_;
+  drained_dropped_ = dropped_;
+  ring_.clear();
+  next_overwrite_ = 0;
+  return out;
 }
 
 TraceCollector::TraceCollector(TraceConfig config)
@@ -42,24 +53,44 @@ TraceBuffer* TraceCollector::make_buffer(std::uint32_t pid, std::uint32_t tid,
   return &buffers_.back();
 }
 
-TraceData TraceCollector::finish() {
-  textmr::MutexLock lock(mu_);
+TraceData TraceCollector::drain_locked() {
   TraceData data;
   data.enabled = true;
-  data.job_name = std::move(job_name_);
+  data.job_name = job_name_;
   data.epoch_ns = epoch_ns_;
+  // Names ship exactly once: the first drain after a ring registers
+  // carries its name, later drains carry nothing (merge_trace dedupes
+  // process names anyway, but not thread names).
   data.process_names = std::move(process_names_);
   data.thread_names = std::move(thread_names_);
-  for (const auto& buffer : buffers_) {
-    auto events = buffer.snapshot();
-    data.events.insert(data.events.end(), events.begin(), events.end());
-    data.dropped_events += buffer.dropped();
+  process_names_.clear();
+  thread_names_.clear();
+  for (auto& buffer : buffers_) {
+    TraceBuffer::Drained drained = buffer.drain();
+    data.events.insert(data.events.end(), drained.events.begin(),
+                       drained.events.end());
+    data.dropped_events += drained.dropped;
+    if (drained.dropped > 0) {
+      data.ring_drops.push_back(
+          TraceData::RingDrops{buffer.pid(), buffer.tid(), drained.dropped});
+    }
   }
-  buffers_.clear();
   std::stable_sort(data.events.begin(), data.events.end(),
                    [](const TraceEvent& a, const TraceEvent& b) {
                      return a.ts_ns < b.ts_ns;
                    });
+  return data;
+}
+
+TraceData TraceCollector::drain() {
+  textmr::MutexLock lock(mu_);
+  return drain_locked();
+}
+
+TraceData TraceCollector::finish() {
+  textmr::MutexLock lock(mu_);
+  TraceData data = drain_locked();
+  buffers_.clear();
   return data;
 }
 
@@ -72,6 +103,19 @@ void merge_trace(TraceData& into, TraceData&& from) {
   }
   into.events.insert(into.events.end(), from.events.begin(), from.events.end());
   into.dropped_events += from.dropped_events;
+  into.incomplete = into.incomplete || from.incomplete;
+  for (const auto& drops : from.ring_drops) {
+    auto it = std::find_if(into.ring_drops.begin(), into.ring_drops.end(),
+                           [&drops](const TraceData::RingDrops& existing) {
+                             return existing.pid == drops.pid &&
+                                    existing.tid == drops.tid;
+                           });
+    if (it != into.ring_drops.end()) {
+      it->dropped += drops.dropped;
+    } else {
+      into.ring_drops.push_back(drops);
+    }
+  }
   for (auto& entry : from.process_names) {
     const std::uint32_t pid = entry.first;
     const bool known =
@@ -91,6 +135,16 @@ void merge_trace(TraceData& into, TraceData&& from) {
                    [](const TraceEvent& a, const TraceEvent& b) {
                      return a.ts_ns < b.ts_ns;
                    });
+}
+
+void rebase_trace(TraceData& trace, std::int64_t offset_ns) {
+  if (offset_ns == 0) return;
+  const auto shift = [offset_ns](std::uint64_t ts) -> std::uint64_t {
+    const auto t = static_cast<std::int64_t>(ts) - offset_ns;
+    return t < 0 ? 0 : static_cast<std::uint64_t>(t);
+  };
+  for (TraceEvent& e : trace.events) e.ts_ns = shift(e.ts_ns);
+  trace.epoch_ns = shift(trace.epoch_ns);
 }
 
 namespace {
@@ -163,6 +217,16 @@ std::string format_chrome_trace(const TraceData& trace) {
   w.key("otherData").begin_object();
   w.field("job", trace.job_name);
   w.field("dropped_events", trace.dropped_events);
+  w.field("telemetry_incomplete", trace.incomplete);
+  w.key("dropped_rings").begin_array();
+  for (const auto& drops : trace.ring_drops) {
+    w.begin_object();
+    w.field("pid", drops.pid);
+    w.field("tid", drops.tid);
+    w.field("dropped", drops.dropped);
+    w.end_object();
+  }
+  w.end_array();
   w.end_object();
   w.end_object();
   return w.take();

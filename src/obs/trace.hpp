@@ -51,6 +51,13 @@ inline constexpr std::uint32_t map_task_pid(std::uint32_t task_id) {
 inline constexpr std::uint32_t reduce_task_pid(std::uint32_t partition) {
   return 100001 + partition;
 }
+/// Cluster worker processes get their own timeline rows, disjoint from
+/// every task pid (task rows stay globally unique because a task's
+/// winning attempt runs on exactly one worker).
+inline constexpr std::uint32_t kWorkerPidBase = 200000;
+inline constexpr std::uint32_t worker_pid(std::uint32_t worker_id) {
+  return kWorkerPidBase + worker_id;
+}
 inline constexpr std::uint32_t kMapThreadTid = 0;
 inline constexpr std::uint32_t kSupportThreadTidBase = 1;  // +support index
 inline constexpr std::uint32_t kSpillBufferTid = 99;
@@ -96,6 +103,17 @@ class TraceBuffer {
   /// Events in record order (oldest surviving first).
   std::vector<TraceEvent> snapshot() const;
 
+  struct Drained {
+    std::vector<TraceEvent> events;  // record order (oldest first)
+    std::uint64_t dropped = 0;       // drops since the previous drain
+  };
+  /// Moves the buffered events out and resets the ring in place (the
+  /// buffer stays registered, so writers keep their pointer). Same
+  /// single-writer contract as record(): only safe at a point where the
+  /// owning thread is not writing — the cluster worker drains at task
+  /// boundaries, after every task thread has joined.
+  Drained drain();
+
  private:
   std::uint32_t pid_;
   std::uint32_t tid_;
@@ -103,6 +121,7 @@ class TraceBuffer {
   std::vector<TraceEvent> ring_;
   std::size_t next_overwrite_ = 0;  // oldest slot once the ring wrapped
   std::uint64_t dropped_ = 0;
+  std::uint64_t drained_dropped_ = 0;  // dropped_ watermark at last drain
 };
 
 /// Everything a traced run produced, carried inside JobResult.
@@ -112,6 +131,20 @@ struct TraceData {
   std::uint64_t epoch_ns = 0;  // monotonic_ns when the collector started
   std::vector<TraceEvent> events;  // merged across threads, sorted by ts
   std::uint64_t dropped_events = 0;
+  /// Ring-overflow attribution: which (pid, tid) rings dropped events
+  /// and how many. Only rings that actually dropped appear, so a clean
+  /// run carries an empty vector. Overflow poisons any analysis built on
+  /// the trace — the analyzer and JobMetrics JSON both surface this.
+  struct RingDrops {
+    std::uint32_t pid = 0;
+    std::uint32_t tid = 0;
+    std::uint64_t dropped = 0;
+  };
+  std::vector<RingDrops> ring_drops;
+  /// True when part of the job's telemetry was lost: a cluster worker
+  /// died (e.g. SIGKILL) before shipping its final trace chunk. The
+  /// merged timeline is still valid, just missing that worker's tail.
+  bool incomplete = false;
   std::vector<std::pair<std::uint32_t, std::string>> process_names;
   struct ThreadName {
     std::uint32_t pid;
@@ -144,6 +177,14 @@ struct TraceData {
 /// the same monotonic clock.
 void merge_trace(TraceData& into, TraceData&& from);
 
+/// Shifts every event timestamp (and the epoch) by -offset_ns,
+/// saturating at zero. The cluster coordinator uses this to rebase a
+/// worker's trace onto its own clock: offset_ns is the worker-minus-
+/// coordinator clock offset measured by the startup handshake
+/// (cluster::estimate_clock_offset), so coordinator_ts = worker_ts -
+/// offset. Durations are clock-speed-invariant and stay untouched.
+void rebase_trace(TraceData& trace, std::int64_t offset_ns);
+
 /// Owns one TraceBuffer per registered thread. make_buffer() is
 /// thread-safe (called at task/thread start, never on a hot path);
 /// recording into the returned buffer is lock-free. finish() must only be
@@ -167,7 +208,19 @@ class TraceCollector {
   /// collector empty.
   TraceData finish();
 
+  /// Incremental variant of finish(): moves out everything recorded
+  /// since the previous drain (or construction) but keeps every ring
+  /// registered, so writer threads' TraceBuffer pointers stay valid and
+  /// recording can continue. Process/thread names registered since the
+  /// last drain ship exactly once; drop counts are per-drain deltas, so
+  /// summing chunk metadata (merge_trace does) stays correct. Same
+  /// safety contract as finish(): call only when no writer is mid-record
+  /// — the cluster worker drains between tasks.
+  TraceData drain();
+
  private:
+  TraceData drain_locked() TEXTMR_REQUIRES(mu_);
+
   TraceConfig config_;
   std::uint64_t epoch_ns_;
   // mu_ guards the ring registry, not ring contents: recording into a

@@ -29,6 +29,8 @@
 #include "common/varint.hpp"
 #include "common/zipf.hpp"
 
+#include "obs/analyze.hpp"
+#include "obs/histogram.hpp"
 #include "obs/json.hpp"
 #include "obs/trace.hpp"
 

@@ -432,10 +432,92 @@ TEST(ClusterTrace, WorkerTimelinesMergeIntoJobTrace) {
     if (name.rfind("worker-", 0) == 0) named_worker = true;
   }
   EXPECT_TRUE(named_worker);
+  // Worker-side exec spans cover every map attempt, and the coordinator
+  // recorded one clock_sync handshake per worker.
+  EXPECT_GE(obs::count_events(result.trace, "map_exec"), corpus.splits.size());
+  EXPECT_EQ(obs::count_events(result.trace, "clock_sync"), 2u);
+  // A clean run ships complete telemetry from every worker.
+  EXPECT_FALSE(result.trace.incomplete);
+  EXPECT_FALSE(result.metrics.telemetry_incomplete);
   // Events arrive sorted by timestamp after the merge.
   for (std::size_t i = 1; i < result.trace.events.size(); ++i) {
     ASSERT_LE(result.trace.events[i - 1].ts_ns, result.trace.events[i].ts_ns);
   }
+}
+
+// ---- cluster telemetry ----------------------------------------------------
+
+TEST(ClusterTelemetry, PerWorkerMetricsAggregateIntoJobMetrics) {
+  ClusterCorpus corpus(6000);
+  cluster::ClusterConfig config;
+  config.num_workers = 2;
+  cluster::ClusterEngine engine(config);
+  // Tracing stays OFF: worker metrics ride heartbeats and the final
+  // (always-sent) trace chunk, independent of trace collection.
+  const auto result = engine.run(corpus.job("telemetry"));
+  corpus.check(result);
+
+  ASSERT_EQ(result.metrics.workers.size(), 2u);
+  EXPECT_FALSE(result.metrics.telemetry_incomplete);
+  std::uint64_t total_records = 0;
+  std::uint64_t total_tasks = 0;
+  for (const auto& w : result.metrics.workers) {
+    EXPECT_TRUE(w.telemetry_complete) << "worker " << w.worker_id;
+    EXPECT_EQ(w.task_failures, 0u) << "worker " << w.worker_id;
+    // Every completed task recorded exactly one latency sample.
+    EXPECT_EQ(w.task_latency_ns.count(), w.tasks_completed);
+    total_records += w.records;
+    total_tasks += w.tasks_completed;
+  }
+  // Both map and reduce attempts landed somewhere: at least one task per
+  // split plus one per reduce partition across the cluster.
+  EXPECT_GE(total_tasks, corpus.splits.size() + 3);
+  EXPECT_GT(total_records, 0u);
+  EXPECT_GE(result.metrics.worker_records_skew(), 1.0);
+}
+
+TEST(ClusterTelemetry, SigkilledWorkerMarksTelemetryIncomplete) {
+  ClusterCorpus corpus;
+  std::atomic<int> victim_pid{0};
+  cluster::ClusterConfig config;
+  config.num_workers = 3;
+  config.on_worker_spawn = [&victim_pid](std::uint32_t worker_id, int pid) {
+    if (worker_id == 1) victim_pid.store(pid);
+  };
+  config.worker_init = [](std::uint32_t) {
+    failpoint::arm_from_spec("cluster.dispatch:always:action=delay:delay_ms=30");
+  };
+  cluster::ClusterEngine engine(config);
+
+  auto spec = corpus.job("kill-telemetry");
+  spec.trace.enabled = true;
+  std::thread killer([&victim_pid] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    const int pid = victim_pid.load();
+    ASSERT_GT(pid, 0);
+    ASSERT_EQ(::kill(pid, SIGKILL), 0);
+  });
+  const auto result = engine.run(spec);
+  killer.join();
+
+  // The job itself recovers (tasks reassigned) — but the dead worker
+  // never shipped its final trace chunk, so the job is explicitly marked
+  // as having partial telemetry instead of silently pretending the
+  // merged timeline is whole.
+  corpus.check(result);
+  EXPECT_TRUE(result.metrics.telemetry_incomplete);
+  EXPECT_TRUE(result.trace.incomplete);
+  ASSERT_EQ(result.metrics.workers.size(), 3u);
+  bool saw_partial = false;
+  for (const auto& w : result.metrics.workers) {
+    if (w.worker_id == 1) {
+      EXPECT_FALSE(w.telemetry_complete);
+      saw_partial = true;
+    } else {
+      EXPECT_TRUE(w.telemetry_complete) << "worker " << w.worker_id;
+    }
+  }
+  EXPECT_TRUE(saw_partial);
 }
 
 // ---- chaos soak ------------------------------------------------------------

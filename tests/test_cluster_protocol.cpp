@@ -133,6 +133,74 @@ TEST(ProtocolCodec, HeartbeatRoundTrip) {
   EXPECT_EQ(out.id, 17u);
   EXPECT_EQ(out.attempt, 2u);
   EXPECT_EQ(out.progress, 0.625);
+  EXPECT_TRUE(out.stats.task_latency_ns.empty());
+}
+
+TEST(ProtocolCodec, HeartbeatCarriesWorkerMetrics) {
+  HeartbeatMsg msg;
+  msg.worker_id = 1;
+  msg.stats.records = 1000;
+  msg.stats.bytes = 65536;
+  msg.stats.spills = 7;
+  msg.stats.tasks_completed = 4;
+  msg.stats.task_failures = 1;
+  msg.stats.trace_dropped = 12;
+  msg.stats.task_latency_ns.record(1500);
+  msg.stats.task_latency_ns.record(2500000);
+  msg.stats.task_latency_ns.record(2500000);
+
+  const std::string frame = encode_heartbeat(msg);
+  auto r = reader_skipping_type(frame, MsgType::kHeartbeat);
+  const HeartbeatMsg out = decode_heartbeat(r);
+  EXPECT_EQ(out.stats.records, 1000u);
+  EXPECT_EQ(out.stats.bytes, 65536u);
+  EXPECT_EQ(out.stats.spills, 7u);
+  EXPECT_EQ(out.stats.tasks_completed, 4u);
+  EXPECT_EQ(out.stats.task_failures, 1u);
+  EXPECT_EQ(out.stats.trace_dropped, 12u);
+  EXPECT_EQ(out.stats.task_latency_ns, msg.stats.task_latency_ns);
+  EXPECT_EQ(out.stats.task_latency_ns.count(), 3u);
+}
+
+TEST(ProtocolCodec, ClockProbeAndSyncRoundTrip) {
+  const std::string probe_frame = encode_clock_probe(ClockProbeMsg{987654321});
+  auto pr = reader_skipping_type(probe_frame, MsgType::kClockProbe);
+  EXPECT_EQ(decode_clock_probe(pr).t_send, 987654321u);
+
+  ClockSyncMsg sync;
+  sync.worker_id = 3;
+  sync.t_probe = 987654321;
+  sync.t_worker = 999999999;
+  const std::string sync_frame = encode_clock_sync(sync);
+  auto sr = reader_skipping_type(sync_frame, MsgType::kClockSync);
+  const ClockSyncMsg out = decode_clock_sync(sr);
+  EXPECT_EQ(out.worker_id, 3u);
+  EXPECT_EQ(out.t_probe, 987654321u);
+  EXPECT_EQ(out.t_worker, 999999999u);
+}
+
+TEST(ProtocolCodec, EstimateClockOffsetMidpointMath) {
+  // Worker clock reads 1500 when the coordinator's midpoint is 1000.
+  EXPECT_EQ(estimate_clock_offset(900, 1100, 1500), 500);
+  // Negative offsets (worker clock behind) work too.
+  EXPECT_EQ(estimate_clock_offset(900, 1100, 400), -600);
+  // Odd sum: midpoint of (3, 4) rounds to 3 by the halves-plus-carry form.
+  EXPECT_EQ(estimate_clock_offset(3, 4, 10), 7);
+  // Huge timestamps must not overflow the midpoint computation.
+  const std::uint64_t big = 0xfffffffffffffff0ull;
+  EXPECT_EQ(estimate_clock_offset(big, big, big), 0);
+}
+
+TEST(ProtocolCodec, MsgTypeNamesAreExhaustive) {
+  for (MsgType type :
+       {MsgType::kRunMap, MsgType::kRunReduce, MsgType::kShutdown,
+        MsgType::kClockProbe, MsgType::kHeartbeat, MsgType::kMapDone,
+        MsgType::kReduceDone, MsgType::kTaskFailed, MsgType::kClockSync,
+        MsgType::kTraceChunk}) {
+    EXPECT_STRNE(msg_type_name(type), "unknown")
+        << static_cast<int>(type);
+  }
+  EXPECT_STREQ(msg_type_name(static_cast<MsgType>(200)), "unknown");
 }
 
 TEST(ProtocolCodec, TaskFailedRoundTrip) {
@@ -220,12 +288,18 @@ TEST(ProtocolCodec, ReduceDoneRoundTrip) {
   EXPECT_EQ(out.wall_ns, 3141u);
 }
 
-TEST(ProtocolCodec, TraceUploadRoundTripOwnsStrings) {
-  obs::TraceData trace;
+TEST(ProtocolCodec, TraceChunkRoundTripOwnsStrings) {
+  TraceChunkMsg msg;
+  msg.worker_id = 1;
+  msg.final_chunk = true;
+  msg.stats.records = 42;
+  msg.stats.task_latency_ns.record(777);
+  obs::TraceData& trace = msg.trace;
   trace.enabled = true;
   trace.job_name = "wc";
   trace.epoch_ns = 100;
   trace.dropped_events = 2;
+  trace.ring_drops.push_back({200001, 0, 2});
   trace.process_names.emplace_back(200001, "worker-1");
   trace.thread_names.push_back({200001, 0, "task-loop"});
   {
@@ -246,23 +320,85 @@ TEST(ProtocolCodec, TraceUploadRoundTripOwnsStrings) {
     e.args[0] = 4.0;
     trace.events.push_back(e);
   }
-  const std::string frame = encode_trace_upload(trace);
+  const std::vector<std::string> frames = encode_trace_chunks(msg);
+  ASSERT_EQ(frames.size(), 1u);
 
-  auto r = reader_skipping_type(frame, MsgType::kTraceUpload);
-  const obs::TraceData out = decode_trace_upload(r);
-  EXPECT_TRUE(out.enabled);
-  EXPECT_EQ(out.job_name, "wc");
-  EXPECT_EQ(out.epoch_ns, 100u);
-  EXPECT_EQ(out.dropped_events, 2u);
-  ASSERT_EQ(out.process_names.size(), 1u);
-  EXPECT_EQ(out.process_names[0].second, "worker-1");
-  ASSERT_EQ(out.events.size(), 2u);
-  EXPECT_STREQ(out.events[0].name, "map_dispatch");
-  EXPECT_STREQ(out.events[0].category, "cluster");
-  EXPECT_EQ(out.events[0].args[0], 3.0);
-  EXPECT_EQ(out.events[1].args[0], 4.0);
+  auto r = reader_skipping_type(frames[0], MsgType::kTraceChunk);
+  const TraceChunkMsg out = decode_trace_chunk(r);
+  EXPECT_EQ(out.worker_id, 1u);
+  EXPECT_TRUE(out.final_chunk);
+  EXPECT_EQ(out.stats.records, 42u);
+  EXPECT_EQ(out.stats.task_latency_ns.count(), 1u);
+  EXPECT_TRUE(out.trace.enabled);
+  EXPECT_EQ(out.trace.job_name, "wc");
+  EXPECT_EQ(out.trace.epoch_ns, 100u);
+  EXPECT_EQ(out.trace.dropped_events, 2u);
+  ASSERT_EQ(out.trace.ring_drops.size(), 1u);
+  EXPECT_EQ(out.trace.ring_drops[0].pid, 200001u);
+  EXPECT_EQ(out.trace.ring_drops[0].dropped, 2u);
+  ASSERT_EQ(out.trace.process_names.size(), 1u);
+  EXPECT_EQ(out.trace.process_names[0].second, "worker-1");
+  ASSERT_EQ(out.trace.events.size(), 2u);
+  EXPECT_STREQ(out.trace.events[0].name, "map_dispatch");
+  EXPECT_STREQ(out.trace.events[0].category, "cluster");
+  EXPECT_EQ(out.trace.events[0].args[0], 3.0);
+  EXPECT_EQ(out.trace.events[1].args[0], 4.0);
   // Dedupe interning: both events share the same pooled pointer.
-  EXPECT_EQ(out.events[0].name, out.events[1].name);
+  EXPECT_EQ(out.trace.events[0].name, out.trace.events[1].name);
+}
+
+TEST(ProtocolCodec, TraceChunkSplitsUnderPayloadBudget) {
+  TraceChunkMsg msg;
+  msg.worker_id = 2;
+  msg.final_chunk = true;
+  obs::TraceData& trace = msg.trace;
+  trace.enabled = true;
+  trace.job_name = "chunky";
+  trace.epoch_ns = 10;
+  trace.dropped_events = 5;
+  trace.ring_drops.push_back({200002, 0, 5});
+  trace.process_names.emplace_back(200002, "worker-2");
+  for (int i = 0; i < 100; ++i) {
+    obs::TraceEvent e;
+    e.name = "spill_write";
+    e.category = "spill";
+    e.ts_ns = 1000 + static_cast<std::uint64_t>(i);
+    e.dur_ns = 10;
+    e.pid = 200002;
+    e.kind = obs::EventKind::kSpan;
+    trace.events.push_back(e);
+  }
+
+  // A tiny budget forces many frames; each must decode standalone.
+  const std::vector<std::string> frames = encode_trace_chunks(msg, 256);
+  ASSERT_GT(frames.size(), 1u);
+
+  obs::TraceData merged;
+  WorkerMetrics last_stats;
+  std::size_t finals = 0;
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    auto r = reader_skipping_type(frames[i], MsgType::kTraceChunk);
+    TraceChunkMsg out = decode_trace_chunk(r);
+    EXPECT_EQ(out.worker_id, 2u);
+    if (out.final_chunk) {
+      ++finals;
+      EXPECT_EQ(i, frames.size() - 1);
+    }
+    last_stats = out.stats;
+    obs::merge_trace(merged, std::move(out.trace));
+  }
+  // The final flag rides only on the last frame; metadata only on the
+  // first — so the merge reconstructs the original exactly once.
+  EXPECT_EQ(finals, 1u);
+  EXPECT_EQ(merged.job_name, "chunky");
+  EXPECT_EQ(merged.dropped_events, 5u);
+  ASSERT_EQ(merged.ring_drops.size(), 1u);
+  EXPECT_EQ(merged.ring_drops[0].dropped, 5u);
+  ASSERT_EQ(merged.process_names.size(), 1u);
+  ASSERT_EQ(merged.events.size(), 100u);
+  for (std::size_t i = 0; i < merged.events.size(); ++i) {
+    EXPECT_EQ(merged.events[i].ts_ns, 1000 + i);
+  }
 }
 
 TEST(FrameDecoderTest, ReassemblesFramesAcrossArbitrarySplits) {
@@ -321,7 +457,9 @@ TEST(FrameIo, RecvOversizedLengthPrefixThrows) {
 TEST(FrameIo, SendRecvOverSocketpair) {
   int sv[2];
   ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
-  const std::string payload = encode_heartbeat(HeartbeatMsg{7});
+  HeartbeatMsg beat;
+  beat.worker_id = 7;
+  const std::string payload = encode_heartbeat(beat);
   ASSERT_TRUE(send_frame(sv[0], payload));
   const auto got = recv_frame(sv[1]);
   ASSERT_TRUE(got.has_value());

@@ -298,5 +298,299 @@ TEST(JobReport, LongCounterNamesAreNotTruncated) {
   EXPECT_NE(report.find("12345"), std::string::npos);
 }
 
+TEST(JobReport, ClusterSectionAppearsWhenWorkersPresent) {
+  mr::JobResult result;
+  result.metrics.job_wall_ns = 1'000'000;
+  mr::WorkerTelemetry w0;
+  w0.worker_id = 0;
+  w0.records = 300;
+  w0.tasks_completed = 2;
+  w0.task_latency_ns.record(5'000'000);
+  mr::WorkerTelemetry w1;
+  w1.worker_id = 1;
+  w1.records = 100;
+  w1.tasks_completed = 1;
+  w1.telemetry_complete = false;
+  result.metrics.workers = {w0, w1};
+  result.metrics.telemetry_incomplete = true;
+  result.metrics.trace_ring_dropped = 7;
+
+  // Skew: max 300 / mean 200 = 1.5.
+  EXPECT_DOUBLE_EQ(result.metrics.worker_records_skew(), 1.5);
+
+  const std::string report = mr::format_job_report(result, "cluster-test");
+  EXPECT_NE(report.find("cluster workers"), std::string::npos);
+  EXPECT_NE(report.find("telemetry incomplete"), std::string::npos);
+  EXPECT_NE(report.find("[partial]"), std::string::npos);
+  EXPECT_NE(report.find("7 events dropped"), std::string::npos);
+
+  const std::string json = mr::format_job_metrics_json(result, "cluster-test");
+  EXPECT_TRUE(obs::json_valid(json)) << json;
+  const auto doc = obs::JsonValue::parse(json);
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->get("trace_ring_dropped")->number_or(0), 7.0);
+  EXPECT_TRUE(doc->get("telemetry_incomplete")->bool_or(false));
+  const obs::JsonValue* cluster = doc->get("cluster");
+  ASSERT_NE(cluster, nullptr);
+  EXPECT_EQ(cluster->get("worker_records_skew")->number_or(0), 1.5);
+  ASSERT_EQ(cluster->get("workers")->array().size(), 2u);
+  const obs::JsonValue& worker1 = cluster->get("workers")->array()[1];
+  EXPECT_FALSE(worker1.get("telemetry_complete")->bool_or(true));
+}
+
+// ---- latency histogram -----------------------------------------------------
+
+TEST(LatencyHistogram, RecordsAndSummarizes) {
+  obs::LatencyHistogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.quantile(0.5), 0u);
+  h.record(100);
+  h.record(200);
+  h.record(300);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 600u);
+  EXPECT_EQ(h.max(), 300u);
+  EXPECT_DOUBLE_EQ(h.mean(), 200.0);
+}
+
+TEST(LatencyHistogram, QuantileBoundsAreLogLinear) {
+  obs::LatencyHistogram h;
+  for (std::uint64_t v = 0; v < 1000; ++v) h.record(v);
+  // Log-linear buckets with 16 sub-buckets per octave: relative error
+  // is bounded by 1/16 for values past the first octave.
+  const std::uint64_t p50 = h.quantile(0.5);
+  EXPECT_GE(p50, 499u);
+  EXPECT_LE(p50, 499u + 499u / 16u + 1u);
+  const std::uint64_t p99 = h.quantile(0.99);
+  EXPECT_GE(p99, 989u);
+  EXPECT_LE(p99, 989u + 989u / 16u + 1u);
+  // q=1 returns a bound covering the true max.
+  EXPECT_GE(h.quantile(1.0), 999u);
+}
+
+TEST(LatencyHistogram, SmallValuesAreExact) {
+  obs::LatencyHistogram h;
+  for (std::uint64_t v = 0; v < 16; ++v) h.record(v);
+  // The first 16 buckets are unit-width: quantiles are exact.
+  EXPECT_EQ(h.quantile(0.0), 0u);
+  EXPECT_EQ(h.quantile(1.0), 15u);
+}
+
+TEST(LatencyHistogram, MergeAndClear) {
+  obs::LatencyHistogram a;
+  obs::LatencyHistogram b;
+  a.record(100);
+  b.record(1'000'000);
+  b.record(2'000'000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.max(), 2'000'000u);
+  EXPECT_EQ(a.sum(), 3'000'100u);
+  a.clear();
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(a.max(), 0u);
+}
+
+TEST(LatencyHistogram, OverflowClampsToTopBucket) {
+  obs::LatencyHistogram h;
+  h.record(~0ull);  // beyond kMaxExponent: lands in the overflow bucket
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.max(), ~0ull);
+  EXPECT_GT(h.quantile(0.5), 1ull << 40);
+}
+
+TEST(LatencyHistogram, SerializeRoundTripIsExact) {
+  obs::LatencyHistogram h;
+  h.record(0);
+  h.record(17);
+  h.record(4096);
+  h.record(123'456'789);
+  h.record(~0ull);
+  const obs::LatencyHistogram out =
+      obs::LatencyHistogram::deserialize(h.serialize());
+  EXPECT_EQ(out, h);
+
+  // Empty histograms round-trip too.
+  obs::LatencyHistogram empty;
+  EXPECT_EQ(obs::LatencyHistogram::deserialize(empty.serialize()), empty);
+}
+
+TEST(LatencyHistogram, DeserializeRejectsCorruptBytes) {
+  obs::LatencyHistogram h;
+  h.record(42);
+  std::string bytes = h.serialize();
+  EXPECT_THROW((void)obs::LatencyHistogram::deserialize(bytes.substr(0, 5)),
+               FormatError);
+  EXPECT_THROW((void)obs::LatencyHistogram::deserialize(bytes + "x"),
+               FormatError);
+}
+
+// ---- drain / chunked shipping ----------------------------------------------
+
+TEST(TraceBuffer, DrainReturnsEventsAndResetsInPlace) {
+  obs::TraceCollector collector(obs::TraceConfig{true, 64});
+  obs::TraceBuffer* buffer = collector.make_buffer(1, 0, "worker");
+  for (int i = 0; i < 100; ++i) {
+    obs::record_instant(buffer, "t", "event", "i", static_cast<double>(i));
+  }
+  auto first = buffer->drain();
+  EXPECT_EQ(first.events.size(), 64u);
+  EXPECT_EQ(first.dropped, 36u);
+
+  // The ring keeps working after a drain, and the next drain reports
+  // only the delta — no double counting, and the wrap detection must
+  // not misfire on the fresh (non-wrapped) ring.
+  for (int i = 0; i < 10; ++i) {
+    obs::record_instant(buffer, "t", "later", "i", static_cast<double>(i));
+  }
+  auto second = buffer->drain();
+  ASSERT_EQ(second.events.size(), 10u);
+  EXPECT_EQ(second.dropped, 0u);
+  EXPECT_DOUBLE_EQ(second.events.front().args[0], 0.0);
+  EXPECT_DOUBLE_EQ(second.events.back().args[0], 9.0);
+}
+
+TEST(TraceCollector, DrainThenFinishNeverDuplicates) {
+  obs::TraceCollector collector(obs::TraceConfig{true, 64});
+  collector.set_job_name("drainer");
+  obs::TraceBuffer* buffer = collector.make_buffer(5, 0, "worker", "lane");
+  for (int i = 0; i < 100; ++i) {
+    obs::record_instant(buffer, "t", "first_batch");
+  }
+  obs::TraceData chunk = collector.drain();
+  EXPECT_EQ(chunk.job_name, "drainer");
+  EXPECT_EQ(chunk.events.size(), 64u);
+  EXPECT_EQ(chunk.dropped_events, 36u);
+  ASSERT_EQ(chunk.ring_drops.size(), 1u);
+  EXPECT_EQ(chunk.ring_drops[0].pid, 5u);
+  EXPECT_EQ(chunk.ring_drops[0].dropped, 36u);
+  // Names ship exactly once, on the first drain.
+  ASSERT_EQ(chunk.process_names.size(), 1u);
+  ASSERT_EQ(chunk.thread_names.size(), 1u);
+
+  obs::record_instant(buffer, "t", "second_batch");
+  obs::TraceData rest = collector.finish();
+  EXPECT_EQ(rest.events.size(), 1u);
+  EXPECT_EQ(rest.dropped_events, 0u);
+  EXPECT_TRUE(rest.ring_drops.empty());
+  EXPECT_TRUE(rest.process_names.empty());
+  EXPECT_TRUE(rest.thread_names.empty());
+
+  // Merging the chunks reconstructs the complete picture: 65 events,
+  // 36 drops attributed to ring (5, 0), one process name.
+  obs::TraceData merged;
+  obs::merge_trace(merged, std::move(chunk));
+  obs::merge_trace(merged, std::move(rest));
+  EXPECT_EQ(merged.events.size(), 65u);
+  EXPECT_EQ(merged.dropped_events, 36u);
+  ASSERT_EQ(merged.ring_drops.size(), 1u);
+  EXPECT_EQ(merged.ring_drops[0].dropped, 36u);
+  EXPECT_EQ(merged.process_names.size(), 1u);
+}
+
+TEST(TraceData, RebaseShiftsTimestampsSaturating) {
+  obs::TraceData trace;
+  trace.enabled = true;
+  trace.epoch_ns = 1000;
+  obs::TraceEvent e;
+  e.name = "x";
+  e.category = "t";
+  e.ts_ns = 1500;
+  trace.events.push_back(e);
+  e.ts_ns = 100;
+  trace.events.push_back(e);
+
+  obs::rebase_trace(trace, 500);  // worker clock 500ns ahead
+  EXPECT_EQ(trace.events[0].ts_ns, 1000u);
+  EXPECT_EQ(trace.events[1].ts_ns, 0u);  // saturates, never wraps
+  EXPECT_EQ(trace.epoch_ns, 500u);
+
+  obs::rebase_trace(trace, -250);  // negative offset shifts forward
+  EXPECT_EQ(trace.events[0].ts_ns, 1250u);
+  EXPECT_EQ(trace.epoch_ns, 750u);
+}
+
+TEST(TraceData, MergePropagatesIncompleteAndRingDrops) {
+  obs::TraceData into;
+  into.enabled = true;
+  into.ring_drops.push_back({7, 0, 10});
+
+  obs::TraceData from;
+  from.enabled = true;
+  from.incomplete = true;
+  from.ring_drops.push_back({7, 0, 5});   // same ring: summed
+  from.ring_drops.push_back({8, 1, 2});   // new ring: appended
+  obs::merge_trace(into, std::move(from));
+
+  EXPECT_TRUE(into.incomplete);
+  ASSERT_EQ(into.ring_drops.size(), 2u);
+  EXPECT_EQ(into.ring_drops[0].dropped, 15u);
+  EXPECT_EQ(into.ring_drops[1].pid, 8u);
+  EXPECT_EQ(into.ring_drops[1].dropped, 2u);
+}
+
+TEST(ChromeTrace, CarriesIncompleteFlagAndRingDrops) {
+  obs::TraceData trace;
+  trace.enabled = true;
+  trace.job_name = "flagged";
+  trace.incomplete = true;
+  trace.dropped_events = 3;
+  trace.ring_drops.push_back({200001, 0, 3});
+  const std::string chrome = obs::format_chrome_trace(trace);
+  EXPECT_TRUE(obs::json_valid(chrome)) << chrome;
+  EXPECT_NE(chrome.find("\"telemetry_incomplete\":true"), std::string::npos);
+  EXPECT_NE(chrome.find("\"dropped_rings\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"dropped\":3"), std::string::npos);
+}
+
+// ---- JsonValue parser ------------------------------------------------------
+
+TEST(JsonValue, ParsesScalarsAndContainers) {
+  const auto doc = obs::JsonValue::parse(
+      "{\"a\": 1.5, \"b\": [true, null, \"s\"], \"neg\": -7, "
+      "\"nested\": {\"deep\": 2e3}}");
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_TRUE(doc->is_object());
+  EXPECT_EQ(doc->get("a")->number_or(0), 1.5);
+  const auto& arr = doc->get("b")->array();
+  ASSERT_EQ(arr.size(), 3u);
+  EXPECT_TRUE(arr[0].bool_or(false));
+  EXPECT_TRUE(arr[1].is_null());
+  EXPECT_EQ(arr[2].string_value(), "s");
+  EXPECT_EQ(doc->get("neg")->number_or(0), -7.0);
+  EXPECT_EQ(doc->get("nested")->get("deep")->number_or(0), 2000.0);
+  EXPECT_EQ(doc->get("missing"), nullptr);
+}
+
+TEST(JsonValue, ParsesEscapesIncludingUnicode) {
+  const auto doc =
+      obs::JsonValue::parse("\"a\\n\\t\\\"\\\\\\u0041\\u00e9\"");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->string_value(), "a\n\t\"\\A\xc3\xa9");
+}
+
+TEST(JsonValue, RejectsMalformedInput) {
+  EXPECT_FALSE(obs::JsonValue::parse("{").has_value());
+  EXPECT_FALSE(obs::JsonValue::parse("{} trailing").has_value());
+  EXPECT_FALSE(obs::JsonValue::parse("[1,]").has_value());
+  EXPECT_FALSE(obs::JsonValue::parse("01").has_value());
+  EXPECT_FALSE(obs::JsonValue::parse("'single'").has_value());
+}
+
+TEST(JsonValue, RoundTripsJsonWriterOutput) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.field("name", "job \"x\"\n");
+  w.field("count", std::uint64_t{42});
+  w.key("list").begin_array().value(1).value(2).end_array();
+  w.end_object();
+  const std::string json = w.take();
+  const auto doc = obs::JsonValue::parse(json);
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->get("name")->string_value(), "job \"x\"\n");
+  EXPECT_EQ(doc->get("count")->number_or(0), 42.0);
+  EXPECT_EQ(doc->get("list")->array().size(), 2u);
+}
+
 }  // namespace
 }  // namespace textmr

@@ -12,6 +12,12 @@ Checks (all on by default):
   banned-calls   no system() / rand() / srand() / gets() / tmpnam() /
                  strtok() — non-reentrant, non-deterministic, or unsafe
   op-names       every mr::Op enumerator is covered by op_name()
+  msg-names      every cluster::MsgType enumerator is covered by
+                 msg_type_name()
+  event-names    every trace event name literal recorded anywhere in
+                 src/ appears in the analyzer's kKnownEventNames table
+                 (and vice versa), so textmr-analyze classification
+                 cannot silently rot
 
 `--format-check` additionally runs clang-format in dry-run mode over the
 C++ tree (requires clang-format on PATH; skipped with a warning
@@ -33,7 +39,7 @@ from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
 
-CXX_DIRS = ("src", "tests", "bench", "examples")
+CXX_DIRS = ("src", "tests", "bench", "examples", "tools")
 HEADER_SUFFIXES = {".hpp", ".h"}
 SOURCE_SUFFIXES = {".hpp", ".h", ".cpp", ".cc"}
 
@@ -140,6 +146,77 @@ def check_op_names(problems: list[str]) -> None:
             )
 
 
+def check_msg_type_names(problems: list[str]) -> None:
+    header = REPO / "src/cluster/protocol.hpp"
+    source = REPO / "src/cluster/protocol.cpp"
+    enum_match = re.search(
+        r"enum class MsgType[^{]*\{(.*?)\};", header.read_text(encoding="utf-8"),
+        re.S,
+    )
+    if not enum_match:
+        report(problems, header, 1, "could not find 'enum class MsgType'")
+        return
+    enumerators = re.findall(r"^\s*(k\w+)\s*=", enum_match.group(1), re.M)
+    body = source.read_text(encoding="utf-8")
+    fn_match = re.search(r"msg_type_name\(MsgType type\)\s*\{(.*?)\n\}", body, re.S)
+    if not fn_match:
+        report(problems, source, 1, "could not find msg_type_name(MsgType)")
+        return
+    covered = set(re.findall(r"case MsgType::(k\w+)", fn_match.group(1)))
+    for name in enumerators:
+        if name not in covered:
+            report(
+                problems, source, 1,
+                f"MsgType::{name} has no case in msg_type_name(); protocol "
+                "logs would label it 'unknown'",
+            )
+
+
+# Trace-recording call sites: record_instant / record_counter take
+# (buffer, "category", "name", ...); SpanTimer declarations take
+# (buffer, "category", "name"). The second string literal is the event
+# name the analyzer classifies by.
+TRACE_CALLSITE_RE = re.compile(
+    r'(?:record_instant|record_counter|SpanTimer\s+\w+)\s*'
+    r'\(\s*[^,()]+,\s*"([^"]+)"\s*,\s*"([^"]+)"',
+    re.S,
+)
+
+
+def check_event_names(problems: list[str]) -> None:
+    analyze = REPO / "src/obs/analyze.cpp"
+    table_match = re.search(
+        r"kKnownEventNames\[\]\s*=\s*\{(.*?)\};",
+        analyze.read_text(encoding="utf-8"), re.S,
+    )
+    if not table_match:
+        report(problems, analyze, 1, "could not find kKnownEventNames table")
+        return
+    known = set(re.findall(r'"([^"]+)"', table_match.group(1)))
+
+    recorded: dict[str, Path] = {}
+    for path in cxx_files({".cpp", ".hpp"}):
+        rel = str(path.relative_to(REPO)).replace("\\", "/")
+        if not rel.startswith("src/"):
+            continue
+        for m in TRACE_CALLSITE_RE.finditer(path.read_text(encoding="utf-8")):
+            recorded.setdefault(m.group(2), path)
+
+    for name, path in sorted(recorded.items()):
+        if name not in known:
+            report(
+                problems, path, 1,
+                f"trace event '{name}' missing from kKnownEventNames in "
+                "src/obs/analyze.cpp; textmr-analyze would report it unknown",
+            )
+    for name in sorted(known - recorded.keys()):
+        report(
+            problems, analyze, 1,
+            f"kKnownEventNames entry '{name}' has no recording call site; "
+            "drop it or restore the instrumentation",
+        )
+
+
 def find_clang_format() -> str | None:
     for candidate in (
         "clang-format",
@@ -184,6 +261,8 @@ def main() -> int:
     check_pragma_once(problems)
     check_content_rules(problems)
     check_op_names(problems)
+    check_msg_type_names(problems)
+    check_event_names(problems)
 
     for problem in problems:
         print(problem)
