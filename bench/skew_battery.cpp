@@ -1,0 +1,199 @@
+// skew_battery — reduce-side skew under a Zipf(1.2) wordcount, the
+// workload where one reducer inherits "the" and stalls the job. Runs the
+// same 8-partition job with the plain hash partitioner and with the
+// skew-aware partitioner (DESIGN.md §12), on both the LocalEngine and a
+// 2-worker ClusterEngine, and reports two ratios per run:
+//
+//   wall ratio   = slowest reduce task wall / median reduce task wall
+//   bytes ratio  = max partition shuffled bytes / median (JobMetrics
+//                  partition_skew_ratio)
+//
+// The job runs without a map-side combiner so the full token volume
+// shuffles (SkewConfig::merge_combiner carries the wordcount combiner for
+// the split shares instead) — with a combiner every key collapses to one
+// record per map task and there is no skew left to fix.
+//
+// CI gates on the emitted BENCH_skew_battery.json: the skew-aware cluster
+// run must show both ratios <= 1.5 while the hash baseline in the same
+// artifact measures ~3x. The binary itself exits non-zero if the gate
+// fails, if skew mode never split a key, or if the skew-aware outputs are
+// not byte-identical to the hash run.
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "mr/report.hpp"
+
+using namespace textmr;
+
+namespace {
+
+int g_failures = 0;
+
+void expect(bool ok, const char* what) {
+  std::printf("%s %s\n", ok ? "ok  " : "FAIL", what);
+  if (!ok) ++g_failures;
+}
+
+constexpr std::uint32_t kReducers = 8;
+
+/// Slowest / (upper) median reduce-task wall, over every physical
+/// partition the run executed (skew mode adds dedicated partitions; they
+/// are reduce tasks like any other and belong in the distribution).
+double reduce_wall_ratio(const mr::JobResult& result) {
+  std::vector<std::uint64_t> walls;
+  for (const auto& task : result.reduce_tasks) walls.push_back(task.wall_ns);
+  if (walls.empty()) return 0.0;
+  std::sort(walls.begin(), walls.end());
+  const std::uint64_t median = walls[walls.size() / 2];
+  return median == 0 ? 0.0
+                     : static_cast<double>(walls.back()) /
+                           static_cast<double>(median);
+}
+
+std::vector<std::string> read_raw_parts(const mr::JobResult& result) {
+  std::vector<std::string> raw;
+  for (const auto& part : result.outputs) {
+    std::ifstream in(part, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    raw.push_back(std::move(buffer).str());
+  }
+  return raw;
+}
+
+struct RunOutcome {
+  double wall_ratio = 0.0;
+  double bytes_ratio = 0.0;
+  std::vector<std::string> parts;
+};
+
+RunOutcome run_case(const std::filesystem::path& corpus, const TempDir& dir,
+                    const std::string& tag, bool skew,
+                    std::uint32_t cluster_workers, bench::JsonReport& report) {
+  mr::JobSpec spec;
+  spec.name = "WordCount";
+  const auto app = apps::wordcount_app();
+  spec.inputs = io::make_splits(corpus.string(), 1u << 20);
+  spec.mapper = app.mapper;
+  spec.reducer = app.reducer;
+  // No map-side combiner: the full Zipf token volume reaches the shuffle.
+  spec.num_reducers = kReducers;
+  spec.spill_buffer_bytes = 512u << 10;
+  if (skew) {
+    spec.skew.enabled = true;
+    spec.skew.merge_combiner = app.combiner;
+    // Lower bars than the defaults: at alpha=1.2 the second-tier words
+    // ("c".."h", 1.5-5% of records each) sit under the default 0.5
+    // placement bar yet still lump whichever hash partition they land
+    // on. The plan builder bin-packs them onto shared dedicated
+    // partitions, so a low bar costs no extra stragglers.
+    spec.skew.place_threshold = 0.12;
+    spec.skew.split_threshold = 0.8;
+  }
+  spec.scratch_dir = dir.path() / (tag + "-scratch");
+  spec.output_dir = dir.path() / (tag + "-out");
+
+  mr::JobResult result;
+  if (cluster_workers > 0) {
+    cluster::ClusterConfig config;
+    config.num_workers = cluster_workers;
+    result = cluster::ClusterEngine(config).run(spec);
+  } else {
+    result = mr::LocalEngine().run(spec);
+  }
+  report.add_job("WordCount", tag, result);
+
+  RunOutcome outcome;
+  outcome.wall_ratio = reduce_wall_ratio(result);
+  outcome.bytes_ratio = result.metrics.partition_skew_ratio();
+  outcome.parts = read_raw_parts(result);
+  report.add_note(tag + "_reduce_wall_ratio", outcome.wall_ratio);
+  report.add_note(tag + "_partition_bytes_ratio", outcome.bytes_ratio);
+  std::printf("%-14s wall ratio %5.2fx  bytes ratio %5.2fx  (%zu tasks)\n",
+              tag.c_str(), outcome.wall_ratio, outcome.bytes_ratio,
+              result.reduce_tasks.size());
+  expect(result.outputs.size() == kReducers, "canonical part-file count");
+  if (skew) {
+    // The plan must have actually split at least one ultra-heavy key —
+    // an empty plan would make the comparison vacuous.
+    expect(result.metrics.reduce_tasks > kReducers,
+           "skew plan produced dedicated partitions");
+  }
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  bench::JsonReport report("skew_battery");
+  TempDir dir("textmr-skew-battery");
+
+  // Zipf(1.2), the alpha the paper's skew experiments single out: the top
+  // word alone carries ~1.5 average partitions' worth of the shuffle at 8
+  // reducers, past the default split threshold.
+  textgen::CorpusSpec corpus_spec;
+  corpus_spec.total_words = 8'000'000;
+  corpus_spec.vocabulary = 30'000;
+  corpus_spec.alpha = 1.2;
+  corpus_spec.seed = 4242;
+  const auto corpus = dir.file("corpus-a1.2.txt");
+  textgen::generate_corpus(corpus_spec, corpus.string());
+  report.add_note("alpha", 1.2);
+  report.add_note("num_partitions", static_cast<double>(kReducers));
+
+  bench::print_rule();
+  std::printf("skew battery: wordcount alpha=1.2, %u partitions, no "
+              "map-side combiner\n",
+              kReducers);
+  bench::print_rule();
+
+  const auto local_hash = run_case(corpus, dir, "local_hash", false, 0, report);
+  const auto local_skew = run_case(corpus, dir, "local_skew", true, 0, report);
+  const auto cluster_hash =
+      run_case(corpus, dir, "cluster_hash", false, 2, report);
+  const auto cluster_skew =
+      run_case(corpus, dir, "cluster_skew", true, 2, report);
+
+  bench::print_rule();
+  // Layout invariant: every mode and engine produces the same bytes.
+  expect(local_skew.parts == local_hash.parts,
+         "local skew output byte-identical to hash run");
+  expect(cluster_hash.parts == local_hash.parts,
+         "cluster hash output byte-identical to local run");
+  expect(cluster_skew.parts == local_hash.parts,
+         "cluster skew output byte-identical to local run");
+
+  // The headline gate (ISSUE 7): skew-aware partitioning holds the
+  // slowest-reducer/median ratios at <= 1.5 where the hash baseline
+  // shows the full Zipf imbalance. Bytes ratios are deterministic; the
+  // wall ratio rides actual reduce execution. The bytes ratio understates
+  // the record-count skew roughly 2:1 because the generator gives low
+  // Zipf ranks short words (rank 1 is "a"), exactly like real text — the
+  // baseline's reduce *wall*, driven by records, shows the gap plainly.
+  expect(local_hash.bytes_ratio > 1.8, "hash baseline is actually skewed");
+  expect(cluster_hash.bytes_ratio > 1.8,
+         "cluster hash baseline is actually skewed");
+  expect(local_hash.wall_ratio > 1.8,
+         "hash baseline reduce wall shows the straggler");
+  report.add_note("wall_ratio_improvement",
+                  local_skew.wall_ratio > 0
+                      ? local_hash.wall_ratio / local_skew.wall_ratio
+                      : 0.0);
+  expect(local_skew.bytes_ratio <= 1.5, "local skew bytes ratio <= 1.5");
+  expect(cluster_skew.bytes_ratio <= 1.5, "cluster skew bytes ratio <= 1.5");
+  expect(local_skew.wall_ratio <= 1.5, "local skew wall ratio <= 1.5");
+  expect(cluster_skew.wall_ratio <= 1.5, "cluster skew wall ratio <= 1.5");
+
+  if (g_failures > 0) {
+    std::printf("\n%d failure(s)\n", g_failures);
+    return 1;
+  }
+  std::printf("\nskew battery ok\n");
+  return 0;
+}

@@ -9,6 +9,7 @@
 //   textmr_cli gen graph OUT.txt [--pages N]
 //   textmr_cli run APP INPUT... --out DIR [--reducers R] [--freq] [--matcher]
 //              [--topk K] [--sample S] [--buffer MB] [--report]
+//              [--skew-partitioner] [--skew-split-threshold X]
 //              [--trace FILE] [--trace-jsonl FILE] [--metrics-json FILE]
 //              [--failpoints SPEC] [--max-task-attempts N]
 //              [--cluster-workers N] [--no-speculation]
@@ -80,6 +81,7 @@ int usage() {
                "  textmr_cli run APP INPUT... --out DIR [--reducers R]\n"
                "             [--freq] [--matcher] [--topk K] [--sample S]\n"
                "             [--buffer MB] [--report]\n"
+               "             [--skew-partitioner] [--skew-split-threshold X]\n"
                "             [--trace FILE] [--trace-jsonl FILE]\n"
                "             [--metrics-json FILE]\n"
                "             [--failpoints SPEC] [--max-task-attempts N]\n"
@@ -170,6 +172,18 @@ int cmd_run(const Args& args) {
     spec.freqbuf.top_k = args.u64("topk", bundle->freq_top_k);
     spec.freqbuf.sampling_fraction =
         args.f64("sample", bundle->freq_sampling_fraction);
+  }
+  // --skew-partitioner turns on skew-aware partitioning (DESIGN.md §12):
+  // a sampling pre-pass finds heavy reduce keys, places them on dedicated
+  // reducers and splits ultra-heavy ones, with a finalize merge keeping
+  // the output byte-identical to a plain hash-partitioner run.
+  // --skew-split-threshold sets the split bar in average-partition
+  // multiples (a key splits once it alone carries X partitions' share).
+  if (args.flag("skew-partitioner") ||
+      args.options.count("skew-split-threshold") > 0) {
+    spec.skew.enabled = true;
+    spec.skew.split_threshold =
+        args.f64("skew-split-threshold", spec.skew.split_threshold);
   }
   const std::filesystem::path out_dir = out_it->second;
   spec.output_dir = out_dir / "out";

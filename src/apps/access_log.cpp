@@ -1,5 +1,6 @@
 #include "apps/access_log.hpp"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "common/varint.hpp"
@@ -180,6 +181,52 @@ void AccessLogJoinReducer::reduce(std::string_view key,
   if (counters_ != nullptr && !pending_visits_.empty()) {
     counters_->increment(log_counters::kOrphanVisits,
                          pending_visits_.size());
+  }
+}
+
+void AccessLogJoinSortedReducer::reduce(std::string_view key,
+                                        mr::ValueStream& values,
+                                        mr::EmitSink& out) {
+  (void)key;
+  std::optional<std::uint64_t> page_rank;
+  rows_.clear();
+  std::size_t orphans = 0;
+
+  // First pass: remember the dimension row's rank, stash visit payloads.
+  while (auto value = values.next()) {
+    if (value->empty()) continue;
+    if ((*value)[0] == 'R') {
+      if (!page_rank.has_value()) {
+        std::size_t pos = 1;
+        page_rank = get_varint(*value, pos);
+      }
+    } else if ((*value)[0] == 'V') {
+      // visit payload: sourceIP | varint(cents)
+      const std::string_view payload = value->substr(1);
+      const std::size_t sep = payload.find(kSep);
+      if (sep == std::string_view::npos) continue;
+      rows_.emplace_back(std::string(payload.substr(0, sep)),
+                         std::string(payload.substr(sep)));
+    }
+  }
+
+  if (!page_rank.has_value()) {
+    orphans = rows_.size();
+    rows_.clear();
+  }
+  std::sort(rows_.begin(), rows_.end());
+  for (const auto& [ip, payload] : rows_) {
+    std::size_t pos = 1;  // skip the leading kSep
+    const std::uint64_t cents = get_varint(payload, pos);
+    text_.clear();
+    text_ += format_dollars(cents);
+    text_.push_back(kSep);
+    text_ += std::to_string(*page_rank);
+    out.emit(ip, text_);
+    if (counters_ != nullptr) counters_->increment(log_counters::kJoinedRows);
+  }
+  if (counters_ != nullptr && orphans > 0) {
+    counters_->increment(log_counters::kOrphanVisits, orphans);
   }
 }
 

@@ -4,6 +4,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "mr/types.hpp"
@@ -105,6 +106,28 @@ class AccessLogJoinReducer final : public mr::Reducer {
  private:
   mr::Counters* counters_ = nullptr;
   std::vector<std::string> pending_visits_;
+  std::string text_;
+};
+
+/// AccessLogJoinSorted: the same repartition join with canonicalized
+/// output — one URL group's joined rows are collected and emitted in
+/// sorted (sourceIP, payload) order instead of value-arrival order. The
+/// canonical order makes the group's bytes a pure function of its value
+/// *set*, so the differential battery can run this app under partitioner
+/// modes and engines whose merge interleavings need not match. Joins
+/// against the first ranking row of the group (well-formed inputs have
+/// exactly one per URL).
+class AccessLogJoinSortedReducer final : public mr::Reducer {
+ public:
+  void begin_task(const mr::TaskInfo& info) override {
+    counters_ = info.counters;
+  }
+  void reduce(std::string_view key, mr::ValueStream& values,
+              mr::EmitSink& out) override;
+
+ private:
+  mr::Counters* counters_ = nullptr;
+  std::vector<std::pair<std::string, std::string>> rows_;
   std::string text_;
 };
 

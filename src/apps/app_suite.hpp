@@ -8,7 +8,9 @@
 #include "apps/inverted_index.hpp"
 #include "apps/pagerank.hpp"
 #include "apps/pos_tag.hpp"
+#include "apps/sessionize.hpp"
 #include "apps/syntext.hpp"
+#include "apps/tfidf.hpp"
 #include "apps/wordcount.hpp"
 #include "mr/types.hpp"
 
@@ -107,6 +109,66 @@ inline AppBundle pagerank_app() {
       [] { return std::make_unique<PageRankCombiner>(); },
       10000,
       0.1,
+  };
+}
+
+/// Join variant with canonicalized (sorted) group output; see
+/// AccessLogJoinSortedReducer. Same inputs and freq parameters as the
+/// paper's join.
+inline AppBundle access_log_join_sorted_app() {
+  return AppBundle{
+      "AccessLogJoinSorted",
+      false,
+      Dataset::kAccessLogWithRankings,
+      [] { return std::make_unique<AccessLogJoinMapper>(); },
+      [] { return std::make_unique<AccessLogJoinSortedReducer>(); },
+      nullptr,
+      10000,
+      0.1,
+  };
+}
+
+inline AppBundle sessionize_app() {
+  return AppBundle{
+      "Sessionize",
+      false,
+      Dataset::kAccessLog,
+      [] { return std::make_unique<SessionizeMapper>(); },
+      [] { return std::make_unique<SessionizeReducer>(); },
+      nullptr,
+      10000,
+      0.1,
+  };
+}
+
+/// TF-IDF job 1 (term frequency per document). Job-1 sums are plain
+/// varint counts, so WordCount's combiner and reducer apply verbatim.
+inline AppBundle tfidf_job1_app() {
+  return AppBundle{
+      "TfIdfTermCount",
+      true,
+      Dataset::kCorpus,
+      [] { return std::make_unique<TfIdfTermCountMapper>(); },
+      [] { return std::make_unique<WordCountReducer>(); },
+      [] { return std::make_unique<WordCountCombiner>(); },
+      3000,
+      0.01,
+  };
+}
+
+/// TF-IDF job 2 (document-frequency join); consumes job 1's output
+/// files, so grids wire the two jobs as a pipeline rather than reading a
+/// generated dataset directly.
+inline AppBundle tfidf_job2_app() {
+  return AppBundle{
+      "TfIdfJoin",
+      true,
+      Dataset::kCorpus,
+      [] { return std::make_unique<TfIdfJoinMapper>(); },
+      [] { return std::make_unique<TfIdfJoinReducer>(); },
+      nullptr,
+      3000,
+      0.01,
   };
 }
 

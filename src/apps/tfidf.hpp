@@ -1,0 +1,112 @@
+#pragma once
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "apps/tokenizer.hpp"
+#include "common/varint.hpp"
+#include "mr/types.hpp"
+
+namespace textmr::apps {
+
+/// TF-IDF as a two-job pipeline — the classic "output of job 1 is the
+/// input of job 2" shape the single-job differential apps never
+/// exercise.
+///
+/// Job 1 (term frequency): tokenize corpus lines and emit
+///   key = term '\x01' doc, value = varint(1)
+/// where doc is the map task id — a "document" is one input split, which
+/// both engines compute identically, so the doc axis is deterministic.
+/// The combiner sums varints (WordCountCombiner works verbatim) and the
+/// job-1 reducer prints the sum as decimal text.
+///
+/// Job 2 (document-frequency join): parse job-1 output lines
+/// "term\x01doc\tcount" back apart, regroup by term, and emit one line
+/// per (term, doc) — "doc|tf|df" with docs ascending — where df is the
+/// number of distinct documents containing the term. df needs the whole
+/// group, so job 2 has no combiner.
+inline constexpr char kTfIdfSep = '\x01';
+
+class TfIdfTermCountMapper final : public mr::Mapper {
+ public:
+  void begin_task(const mr::TaskInfo& info) override {
+    doc_ = std::to_string(info.task_id);
+  }
+
+  void map(std::uint64_t /*offset*/, std::string_view line,
+           mr::EmitSink& out) override {
+    for_each_token(line, scratch_, [&](std::string_view token) {
+      key_.assign(token);
+      key_.push_back(kTfIdfSep);
+      key_.append(doc_);
+      value_.clear();
+      put_varint(value_, 1);
+      out.emit(key_, value_);
+    });
+  }
+
+ private:
+  std::string doc_;
+  std::string scratch_;
+  std::string key_;
+  std::string value_;
+};
+
+class TfIdfJoinMapper final : public mr::Mapper {
+ public:
+  void map(std::uint64_t /*offset*/, std::string_view line,
+           mr::EmitSink& out) override {
+    // Job-1 output line: term '\x01' doc '\t' count.
+    const std::size_t sep = line.find(kTfIdfSep);
+    const std::size_t tab = line.rfind('\t');
+    if (sep == std::string_view::npos || tab == std::string_view::npos ||
+        tab <= sep) {
+      return;
+    }
+    value_.assign(line.substr(sep + 1, tab - sep - 1));  // doc
+    value_.push_back('|');
+    value_.append(line.substr(tab + 1));  // tf
+    out.emit(line.substr(0, sep), value_);
+  }
+
+ private:
+  std::string value_;
+};
+
+class TfIdfJoinReducer final : public mr::Reducer {
+ public:
+  void reduce(std::string_view key, mr::ValueStream& values,
+              mr::EmitSink& out) override {
+    docs_.clear();
+    while (auto value = values.next()) {
+      const std::size_t sep = value->find('|');
+      if (sep == std::string_view::npos) continue;
+      std::uint64_t doc = 0;
+      for (char c : value->substr(0, sep)) {
+        if (c < '0' || c > '9') return;
+        doc = doc * 10 + static_cast<std::uint64_t>(c - '0');
+      }
+      docs_.emplace_back(doc, std::string(value->substr(sep + 1)));
+    }
+    // Each (term, doc) pair appears exactly once in job-1 output, so the
+    // group size is the document frequency.
+    std::sort(docs_.begin(), docs_.end());
+    const std::string df = std::to_string(docs_.size());
+    for (const auto& [doc, tf] : docs_) {
+      text_.assign(std::to_string(doc));
+      text_.push_back('|');
+      text_.append(tf);
+      text_.push_back('|');
+      text_.append(df);
+      out.emit(key, text_);
+    }
+  }
+
+ private:
+  std::vector<std::pair<std::uint64_t, std::string>> docs_;
+  std::string text_;
+};
+
+}  // namespace textmr::apps

@@ -17,6 +17,7 @@ const char* msg_type_name(MsgType type) {
     case MsgType::kRunReduce: return "run_reduce";
     case MsgType::kShutdown: return "shutdown";
     case MsgType::kClockProbe: return "clock_probe";
+    case MsgType::kSkewPlan: return "skew_plan";
     case MsgType::kHeartbeat: return "heartbeat";
     case MsgType::kMapDone: return "map_done";
     case MsgType::kReduceDone: return "reduce_done";
@@ -388,6 +389,42 @@ void decode_reduce_done(WireReader& r, std::uint32_t& partition,
   result.counters = get_counters(r);
   result.wall_ns = r.u64();
   r.expect_done();
+}
+
+std::string encode_skew_plan(const mr::SkewPlan& plan) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kSkewPlan));
+  w.u32(plan.num_canonical);
+  w.u32(static_cast<std::uint32_t>(plan.entries.size()));
+  for (const auto& entry : plan.entries) {
+    w.str(entry.key);
+    w.u8(static_cast<std::uint8_t>(entry.mode));
+    w.u32(entry.first_physical);
+    w.u32(entry.num_shares);
+  }
+  return w.take();
+}
+
+mr::SkewPlan decode_skew_plan(WireReader& r) {
+  mr::SkewPlan plan;
+  plan.num_canonical = r.u32();
+  const std::uint32_t n = r.u32();
+  plan.entries.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    mr::SkewPlan::Entry entry;
+    entry.key = r.str();
+    const std::uint8_t mode = r.u8();
+    if (mode > static_cast<std::uint8_t>(mr::SkewPlan::Mode::kSplit)) {
+      throw FormatError("cluster skew plan has bad entry mode " +
+                        std::to_string(mode));
+    }
+    entry.mode = static_cast<mr::SkewPlan::Mode>(mode);
+    entry.first_physical = r.u32();
+    entry.num_shares = r.u32();
+    plan.entries.push_back(std::move(entry));
+  }
+  r.expect_done();
+  return plan;
 }
 
 std::string encode_clock_probe(const ClockProbeMsg& msg) {

@@ -11,6 +11,7 @@
 #include "mr/map_task.hpp"
 #include "mr/metrics.hpp"
 #include "mr/reduce_task.hpp"
+#include "mr/skew_partitioner.hpp"
 #include "mr/types.hpp"
 #include "obs/trace.hpp"
 #include "spillmatch/spill_matcher.hpp"
@@ -59,6 +60,14 @@ struct JobSpec {
   Grouping grouping = Grouping::kSorted;
   io::SpillFormat spill_format = io::SpillFormat::kCompactVarint;
 
+  /// Skew-aware partitioning (DESIGN.md §12): a driver-side sampling
+  /// pre-pass finds heavy reduce keys, places them on dedicated
+  /// reducers, splits ultra-heavy keys across several, and a finalize
+  /// merge restores the canonical part-file layout — outputs stay
+  /// byte-identical to a plain hash-partitioner run. Requires
+  /// Grouping::kSorted.
+  SkewConfig skew;
+
   /// Concurrent map tasks / reduce tasks. Each concurrent map worker
   /// models one node's map slot and gets its own NodeKeyCache.
   std::uint32_t map_parallelism = 1;
@@ -104,6 +113,16 @@ struct JobResult {
     double freq_sampling_fraction = 0.0;
   };
   std::vector<MapTaskSummary> map_tasks;
+
+  /// Per-physical-reduce-task details, in partition order (the skew
+  /// battery derives its slowest/median wall ratio from these).
+  struct ReduceTaskSummary {
+    std::uint32_t partition = 0;
+    std::uint64_t wall_ns = 0;
+    std::uint64_t shuffled_bytes = 0;
+    std::uint64_t output_bytes = 0;
+  };
+  std::vector<ReduceTaskSummary> reduce_tasks;
 
   /// Trace events collected when JobSpec::trace.enabled was set
   /// (trace.enabled is false otherwise). Export with

@@ -9,7 +9,7 @@
 #include "common/mutex.hpp"
 #include "common/stopwatch.hpp"
 #include "mr/merger.hpp"
-#include "mr/partitioner.hpp"
+#include "mr/skew_partitioner.hpp"
 #include "mr/spill_buffer.hpp"
 #include "mr/spill_sorter.hpp"
 
@@ -21,7 +21,7 @@ namespace {
 /// flush path and by the user-facing router below.
 class DirectSpillSink final : public EmitSink {
  public:
-  DirectSpillSink(SpillBuffer& buffer, const HashPartitioner& partitioner,
+  DirectSpillSink(SpillBuffer& buffer, SkewAwarePartitioner& partitioner,
                   TaskMetrics& metrics)
       : buffer_(buffer), partitioner_(partitioner), metrics_(metrics) {}
 
@@ -34,7 +34,9 @@ class DirectSpillSink final : public EmitSink {
 
  private:
   SpillBuffer& buffer_;
-  const HashPartitioner& partitioner_;
+  // Non-const: the split-key round-robin cursor advances per record.
+  // With a null plan this is exactly the old HashPartitioner path.
+  SkewAwarePartitioner& partitioner_;
   TaskMetrics& metrics_;
 };
 
@@ -107,7 +109,12 @@ MapTaskResult run_map_task(const MapTaskConfig& config) {
       1, config.support_threads);
   SpillBuffer buffer(config.spill_buffer_bytes, policy->initial_threshold(),
                      num_support, config.spill_format, buffer_trace);
-  HashPartitioner partitioner(config.num_partitions);
+  SkewAwarePartitioner partitioner(
+      config.skew_plan != nullptr ? config.skew_plan->num_canonical
+                                  : config.num_partitions,
+      config.skew_plan, config.task_id);
+  TEXTMR_CHECK(partitioner.num_partitions() == config.num_partitions,
+               "map task num_partitions disagrees with the skew plan");
 
   // ---- support threads ----------------------------------------------------
   // Each thread gets its own Counters and metrics (no locks on the hot

@@ -10,12 +10,23 @@
 #include "common/stopwatch.hpp"
 #include "mr/merger.hpp"
 #include "mr/record_arena.hpp"
+#include "mr/skew_partitioner.hpp"
 
 namespace textmr::mr {
 namespace {
 
+/// Where reduce output goes: a part file in the normal case, a segment
+/// file in skew mode. The group hooks bracket each reduce() call so the
+/// segment writer knows the group key and extent.
+class OutputSink : public EmitSink {
+ public:
+  virtual void begin_group(std::string_view /*key*/) {}
+  virtual void end_group() {}
+  virtual void close() = 0;
+};
+
 /// Buffered text output writer for final results: `key \t value \n`.
-class PartFileWriter final : public EmitSink {
+class PartFileWriter final : public OutputSink {
  public:
   PartFileWriter(const std::filesystem::path& path, TaskMetrics& metrics)
       : metrics_(metrics) {
@@ -42,7 +53,7 @@ class PartFileWriter final : public EmitSink {
     metrics_.op_ns(Op::kOutputWrite) += monotonic_ns() - t0;
   }
 
-  void close() {
+  void close() override {
     const std::uint64_t t0 = monotonic_ns();
     flush();
     if (std::fclose(file_) != 0) {
@@ -70,13 +81,68 @@ class PartFileWriter final : public EmitSink {
   TaskMetrics& metrics_;
 };
 
+/// Segment-file writer for skew mode (DESIGN.md §12). Buffers one
+/// group's emissions — part-file text for kOutput, length-prefixed
+/// combiner partials for kPartial — and appends one segment entry per
+/// group that produced anything. Groups arrive in sorted order, so the
+/// segment is sorted too (the finalize merge depends on that).
+class SegmentSink final : public OutputSink {
+ public:
+  SegmentSink(const std::filesystem::path& path, SegmentKind kind,
+              TaskMetrics& metrics)
+      : writer_(path.string()), kind_(kind), metrics_(metrics) {}
+
+  void begin_group(std::string_view key) override {
+    group_key_.assign(key);
+    blob_.clear();
+  }
+
+  void emit(std::string_view key, std::string_view value) override {
+    const std::uint64_t t0 = monotonic_ns();
+    if (kind_ == SegmentKind::kOutput) {
+      blob_.append(key.data(), key.size());
+      blob_.push_back('\t');
+      blob_.append(value.data(), value.size());
+      blob_.push_back('\n');
+      metrics_.output_bytes += key.size() + value.size() + 2;
+    } else {
+      append_partial_value(blob_, value);
+      metrics_.output_bytes += value.size();
+    }
+    metrics_.output_records += 1;
+    metrics_.op_ns(Op::kOutputWrite) += monotonic_ns() - t0;
+  }
+
+  void end_group() override {
+    if (blob_.empty()) return;  // group emitted nothing: no entry at all
+    const std::uint64_t t0 = monotonic_ns();
+    writer_.add(kind_, group_key_, blob_);
+    metrics_.op_ns(Op::kOutputWrite) += monotonic_ns() - t0;
+  }
+
+  void close() override {
+    const std::uint64_t t0 = monotonic_ns();
+    writer_.finish();
+    metrics_.op_ns(Op::kOutputWrite) += monotonic_ns() - t0;
+  }
+
+ private:
+  SegmentWriter writer_;
+  SegmentKind kind_;
+  std::string group_key_;
+  std::string blob_;
+  TaskMetrics& metrics_;
+};
+
 /// Calls reduce() attributing sink time to kOutputWrite (self-accounted)
 /// and the remainder to kReduceUser.
 void call_reduce(Reducer& reducer, std::string_view key, ValueStream& values,
-                 PartFileWriter& out, TaskMetrics& metrics) {
+                 OutputSink& out, TaskMetrics& metrics) {
   const std::uint64_t before_sink = metrics.op_ns(Op::kOutputWrite);
   const std::uint64_t t0 = monotonic_ns();
+  out.begin_group(key);
   reducer.reduce(key, values, out);
+  out.end_group();
   const std::uint64_t elapsed = monotonic_ns() - t0;
   const std::uint64_t sink_delta =
       metrics.op_ns(Op::kOutputWrite) - before_sink;
@@ -126,7 +192,9 @@ ReduceTaskResult run_reduce_task(const ReduceTaskConfig& config) {
           ? config.trace->make_buffer(
                 obs::reduce_task_pid(config.partition),
                 obs::kReduceThreadTid, "reduce",
-                "reduce_" + std::to_string(config.partition))
+                config.trace_process_name.empty()
+                    ? "reduce_" + std::to_string(config.partition)
+                    : config.trace_process_name)
           : nullptr;
   obs::SpanTimer task_span(trace, "task", "reduce_task");
 
@@ -164,7 +232,18 @@ ReduceTaskResult run_reduce_task(const ReduceTaskConfig& config) {
   // final path untouched (and its temp is removed by the engine).
   const std::filesystem::path tmp_path =
       reduce_attempt_tmp_path(config.output_path, config.attempt);
-  PartFileWriter out(tmp_path, metrics);
+  std::unique_ptr<OutputSink> sink;
+  if (config.output_kind == ReduceOutputKind::kPartFile) {
+    sink = std::make_unique<PartFileWriter>(tmp_path, metrics);
+  } else {
+    sink = std::make_unique<SegmentSink>(
+        tmp_path,
+        config.output_kind == ReduceOutputKind::kSegmentText
+            ? SegmentKind::kOutput
+            : SegmentKind::kPartial,
+        metrics);
+  }
+  OutputSink& out = *sink;
 
   obs::SpanTimer apply_span(trace, "task", "reduce_apply");
   if (config.grouping == Grouping::kSorted) {

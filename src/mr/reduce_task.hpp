@@ -17,6 +17,19 @@ namespace textmr::mr {
 /// future-work alternative for reducers that only need grouping.
 enum class Grouping : std::uint8_t { kSorted, kHash };
 
+/// What a reduce task writes (DESIGN.md §12). kPartFile is the normal
+/// "key \t value \n" part file. The segment kinds exist for skew mode,
+/// where every physical reduce task writes a scratch segment file the
+/// finalize merge later folds back into canonical part files:
+/// kSegmentText runs the real reducer and stores each group's part-file
+/// text; kSegmentPartial (split shares) runs a combiner and stores its
+/// partial values.
+enum class ReduceOutputKind : std::uint8_t {
+  kPartFile,
+  kSegmentText,
+  kSegmentPartial,
+};
+
 struct ReduceTaskConfig {
   std::uint32_t partition = 0;
   /// Execution attempt (0-based). The task writes to an attempt-suffixed
@@ -27,11 +40,17 @@ struct ReduceTaskConfig {
   ReducerFactory reducer;
   Grouping grouping = Grouping::kSorted;
   io::SpillFormat spill_format = io::SpillFormat::kCompactVarint;
-  std::filesystem::path output_path;  // final part file (text, key \t value)
+  /// Part file in kPartFile mode, segment file otherwise.
+  std::filesystem::path output_path;
+  ReduceOutputKind output_kind = ReduceOutputKind::kPartFile;
 
   /// When non-null the task registers a trace ring and records its
   /// shuffle / merge / reduce phases.
   obs::TraceCollector* trace = nullptr;
+  /// Overrides the trace ring's process name (default "reduce_<p>").
+  /// Skew mode labels dedicated partitions "reduce_<p> key=<key>" so
+  /// the analyzer can attribute stragglers to heavy keys.
+  std::string trace_process_name;
 };
 
 struct ReduceTaskResult {

@@ -120,6 +120,13 @@ std::string format_job_report(const JobResult& result,
   appendf(out, "  output           %10llu records %12.1f KB\n",
           static_cast<unsigned long long>(work.output_records),
           static_cast<double>(work.output_bytes) / 1024.0);
+  if (m.partition_bytes_max > 0) {
+    appendf(out,
+            "partition skew: max %.1f KB / median %.1f KB = %.2fx shuffled\n",
+            static_cast<double>(m.partition_bytes_max) / 1024.0,
+            static_cast<double>(m.partition_bytes_median) / 1024.0,
+            m.partition_skew_ratio());
+  }
   if (!m.workers.empty()) {
     appendf(out, "cluster workers (records skew %.2fx%s):\n",
             m.worker_records_skew(),
@@ -227,6 +234,23 @@ std::string format_job_metrics_json(const JobResult& result,
   w.field("map_idle_fraction", m.map_idle_fraction());
   w.field("support_idle_fraction", m.support_idle_fraction());
   w.end_object();
+
+  w.key("partition_skew").begin_object();
+  w.field("partition_bytes_max", m.partition_bytes_max);
+  w.field("partition_bytes_median", m.partition_bytes_median);
+  w.field("partition_skew_ratio", m.partition_skew_ratio());
+  w.end_object();
+
+  w.key("reduce_task_details").begin_array();
+  for (const auto& task : result.reduce_tasks) {
+    w.begin_object();
+    w.field("partition", task.partition);
+    w.field("wall_ns", task.wall_ns);
+    w.field("shuffled_bytes", task.shuffled_bytes);
+    w.field("output_bytes", task.output_bytes);
+    w.end_object();
+  }
+  w.end_array();
 
   w.key("map_task_details").begin_array();
   for (const auto& task : result.map_tasks) {

@@ -29,6 +29,15 @@ std::string part_name(std::uint32_t partition);
 std::filesystem::path reduce_output_path(const JobSpec& spec,
                                          std::uint32_t partition);
 
+/// Path a physical reduce task commits to: the canonical part file in
+/// hash mode, the scratch segment file when a non-empty skew plan is in
+/// force (the finalize merge later restores the part files). Shared by
+/// config construction and failed-attempt cleanup so they can never
+/// disagree.
+std::filesystem::path reduce_task_output_path(const JobSpec& spec,
+                                              const SkewPlan* plan,
+                                              std::uint32_t partition);
+
 /// Map-side memory split between the spill buffer and the frequent-key
 /// table (total fixed, paper §V-B2).
 struct MemorySplit {
@@ -39,17 +48,24 @@ MemorySplit split_memory(const JobSpec& spec);
 
 /// Builds the config for one map-task attempt. `node_cache` is the
 /// executing node's shared frequent-key cache (may be null);
-/// `trace` is the executing process's collector (may be null).
+/// `trace` is the executing process's collector (may be null);
+/// `skew_plan` routes heavy keys when non-null and non-empty (the map
+/// task then spills plan->num_physical() partitions).
 MapTaskConfig make_map_task_config(const JobSpec& spec, const MemorySplit& mem,
                                    std::uint32_t task, std::uint32_t attempt,
                                    freqbuf::NodeKeyCache* node_cache,
-                                   obs::TraceCollector* trace);
+                                   obs::TraceCollector* trace,
+                                   const SkewPlan* skew_plan = nullptr);
 
 /// Builds the config for one reduce-task attempt over the given map
 /// outputs (must be ordered by map-task id for deterministic merges).
+/// With a non-empty `skew_plan` the task writes a segment file instead
+/// of a part file; split-share partitions run the merge combiner and
+/// emit partials (DESIGN.md §12).
 ReduceTaskConfig make_reduce_task_config(
     const JobSpec& spec, std::uint32_t partition, std::uint32_t attempt,
-    std::vector<io::SpillRunInfo> map_outputs, obs::TraceCollector* trace);
+    std::vector<io::SpillRunInfo> map_outputs, obs::TraceCollector* trace,
+    const SkewPlan* skew_plan = nullptr);
 
 /// Removes the scratch files of one dead map attempt (best-effort).
 void cleanup_map_attempt(const JobSpec& spec, std::uint32_t task,
@@ -64,10 +80,18 @@ void cleanup_reduce_attempt(const std::filesystem::path& output_path,
 /// shuffling the run to reducers is the engine's business.
 void fold_map_result(const MapTaskResult& task_result, JobResult& result);
 
-/// Folds one finished reduce task into the job result, including its
-/// output path.
+/// Folds one finished reduce task into the job result, appending a
+/// ReduceTaskSummary (partition = fold order, so call in partition
+/// order). `include_output` is false in skew mode, where the task wrote
+/// a scratch segment and finalize_skew_outputs owns result.outputs.
 void fold_reduce_result(const ReduceTaskResult& reduce_result,
-                        JobResult& result);
+                        JobResult& result, bool include_output = true);
+
+/// Records one "partition_bytes" trace instant per physical reduce task
+/// (from result.reduce_tasks) and fills JobMetrics::partition_bytes_max /
+/// partition_bytes_median — the skew-ratio inputs. Shared by both
+/// engines; call after every reduce result is folded.
+void note_partition_bytes(JobResult& result, obs::TraceBuffer* driver_trace);
 
 /// Message of the in-flight exception; call only inside a catch block.
 std::string current_error_message();

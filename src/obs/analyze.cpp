@@ -33,12 +33,15 @@ const char* const kKnownEventNames[] = {
     "map_phase",
     "map_task",
     "output_close",
+    "partition_bytes",
     "reduce_apply",
     "reduce_dispatch",
     "reduce_exec",
     "reduce_phase",
     "reduce_task",
     "shuffle",
+    "skew_finalize",
+    "skew_plan",
     "speculative_attempt",
     "spill_consume",
     "spill_seal",
@@ -73,6 +76,10 @@ std::uint64_t span_end(const TraceEvent& e) { return e.ts_ns + e.dur_ns; }
 
 std::uint64_t clamp_ts(std::uint64_t ts, std::uint64_t lo, std::uint64_t hi) {
   return std::min(std::max(ts, lo), hi);
+}
+
+std::uint64_t to_u64(double v) {
+  return v <= 0 ? 0 : static_cast<std::uint64_t>(std::llround(v));
 }
 
 std::uint64_t median_of(std::vector<std::uint64_t> values) {
@@ -179,9 +186,30 @@ TraceAnalysis analyze_trace(const TraceData& trace) {
   std::unordered_map<std::string, TraceAnalysis::OpTotal> ops;
   std::unordered_map<std::uint32_t, TraceAnalysis::WorkerLane> lanes;
   std::set<std::string> unknown;
+  std::unordered_map<std::uint32_t, std::uint64_t> partition_bytes;
   for (const auto& e : trace.events) {
     const std::string_view name = e.name != nullptr ? e.name : "?";
     if (name != "?" && !known_event_name(name)) unknown.emplace(name);
+    if (e.kind == EventKind::kInstant && name == "partition_bytes") {
+      // Driver-side per-partition shuffle volume: args (partition, bytes).
+      std::optional<std::uint32_t> part;
+      std::uint64_t bytes = 0;
+      for (std::uint8_t i = 0; i < e.num_args; ++i) {
+        const std::string_view arg =
+            e.arg_names[i] != nullptr ? e.arg_names[i] : "";
+        if (arg == "partition") {
+          part = static_cast<std::uint32_t>(e.args[i]);
+        } else if (arg == "bytes") {
+          bytes = to_u64(e.args[i]);
+        }
+      }
+      if (part.has_value()) {
+        // Speculative attempts re-record the partition; the volume is
+        // identical either way, so last-write-wins is fine.
+        partition_bytes[*part] = bytes;
+      }
+      continue;
+    }
     if (e.kind != EventKind::kSpan) continue;
     if (name == "map_phase") {
       if (!map_phase.has_value()) map_phase = e;
@@ -288,7 +316,34 @@ TraceAnalysis analyze_trace(const TraceData& trace) {
   std::sort(a.workers.begin(), a.workers.end(),
             [](const auto& x, const auto& y) { return x.pid < y.pid; });
 
-  // Straggler attribution.
+  // Straggler attribution. Before ranking, annotate reduce spans with
+  // the skew evidence the trace carries: a dedicated skew partition
+  // registers its ring as "reduce_<p> key=<k>", and the driver records
+  // one "partition_bytes" instant per physical partition — so a reduce
+  // straggler can be attributed to the heavy key it serves rather than
+  // left as an anonymous slow task.
+  std::unordered_map<std::uint32_t, std::string> heavy_keys;
+  for (const auto& [pid, proc_name] : trace.process_names) {
+    if (proc_name.rfind("reduce_", 0) != 0) continue;
+    const std::size_t sep = proc_name.find(" key=");
+    if (sep == std::string::npos) continue;
+    const std::string digits = proc_name.substr(7, sep - 7);
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    heavy_keys[static_cast<std::uint32_t>(std::stoul(digits))] =
+        proc_name.substr(sep + 5);
+  }
+  for (auto& task : reduce_tasks) {
+    if (const auto it = heavy_keys.find(task.id); it != heavy_keys.end()) {
+      task.heavy_key = it->second;
+    }
+    if (const auto it = partition_bytes.find(task.id);
+        it != partition_bytes.end()) {
+      task.shuffled_bytes = it->second;
+    }
+  }
   const auto by_dur_desc = [](const TraceAnalysis::TaskSpan& x,
                               const TraceAnalysis::TaskSpan& y) {
     return x.dur_ns != y.dur_ns ? x.dur_ns > y.dur_ns : x.id < y.id;
@@ -372,6 +427,24 @@ std::string format_analysis(const TraceAnalysis& a) {
             "            reduce median %.3fs, slowest partition %u = %.3fs\n",
             seconds(a.median_reduce_task_ns), slowest.id,
             seconds(slowest.dur_ns));
+    bool annotated = false;
+    for (const auto& task : a.slowest_reduce_tasks) {
+      if (!task.heavy_key.empty() || task.shuffled_bytes > 0) annotated = true;
+    }
+    if (annotated) {
+      appendf(out, "reduce stragglers:\n");
+      for (const auto& task : a.slowest_reduce_tasks) {
+        appendf(out, "  partition %-5u %9.3fs", task.id, seconds(task.dur_ns));
+        if (task.shuffled_bytes > 0) {
+          appendf(out, "  %10.1f KB shuffled",
+                  static_cast<double>(task.shuffled_bytes) / 1024.0);
+        }
+        if (!task.heavy_key.empty()) {
+          appendf(out, "  heavy key \"%s\"", task.heavy_key.c_str());
+        }
+        appendf(out, "\n");
+      }
+    }
   }
 
   for (const auto& drops : a.ring_drops) {
@@ -453,6 +526,8 @@ std::string format_analysis_json(const TraceAnalysis& a) {
     w.field("id", task.id);
     w.field("start_ns", task.start_ns);
     w.field("dur_ns", task.dur_ns);
+    w.field("heavy_key", task.heavy_key);
+    w.field("shuffled_bytes", task.shuffled_bytes);
     w.end_object();
   }
   w.end_array();
@@ -490,10 +565,6 @@ std::string read_file(const std::filesystem::path& path) {
   std::fclose(file);
   if (failed) throw IoError("read failed on " + path.string());
   return contents;
-}
-
-std::uint64_t to_u64(double v) {
-  return v <= 0 ? 0 : static_cast<std::uint64_t>(std::llround(v));
 }
 
 /// Shared interning across one load so repeated names cost one pool slot.

@@ -161,6 +161,68 @@ TEST(Analyze, StragglersAndMediansFromTaskSpans) {
   EXPECT_EQ(a.slowest_reduce_tasks[0].dur_ns, 5000u);
 }
 
+TEST(Analyze, ReduceStragglersAttributeHeavyKeysAndShuffleBytes) {
+  // A skew-partitioned run leaves two pieces of evidence in the trace: a
+  // driver "partition_bytes" instant per physical partition and a
+  // "reduce_<p> key=<k>" process name for each dedicated partition. The
+  // straggler table must fold both onto the reduce task spans so a slow
+  // reducer is named by the heavy key it served, not just its id.
+  obs::TraceData t = synthetic_cluster_trace();
+  const auto volume = [](std::uint32_t partition, double bytes) {
+    obs::TraceEvent e = instant("partition_bytes", 17000, obs::kDriverPid);
+    e.num_args = 2;
+    e.arg_names[0] = "partition";
+    e.args[0] = partition;
+    e.arg_names[1] = "bytes";
+    e.args[1] = bytes;
+    return e;
+  };
+  t.events.push_back(volume(0, 48.0 * 1024));
+  t.events.push_back(volume(1, 4.0 * 1024));
+  t.process_names.emplace_back(obs::reduce_task_pid(0), "reduce_0 key=the");
+  // Malformed variants must be ignored, not crash or misattribute.
+  t.process_names.emplace_back(obs::reduce_task_pid(1), "reduce_x key=bogus");
+  t.process_names.emplace_back(obs::worker_pid(1), "reduce_nokey");
+
+  const obs::TraceAnalysis a = obs::analyze_trace(t);
+  ASSERT_EQ(a.slowest_reduce_tasks.size(), 2u);
+  EXPECT_EQ(a.slowest_reduce_tasks[0].id, 0u);
+  EXPECT_EQ(a.slowest_reduce_tasks[0].heavy_key, "the");
+  EXPECT_EQ(a.slowest_reduce_tasks[0].shuffled_bytes, 48u * 1024);
+  EXPECT_EQ(a.slowest_reduce_tasks[1].id, 1u);
+  EXPECT_EQ(a.slowest_reduce_tasks[1].heavy_key, "");
+  EXPECT_EQ(a.slowest_reduce_tasks[1].shuffled_bytes, 4u * 1024);
+  // partition_bytes is a known instant, not an unknown-name complaint.
+  EXPECT_TRUE(a.unknown_event_names.empty());
+
+  const std::string text = obs::format_analysis(a);
+  EXPECT_NE(text.find("reduce stragglers:"), std::string::npos);
+  EXPECT_NE(text.find("heavy key \"the\""), std::string::npos);
+  EXPECT_NE(text.find("48.0 KB shuffled"), std::string::npos);
+
+  const auto parsed = obs::JsonValue::parse(obs::format_analysis_json(a));
+  ASSERT_TRUE(parsed.has_value());
+  const auto& stragglers = parsed->get("slowest_reduce_tasks")->array();
+  ASSERT_EQ(stragglers.size(), 2u);
+  EXPECT_EQ(stragglers[0].get("heavy_key")->string_value(), "the");
+  EXPECT_DOUBLE_EQ(stragglers[0].get("shuffled_bytes")->number_or(0.0),
+                   48.0 * 1024);
+}
+
+TEST(Analyze, StragglerTableOmittedWithoutSkewEvidence) {
+  // A plain hash-partitioner trace has neither partition_bytes instants
+  // nor key-annotated reduce rings: the text report keeps the one-line
+  // "slowest partition" summary and skips the per-straggler table.
+  const obs::TraceAnalysis a = obs::analyze_trace(synthetic_cluster_trace());
+  for (const auto& task : a.slowest_reduce_tasks) {
+    EXPECT_TRUE(task.heavy_key.empty());
+    EXPECT_EQ(task.shuffled_bytes, 0u);
+  }
+  const std::string text = obs::format_analysis(a);
+  EXPECT_NE(text.find("slowest partition"), std::string::npos);
+  EXPECT_EQ(text.find("reduce stragglers:"), std::string::npos);
+}
+
 TEST(Analyze, WorkerLanesUseExecSpansAndProcessNames) {
   const obs::TraceAnalysis a = obs::analyze_trace(synthetic_cluster_trace());
 

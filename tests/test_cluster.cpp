@@ -524,11 +524,13 @@ TEST(ClusterTelemetry, SigkilledWorkerMarksTelemetryIncomplete) {
 
 // Repeated cluster jobs with randomly-timed SIGKILLs of up to workers-1
 // workers per job; every run must still match the LocalEngine-independent
-// wordcount oracle. One iteration runs in the default suite as a sanity
-// pass; the pressure tier sets TEXTMR_CLUSTER_SOAK_SECONDS=60 (see
-// tests/CMakeLists.txt) to loop until the deadline. Kill times and victim
-// counts come from a per-iteration seeded Xoshiro256, so a failing
-// iteration is reproducible from its logged seed.
+// wordcount oracle. Odd iterations run with the skew-aware partitioner
+// enabled (worker death during segment writes and the finalize merge).
+// One iteration runs in the default suite as a sanity pass; the pressure
+// tier sets TEXTMR_CLUSTER_SOAK_SECONDS=60 (see tests/CMakeLists.txt) to
+// loop until the deadline. Kill times and victim counts come from a
+// per-iteration seeded Xoshiro256, so a failing iteration is
+// reproducible from its logged seed.
 TEST(ClusterSoak, RandomWorkerKillsNeverCorruptOutput) {
   double soak_seconds = 0;
   if (const char* env = std::getenv("TEXTMR_CLUSTER_SOAK_SECONDS")) {
@@ -592,7 +594,19 @@ TEST(ClusterSoak, RandomWorkerKillsNeverCorruptOutput) {
         if (pid > 0) ::kill(pid, SIGKILL);
       }
     });
-    const auto result = engine.run(corpus.job("soak-" + std::to_string(iteration)));
+    auto spec = corpus.job("soak-" + std::to_string(iteration));
+    // Odd iterations cross the chaos with the skew-aware partitioner
+    // (DESIGN.md §12): worker kills and task re-execution must not
+    // corrupt the segment files or the split-merge finalize either.
+    // Thresholds sized for the 400-word vocabulary so the plan both
+    // places and splits keys at 3 reducers.
+    if (iteration % 2 == 1) {
+      spec.skew.enabled = true;
+      spec.skew.place_threshold = 0.2;
+      spec.skew.split_threshold = 0.4;
+      spec.skew.max_split_shares = 3;
+    }
+    const auto result = engine.run(spec);
     killer.join();
     corpus.check(result);
     if (soak_seconds <= 0) break;  // default suite: single sanity iteration

@@ -45,6 +45,23 @@ void write_file(const std::filesystem::path& path, const std::string& bytes) {
 /// and compares every part file byte-for-byte against the checked-in
 /// golden. `inputs` are fixture filenames under tests/golden/, split and
 /// concatenated in order (AccessLogJoin-style apps take two).
+void compare_parts(const std::string& stem,
+                   const std::vector<std::filesystem::path>& outputs) {
+  for (std::size_t part = 0; part < outputs.size(); ++part) {
+    const auto expected_path =
+        golden_dir() / (stem + ".part" + std::to_string(part) + ".golden");
+    const std::string actual = read_file(outputs[part]);
+    if (update_mode()) {
+      write_file(expected_path, actual);
+      continue;
+    }
+    ASSERT_TRUE(std::filesystem::exists(expected_path))
+        << expected_path << " missing; run with TEXTMR_UPDATE_GOLDEN=1";
+    EXPECT_EQ(actual, read_file(expected_path))
+        << "golden drift in " << expected_path;
+  }
+}
+
 void run_golden_case(const apps::AppBundle& app, const std::string& stem,
                      const std::vector<std::string>& inputs = {"corpus.txt"}) {
   TempDir dir;
@@ -65,20 +82,7 @@ void run_golden_case(const apps::AppBundle& app, const std::string& stem,
   mr::LocalEngine engine;
   const auto result = engine.run(spec);
   ASSERT_EQ(result.outputs.size(), 2u);
-
-  for (std::size_t part = 0; part < result.outputs.size(); ++part) {
-    const auto expected_path =
-        golden_dir() / (stem + ".part" + std::to_string(part) + ".golden");
-    const std::string actual = read_file(result.outputs[part]);
-    if (update_mode()) {
-      write_file(expected_path, actual);
-      continue;
-    }
-    ASSERT_TRUE(std::filesystem::exists(expected_path))
-        << expected_path << " missing; run with TEXTMR_UPDATE_GOLDEN=1";
-    EXPECT_EQ(actual, read_file(expected_path))
-        << "golden drift in " << expected_path;
-  }
+  compare_parts(stem, result.outputs);
 }
 
 TEST(Golden, WordCount) { run_golden_case(apps::wordcount_app(), "wordcount"); }
@@ -104,6 +108,49 @@ TEST(Golden, AccessLogJoin) {
   // by the fixed split/spill geometry here).
   run_golden_case(apps::access_log_join_app(), "access_log_join",
                   {"access_log.txt", "rankings.txt"});
+}
+
+TEST(Golden, AccessLogJoinSorted) {
+  // The canonicalized join variant: within-group rows are sorted, so its
+  // bytes are pinned by the data alone, not the merge schedule.
+  run_golden_case(apps::access_log_join_sorted_app(), "access_log_join_sorted",
+                  {"access_log.txt", "rankings.txt"});
+}
+
+TEST(Golden, Sessionize) {
+  run_golden_case(apps::sessionize_app(), "sessionize", {"access_log.txt"});
+}
+
+TEST(Golden, TfIdfPipeline) {
+  // Two chained jobs: job 1's term counts per document feed job 2's
+  // document-frequency join. Both stages' part files are pinned — drift
+  // in either stage (or in how stage 1's output re-splits) fails here.
+  TempDir dir;
+  const auto corpus = golden_dir() / "corpus.txt";
+  ASSERT_TRUE(std::filesystem::exists(corpus)) << corpus;
+
+  auto job1 = test::make_job(apps::tfidf_job1_app(),
+                             io::make_splits(corpus.string(), 512),
+                             dir.file("s1"), dir.file("o1"),
+                             /*num_reducers=*/2);
+  job1.spill_buffer_bytes = 4 * 1024;
+  mr::LocalEngine engine;
+  const auto mid = engine.run(job1);
+  ASSERT_EQ(mid.outputs.size(), 2u);
+  compare_parts("tfidf_termcount", mid.outputs);
+
+  std::vector<io::InputSplit> mid_splits;
+  for (const auto& part : mid.outputs) {
+    const auto extra = io::make_splits(part.string(), 512);
+    mid_splits.insert(mid_splits.end(), extra.begin(), extra.end());
+  }
+  auto job2 = test::make_job(apps::tfidf_job2_app(), std::move(mid_splits),
+                             dir.file("s2"), dir.file("o2"),
+                             /*num_reducers=*/2);
+  job2.spill_buffer_bytes = 4 * 1024;
+  const auto result = engine.run(job2);
+  ASSERT_EQ(result.outputs.size(), 2u);
+  compare_parts("tfidf_join", result.outputs);
 }
 
 std::uint64_t fnv1a(const std::string& bytes) {

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/harmonic.hpp"
@@ -20,6 +22,38 @@ TEST(Fnv1a, MatchesKnownVectors) {
 TEST(Fnv1a, IsConstexpr) {
   static_assert(fnv1a64("abc") != fnv1a64("abd"));
   SUCCEED();
+}
+
+TEST(HashKey, MatchesPinnedGoldenVectors) {
+  // hash_key decides partition assignment, so these values pin every
+  // golden fixture's part layout and the skew plan's dedicated-partition
+  // routing. A platform or compiler that changes any of them would shift
+  // outputs silently everywhere else — fail loudly here instead. Never
+  // update these constants; if this test breaks, the hash broke.
+  EXPECT_EQ(hash_key(""), 0xc3817c016ba4ff30ull);
+  EXPECT_EQ(hash_key("a"), 0x5f29c2aadd9b8527ull);
+  EXPECT_EQ(hash_key("the"), 0xff7f3d556c4703b3ull);
+  EXPECT_EQ(hash_key("of"), 0x531ed2bfd070a1e3ull);
+  EXPECT_EQ(hash_key("and"), 0xdb7877dbf15219e8ull);
+  EXPECT_EQ(hash_key("foobar"), 0x5df295413403de4full);
+  EXPECT_EQ(hash_key(std::string_view("\0", 1)), 0x71b8262bb6e2e086ull);
+  EXPECT_EQ(hash_key(std::string_view("k\0y", 3)), 0x23e5588659f3b4c7ull);
+  EXPECT_EQ(hash_key("http://example.com/page?id=42"), 0x36022579f2d1bb6bull);
+  EXPECT_EQ(hash_key("\xE6\x97\xA5\xE6\x9C\xAC"), 0xf4288c2908dbf755ull);
+  EXPECT_EQ(hash_key(std::string(70000, 'x')), 0x09bd1b6e44636cdcull);
+}
+
+TEST(HashKey, PartitionLayoutIsPinned) {
+  // The full partition map for keys "w0".."w31" at 8 partitions — the
+  // shape golden fixtures and the differential grid implicitly rely on.
+  constexpr std::uint64_t kPartitions = 8;
+  constexpr std::uint64_t kExpected[32] = {
+      2, 3, 7, 5, 0, 4, 4, 3, 3, 4, 2, 6, 1, 5, 6, 6,
+      4, 6, 3, 6, 4, 5, 6, 6, 2, 7, 1, 6, 5, 3, 6, 6};
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(hash_key("w" + std::to_string(i)) % kPartitions, kExpected[i])
+        << "w" << i;
+  }
 }
 
 TEST(HashKey, DistributesShortKeysAcrossPartitions) {

@@ -230,6 +230,7 @@ struct DiffParams {
   io::SpillFormat format;
   std::size_t spill_buffer_kb;
   std::string fail_spec;  // empty = no fault injection
+  bool skew = false;      // skew-aware partitioner on the optimized run
 };
 
 void PrintTo(const DiffParams& p, std::ostream* os) {
@@ -237,15 +238,35 @@ void PrintTo(const DiffParams& p, std::ostream* os) {
       << " freq=" << p.freqbuf << " matcher=" << p.matcher << " fmt="
       << (p.format == io::SpillFormat::kCompactVarint ? "varint" : "fixed32")
       << " buf=" << p.spill_buffer_kb
-      << "KiB fail=" << (p.fail_spec.empty() ? "none" : p.fail_spec);
+      << "KiB fail=" << (p.fail_spec.empty() ? "none" : p.fail_spec)
+      << " skew=" << p.skew;
 }
 
+/// "TfIdfPipeline" resolves to job 1's bundle for dataset selection; the
+/// test body chains job 2 behind it.
 apps::AppBundle diff_bundle(const std::string& name) {
   if (name == "WordCount") return apps::wordcount_app();
   if (name == "InvertedIndex") return apps::inverted_index_app();
   if (name == "WordPOSTag") return apps::word_pos_tag_app(1);
   if (name == "AccessLogSum") return apps::access_log_sum_app();
+  if (name == "AccessLogJoinSorted") return apps::access_log_join_sorted_app();
+  if (name == "Sessionize") return apps::sessionize_app();
+  if (name == "TfIdfPipeline") return apps::tfidf_job1_app();
   return apps::access_log_join_app();
+}
+
+/// Skew-partitioner settings that reliably produce a non-empty plan on
+/// the grid's skewed corpora (α=1.5's top word carries ~40% of the mass,
+/// weight ≈ 1.2 with 3 reducers) while the flat corpora stay below the
+/// placement bar — so the grid exercises empty plans, placement, and
+/// splitting without per-app tuning.
+void enable_skew(mr::JobSpec& spec) {
+  spec.skew.enabled = true;
+  spec.skew.top_k = 32;
+  spec.skew.sample_bytes = 1u << 20;
+  spec.skew.place_threshold = 0.3;
+  spec.skew.split_threshold = 0.8;
+  spec.skew.max_split_shares = 3;
 }
 
 std::vector<io::InputSplit> diff_dataset(const apps::AppBundle& app,
@@ -314,29 +335,66 @@ class DifferentialOracleTest : public ::testing::TestWithParam<DiffParams> {};
 TEST_P(DifferentialOracleTest, OptimizedFaultedRunMatchesCleanBaseline) {
   const auto& p = GetParam();
   TempDir dir;
+  const bool pipeline = p.app == "TfIdfPipeline";
   const apps::AppBundle app = diff_bundle(p.app);
   const auto splits = diff_dataset(app, p, dir);
   ASSERT_FALSE(splits.empty());
   mr::LocalEngine engine;
 
-  // The oracle run: no optimizations, no faults, a roomy spill buffer.
-  const auto oracle = engine.run(
-      test::make_job(app, splits, dir.file("os"), dir.file("oo")));
+  const auto configure_optimized = [&](mr::JobSpec& spec) {
+    spec.spill_buffer_bytes = p.spill_buffer_kb * 1024;
+    spec.use_spill_matcher = p.matcher;
+    spec.spill_format = p.format;
+    if (p.freqbuf) {
+      spec.freqbuf.enabled = true;
+      spec.freqbuf.top_k = 60;
+      spec.freqbuf.sampling_fraction = 0.05;
+    }
+    if (p.skew) enable_skew(spec);
+  };
 
-  auto spec = test::make_job(app, splits, dir.file("cs"), dir.file("co"));
-  spec.spill_buffer_bytes = p.spill_buffer_kb * 1024;
-  spec.use_spill_matcher = p.matcher;
-  spec.spill_format = p.format;
-  if (p.freqbuf) {
-    spec.freqbuf.enabled = true;
-    spec.freqbuf.top_k = 60;
-    spec.freqbuf.sampling_fraction = 0.05;
-  }
+  // Runs the app (or, for TfIdfPipeline, job 1 feeding job 2) and
+  // accumulates retry counts across the chained jobs — a pipeline's
+  // injected fault may land in either stage.
+  std::uint64_t tasks_retried = 0;
+  const auto run_app = [&](const std::string& tag, bool optimized) {
+    if (!pipeline) {
+      auto spec = test::make_job(app, splits, dir.file(tag + "s"),
+                                 dir.file(tag + "o"));
+      if (optimized) configure_optimized(spec);
+      spec.retry_backoff_base_ms = 0;
+      auto result = engine.run(spec);
+      tasks_retried += result.metrics.tasks_retried;
+      return result;
+    }
+    auto job1 = test::make_job(apps::tfidf_job1_app(), splits,
+                               dir.file(tag + "s1"), dir.file(tag + "o1"));
+    if (optimized) configure_optimized(job1);
+    job1.retry_backoff_base_ms = 0;
+    const auto mid = engine.run(job1);
+    tasks_retried += mid.metrics.tasks_retried;
+    std::vector<io::InputSplit> mid_splits;
+    for (const auto& part : mid.outputs) {
+      const auto extra = io::make_splits(part.string(), 48 * 1024);
+      mid_splits.insert(mid_splits.end(), extra.begin(), extra.end());
+    }
+    auto job2 = test::make_job(apps::tfidf_job2_app(), mid_splits,
+                               dir.file(tag + "s2"), dir.file(tag + "o2"));
+    if (optimized) configure_optimized(job2);
+    job2.retry_backoff_base_ms = 0;
+    auto result = engine.run(job2);
+    tasks_retried += result.metrics.tasks_retried;
+    return result;
+  };
+
+  // The oracle run: no optimizations, no faults, a roomy spill buffer.
+  const auto oracle = run_app("o", /*optimized=*/false);
+
+  tasks_retried = 0;
   failpoint::ScopedFailpoints failpoints(p.fail_spec);
-  spec.retry_backoff_base_ms = 0;
-  const auto result = engine.run(spec);
+  const auto result = run_app("c", /*optimized=*/true);
   if (!p.fail_spec.empty()) {
-    EXPECT_GE(result.metrics.tasks_retried, 1u);
+    EXPECT_GE(tasks_retried, 1u);
   }
 
   if (p.app == "AccessLogJoin") {
@@ -377,8 +435,10 @@ std::size_t pressure_scale() {
 }
 
 std::vector<DiffParams> differential_matrix() {
-  const char* app_names[] = {"WordCount", "InvertedIndex", "WordPOSTag",
-                             "AccessLogSum", "AccessLogJoin"};
+  const char* app_names[] = {"WordCount",           "InvertedIndex",
+                             "WordPOSTag",          "AccessLogSum",
+                             "AccessLogJoin",       "AccessLogJoinSorted",
+                             "Sessionize",          "TfIdfPipeline"};
   const double alphas[] = {0.7, 1.1, 1.5};
   const std::string fail_specs[] = {
       "",
@@ -395,12 +455,20 @@ std::vector<DiffParams> differential_matrix() {
       for (const bool freq : {false, true}) {
         for (const bool matcher : {false, true}) {
           ++seed;
+          // Skew-aware partitioning alternates across the grid, so every
+          // app sees both partitioner modes over its four cells.
+          const bool skew = seed % 2 == 0;
+          std::string fail = fail_specs[params.size() % std::size(fail_specs)];
+          // dfs.open:nth=1 would fire once inside the skew sampling
+          // pre-pass (which tolerates and consumes it), leaving no fault
+          // for a task to retry — swap in a task-side site instead.
+          if (skew && fail == "dfs.open:nth=1") fail = "spill.read:nth=1";
           params.push_back(DiffParams{
               app, seed, alphas[seed % std::size(alphas)], freq, matcher,
               seed % 2 == 0 ? io::SpillFormat::kCompactVarint
                             : io::SpillFormat::kFixed32,
               static_cast<std::size_t>(seed % 3 == 0 ? 24 : 64),
-              fail_specs[params.size() % std::size(fail_specs)]});
+              std::move(fail), skew});
         }
       }
     }
@@ -424,11 +492,12 @@ struct ClusterDiffParams {
   std::uint32_t workers;
   bool freqbuf;
   bool matcher;
+  bool skew = false;  // skew-aware partitioner on BOTH engines
 };
 
 void PrintTo(const ClusterDiffParams& p, std::ostream* os) {
   *os << p.app << " workers=" << p.workers << " freq=" << p.freqbuf
-      << " matcher=" << p.matcher;
+      << " matcher=" << p.matcher << " skew=" << p.skew;
 }
 
 class ClusterDifferentialTest
@@ -437,32 +506,59 @@ class ClusterDifferentialTest
 TEST_P(ClusterDifferentialTest, ClusterRunReproducesLocalEngineBytes) {
   const auto& p = GetParam();
   TempDir dir;
+  const bool pipeline = p.app == "TfIdfPipeline";
   DiffParams dataset_params;
   dataset_params.app = p.app;
   dataset_params.seed = 9000 + p.workers * 10 + (p.freqbuf ? 2 : 0) +
-                        (p.matcher ? 1 : 0);
-  dataset_params.alpha = p.freqbuf ? 1.5 : 1.1;  // skewed when freq is on
+                        (p.matcher ? 1 : 0) + (p.skew ? 4 : 0);
+  // Skewed corpora when either skew-sensitive optimization is on, so the
+  // partitioner actually builds a non-empty plan.
+  dataset_params.alpha = (p.freqbuf || p.skew) ? 1.5 : 1.1;
   const apps::AppBundle app = diff_bundle(p.app);
   const auto splits = diff_dataset(app, dataset_params, dir);
   ASSERT_FALSE(splits.empty());
 
-  const auto make = [&](const std::string& tag) {
-    auto spec = test::make_job(app, splits, dir.file("s-" + tag),
-                               dir.file("o-" + tag));
+  // Both engines run the *same* spec — with skew on, each computes the
+  // plan independently from the same inputs, so byte-identical outputs
+  // also prove the plan construction itself is deterministic.
+  const auto configure = [&](mr::JobSpec& spec) {
     spec.use_spill_matcher = p.matcher;
     if (p.freqbuf) {
       spec.freqbuf.enabled = true;
       spec.freqbuf.top_k = 60;
       spec.freqbuf.sampling_fraction = 0.05;
     }
+    if (p.skew) enable_skew(spec);
     spec.retry_backoff_base_ms = 0;
-    return spec;
+  };
+  const auto run_app = [&](auto& engine, const std::string& tag) {
+    if (!pipeline) {
+      auto spec = test::make_job(app, splits, dir.file("s-" + tag),
+                                 dir.file("o-" + tag));
+      configure(spec);
+      return engine.run(spec);
+    }
+    auto job1 = test::make_job(apps::tfidf_job1_app(), splits,
+                               dir.file("s1-" + tag), dir.file("o1-" + tag));
+    configure(job1);
+    const auto mid = engine.run(job1);
+    std::vector<io::InputSplit> mid_splits;
+    for (const auto& part : mid.outputs) {
+      const auto extra = io::make_splits(part.string(), 48 * 1024);
+      mid_splits.insert(mid_splits.end(), extra.begin(), extra.end());
+    }
+    auto job2 = test::make_job(apps::tfidf_job2_app(), mid_splits,
+                               dir.file("s2-" + tag), dir.file("o2-" + tag));
+    configure(job2);
+    return engine.run(job2);
   };
 
-  const auto oracle = mr::LocalEngine().run(make("local"));
+  mr::LocalEngine local;
+  const auto oracle = run_app(local, "local");
   cluster::ClusterConfig config;
   config.num_workers = p.workers;
-  const auto result = cluster::ClusterEngine(config).run(make("cluster"));
+  cluster::ClusterEngine cluster_engine(config);
+  const auto result = run_app(cluster_engine, "cluster");
 
   ASSERT_EQ(result.outputs.size(), oracle.outputs.size());
   if (p.app == "AccessLogJoin") {
@@ -479,13 +575,18 @@ TEST_P(ClusterDifferentialTest, ClusterRunReproducesLocalEngineBytes) {
 
 std::vector<ClusterDiffParams> cluster_differential_matrix() {
   std::vector<ClusterDiffParams> params;
-  for (const char* app : {"WordCount", "InvertedIndex", "WordPOSTag",
-                          "AccessLogSum", "AccessLogJoin"}) {
+  std::size_t i = 0;
+  for (const char* app :
+       {"WordCount", "InvertedIndex", "WordPOSTag", "AccessLogSum",
+        "AccessLogJoin", "AccessLogJoinSorted", "Sessionize",
+        "TfIdfPipeline"}) {
     for (const std::uint32_t workers : {1u, 2u, 4u}) {
-      for (const bool freq : {false, true}) {
-        for (const bool matcher : {false, true}) {
-          params.push_back(ClusterDiffParams{app, workers, freq, matcher});
-        }
+      for (const bool skew : {false, true}) {
+        // freq / matcher cycle by position so each appears in both skew
+        // modes across the grid without squaring its size.
+        params.push_back(
+            ClusterDiffParams{app, workers, i % 2 == 0, i % 3 == 0, skew});
+        ++i;
       }
     }
   }
