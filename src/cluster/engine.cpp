@@ -469,12 +469,20 @@ void Coordinator::handle_frame(WorkerHandle& worker,
       queue_.push_back(msg.id);
       return;
     }
-    default:
+    // Coordinator-to-worker messages, listed explicitly so adding a
+    // MsgType forces a decision here (-Wswitch + switch-exhaustiveness).
+    case MsgType::kRunMap:
+    case MsgType::kRunReduce:
+    case MsgType::kShutdown:
+    case MsgType::kClockProbe:
+    case MsgType::kSkewPlan:
       TEXTMR_LOG(kWarn) << "coordinator: unexpected message type "
                         << static_cast<int>(type) << " from worker "
                         << worker.id;
       return;
   }
+  TEXTMR_LOG(kWarn) << "coordinator: unknown message type "
+                    << static_cast<int>(type) << " from worker " << worker.id;
 }
 
 void Coordinator::drain_worker(WorkerHandle& worker) {

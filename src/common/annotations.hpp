@@ -1,0 +1,27 @@
+#pragma once
+
+/// General (non-thread-safety) compiler annotations; the lock-capability
+/// family lives in thread_annotations.hpp.
+
+/// `[[clang::lifetimebound]]` on a parameter (including the implicit
+/// `this`, by placing the macro after a member function's parameter
+/// list) tells Clang that the returned value borrows from that
+/// argument, so binding the result to something that outlives the
+/// owner is diagnosed at compile time (-Werror=dangling-gsl /
+/// -Wdangling). This is the compiler-enforced half of the zero-copy
+/// record path's lifetime contract (DESIGN.md §8, §13): accessors that
+/// return `std::string_view` / `RecordRef` spans into an arena, ring,
+/// or decoded frame must carry it. GCC and other compilers see an
+/// empty expansion, so the annotated tree stays portable.
+///
+/// tests/compile_fail has WILL_FAIL targets proving the attribute
+/// rejects returning a view tied to a dead owner; textmr-check's
+/// view-escape rule covers the patterns the attribute cannot see.
+#if defined(__clang__) && defined(__has_cpp_attribute)
+#if __has_cpp_attribute(clang::lifetimebound)
+#define TEXTMR_LIFETIME_BOUND [[clang::lifetimebound]]
+#endif
+#endif
+#ifndef TEXTMR_LIFETIME_BOUND
+#define TEXTMR_LIFETIME_BOUND
+#endif

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "io/record.hpp"
 
 namespace textmr::io {
@@ -116,7 +117,7 @@ class RunCursor {
 
   /// Next record, or nullopt at the end of the partition. The view is
   /// valid until the next call.
-  std::optional<RecordView> next();
+  std::optional<RecordView> next() TEXTMR_LIFETIME_BOUND;
 
   std::uint64_t bytes_read() const { return bytes_consumed_; }
 
@@ -141,7 +142,8 @@ class SpillRunReader {
   std::uint32_t num_partitions() const {
     return static_cast<std::uint32_t>(partitions_.size());
   }
-  const PartitionExtent& extent(std::uint32_t partition) const;
+  const PartitionExtent& extent(std::uint32_t partition) const
+      TEXTMR_LIFETIME_BOUND;
   SpillFormat format() const { return format_; }
 
   /// Cursor over one partition.

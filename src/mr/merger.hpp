@@ -6,6 +6,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "io/record.hpp"
 #include "io/spill_file.hpp"
 #include "mr/metrics.hpp"
@@ -36,7 +37,9 @@ class RecordCursor {
 class FileRunCursor final : public RecordCursor {
  public:
   explicit FileRunCursor(io::RunCursor cursor) : cursor_(std::move(cursor)) {}
-  std::optional<io::RecordView> next() override { return cursor_.next(); }
+  std::optional<io::RecordView> next() TEXTMR_LIFETIME_BOUND override {
+    return cursor_.next();
+  }
   std::uint64_t bytes_read() const { return cursor_.bytes_read(); }
 
  private:
@@ -90,7 +93,7 @@ class MergeStream {
 
   /// Next record in global key order; view valid until the next call
   /// (longer if stable_views()).
-  std::optional<io::RecordView> next();
+  std::optional<io::RecordView> next() TEXTMR_LIFETIME_BOUND;
 
   /// True when every input cursor has stable views — then views handed
   /// out by next() remain valid for the life of the merge.
@@ -128,10 +131,10 @@ class KeyGroups {
   /// Advances to the next key group (draining any unconsumed values of
   /// the previous group). Returns the key, or nullopt at end of stream.
   /// The returned view is stable for the group's lifetime.
-  std::optional<std::string_view> next_group();
+  std::optional<std::string_view> next_group() TEXTMR_LIFETIME_BOUND;
 
   /// Value stream of the current group. Valid until next_group().
-  ValueStream& values() { return value_stream_; }
+  ValueStream& values() TEXTMR_LIFETIME_BOUND { return value_stream_; }
 
  private:
   class GroupValueStream final : public ValueStream {

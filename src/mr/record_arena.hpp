@@ -6,6 +6,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "io/spill_file.hpp"
 
 namespace textmr::mr {
@@ -81,10 +82,14 @@ class RecordArena {
       : format_(format), chunk_bytes_(chunk_bytes) {}
 
   const RecordRef& append(std::uint32_t partition, std::string_view key,
-                          std::string_view value);
+                          std::string_view value) TEXTMR_LIFETIME_BOUND;
 
-  const std::vector<RecordRef>& records() const { return records_; }
-  std::vector<RecordRef>& records() { return records_; }  // sortable in place
+  const std::vector<RecordRef>& records() const TEXTMR_LIFETIME_BOUND {
+    return records_;
+  }
+  std::vector<RecordRef>& records() TEXTMR_LIFETIME_BOUND {
+    return records_;  // sortable in place
+  }
   std::size_t size() const { return records_.size(); }
   std::uint64_t payload_bytes() const { return payload_bytes_; }
   io::SpillFormat format() const { return format_; }
@@ -115,7 +120,8 @@ class RecordArena {
 /// — the zero-copy half of the shuffle. `data` must stay alive and
 /// unmoved while the refs are used. Throws FormatError on a malformed
 /// stream.
-std::vector<RecordRef> index_frames(std::string_view data,
+std::vector<RecordRef> index_frames(std::string_view data
+                                        TEXTMR_LIFETIME_BOUND,
                                     std::uint32_t partition,
                                     io::SpillFormat format);
 

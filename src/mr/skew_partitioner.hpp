@@ -8,6 +8,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "io/line_reader.hpp"
 #include "mr/partitioner.hpp"
 #include "mr/types.hpp"
@@ -90,7 +91,7 @@ struct SkewPlan {
 
   bool empty() const { return entries.empty(); }
   std::uint32_t num_physical() const;
-  const Entry* find(std::string_view key) const;
+  const Entry* find(std::string_view key) const TEXTMR_LIFETIME_BOUND;
   /// An entry hosted on a dedicated partition id (the lowest-key one when
   /// a shared bin packs several placed keys — co-hosted entries always
   /// agree on mode), or null for canonical partitions
@@ -172,7 +173,7 @@ class SegmentReader {
  public:
   explicit SegmentReader(const std::string& path);
 
-  std::optional<SegmentEntry> next();
+  std::optional<SegmentEntry> next() TEXTMR_LIFETIME_BOUND;
 
  private:
   std::string data_;
@@ -188,7 +189,8 @@ std::filesystem::path skew_segment_path(const JobSpec& spec,
 void append_partial_value(std::string& blob, std::string_view value);
 
 /// Decodes a kPartial blob back into its values (views into `blob`).
-std::vector<std::string_view> decode_partial_values(std::string_view blob);
+std::vector<std::string_view> decode_partial_values(
+    std::string_view blob TEXTMR_LIFETIME_BOUND);
 
 /// What the finalize merge did (folded into trace args / logs).
 struct SkewFinalizeStats {

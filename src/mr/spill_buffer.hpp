@@ -7,6 +7,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/clock.hpp"
 #include "common/mutex.hpp"
 #include "mr/record_arena.hpp"
@@ -112,7 +113,7 @@ class SpillBuffer {
   /// Blocks until a sealed spill is available (wait added to
   /// `consumer_wait_ns`) or the buffer is closed and drained (returns
   /// nullopt).
-  std::optional<Spill> take();
+  std::optional<Spill> take() TEXTMR_LIFETIME_BOUND;
 
   /// Frees the ring space of the oldest outstanding spill. `consume_ns`
   /// is the wall time the support thread spent processing it; the pair
@@ -148,7 +149,7 @@ class SpillBuffer {
   // record's bytes under mu_, and once the region is sealed its bytes are
   // immutable until release(), so consumers read them lock-free through
   // the RecordRefs of the Spill they took.
-  std::vector<char> ring_;
+  std::vector<char> ring_;  // check:allow(lock-coverage): see above
 
   mutable textmr::Mutex mu_{textmr::LockRank::kSpillBuffer,
                             "mr.spill_buffer"};
@@ -171,7 +172,8 @@ class SpillBuffer {
   std::deque<Spill> sealed_ TEXTMR_GUARDED_BY(mu_);
   // Sealed or taken-but-unreleased spills.
   std::uint64_t outstanding_ TEXTMR_GUARDED_BY(mu_) = 0;
-  std::uint32_t max_outstanding_ = 1;  // set once in the constructor
+  // check:allow(lock-coverage): set once in the constructor, read-only after
+  std::uint32_t max_outstanding_ = 1;
   // Out-of-order release bookkeeping: ring bytes of released spills that
   // are still blocked behind an unreleased earlier spill.
   std::map<std::uint64_t, std::uint64_t> released_ TEXTMR_GUARDED_BY(mu_);

@@ -114,8 +114,10 @@ void backoff_sleep(std::uint32_t base_ms, std::uint32_t failed_attempt);
 /// Shared state of the retry scheduler: attempt accounting plus the
 /// first permanent task failure (which dooms the job).
 struct RetryState {
-  std::uint32_t max_attempts = 1;
-  std::uint32_t backoff_base_ms = 0;
+  // Both set once by the engine before any worker thread starts, then
+  // read-only; publication happens-before via the thread launches.
+  std::uint32_t max_attempts = 1;    // check:allow(lock-coverage): see above
+  std::uint32_t backoff_base_ms = 0;  // check:allow(lock-coverage): see above
   std::atomic<std::uint64_t> task_attempts{0};
   std::atomic<std::uint64_t> tasks_retried{0};
   std::atomic<bool> job_failed{false};

@@ -1,0 +1,18 @@
+// Negative-compile check for TEXTMR_LIFETIME_BOUND (DESIGN.md §13):
+// RecordArena::records() is annotated [[clang::lifetimebound]], so binding
+// the returned reference to a temporary arena must be rejected — the refs
+// would index frame storage that dies at the end of the full-expression.
+// Built with -Werror=dangling; see CMakeLists.txt. Without the annotation
+// (or under GCC, where the macro expands empty) this compiles silently,
+// which is why the target is registered only for Clang.
+
+#include <vector>
+
+#include "mr/record_arena.hpp"
+
+const std::vector<textmr::mr::RecordRef>& dangling_records() {
+  // Reference into a temporary: storage is gone before the caller looks.
+  const std::vector<textmr::mr::RecordRef>& refs =
+      textmr::mr::RecordArena{}.records();
+  return refs;
+}

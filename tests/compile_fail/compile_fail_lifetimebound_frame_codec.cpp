@@ -1,0 +1,15 @@
+// Negative-compile check for TEXTMR_LIFETIME_BOUND (DESIGN.md §13) on the
+// frame-codec layer: SpillRunReader::extent() returns a reference into the
+// reader's footer table and is annotated [[clang::lifetimebound]], so
+// binding it past a temporary reader must be rejected. Built with
+// -Werror=dangling; Clang-only (the macro expands empty under GCC).
+
+#include "io/spill_file.hpp"
+
+const textmr::io::PartitionExtent& dangling_extent() {
+  // The reader (and its footer vector) dies at the end of the
+  // full-expression; the reference would point into freed memory.
+  const textmr::io::PartitionExtent& extent =
+      textmr::io::SpillRunReader{"run.spill"}.extent(0);
+  return extent;
+}

@@ -1,0 +1,181 @@
+"""libclang frontend for textmr-check.
+
+Strategy: the token frontend (check_frontend_lite) always builds the
+structural IR — functions, members, enums, switches are token-level
+concepts and the shared rules run on tokens. What the AST adds is
+*types*: a parameter declared `Slice s` is invisible to the token
+frontend but is a `std::string_view` typedef to the AST. So this
+frontend parses each TU through clang.cindex (flags taken from
+compile_commands.json) and overlays canonical type spellings onto the
+lite models — parameters, return types, field qualifiers and enum
+enumerator lists are refined in place; everything else is untouched.
+That keeps the clang-specific surface small and the rule logic
+identical across frontends.
+
+Availability: `available()` is False when the clang Python bindings or
+a loadable libclang are missing; the driver then warns and falls back
+(or skips, per --frontend). Any parse-level exception degrades to the
+unrefined lite model for that file rather than failing the run.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+
+from check_model import FileModel, Param
+
+_STATE: dict[str, object] = {"checked": False, "index": None, "error": ""}
+
+_LIBCLANG_GLOBS = (
+    "/usr/lib/llvm-*/lib/libclang.so*",
+    "/usr/lib/llvm-*/lib/libclang-*.so*",
+    "/usr/lib/x86_64-linux-gnu/libclang.so*",
+    "/usr/lib/x86_64-linux-gnu/libclang-[0-9]*.so*",
+    "/usr/local/lib/libclang.so*",
+)
+
+
+def _init() -> None:
+    if _STATE["checked"]:
+        return
+    _STATE["checked"] = True
+    try:
+        from clang import cindex  # noqa: PLC0415
+    except ImportError as e:
+        _STATE["error"] = f"clang Python bindings not importable ({e})"
+        return
+    try:
+        _STATE["index"] = cindex.Index.create()
+        return
+    except Exception:  # library not on the default search path
+        pass
+    candidates: list[str] = []
+    for pattern in _LIBCLANG_GLOBS:
+        candidates.extend(sorted(glob.glob(pattern), reverse=True))
+    for lib in candidates:
+        try:
+            cindex.Config.loaded = False
+            cindex.Config.set_library_file(lib)
+            _STATE["index"] = cindex.Index.create()
+            return
+        except Exception:
+            continue
+    _STATE["error"] = "no loadable libclang shared library found"
+
+
+def available() -> bool:
+    _init()
+    return _STATE["index"] is not None
+
+
+def unavailable_reason() -> str:
+    _init()
+    return str(_STATE["error"]) or "unknown"
+
+
+def _compile_args(compile_db: str | None, path: str,
+                  repo_root: str) -> list[str]:
+    default = ["-x", "c++", "-std=c++20", f"-I{os.path.join(repo_root, 'src')}"]
+    if not compile_db or not os.path.exists(compile_db):
+        return default
+    try:
+        with open(compile_db, encoding="utf-8") as f:
+            entries = json.load(f)
+    except (OSError, ValueError):
+        return default
+    base = os.path.basename(path)
+    want = os.path.abspath(path)
+    for entry in entries:
+        entry_file = entry.get("file", "")
+        entry_abs = os.path.normpath(
+            os.path.join(entry.get("directory", ""), entry_file))
+        if entry_abs != want and os.path.abspath(entry_file) != want:
+            continue
+        args = entry.get("arguments")
+        if not args:
+            args = entry.get("command", "").split()
+        # Drop the compiler, -c/-o pairs and the input file itself.
+        cleaned, skip = [], False
+        for a in args[1:]:
+            if skip:
+                skip = False
+                continue
+            if a in ("-c",):
+                continue
+            if a in ("-o",):
+                skip = True
+                continue
+            if os.path.basename(a) == base:
+                continue
+            cleaned.append(a)
+        return cleaned
+    return default
+
+
+def refine(model: FileModel, abs_path: str, compile_db: str | None,
+           repo_root: str) -> bool:
+    """Overlays AST type information onto a lite-parsed FileModel.
+    Returns True when the AST was applied, False on any degradation."""
+    _init()
+    index = _STATE["index"]
+    if index is None:
+        return False
+    from clang import cindex  # noqa: PLC0415
+
+    try:
+        tu = index.parse(abs_path,
+                         args=_compile_args(compile_db, abs_path, repo_root))
+    except Exception:
+        return False
+
+    K = cindex.CursorKind
+    fn_kinds = {K.FUNCTION_DECL, K.CXX_METHOD, K.CONSTRUCTOR, K.DESTRUCTOR}
+    fns_by_line = {fn.line: fn for fn in model.functions}
+    enums_by_name = {en.name: en for en in model.enums}
+    members_by_line = {}
+    for cls in model.classes:
+        for m in cls.members:
+            members_by_line[m.line] = m
+
+    def visit(cursor) -> None:
+        for child in cursor.get_children():
+            loc = child.location
+            if loc.file is None or \
+                    os.path.abspath(loc.file.name) != os.path.abspath(abs_path):
+                # Recurse only through same-file containers; headers
+                # pulled in by the TU are modeled by their own run.
+                continue
+            kind = child.kind
+            if kind in fn_kinds and child.is_definition():
+                fn = fns_by_line.get(loc.line)
+                if fn is not None:
+                    params = []
+                    for arg in child.get_arguments():
+                        params.append(Param(
+                            name=arg.spelling or "",
+                            type_text=arg.type.get_canonical().spelling))
+                    if params:
+                        fn.params = params
+                    fn.return_type = child.result_type.get_canonical().spelling
+            elif kind == K.ENUM_DECL and child.is_definition():
+                en = enums_by_name.get(child.spelling)
+                if en is not None:
+                    names = [c.spelling for c in child.get_children()
+                             if c.kind == K.ENUM_CONSTANT_DECL]
+                    if names:
+                        en.enumerators = names
+            elif kind == K.FIELD_DECL:
+                m = members_by_line.get(loc.line)
+                if m is not None and m.name == child.spelling:
+                    ty = child.type.get_canonical()
+                    m.is_const = ty.is_const_qualified()
+                    m.is_atomic = "atomic" in ty.spelling
+            visit(child)
+
+    try:
+        visit(tu.cursor)
+    except Exception:
+        return False
+    return True

@@ -1,0 +1,479 @@
+"""Token-heuristic frontend for textmr-check.
+
+Builds the check_model IR from the token stream alone — no compiler, no
+compile database. It is deliberately conservative: where it cannot
+classify a construct it produces *less* model (a skipped member, an
+unattributed switch) rather than a wrong one, so rules under-report
+instead of hallucinating. The libclang frontend (check_frontend_clang)
+produces the same IR with precise types when the bindings are
+installed; this one keeps the self-test corpus and the src/ gate
+running on any machine with a Python interpreter.
+"""
+
+from __future__ import annotations
+
+from check_lexer import IDENT, LexError, Token, lex, match_forward
+from check_model import (
+    ClassModel, EnumModel, FileModel, FunctionModel, GUARD_MACROS,
+    CaseLabel, MemberModel, Param, SwitchModel, SYNC_TYPE_MARKERS,
+)
+
+_KEYWORD_CALLS = {
+    "if", "for", "while", "switch", "catch", "return", "sizeof", "alignof",
+    "static_assert", "decltype", "noexcept", "throw", "new", "delete",
+    "alignas", "case", "defined", "assert", "co_await", "co_return",
+    "static_cast", "dynamic_cast", "reinterpret_cast", "const_cast",
+}
+
+_FN_TAIL_OK = {"const", "noexcept", "override", "final", "mutable", "&", "&&",
+               "->", "::", "<", ">", "*", ","}
+
+_MEMBER_SKIP_LEAD = {
+    "using", "typedef", "friend", "template", "static_assert", "public",
+    "private", "protected", "operator", "enum",
+}
+
+
+def _text(tokens: list[Token]) -> str:
+    return " ".join(t.text for t in tokens)
+
+
+def parse_file(path: str, text: str) -> FileModel:
+    tokens, comments = lex(text)
+    model = FileModel(path=path, tokens=tokens, comments=comments)
+    _scan_enums(tokens, model)
+    _scan_classes(tokens, model)
+    _scan_functions(tokens, model)
+    _scan_switches(tokens, model)
+    return model
+
+
+# ---- enums -----------------------------------------------------------------
+
+def _scan_enums(tokens: list[Token], model: FileModel) -> None:
+    i = 0
+    while i < len(tokens):
+        if tokens[i].text == "enum":
+            j = i + 1
+            if j < len(tokens) and tokens[j].text in ("class", "struct"):
+                j += 1
+            if j < len(tokens) and tokens[j].kind == IDENT:
+                name_tok = tokens[j]
+                j += 1
+                if j < len(tokens) and tokens[j].text == ":":  # underlying type
+                    while j < len(tokens) and tokens[j].text not in ("{", ";"):
+                        j += 1
+                if j < len(tokens) and tokens[j].text == "{":
+                    close = match_forward(tokens, j, "{", "}")
+                    enumerators = []
+                    expect_name = True
+                    depth = 0
+                    for t in tokens[j + 1 : close]:
+                        if t.text in ("(", "{", "["):
+                            depth += 1
+                        elif t.text in (")", "}", "]"):
+                            depth -= 1
+                        elif depth == 0 and t.text == ",":
+                            expect_name = True
+                        elif depth == 0 and expect_name and t.kind == IDENT:
+                            enumerators.append(t.text)
+                            expect_name = False
+                    model.enums.append(
+                        EnumModel(name=name_tok.text, line=name_tok.line,
+                                  enumerators=enumerators))
+                    i = close
+        i += 1
+
+
+# ---- classes / members -------------------------------------------------------
+
+def _scan_classes(tokens: list[Token], model: FileModel) -> None:
+    i = 0
+    while i < len(tokens):
+        if tokens[i].text in ("class", "struct") and (
+            i == 0 or tokens[i - 1].text != "enum"
+        ):
+            j = i + 1
+            # Skip attributes and export macros before the name.
+            while j < len(tokens) and tokens[j].text == "[":
+                j = match_forward(tokens, j, "[", "]") + 1
+            if j < len(tokens) and tokens[j].kind == IDENT:
+                name_tok = tokens[j]
+                j += 1
+                if j < len(tokens) and tokens[j].text == "final":
+                    j += 1
+                # Base clause: skip to the opening brace.
+                if j < len(tokens) and tokens[j].text == ":":
+                    while j < len(tokens) and tokens[j].text not in ("{", ";"):
+                        j += 1
+                if j < len(tokens) and tokens[j].text == "{":
+                    close = match_forward(tokens, j, "{", "}")
+                    cls = ClassModel(name=name_tok.text, line=name_tok.line)
+                    _scan_members(tokens, j + 1, close, cls, model)
+                    model.classes.append(cls)
+                    # Recurse into the body for nested classes via the
+                    # outer loop (it walks every token anyway).
+        i += 1
+
+
+def _scan_members(tokens: list[Token], start: int, end: int,
+                  cls: ClassModel, model: FileModel) -> None:
+    """Splits the class body [start, end) into declaration statements at
+    depth 0 and classifies each as data member / function / nested type."""
+    stmt: list[Token] = []
+    nested_group = False  # statement contained a brace group ({} body)
+    i = start
+    while i < end:
+        t = tokens[i]
+        if t.text in ("{",):
+            close = match_forward(tokens, i, "{", "}")
+            nested_group = True
+            stmt.append(Token("punct", "{}", t.line))
+            i = close + 1
+            if _is_braced_member(stmt):
+                continue  # `struct X {...} member_;` — wait for the ';'
+            # Method body or brace initializer; an optional ';' follows.
+            if i < end and tokens[i].text == ";":
+                i += 1
+            _classify_statement(stmt, cls, nested_group)
+            stmt, nested_group = [], False
+            continue
+        if t.text in ("(",):
+            close = match_forward(tokens, i, "(", ")")
+            stmt.extend(tokens[i : close + 1])
+            i = close + 1
+            continue
+        if t.text == ";":
+            _classify_statement(stmt, cls, nested_group)
+            stmt, nested_group = [], False
+            i += 1
+            continue
+        if t.text == ":" and stmt and stmt[-1].text in (
+            "public", "private", "protected"
+        ):
+            stmt, nested_group = [], False  # access specifier
+            i += 1
+            continue
+        stmt.append(t)
+        i += 1
+    if stmt:
+        _classify_statement(stmt, cls, nested_group)
+
+
+def _is_braced_member(stmt: list[Token]) -> bool:
+    """After consuming a brace group: does the statement look like it will
+    continue with a declarator (member of anonymous/nested type or a
+    brace initializer), i.e. `T x_{...}` (already has a name before the
+    brace) should NOT wait for more tokens, while `struct X {}` might be
+    followed by a declarator. We keep accumulating only for leading
+    class/struct/union/enum definitions."""
+    return bool(stmt) and stmt[0].text in ("struct", "class", "union", "enum")
+
+
+def _classify_statement(stmt: list[Token], cls: ClassModel,
+                        nested_group: bool) -> None:
+    if not stmt:
+        return
+    lead = stmt[0].text
+    if lead in _MEMBER_SKIP_LEAD:
+        return
+    if lead in ("struct", "class", "union"):
+        # Nested type definition; a trailing declarator would make it a
+        # member, but the repo has none — record as type and move on.
+        cls.members.append(MemberModel(
+            name=stmt[1].text if len(stmt) > 1 and stmt[1].kind == IDENT else "",
+            line=stmt[0].line, decl_text=_text(stmt), is_type=True))
+        return
+    text = _text(stmt)
+    if "operator" in (t.text for t in stmt):
+        return
+    # Find the initializer boundary: first top-level '=' or '{}' group.
+    decl = stmt
+    for k, t in enumerate(stmt):
+        if t.text == "=" or t.text == "{}":
+            decl = stmt[:k]
+            break
+    # Function (declaration or definition): declarator name directly
+    # followed by '(' where the name is not an annotation macro.
+    is_function = False
+    fn_name = ""
+    for k in range(len(decl) - 1):
+        if (
+            decl[k].kind == IDENT
+            and decl[k + 1].text == "("
+            and decl[k].text not in GUARD_MACROS
+            and not decl[k].text.startswith("TEXTMR_")
+            and decl[k].text not in _KEYWORD_CALLS
+        ):
+            is_function = True
+            fn_name = decl[k].text
+            break
+    if is_function:
+        cls.members.append(MemberModel(
+            name=fn_name, line=stmt[0].line, decl_text=text,
+            is_function=True))
+        return
+    # Data member: name = last identifier before annotation macro / '[' /
+    # end of decl.
+    name_tok = None
+    for t in decl:
+        if t.text in GUARD_MACROS or t.text == "[":
+            break
+        if t.kind == IDENT and t.text not in (
+            "const", "static", "mutable", "volatile", "constexpr", "inline",
+            "signed", "unsigned", "long", "short",
+        ):
+            name_tok = t
+    if name_tok is None:
+        return
+    decl_types = text
+    is_guarded = any(t.text in GUARD_MACROS for t in stmt)
+    is_static = any(t.text in ("static", "constexpr") for t in decl)
+    has_ptr = any(t.text == "*" for t in decl)
+    prev = ""
+    is_const = False
+    for t in decl:
+        if t is name_tok:
+            is_const = prev == "const" or (
+                "const" in (x.text for x in decl) and not has_ptr
+            )
+            break
+        prev = t.text
+    cls.members.append(MemberModel(
+        name=name_tok.text,
+        line=name_tok.line,
+        decl_text=decl_types,
+        is_static=is_static,
+        is_const=is_const,
+        is_reference=any(t.text in ("&", "&&") for t in decl),
+        is_atomic="atomic" in decl_types,
+        is_guarded=is_guarded,
+        # A pointer to / container of a sync type is ordinary data, not a
+        # capability (e.g. the rank registry's vector<const Mutex*>).
+        is_sync=(
+            any(m in decl_types for m in SYNC_TYPE_MARKERS)
+            and not has_ptr
+            and not any(c in decl_types for c in ("vector", "deque", "map"))
+        ),
+    ))
+
+
+# ---- functions ---------------------------------------------------------------
+
+def _scan_functions(tokens: list[Token], model: FileModel) -> None:
+    n = len(tokens)
+    i = 0
+    while i < n - 1:
+        if not (tokens[i].kind == IDENT and tokens[i + 1].text == "("):
+            i += 1
+            continue
+        name = tokens[i].text
+        if name in _KEYWORD_CALLS or name.startswith("TEXTMR_"):
+            i += 1
+            continue
+        try:
+            close = match_forward(tokens, i + 1, "(", ")")
+        except LexError:
+            break
+        body_open = _find_body_open(tokens, close + 1)
+        if body_open < 0:
+            i += 1
+            continue
+        try:
+            body_close = match_forward(tokens, body_open, "{", "}")
+        except LexError:
+            break
+        params = _parse_params(tokens[i + 2 : close])
+        ret = _return_type(tokens, i)
+        model.functions.append(FunctionModel(
+            name=name, line=tokens[i].line, params=params,
+            body=tokens[body_open + 1 : body_close], return_type=ret,
+            class_name=""))
+        # Continue scanning *inside* the body too (lambdas, local fns are
+        # rare; nested captures would double-report, so skip the body).
+        i = body_close + 1
+    _attach_methods(model)
+
+
+def _find_body_open(tokens: list[Token], i: int) -> int:
+    """From just after the parameter ')': returns the index of the body
+    '{', or -1 if this is not a function definition."""
+    n = len(tokens)
+    while i < n:
+        t = tokens[i].text
+        if t == "{":
+            return i
+        if t in (";", "}", ")", "=", "#"):
+            return -1
+        if t == ":":
+            # Constructor init list: `: name(...) , name{...} , ... {`.
+            # Parse it structurally — each initializer is an identifier
+            # path followed by one (...) or {...} group — so the body
+            # brace is unambiguous. Anything else → not a definition.
+            i += 1
+            while i < n:
+                # Identifier path (possibly qualified / templated).
+                saw_name = False
+                while i < n and (tokens[i].kind == IDENT or
+                                 tokens[i].text == "::"):
+                    saw_name = tokens[i].kind == IDENT or saw_name
+                    i += 1
+                if i < n and tokens[i].text == "<":
+                    depth = 0
+                    while i < n:
+                        if tokens[i].text == "<":
+                            depth += 1
+                        elif tokens[i].text == ">":
+                            depth -= 1
+                            if depth == 0:
+                                i += 1
+                                break
+                        i += 1
+                if not saw_name:
+                    return -1
+                if i >= n or tokens[i].text not in ("(", "{"):
+                    return -1
+                opener = tokens[i].text
+                i = match_forward(tokens, i, opener,
+                                  ")" if opener == "(" else "}") + 1
+                if i < n and tokens[i].text == ",":
+                    i += 1
+                    continue
+                if i < n and tokens[i].text == "{":
+                    return i
+                return -1
+            return -1
+        if t == "(":
+            i = match_forward(tokens, i, "(", ")")
+        elif t == "[":
+            i = match_forward(tokens, i, "[", "]")
+        elif tokens[i].kind == IDENT or t in _FN_TAIL_OK:
+            pass
+        else:
+            return -1
+        i += 1
+    return -1
+
+
+def _parse_params(tokens: list[Token]) -> list[Param]:
+    if not tokens:
+        return []
+    groups: list[list[Token]] = [[]]
+    depth = 0
+    for t in tokens:
+        if t.text in ("(", "<", "[", "{"):
+            depth += 1
+        elif t.text in (")", ">", "]", "}"):
+            depth -= 1
+        if t.text == "," and depth == 0:
+            groups.append([])
+        else:
+            groups[-1].append(t)
+    params = []
+    for g in groups:
+        # Drop default argument.
+        for k, t in enumerate(g):
+            if t.text == "=":
+                g = g[:k]
+                break
+        if not g:
+            continue
+        name = ""
+        if g[-1].kind == IDENT and g[-1].text not in ("const", "void"):
+            name = g[-1].text
+            g = g[:-1]
+        params.append(Param(name=name, type_text=_text(g)))
+    return params
+
+
+def _return_type(tokens: list[Token], name_idx: int) -> str:
+    """Best-effort return type: tokens between the previous statement
+    boundary and the function name."""
+    stop = {";", "}", "{", ":", "(", ")", ","}
+    j = name_idx - 1
+    parts: list[Token] = []
+    while j >= 0 and tokens[j].text not in stop and len(parts) < 12:
+        if tokens[j].text == ">":
+            # Walk back over a template argument list.
+            depth = 0
+            while j >= 0:
+                if tokens[j].text == ">":
+                    depth += 1
+                elif tokens[j].text == "<":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                parts.insert(0, tokens[j])
+                j -= 1
+            if j >= 0:
+                parts.insert(0, tokens[j])
+                j -= 1
+            continue
+        parts.insert(0, tokens[j])
+        j -= 1
+    return _text(parts)
+
+
+def _attach_methods(model: FileModel) -> None:
+    """Tags functions whose name matches Class::name definitions."""
+    for fn in model.functions:
+        pass  # qualified names arrive as separate :: tokens; the checks
+        # that care about class context use ClassModel instead.
+
+
+# ---- switches ----------------------------------------------------------------
+
+def _scan_switches(tokens: list[Token], model: FileModel) -> None:
+    n = len(tokens)
+    fn_ranges = []
+    for fn in model.functions:
+        if fn.body:
+            fn_ranges.append((fn.body[0].line, fn.body[-1].line, fn.name))
+    i = 0
+    while i < n:
+        if tokens[i].text != "switch":
+            i += 1
+            continue
+        if i + 1 >= n or tokens[i + 1].text != "(":
+            i += 1
+            continue
+        close = match_forward(tokens, i + 1, "(", ")")
+        subject = _text(tokens[i + 2 : close])
+        if close + 1 >= n or tokens[close + 1].text != "{":
+            i = close
+            continue
+        body_close = match_forward(tokens, close + 1, "{", "}")
+        sw = SwitchModel(line=tokens[i].line, subject_text=subject)
+        for s, e, fname in fn_ranges:
+            if s <= tokens[i].line <= e:
+                sw.function_name = fname
+        depth = 0
+        j = close + 2
+        while j < body_close:
+            t = tokens[j]
+            if t.text in ("{", "(", "["):
+                depth += 1
+            elif t.text in ("}", ")", "]"):
+                depth -= 1
+            elif depth == 0 and t.text == "case":
+                label: list[Token] = []
+                j += 1
+                while j < body_close and tokens[j].text != ":":
+                    label.append(tokens[j])
+                    j += 1
+                sw.cases.append(_parse_case_label(label, t.line))
+            elif depth == 0 and t.text == "default":
+                sw.default_line = t.line
+            j += 1
+        model.switches.append(sw)
+        i = body_close + 1
+
+
+def _parse_case_label(label: list[Token], line: int) -> CaseLabel:
+    # `Op :: kX`, `failpoint :: ActionKind :: kX`, or an unscoped value.
+    idents = [t.text for t in label if t.kind == IDENT]
+    if len(idents) >= 2:
+        return CaseLabel(enum_name=idents[-2], enumerator=idents[-1], line=line)
+    return CaseLabel(enum_name="",
+                     enumerator=idents[-1] if idents else _text(label),
+                     line=line)

@@ -1,0 +1,209 @@
+"""C++ lexer for textmr-check (tools/check).
+
+Produces a flat token stream plus a per-line comment map. Unlike the
+regex line-stripping in tools/lint.py this is a real scanner: block
+comments spanning lines, raw string literals (R"delim(...)delim"),
+escapes in string/char literals and preprocessor continuations are all
+handled, so downstream checks never mistake comment or literal text for
+code. Comment *text* is preserved per line because the suppression
+(`check:allow(rule)`) and corpus-expectation (`check:expect(rule)`)
+markers live in comments.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+# Token kinds.
+IDENT = "ident"
+NUMBER = "number"
+STRING = "string"
+CHAR = "char"
+PUNCT = "punct"
+
+_IDENT_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_IDENT_CONT = _IDENT_START | set("0123456789")
+_DIGITS = set("0123456789")
+
+# Longest-match punctuation. Three-char first, then two-char; anything
+# else is a single character.
+_PUNCT3 = ("<=>", "->*", "<<=", ">>=", "...")
+_PUNCT2 = (
+    "::", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&",
+    "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+)
+
+_RAW_STRING_RE = re.compile(r'R"([^()\\ \t\n]{0,16})\(')
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    line: int  # 1-based
+
+
+class LexError(Exception):
+    pass
+
+
+def lex(text: str):
+    """Returns (tokens, comments) where comments maps line -> comment text
+    (all comment text that starts on or spans that line, concatenated)."""
+    tokens: list[Token] = []
+    comments: dict[int, str] = {}
+    i, n, line = 0, len(text), 1
+
+    def add_comment(start_line: int, end_line: int, body: str) -> None:
+        for ln in range(start_line, end_line + 1):
+            comments[ln] = comments.get(ln, "") + " " + body
+
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            continue
+        if c in " \t\r\f\v":
+            i += 1
+            continue
+        # Preprocessor directive: skip to end of line, honoring
+        # backslash continuations (comments inside are still comments).
+        if c == "#" and (not tokens or tokens[-1].line != line):
+            while i < n:
+                if text[i] == "\n":
+                    if i > 0 and text[i - 1] == "\\":
+                        line += 1
+                        i += 1
+                        continue
+                    break
+                # Line comment ends the directive logically.
+                if text.startswith("//", i):
+                    break
+                if text.startswith("/*", i):
+                    end = text.find("*/", i + 2)
+                    if end < 0:
+                        raise LexError(f"unterminated block comment at line {line}")
+                    line += text.count("\n", i, end)
+                    i = end + 2
+                    continue
+                i += 1
+            continue
+        if text.startswith("//", i):
+            end = text.find("\n", i)
+            end = n if end < 0 else end
+            add_comment(line, line, text[i:end])
+            i = end
+            continue
+        if text.startswith("/*", i):
+            end = text.find("*/", i + 2)
+            if end < 0:
+                raise LexError(f"unterminated block comment at line {line}")
+            body = text[i : end + 2]
+            start_line = line
+            line += body.count("\n")
+            add_comment(start_line, line, body)
+            i = end + 2
+            continue
+        # Raw string literal.
+        if c == "R" and text.startswith('R"', i):
+            m = _RAW_STRING_RE.match(text, i)
+            if m:
+                delim = m.group(1)
+                close = text.find(")" + delim + '"', m.end())
+                if close < 0:
+                    raise LexError(f"unterminated raw string at line {line}")
+                end = close + len(delim) + 2
+                tokens.append(Token(STRING, '""', line))
+                line += text.count("\n", i, end)
+                i = end
+                continue
+        if c == '"':
+            j = i + 1
+            while j < n:
+                if text[j] == "\\":
+                    j += 2
+                    continue
+                if text[j] == '"':
+                    break
+                if text[j] == "\n":
+                    raise LexError(f"unterminated string at line {line}")
+                j += 1
+            if j >= n:
+                raise LexError(f"unterminated string at line {line}")
+            tokens.append(Token(STRING, '""', line))
+            i = j + 1
+            continue
+        if c == "'":
+            j = i + 1
+            while j < n:
+                if text[j] == "\\":
+                    j += 2
+                    continue
+                if text[j] == "'":
+                    break
+                if text[j] == "\n":
+                    break  # stray quote (digit separator misuse); bail
+                j += 1
+            if j < n and text[j] == "'":
+                tokens.append(Token(CHAR, "''", line))
+                i = j + 1
+                continue
+            i += 1  # stray single quote; skip
+            continue
+        if c in _IDENT_START:
+            j = i + 1
+            while j < n and text[j] in _IDENT_CONT:
+                j += 1
+            tokens.append(Token(IDENT, text[i:j], line))
+            i = j
+            continue
+        if c in _DIGITS or (c == "." and i + 1 < n and text[i + 1] in _DIGITS):
+            j = i
+            # Good-enough C++ number scan incl. hex, exponents and digit
+            # separators; stops before ident-breaking punctuation.
+            while j < n and (
+                text[j] in _IDENT_CONT
+                or text[j] in ".'"
+                or (
+                    text[j] in "+-"
+                    and j > i
+                    and text[j - 1] in "eEpP"
+                )
+            ):
+                j += 1
+            tokens.append(Token(NUMBER, text[i:j], line))
+            i = j
+            continue
+        for p in _PUNCT3:
+            if text.startswith(p, i):
+                tokens.append(Token(PUNCT, p, line))
+                i += 3
+                break
+        else:
+            for p in _PUNCT2:
+                if text.startswith(p, i):
+                    tokens.append(Token(PUNCT, p, line))
+                    i += 2
+                    break
+            else:
+                tokens.append(Token(PUNCT, c, line))
+                i += 1
+    return tokens, comments
+
+
+def match_forward(tokens: list[Token], i: int, open_text: str,
+                  close_text: str) -> int:
+    """Index of the token closing the group opened at `i` (tokens[i] must
+    be `open_text`). Raises LexError when unbalanced."""
+    depth = 0
+    for j in range(i, len(tokens)):
+        t = tokens[j].text
+        if t == open_text:
+            depth += 1
+        elif t == close_text:
+            depth -= 1
+            if depth == 0:
+                return j
+    raise LexError(f"unbalanced '{open_text}' at line {tokens[i].line}")

@@ -1,0 +1,40 @@
+// textmr-check self-test corpus: decoder-bounds.
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+// Indexed read with no size guard anywhere before it.
+std::uint32_t decode_u16(std::string_view payload) {
+  return static_cast<std::uint32_t>(
+      (payload[0] << 8) | payload[1]);  // check:expect(decoder-bounds)
+}
+
+// memcpy out of a raw byte span with no guard.
+std::uint64_t parse_header(const char* data, std::size_t len, char* out) {
+  std::memcpy(out, data, 8);  // check:expect(decoder-bounds)
+  return len;
+}
+
+// Control: guarded reads are fine (the rule is flow-insensitive by
+// design — any size/remaining guard before the read counts).
+std::uint32_t decode_guarded(std::string_view payload) {
+  if (payload.size() < 2) {
+    return 0;
+  }
+  return static_cast<std::uint32_t>((payload[0] << 8) | payload[1]);
+}
+
+// Control: helper-based guards (ensure/require/check_size) count too.
+void require(bool ok);
+std::uint32_t parse_checked(std::string_view payload) {
+  require(payload.length() >= 4);
+  std::uint32_t v = 0;
+  std::memcpy(&v, payload.data(), 4);
+  return v;
+}
+
+// Control: functions not named decode_*/parse_* are out of scope.
+std::uint32_t peek_first(std::string_view payload) {
+  return static_cast<std::uint32_t>(payload[0]);
+}

@@ -1,0 +1,38 @@
+// textmr-check self-test corpus: lock-coverage.
+// Bare GUARDED_BY / Mutex spellings stand in for the TEXTMR_* macros —
+// the model accepts both, and the corpus must not depend on repo
+// headers.
+#include <atomic>
+#include <string>
+
+struct Mutex {};
+struct CondVar {};
+#define GUARDED_BY(x)
+
+// Every mutable member of a mutex-owning class needs an annotation.
+class BadUnannotated {
+ private:
+  Mutex mu_;
+  int counter_ = 0;  // check:expect(lock-coverage)
+  std::string name_;  // check:expect(lock-coverage)
+};
+
+// Control: annotated, atomic, const, static and sync members are all
+// exempt, so a fully-covered class is clean.
+class GoodCovered {
+ private:
+  Mutex mu_;
+  CondVar cv_;
+  int counter_ GUARDED_BY(mu_) = 0;
+  std::string name_ GUARDED_BY(mu_);
+  std::atomic<int> hits_{0};
+  const int limit_ = 8;
+  static constexpr int kMax = 4;
+};
+
+// Control: a class with no mutex is outside the rule entirely.
+class GoodNoMutex {
+ private:
+  int counter_ = 0;
+  std::string name_;
+};

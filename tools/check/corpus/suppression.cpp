@@ -1,0 +1,21 @@
+// textmr-check self-test corpus: suppression.
+// Every finding here carries a check:allow marker, so the file must
+// report zero active findings and at least one suppressed finding —
+// proving the baseline mechanism actually works (the self-test asserts
+// both counts for this file by name).
+#include <string_view>
+
+struct Mutex {};
+
+class DeliberatelyUnguarded {
+ private:
+  Mutex mu_;
+  // check:allow(lock-coverage): written only before threads start
+  int config_value_ = 0;
+  int flags_ = 0;  // check:allow(lock-coverage): same-line marker form
+};
+
+std::uint32_t decode_trusted(std::string_view payload) {
+  // check:allow(decoder-bounds): caller guarantees >= 2 bytes
+  return static_cast<std::uint32_t>((payload[0] << 8) | payload[1]);
+}

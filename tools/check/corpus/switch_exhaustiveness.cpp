@@ -1,0 +1,76 @@
+// textmr-check self-test corpus: switch-exhaustiveness.
+// A local three-enumerator MsgType overrides the in-tree snapshot for
+// this run, so the expectations stay stable as the real protocol grows.
+enum class MsgType { kPing, kPong, kClose };
+enum class Op { kMapRead, kEmit, kNumOps };
+
+void handle_ping();
+void handle_pong();
+void handle_close();
+void handle_other();
+
+// Missing kClose: the dispatch site must decide what it means.
+void bad_missing_case(MsgType t) {
+  switch (t) {  // check:expect(switch-exhaustiveness)
+    case MsgType::kPing:
+      handle_ping();
+      break;
+    case MsgType::kPong:
+      handle_pong();
+      break;
+  }
+}
+
+// 'default:' swallows future enumerators even when all current ones
+// are listed.
+void bad_default(MsgType t) {
+  switch (t) {
+    case MsgType::kPing:
+      handle_ping();
+      break;
+    case MsgType::kPong:
+      handle_pong();
+      break;
+    case MsgType::kClose:
+      handle_close();
+      break;
+    default:  // check:expect(switch-exhaustiveness)
+      handle_other();
+      break;
+  }
+}
+
+// Control: exhaustive, no default. kNumOps is a sentinel the rule
+// does not require.
+void good_exhaustive(MsgType t, Op op) {
+  switch (t) {
+    case MsgType::kPing:
+      handle_ping();
+      break;
+    case MsgType::kPong:
+      handle_pong();
+      break;
+    case MsgType::kClose:
+      handle_close();
+      break;
+  }
+  switch (op) {
+    case Op::kMapRead:
+      handle_ping();
+      break;
+    case Op::kEmit:
+      handle_pong();
+      break;
+  }
+}
+
+// Control: switches over unregistered enums are never checked.
+enum class Color { kRed, kGreen };
+void good_unregistered(Color c) {
+  switch (c) {
+    case Color::kRed:
+      break;
+    default:
+      break;
+  }
+}

@@ -1,0 +1,64 @@
+// textmr-check self-test corpus: view-escape.
+// Every line tagged check:expect(<rule>) MUST produce exactly that
+// finding; untagged lines must stay clean. The snippets are
+// deliberately minimal — they are parsed, never compiled.
+#include <string>
+#include <string_view>
+#include <vector>
+
+// A view parameter stored into a view-typed member outlives the call.
+class BadMemberStore {
+ public:
+  void set(std::string_view v) {
+    view_ = v;  // check:expect(view-escape)
+  }
+
+ private:
+  std::string_view view_;
+};
+
+// A view parameter stored into a member container of views.
+class BadContainerStore {
+ public:
+  void add(std::string_view v) {
+    views_.push_back(v);  // check:expect(view-escape)
+  }
+
+ private:
+  std::vector<std::string_view> views_;
+};
+
+// A view parameter escaping through a view out-parameter.
+void bad_out_param(std::string_view p, std::string_view& out) {
+  out = p;  // check:expect(view-escape)
+}
+
+// A view bound to a std::string temporary dies at the semicolon.
+void bad_temporary() {
+  std::string_view sv = std::string("temp");  // check:expect(view-escape)
+  (void)sv;
+}
+
+// Returning a view of a function-local owning string.
+std::string_view bad_return_local() {
+  std::string s = "local";
+  return s;  // check:expect(view-escape)
+}
+
+// Returning a view of a temporary built in the return statement.
+std::string_view bad_return_temp() {
+  return std::string("temp");  // check:expect(view-escape)
+}
+
+// Control: copying into owned storage is fine.
+class GoodCopyStore {
+ public:
+  void set(std::string_view v) {
+    owned_.assign(v.data(), v.size());
+    names_.push_back(std::string(v));
+  }
+
+ private:
+  std::string owned_;
+  std::vector<std::string> names_;
+};

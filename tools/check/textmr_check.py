@@ -1,0 +1,254 @@
+#!/usr/bin/env python3
+"""textmr-check: AST-grounded static analyzer for project invariants the
+regex lint (tools/lint.py) and stock clang-tidy cannot express
+(DESIGN.md §13).
+
+Rules (run `--list-checks` for the live catalog):
+  view-escape            views must not outlive the bytes they borrow
+  arena-lifetime         no RecordRef/cursor use after arena reset /
+                         spill release
+  lock-coverage          every mutable member of a Mutex-owning class is
+                         GUARDED_BY-annotated or explicitly exempted
+  switch-exhaustiveness  dispatch switches over mr::Op, cluster::MsgType
+                         and failpoint::ActionKind cover every
+                         enumerator, with no 'default:' escape hatch
+  decoder-bounds         decode_*/parse_* functions bounds-check before
+                         indexed reads
+
+Frontends: `clang` parses each TU through libclang using the flags in
+--compile-db and overlays canonical types on the token IR; `lite` is
+the token frontend alone (no toolchain needed). `auto` (default) uses
+clang when the bindings are importable, otherwise lite. With
+`--frontend=clang` and no usable libclang the tool *skips* — warning +
+exit 0 — mirroring tools/lint.py's clang-format behavior, so tier-1
+builds never depend on the clang toolchain.
+
+Suppression: a finding is suppressed by `// check:allow(<rule>)` (with
+an optional `: reason`) on the same or the preceding line. Suppressed
+findings still appear in --json output with "suppressed": true.
+
+Exit status: 0 clean/skipped, 1 unsuppressed findings, 2 internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import check_frontend_clang  # noqa: E402
+import check_frontend_lite  # noqa: E402
+from check_lexer import LexError  # noqa: E402
+from check_model import FileModel  # noqa: E402
+from check_rules import RULES, run_rules, split_suppressed  # noqa: E402
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+SOURCE_SUFFIXES = (".cpp", ".cc", ".hpp", ".h")
+
+
+def collect_sources(paths: list[str]) -> list[str]:
+    files: list[str] = []
+    for p in paths:
+        ap = p if os.path.isabs(p) else os.path.join(REPO, p)
+        if os.path.isfile(ap):
+            files.append(ap)
+            continue
+        for root, _dirs, names in os.walk(ap):
+            for name in sorted(names):
+                if name.endswith(SOURCE_SUFFIXES):
+                    files.append(os.path.join(root, name))
+    return sorted(set(files))
+
+
+def build_models(files: list[str], frontend: str,
+                 compile_db: str | None) -> tuple[list[FileModel], str]:
+    """Returns (models, frontend_used)."""
+    use_clang = False
+    if frontend in ("clang", "auto"):
+        use_clang = check_frontend_clang.available()
+    models: list[FileModel] = []
+    refined = 0
+    for path in files:
+        rel = os.path.relpath(path, REPO).replace(os.sep, "/")
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        try:
+            model = check_frontend_lite.parse_file(rel, text)
+        except LexError as e:
+            print(f"textmr-check: {rel}: {e}", file=sys.stderr)
+            raise
+        if use_clang and check_frontend_clang.refine(
+                model, path, compile_db, REPO):
+            refined += 1
+        models.append(model)
+    used = f"clang ({refined}/{len(files)} TUs refined)" if use_clang \
+        else "lite"
+    return models, used
+
+
+def run_self_test(frontend: str, compile_db: str | None) -> int:
+    """Proves every rule still fires: each corpus line tagged
+    `check:expect(<rule>)` must produce exactly that active finding, no
+    untagged finding may appear, every rule must be exercised, and
+    suppression.cpp must yield only suppressed findings. A rule that
+    silently stops firing therefore fails CI."""
+    corpus = os.path.join(REPO, "tools", "check", "corpus")
+    files = collect_sources([corpus])
+    if not files:
+        print(f"textmr-check: self-test corpus missing at {corpus}",
+              file=sys.stderr)
+        return 2
+    try:
+        models, frontend_used = build_models(files, frontend, compile_db)
+    except LexError:
+        return 2
+    active, suppressed = split_suppressed(models, run_rules(models))
+
+    failures: list[str] = []
+    expected: dict[tuple[str, str, int], bool] = {}
+    for fm in models:
+        for rule, ln in fm.expects():
+            if rule not in RULES:
+                failures.append(
+                    f"{fm.path}:{ln}: check:expect names unknown rule "
+                    f"'{rule}'")
+                continue
+            expected[(fm.path, rule, ln)] = False
+    for f in active:
+        key = (f.path, f.rule, f.line)
+        if key in expected:
+            expected[key] = True
+        else:
+            failures.append(f"unexpected finding: {f.render()}")
+    for (path, rule, ln), hit in sorted(expected.items()):
+        if not hit:
+            failures.append(f"{path}:{ln}: expected [{rule}] did not fire")
+    for f in suppressed:
+        if not f.path.endswith("suppression.cpp"):
+            failures.append(f"stray suppression outside suppression.cpp: "
+                            f"{f.render()}")
+    if not any(f.path.endswith("suppression.cpp") for f in suppressed):
+        failures.append("suppression.cpp yielded no suppressed findings; "
+                        "the check:allow mechanism is broken")
+    unexercised = set(RULES) - {rule for (_, rule, _) in expected}
+    if unexercised:
+        failures.append("corpus exercises no snippet for rule(s): "
+                        + ", ".join(sorted(unexercised)))
+
+    for msg in failures:
+        print(f"textmr-check self-test: FAIL: {msg}")
+    verdict = "FAIL" if failures else "ok"
+    print(f"textmr-check self-test: {verdict} — {len(expected)} expected "
+          f"findings over {len(files)} corpus files, "
+          f"{len(suppressed)} suppressed [frontend: {frontend_used}]")
+    return 1 if failures else 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        prog="textmr-check",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--frontend", choices=("auto", "clang", "lite"),
+                        default="auto")
+    parser.add_argument("--compile-db", default=os.path.join(
+        REPO, "build", "compile_commands.json"),
+        help="compile_commands.json for the clang frontend")
+    parser.add_argument("--paths", nargs="*", default=["src"],
+                        help="files or directories to analyze "
+                             "(default: src)")
+    parser.add_argument("--rules", default="",
+                        help="comma-separated rule subset")
+    parser.add_argument("--json", dest="json_out", default="",
+                        help="write a findings JSON artifact here")
+    parser.add_argument("--list-checks", action="store_true")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the known-bad corpus under "
+                             "tools/check/corpus and verify every rule "
+                             "fires where expected")
+    parser.add_argument("--show-suppressed", action="store_true",
+                        help="also print suppressed findings")
+    args = parser.parse_args()
+
+    if args.list_checks:
+        for name in sorted(RULES):
+            _, desc = RULES[name]
+            print(f"{name}\n    {desc}")
+        return 0
+
+    rules = [r for r in args.rules.split(",") if r] or None
+    if rules:
+        unknown = [r for r in rules if r not in RULES]
+        if unknown:
+            print(f"textmr-check: unknown rule(s): {', '.join(unknown)}",
+                  file=sys.stderr)
+            return 2
+
+    if args.self_test:
+        return run_self_test(args.frontend, args.compile_db)
+
+    if args.frontend == "clang" and not check_frontend_clang.available():
+        print("textmr-check: libclang unavailable "
+              f"({check_frontend_clang.unavailable_reason()}); "
+              "skipping AST analysis (install the clang Python bindings "
+              "to enable, or use --frontend=lite)")
+        return 0
+
+    files = collect_sources(args.paths)
+    if not files:
+        print("textmr-check: no source files under "
+              f"{', '.join(args.paths)}", file=sys.stderr)
+        return 2
+
+    try:
+        models, frontend_used = build_models(files, args.frontend,
+                                             args.compile_db)
+    except LexError:
+        return 2
+
+    findings = run_rules(models, rules)
+    active, suppressed = split_suppressed(models, findings)
+
+    for f in active:
+        print(f.render())
+    if args.show_suppressed:
+        for f in suppressed:
+            print(f"{f.render()}  [suppressed]")
+
+    if args.json_out:
+        payload = {
+            "frontend": frontend_used,
+            "files_analyzed": len(files),
+            "rules": sorted(rules or RULES),
+            "findings": [
+                {"rule": f.rule, "path": f.path, "line": f.line,
+                 "message": f.message, "suppressed": False}
+                for f in active
+            ] + [
+                {"rule": f.rule, "path": f.path, "line": f.line,
+                 "message": f.message, "suppressed": True}
+                for f in suppressed
+            ],
+            "active": len(active),
+            "suppressed": len(suppressed),
+        }
+        with open(args.json_out, "w", encoding="utf-8") as out:
+            json.dump(payload, out, indent=2)
+            out.write("\n")
+
+    if active:
+        print(f"textmr-check: {len(active)} finding(s) "
+              f"({len(suppressed)} suppressed) over {len(files)} files "
+              f"[frontend: {frontend_used}]")
+        return 1
+    print(f"textmr-check: clean ({len(suppressed)} suppressed) over "
+          f"{len(files)} files [frontend: {frontend_used}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -72,12 +72,69 @@ def cxx_files(suffixes) -> list[Path]:
     return files
 
 
+RAW_STRING_OPEN_RE = re.compile(r'R"([^()\\ \t\n]{0,16})\(')
+
+
+def strip_noncode_text(text: str) -> list[str]:
+    """Returns `text` split into lines with comments and string/char
+    literal *contents* removed (literals collapse to ""/''), for the
+    content checks. A real scanner, not per-line regexes: `/* ... */`
+    block comments and raw strings (R"delim(...)delim") may span lines,
+    and both used to leak into (or hide from) the checks. Line count
+    and numbering are preserved exactly."""
+    lines: list[str] = []
+    cur: list[str] = []
+    i, n = 0, len(text)
+
+    def emit_span_newlines(start: int, end: int) -> None:
+        for ch in text[start:end]:
+            if ch == "\n":
+                lines.append("".join(cur))
+                cur.clear()
+
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            lines.append("".join(cur))
+            cur.clear()
+            i += 1
+            continue
+        if text.startswith("//", i):
+            end = text.find("\n", i)
+            i = n if end < 0 else end
+            continue
+        if text.startswith("/*", i):
+            close = text.find("*/", i + 2)
+            end = n if close < 0 else close + 2
+            emit_span_newlines(i, end)
+            i = end
+            continue
+        if c == "R" and text.startswith('R"', i):
+            m = RAW_STRING_OPEN_RE.match(text, i)
+            if m:
+                close = text.find(")" + m.group(1) + '"', m.end())
+                end = n if close < 0 else close + len(m.group(1)) + 2
+                cur.append('""')
+                emit_span_newlines(i, end)
+                i = end
+                continue
+        if c in ('"', "'"):
+            j = i + 1
+            while j < n and text[j] not in (c, "\n"):
+                j += 2 if text[j] == "\\" else 1
+            cur.append('""' if c == '"' else "''")
+            i = j + 1 if j < n and text[j] == c else j
+            continue
+        cur.append(c)
+        i += 1
+    lines.append("".join(cur))
+    return lines
+
+
 def strip_noncode(line: str) -> str:
-    """Crude removal of string literals and // comments for content checks."""
-    line = re.sub(r'"(\\.|[^"\\])*"', '""', line)
-    line = re.sub(r"'(\\.|[^'\\])*'", "''", line)
-    cut = line.find("//")
-    return line if cut < 0 else line[:cut]
+    """Single-line convenience wrapper over strip_noncode_text (a lone
+    line cannot carry cross-line comment state)."""
+    return strip_noncode_text(line)[0]
 
 
 def report(problems: list[str], path: Path, lineno: int, message: str) -> None:
@@ -97,10 +154,12 @@ def check_content_rules(problems: list[str]) -> None:
     for path in cxx_files(SOURCE_SUFFIXES):
         rel = str(path.relative_to(REPO)).replace("\\", "/")
         in_wrapper = rel in RAW_THREADING_ALLOWLIST
-        for lineno, raw in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        text = path.read_text(encoding="utf-8")
+        stripped = strip_noncode_text(text)
+        for lineno, (raw, code) in enumerate(
+                zip(text.splitlines(), stripped), 1):
             if ALLOW_MARKER in raw:
                 continue
-            code = strip_noncode(raw)
             if not in_wrapper and rel.startswith("src/"):
                 m = RAW_THREADING_RE.search(code)
                 if m:

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Regression tests for tools/lint.py's noncode stripper.
+
+The original strip_noncode worked line by line with regexes, so
+`/* ... */` block comments and raw string literals (R"(...)") leaked
+into — or hid from — the content checks. These tests pin the scanner
+behavior. Run directly (python3 tools/test_lint.py) or via the CI lint
+job; unittest exits nonzero on failure.
+"""
+
+import os
+import sys
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from lint import strip_noncode, strip_noncode_text  # noqa: E402
+
+
+class StripNoncodeTextTest(unittest.TestCase):
+    def test_line_comment_cut(self):
+        self.assertEqual(strip_noncode_text("int x;  // std::mutex\n"),
+                         ["int x;  ", ""])
+
+    def test_string_contents_removed(self):
+        self.assertEqual(strip_noncode_text('f("std::mutex");'),
+                         ['f("");'])
+
+    def test_escaped_quote_in_string(self):
+        self.assertEqual(strip_noncode_text(r'f("a\"b system( c");'),
+                         ['f("");'])
+
+    def test_char_literal(self):
+        self.assertEqual(strip_noncode_text("char c = '\\'';"),
+                         ["char c = '';"])
+
+    def test_block_comment_same_line(self):
+        # Regression: the old stripper left /* ... */ text in place.
+        self.assertEqual(strip_noncode_text("int x; /* std::mutex m; */"),
+                         ["int x; "])
+
+    def test_block_comment_code_after_close(self):
+        self.assertEqual(strip_noncode_text("/* note */ std::mutex m;"),
+                         [" std::mutex m;"])
+
+    def test_block_comment_spanning_lines_preserves_numbering(self):
+        text = "int a;\n/* std::mutex\n   system(\n*/\nstd::mutex m;\n"
+        self.assertEqual(
+            strip_noncode_text(text),
+            ["int a;", "", "", "", "std::mutex m;", ""])
+
+    def test_raw_string_hides_contents(self):
+        # Regression: the old stripper did not understand R"(...)", so a
+        # quote inside flipped its string state for the rest of the line.
+        self.assertEqual(strip_noncode_text('f(R"(std::mutex system( ")");'),
+                         ['f("");'])
+
+    def test_raw_string_with_delimiter(self):
+        self.assertEqual(
+            strip_noncode_text('f(R"x(a )" still raw system( )x");'),
+            ['f("");'])
+
+    def test_raw_string_spanning_lines_preserves_numbering(self):
+        # The "" marker lands on the opening line; code after the
+        # closing )" stays on its true line (here the trailing ';').
+        text = 'auto s = R"(line one\nstd::mutex\n)";\nsystem(1);\n'
+        self.assertEqual(strip_noncode_text(text),
+                         ['auto s = ""', "", ";", "system(1);", ""])
+
+    def test_comment_markers_inside_string_ignored(self):
+        self.assertEqual(strip_noncode_text('f("// not a comment");'),
+                         ['f("");'])
+        self.assertEqual(strip_noncode_text('f("/* not open");\nint x;'),
+                         ['f("");', "int x;"])
+
+    def test_unterminated_block_comment_swallows_rest(self):
+        self.assertEqual(strip_noncode_text("int a;\n/* open\nint b;"),
+                         ["int a;", "", ""])
+
+    def test_single_line_wrapper(self):
+        self.assertEqual(strip_noncode("x /* y */ z // w"), "x  z ")
+
+
+class LintContentIntegrationTest(unittest.TestCase):
+    """The stripped lines drive the existing content regexes; make sure
+    the end-to-end verdicts flip the right way."""
+
+    def _violations(self, text):
+        import lint
+        problems = []
+        stripped = lint.strip_noncode_text(text)
+        for raw, code in zip(text.splitlines(), stripped):
+            if lint.ALLOW_MARKER in raw:
+                continue
+            if lint.RAW_THREADING_RE.search(code):
+                problems.append("raw-threading")
+            if lint.BANNED_CALL_RE.search(code):
+                problems.append("banned-call")
+        return problems
+
+    def test_mutex_in_block_comment_is_clean(self):
+        self.assertEqual(
+            self._violations("/* std::mutex is banned here */\nint x;\n"),
+            [])
+
+    def test_mutex_in_raw_string_is_clean(self):
+        self.assertEqual(
+            self._violations('const char* kDoc = R"(use std::mutex)";\n'),
+            [])
+
+    def test_real_violation_after_comment_still_fires(self):
+        self.assertEqual(
+            self._violations("/* docs */\nstd::mutex m_;\n"),
+            ["raw-threading"])
+
+    def test_banned_call_still_fires(self):
+        self.assertEqual(self._violations("system(cmd);\n"), ["banned-call"])
+
+    def test_lint_allow_still_respected(self):
+        self.assertEqual(
+            self._violations("std::mutex m_;  // lint:allow\n"), [])
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)
