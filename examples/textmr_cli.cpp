@@ -13,16 +13,28 @@
 //              [--trace FILE] [--trace-jsonl FILE] [--metrics-json FILE]
 //              [--failpoints SPEC] [--max-task-attempts N]
 //              [--cluster-workers N] [--no-speculation]
+//              [--transport socketpair|tcp] [--listen HOST:PORT]
+//              [--external-workers N] [--io-timeout-ms MS]
+//              [--liveness-timeout-ms MS]
+//   textmr_cli worker APP INPUT... --out DIR --connect HOST:PORT
+//              [same job flags as run]
 //   APP = wordcount | invertedindex | wordpostag | accesslogsum |
 //         accesslogjoin | pagerank
+//
+// Multi-node quickstart (two terminals, DESIGN.md §14): terminal 1 runs
+// the coordinator with --transport tcp --listen 127.0.0.1:7070
+// --external-workers 1; terminal 2 starts the worker with the SAME app,
+// inputs and --out, plus --connect 127.0.0.1:7070.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <map>
 #include <set>
 #include <optional>
 
+#include "cluster/worker.hpp"
 #include "common/failpoint.hpp"
 #include "mr/report.hpp"
 #include "textmr.hpp"
@@ -86,9 +98,31 @@ int usage() {
                "             [--metrics-json FILE]\n"
                "             [--failpoints SPEC] [--max-task-attempts N]\n"
                "             [--cluster-workers N] [--no-speculation]\n"
+               "             [--transport socketpair|tcp] [--listen H:P]\n"
+               "             [--external-workers N] [--io-timeout-ms MS]\n"
+               "             [--liveness-timeout-ms MS]\n"
+               "  textmr_cli worker APP INPUT... --out DIR --connect H:P\n"
+               "             [--idle-timeout-ms MS] [same job flags as run]\n"
                "  APP: wordcount invertedindex wordpostag accesslogsum\n"
                "       accesslogjoin pagerank\n");
   return 2;
+}
+
+// Parses "host:port" into an Endpoint. Port 0 is allowed only when
+// `allow_port_zero` (a listener can let the kernel pick; a connect
+// target cannot).
+std::optional<cluster::Endpoint> parse_endpoint(const std::string& text,
+                                                bool allow_port_zero) {
+  const auto colon = text.rfind(':');
+  if (colon == std::string::npos || colon == 0) return std::nullopt;
+  char* end = nullptr;
+  const unsigned long port = std::strtoul(text.c_str() + colon + 1, &end, 10);
+  if (end == nullptr || *end != '\0' || port > 65535) return std::nullopt;
+  if (port == 0 && !allow_port_zero) return std::nullopt;
+  cluster::Endpoint ep;
+  ep.host = text.substr(0, colon);
+  ep.port = static_cast<std::uint16_t>(port);
+  return ep;
 }
 
 std::optional<apps::AppBundle> bundle_for(const std::string& name) {
@@ -145,12 +179,17 @@ int cmd_gen(const Args& args) {
   return usage();
 }
 
-int cmd_run(const Args& args) {
+// Builds the JobSpec shared by `run` and `worker`. An external worker
+// must construct the exact same spec as the coordinator — JobSpec
+// carries mapper/reducer factories (std::function), which cannot travel
+// over the wire, so both sides derive them from the same APP name and
+// flags. Returns nullopt on bad arguments (caller prints usage).
+std::optional<mr::JobSpec> build_job_spec(const Args& args) {
   const auto bundle = bundle_for(args.positional[1]);
-  if (!bundle.has_value()) return usage();
+  if (!bundle.has_value()) return std::nullopt;
   auto out_it = args.options.find("out");
   if (out_it == args.options.end() || args.positional.size() < 3) {
-    return usage();
+    return std::nullopt;
   }
 
   mr::JobSpec spec;
@@ -200,25 +239,71 @@ int cmd_run(const Args& args) {
   spec.max_task_attempts =
       static_cast<std::uint32_t>(args.u64("max-task-attempts", 3));
 
+  // Tracing must be decided here (not in cmd_run) because workers also
+  // need it on: a worker only ships trace chunks when its spec says so.
+  spec.trace.enabled = args.options.count("trace") > 0 ||
+                       args.options.count("trace-jsonl") > 0;
+  return spec;
+}
+
+int cmd_run(const Args& args) {
+  auto spec_opt = build_job_spec(args);
+  if (!spec_opt.has_value()) return usage();
+  mr::JobSpec& spec = *spec_opt;
+
   // Observability exports: --trace FILE (Chrome trace JSON for
   // chrome://tracing / Perfetto), --trace-jsonl FILE (one event per
   // line), --metrics-json FILE (the structured job report).
   const auto trace_path = args.options.find("trace");
   const auto jsonl_path = args.options.find("trace-jsonl");
   const auto metrics_path = args.options.find("metrics-json");
-  spec.trace.enabled = trace_path != args.options.end() ||
-                       jsonl_path != args.options.end();
 
   // --cluster-workers N runs the job on the multi-process ClusterEngine
   // (N forked workers, heartbeats, speculative execution) instead of the
   // in-process thread pool; output bytes are identical either way.
+  // --transport tcp switches the control channels to checksummed TCP
+  // frames and pulls shuffle data over per-worker shuffle servers;
+  // --external-workers N reserves N of the slots for processes started
+  // separately with `textmr_cli worker --connect` (DESIGN.md §14).
   mr::JobResult result;
   if (const std::uint64_t workers = args.u64("cluster-workers", 0);
       workers > 0) {
     cluster::ClusterConfig config;
     config.num_workers = static_cast<std::uint32_t>(workers);
     config.speculation = !args.flag("no-speculation");
-    result = cluster::ClusterEngine(config).run(spec);
+    if (const auto t = args.options.find("transport");
+        t != args.options.end()) {
+      config.transport = cluster::parse_transport_kind(t->second);
+    }
+    if (const auto l = args.options.find("listen"); l != args.options.end()) {
+      const auto ep = parse_endpoint(l->second, /*allow_port_zero=*/true);
+      if (!ep.has_value()) return usage();
+      config.listen = *ep;
+      config.transport = cluster::TransportKind::kTcp;  // --listen implies tcp
+    }
+    config.external_workers =
+        static_cast<std::uint32_t>(args.u64("external-workers", 0));
+    if (config.external_workers > 0) {
+      config.transport = cluster::TransportKind::kTcp;
+    }
+    if (args.options.count("io-timeout-ms") > 0) {
+      config.io_timeout_ms =
+          static_cast<std::int32_t>(args.u64("io-timeout-ms", 0));
+    } else if (config.transport == cluster::TransportKind::kTcp) {
+      config.io_timeout_ms = 30000;  // a dead TCP peer must not hang the job
+    }
+    config.liveness_timeout_ms =
+        static_cast<std::uint32_t>(args.u64("liveness-timeout-ms", 0));
+    cluster::ClusterEngine engine(config);
+    if (config.external_workers > 0) {
+      const cluster::Endpoint* ep = engine.listen_endpoint();
+      std::printf("coordinator listening on %s; waiting for %u external "
+                  "worker(s):\n  textmr_cli worker %s ... --connect %s\n",
+                  ep->to_string().c_str(), config.external_workers,
+                  args.positional[1].c_str(), ep->to_string().c_str());
+      std::fflush(stdout);
+    }
+    result = engine.run(spec);
   } else {
     result = mr::LocalEngine().run(spec);
   }
@@ -246,6 +331,34 @@ int cmd_run(const Args& args) {
   return 0;
 }
 
+// `textmr_cli worker` — joins a coordinator started with
+// --external-workers over TCP, runs tasks until told to shut down.
+// APP, INPUT... and --out must match the coordinator's invocation
+// exactly: the JobSpec (including the user-code factories it carries)
+// is rebuilt locally from them, only task assignments travel the wire.
+int cmd_worker(const Args& args) {
+  auto spec_opt = build_job_spec(args);
+  if (!spec_opt.has_value()) return usage();
+  const auto connect_it = args.options.find("connect");
+  if (connect_it == args.options.end()) return usage();
+  const auto endpoint =
+      parse_endpoint(connect_it->second, /*allow_port_zero=*/false);
+  if (!endpoint.has_value()) return usage();
+
+  cluster::RemoteWorkerOptions options;
+  options.idle_timeout_ms =
+      static_cast<std::uint32_t>(args.u64("idle-timeout-ms", 0));
+  if (args.options.count("io-timeout-ms") > 0) {
+    options.io_timeout_ms =
+        static_cast<std::int32_t>(args.u64("io-timeout-ms", 0));
+  }
+  std::printf("worker connecting to %s\n", endpoint->to_string().c_str());
+  std::fflush(stdout);
+  const int code = cluster::run_remote_worker(*endpoint, *spec_opt, options);
+  std::printf("worker finished (exit %d)\n", code);
+  return code;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -254,6 +367,7 @@ int main(int argc, char** argv) {
   try {
     if (args.positional[0] == "gen") return cmd_gen(args);
     if (args.positional[0] == "run") return cmd_run(args);
+    if (args.positional[0] == "worker") return cmd_worker(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

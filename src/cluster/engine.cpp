@@ -13,8 +13,11 @@
 #include <deque>
 #include <memory>
 #include <optional>
+#include <utility>
 
+#include "cluster/liveness.hpp"
 #include "cluster/protocol.hpp"
+#include "cluster/transport.hpp"
 #include "cluster/worker.hpp"
 #include "common/error.hpp"
 #include "common/logging.hpp"
@@ -27,11 +30,15 @@ namespace {
 /// Coordinator-side view of one worker process.
 struct WorkerHandle {
   std::uint32_t id = 0;
-  int fd = -1;
-  pid_t pid = -1;
+  Connection conn;
+  pid_t pid = -1;       // -1 for external (non-forked) workers
+  bool external = false;
   bool alive = true;
   bool reaped = false;
   FrameDecoder decoder;
+  /// Shuffle-server endpoint advertised via kHello; invalid (port 0)
+  /// until the hello arrives or when the worker serves no shuffle.
+  Endpoint shuffle;
   // Current dispatch (coordinator's view; confirmed by heartbeats).
   bool busy = false;
   TaskKind kind = TaskKind::kNone;
@@ -59,14 +66,33 @@ constexpr int kPollMs = 5;
 
 class Coordinator {
  public:
-  Coordinator(const mr::JobSpec& spec, const ClusterConfig& config)
-      : spec_(spec), config_(config), detector_(config.straggler) {}
+  Coordinator(const mr::JobSpec& spec, const ClusterConfig& config,
+              TcpTransport* tcp)
+      : spec_(spec),
+        config_(config),
+        detector_(config.straggler),
+        tcp_(tcp),
+        network_shuffle_(config.network_shuffle.value_or(
+            config.transport == TransportKind::kTcp)),
+        liveness_(config.liveness_timeout_ms, config.clock) {
+    if (config.transport == TransportKind::kTcp) {
+      transport_ = tcp_;
+    } else {
+      socketpair_ = make_socketpair_transport(config.io_timeout_ms);
+      transport_ = socketpair_.get();
+    }
+  }
 
   mr::JobResult run();
 
  private:
   // ---- process management ----
   void spawn_workers();
+  void accept_external_workers();
+  /// Sends one frame to a live worker, translating every failure mode
+  /// (EPIPE, timeout, injected fault) into worker death. Returns false
+  /// when the worker is now dead.
+  bool send_to(WorkerHandle& worker, std::string_view frame);
   void send_clock_probes();
   void broadcast_skew_plan();
   void on_worker_dead(WorkerHandle& worker);
@@ -90,6 +116,15 @@ class Coordinator {
   const mr::JobSpec& spec_;
   const ClusterConfig& config_;
   StragglerDetector detector_;
+
+  // Transport machinery (DESIGN.md §14). tcp_ outlives the coordinator
+  // (owned by ClusterEngine so tests can read the listener endpoint
+  // before run()); the socketpair transport is per-run.
+  TcpTransport* tcp_ = nullptr;
+  std::unique_ptr<Transport> socketpair_;
+  Transport* transport_ = nullptr;
+  const bool network_shuffle_;
+  LivenessTracker liveness_;
 
   // Skew plan (DESIGN.md §12): computed once on the coordinator and
   // broadcast verbatim so every worker routes identically.
@@ -116,6 +151,10 @@ class Coordinator {
   std::vector<mr::MapTaskResult> map_results_;
   std::vector<mr::ReduceTaskResult> reduce_results_;
   std::vector<io::SpillRunInfo> map_outputs_;
+  // Which worker's shuffle server owns each map task's winning run,
+  // parallel to map_outputs_. Invalid endpoint = read via shared FS
+  // (owner died, or network shuffle disabled).
+  std::vector<Endpoint> map_output_sources_;
 
   // Accounting.
   std::uint64_t task_attempts_ = 0;
@@ -129,47 +168,105 @@ class Coordinator {
 
 void Coordinator::spawn_workers() {
   workers_.reserve(config_.num_workers);
-  for (std::uint32_t w = 0; w < config_.num_workers; ++w) {
-    int sv[2];
-    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
-      throw IoError("socketpair failed: " + std::string(strerror(errno)));
-    }
+  const std::uint32_t forked = config_.num_workers - config_.external_workers;
+  for (std::uint32_t w = 0; w < forked; ++w) {
+    // Both channel ends exist before fork (TCP pairs connect+accept
+    // against the coordinator's own listener), so the child inherits an
+    // established, already-identified connection — no handshake needed.
+    Transport::WorkerChannel channel = transport_->make_worker_channel();
     // Flush stdio so the child doesn't replay buffered output.
     std::fflush(stdout);
     std::fflush(stderr);
     const pid_t pid = ::fork();
     if (pid < 0) {
-      ::close(sv[0]);
-      ::close(sv[1]);
+      ::close(channel.child_fd);
       kill_and_reap_all();
       throw IoError("fork failed: " + std::string(strerror(errno)));
     }
     if (pid == 0) {
       // Child: become worker `w`. Drop the coordinator ends — including
       // the channels of previously forked siblings, otherwise this
-      // process would hold them open and mask a sibling's death (EOF).
-      ::close(sv[0]);
-      for (const WorkerHandle& sibling : workers_) ::close(sibling.fd);
+      // process would hold them open and mask a sibling's death (EOF) —
+      // and any transport bookkeeping fds (the TCP listener).
+      channel.coordinator.close();
+      for (WorkerHandle& sibling : workers_) sibling.conn.close();
+      transport_->on_child_fork(channel.child_fd);
       if (config_.worker_init) config_.worker_init(w);
       WorkerContext ctx;
-      ctx.fd = sv[1];
+      ctx.fd = channel.child_fd;
       ctx.worker_id = w;
       ctx.heartbeat_interval_ms = config_.heartbeat_interval_ms;
+      ctx.frame_format = transport_->frame_format();
+      ctx.shuffle_enabled = network_shuffle_;
+      ctx.io_timeout_ms = config_.io_timeout_ms;
+      ctx.idle_timeout_ms = config_.worker_idle_timeout_ms;
       const int code = worker_main(ctx, spec_);
       // _exit: a forked clone must not run the parent's atexit chain or
       // gtest teardown; its heap intentionally dies with it.
       ::_exit(code);
     }
-    ::close(sv[1]);
-    const int flags = ::fcntl(sv[0], F_GETFL, 0);
-    ::fcntl(sv[0], F_SETFL, flags | O_NONBLOCK);
+    ::close(channel.child_fd);
     WorkerHandle handle;
     handle.id = w;
-    handle.fd = sv[0];
+    handle.conn = std::move(channel.coordinator);
     handle.pid = pid;
-    workers_.push_back(handle);
+    handle.decoder = FrameDecoder(transport_->frame_format());
+    workers_.push_back(std::move(handle));
+    liveness_.note_activity(w);
     if (config_.on_worker_spawn) config_.on_worker_spawn(w, pid);
   }
+  accept_external_workers();
+}
+
+/// Adopts externally-started workers: accept their TCP connections and
+/// assign worker ids via kWelcome. The worker replies with kHello
+/// (shuffle endpoint), handled by the normal event pump.
+void Coordinator::accept_external_workers() {
+  if (config_.external_workers == 0) return;
+  const std::uint32_t forked = config_.num_workers - config_.external_workers;
+  for (std::uint32_t w = forked; w < config_.num_workers; ++w) {
+    WorkerHandle handle;
+    handle.id = w;
+    handle.external = true;
+    handle.pid = -1;
+    handle.decoder = FrameDecoder(FrameFormat::kChecksummed);
+    try {
+      handle.conn = tcp_->accept_worker(config_.accept_timeout_ms);
+    } catch (const IoError& e) {
+      kill_and_reap_all();
+      throw IoError("external worker " + std::to_string(w) +
+                    " never connected: " + e.what());
+    }
+    WelcomeMsg welcome;
+    welcome.worker_id = w;
+    welcome.heartbeat_interval_ms = config_.heartbeat_interval_ms;
+    bool sent = false;
+    try {
+      sent = handle.conn.send(encode_welcome(welcome));
+    } catch (const IoError&) {
+      sent = false;
+    }
+    if (!sent) {
+      kill_and_reap_all();
+      throw IoError("external worker " + std::to_string(w) +
+                    " hung up during the welcome handshake");
+    }
+    workers_.push_back(std::move(handle));
+    liveness_.note_activity(w);
+    if (config_.on_worker_spawn) config_.on_worker_spawn(w, -1);
+  }
+}
+
+bool Coordinator::send_to(WorkerHandle& worker, std::string_view frame) {
+  if (!worker.alive) return false;
+  bool sent = false;
+  try {
+    sent = worker.conn.send(frame);
+  } catch (const IoError&) {
+    sent = false;
+  }
+  if (!sent) on_worker_dead(worker);
+  return sent;
 }
 
 /// Clock handshake, one probe per worker right after spawn. The worker
@@ -182,13 +279,7 @@ void Coordinator::send_clock_probes() {
     if (!worker.alive) continue;
     ClockProbeMsg probe;
     probe.t_send = monotonic_ns();
-    try {
-      if (!send_frame(worker.fd, encode_clock_probe(probe))) {
-        on_worker_dead(worker);
-      }
-    } catch (const IoError&) {
-      on_worker_dead(worker);
-    }
+    send_to(worker, encode_clock_probe(probe));
   }
 }
 
@@ -199,14 +290,7 @@ void Coordinator::send_clock_probes() {
 void Coordinator::broadcast_skew_plan() {
   const std::string frame = encode_skew_plan(skew_plan_);
   for (auto& worker : workers_) {
-    if (!worker.alive) continue;
-    try {
-      if (!send_frame(worker.fd, frame)) {
-        on_worker_dead(worker);
-      }
-    } catch (const IoError&) {
-      on_worker_dead(worker);
-    }
+    send_to(worker, frame);
   }
 }
 
@@ -223,8 +307,8 @@ void Coordinator::fail_job(std::exception_ptr error) {
 void Coordinator::on_worker_dead(WorkerHandle& worker) {
   if (!worker.alive) return;
   worker.alive = false;
-  ::close(worker.fd);
-  worker.fd = -1;
+  worker.conn.close();
+  liveness_.forget(worker.id);
   if (shutting_down_) {
     TEXTMR_LOG(kDebug) << "cluster worker " << worker.id << " (pid "
                        << worker.pid << ") exited";
@@ -254,6 +338,13 @@ void Coordinator::on_worker_dead(WorkerHandle& worker) {
 
 void Coordinator::kill_worker(WorkerHandle& worker) {
   if (!worker.alive) return;
+  if (worker.external) {
+    // No pid to signal: closing the control channel is the kill. The
+    // worker notices EOF (or the idle timeout) after its current task
+    // and exits; a loser attempt's late result has nowhere to go.
+    on_worker_dead(worker);
+    return;
+  }
   ::kill(worker.pid, SIGKILL);
   int status = 0;
   while (::waitpid(worker.pid, &status, 0) < 0 && errno == EINTR) {
@@ -300,17 +391,14 @@ bool Coordinator::dispatch_to(WorkerHandle& worker, TaskKind kind,
     msg.partition = task;
     msg.attempt = attempt;
     msg.map_outputs = map_outputs_;
+    // Network shuffle: tell the reducer which worker's shuffle server
+    // owns each run. An invalid endpoint (owner died before or after
+    // committing) falls back to the shared-filesystem read.
+    if (network_shuffle_) msg.sources = map_output_sources_;
     frame = encode_run_reduce(msg);
   }
-  bool sent = false;
-  try {
-    sent = send_frame(worker.fd, frame);
-  } catch (const IoError&) {
-    sent = false;
-  }
-  if (!sent) {
+  if (!send_to(worker, frame)) {
     state.next_attempt = attempt;  // attempt never started
-    on_worker_dead(worker);
     return false;
   }
   worker.busy = true;
@@ -353,6 +441,9 @@ void Coordinator::handle_frame(WorkerHandle& worker,
                                const std::string& frame) {
   WireReader r(frame);
   const MsgType type = static_cast<MsgType>(r.u8());
+  // Any frame is proof of life — heartbeats are the steady signal, but
+  // a worker busy shipping a huge trace chunk is just as alive.
+  liveness_.note_activity(worker.id);
   switch (type) {
     case MsgType::kHeartbeat: {
       HeartbeatMsg msg = decode_heartbeat(r);
@@ -360,6 +451,14 @@ void Coordinator::handle_frame(WorkerHandle& worker,
       if (msg.kind != TaskKind::kNone) {
         detector_.on_beat(msg.kind, msg.id, msg.attempt, msg.progress);
       }
+      return;
+    }
+    case MsgType::kHello: {
+      const HelloMsg msg = decode_hello(r);
+      worker.shuffle = msg.shuffle;
+      TEXTMR_LOG(kDebug) << "worker " << worker.id
+                         << " serves shuffle at "
+                         << worker.shuffle.to_string();
       return;
     }
     case MsgType::kClockSync: {
@@ -408,6 +507,10 @@ void Coordinator::handle_frame(WorkerHandle& worker,
       ++done_count_;
       detector_.note_completed(TaskKind::kMap, duration);
       map_results_[task] = std::move(result);
+      // The winner's shuffle server owns this run; reducers pull it
+      // from there (invalid endpoint when shuffle is off — reducers
+      // then read the run through the shared filesystem).
+      map_output_sources_[task] = worker.shuffle;
       kill_loser_attempts(TaskKind::kMap, task);
       return;
     }
@@ -469,13 +572,19 @@ void Coordinator::handle_frame(WorkerHandle& worker,
       queue_.push_back(msg.id);
       return;
     }
-    // Coordinator-to-worker messages, listed explicitly so adding a
-    // MsgType forces a decision here (-Wswitch + switch-exhaustiveness).
+    // Coordinator-to-worker and shuffle-channel messages, listed
+    // explicitly so adding a MsgType forces a decision here (-Wswitch +
+    // switch-exhaustiveness). The kShuffle* family never belongs on the
+    // control channel — it lives on dedicated server connections.
     case MsgType::kRunMap:
     case MsgType::kRunReduce:
     case MsgType::kShutdown:
     case MsgType::kClockProbe:
     case MsgType::kSkewPlan:
+    case MsgType::kWelcome:
+    case MsgType::kShuffleFetch:
+    case MsgType::kShuffleData:
+    case MsgType::kShuffleError:
       TEXTMR_LOG(kWarn) << "coordinator: unexpected message type "
                         << static_cast<int>(type) << " from worker "
                         << worker.id;
@@ -486,29 +595,22 @@ void Coordinator::handle_frame(WorkerHandle& worker,
 }
 
 void Coordinator::drain_worker(WorkerHandle& worker) {
-  char buf[65536];
-  while (true) {
-    const ssize_t n = ::recv(worker.fd, buf, sizeof(buf), 0);
-    if (n > 0) {
-      worker.decoder.feed(buf, static_cast<std::size_t>(n));
-      continue;
+  bool open = false;
+  try {
+    open = worker.conn.drain(worker.decoder);
+    // Flush complete frames — including, on EOF, any that raced the
+    // death. A corrupted stream (bad checksum, oversized frame) throws
+    // out of next(): the channel is desynchronized beyond repair, which
+    // is indistinguishable from a dead worker.
+    while (auto frame = worker.decoder.next()) {
+      handle_frame(worker, *frame);
     }
-    if (n == 0) {
-      // Flush any complete frames that raced the death.
-      while (auto frame = worker.decoder.next()) {
-        handle_frame(worker, *frame);
-      }
-      on_worker_dead(worker);
-      return;
-    }
-    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-    if (errno == EINTR) continue;
-    on_worker_dead(worker);
-    return;
+  } catch (const IoError& e) {
+    TEXTMR_LOG(kWarn) << "cluster worker " << worker.id
+                      << " channel unusable: " << e.what();
+    open = false;
   }
-  while (auto frame = worker.decoder.next()) {
-    handle_frame(worker, *frame);
-  }
+  if (!open) on_worker_dead(worker);
 }
 
 void Coordinator::pump_events() {
@@ -516,7 +618,7 @@ void Coordinator::pump_events() {
   std::vector<WorkerHandle*> owners;
   for (auto& worker : workers_) {
     if (!worker.alive) continue;
-    fds.push_back(pollfd{worker.fd, POLLIN, 0});
+    fds.push_back(pollfd{worker.conn.fd(), POLLIN, 0});
     owners.push_back(&worker);
   }
   if (fds.empty()) return;
@@ -532,6 +634,17 @@ void Coordinator::pump_events() {
     if (!owners[i]->alive) continue;
     if (fds[i].revents & (POLLIN | POLLHUP | POLLERR)) {
       drain_worker(*owners[i]);
+    }
+  }
+  // Liveness: a TCP peer that lost power never EOFs — silence is the
+  // only signal. Workers whose deadline passed are declared dead (and
+  // SIGKILLed when forked, in case the process is alive but wedged).
+  if (liveness_.enabled()) {
+    for (auto& worker : workers_) {
+      if (!worker.alive || !liveness_.expired(worker.id)) continue;
+      TEXTMR_LOG(kWarn) << "cluster worker " << worker.id
+                        << " silent past liveness timeout; declaring dead";
+      kill_worker(worker);
     }
   }
 }
@@ -582,19 +695,13 @@ void Coordinator::run_phase(TaskKind kind, std::uint32_t num_tasks) {
 
 void Coordinator::shutdown_workers() {
   shutting_down_ = true;
+  const std::string shutdown_frame = [] {
+    WireWriter w;
+    w.u8(static_cast<std::uint8_t>(MsgType::kShutdown));
+    return w.take();
+  }();
   for (auto& worker : workers_) {
-    if (!worker.alive) continue;
-    try {
-      if (!send_frame(worker.fd, [] {
-            WireWriter w;
-            w.u8(static_cast<std::uint8_t>(MsgType::kShutdown));
-            return w.take();
-          }())) {
-        on_worker_dead(worker);
-      }
-    } catch (const IoError&) {
-      on_worker_dead(worker);
-    }
+    send_to(worker, shutdown_frame);
   }
   // Drain until every worker EOFs (shipping its final trace chunks and
   // stats on the way out) or the grace period expires — a still-running
@@ -610,12 +717,14 @@ void Coordinator::shutdown_workers() {
 void Coordinator::kill_and_reap_all() {
   for (auto& worker : workers_) {
     if (worker.alive) {
-      ::kill(worker.pid, SIGKILL);
+      // External workers have no pid here; dropping the channel is the
+      // strongest signal the coordinator can send them.
+      if (!worker.external) ::kill(worker.pid, SIGKILL);
       on_worker_dead(worker);
     }
   }
   for (auto& worker : workers_) {
-    if (worker.reaped || worker.pid <= 0) continue;
+    if (worker.external || worker.reaped || worker.pid <= 0) continue;
     int status = 0;
     while (::waitpid(worker.pid, &status, 0) < 0 && errno == EINTR) {
     }
@@ -627,6 +736,13 @@ mr::JobResult Coordinator::run() {
   mr::validate_job(spec_);
   if (config_.num_workers == 0) {
     throw ConfigError("cluster needs >= 1 worker");
+  }
+  if (config_.external_workers > config_.num_workers) {
+    throw ConfigError("external_workers exceeds num_workers");
+  }
+  if (config_.external_workers > 0 &&
+      config_.transport != TransportKind::kTcp) {
+    throw ConfigError("external workers require the tcp transport");
   }
   std::filesystem::create_directories(spec_.scratch_dir);
   std::filesystem::create_directories(spec_.output_dir);
@@ -673,6 +789,7 @@ mr::JobResult Coordinator::run() {
     const std::uint32_t num_map_tasks =
         static_cast<std::uint32_t>(spec_.inputs.size());
     map_results_.assign(num_map_tasks, mr::MapTaskResult{});
+    map_output_sources_.assign(num_map_tasks, Endpoint{});
     run_phase(TaskKind::kMap, num_map_tasks);
     map_span.done();
     result.metrics.map_phase_wall_ns = monotonic_ns() - map_start;
@@ -763,10 +880,22 @@ mr::JobResult Coordinator::run() {
 }  // namespace
 
 ClusterEngine::ClusterEngine(ClusterConfig config)
-    : config_(std::move(config)) {}
+    : config_(std::move(config)) {
+  // The TCP listener is engine-scoped (not per-run) so callers can read
+  // the resolved port — and point external workers at it — before run().
+  if (config_.transport == TransportKind::kTcp) {
+    tcp_ = make_tcp_transport(config_.listen, config_.io_timeout_ms);
+  }
+}
+
+ClusterEngine::~ClusterEngine() = default;
+
+const Endpoint* ClusterEngine::listen_endpoint() const {
+  return tcp_ != nullptr ? &tcp_->listen_endpoint() : nullptr;
+}
 
 mr::JobResult ClusterEngine::run(const mr::JobSpec& spec) {
-  Coordinator coordinator(spec, config_);
+  Coordinator coordinator(spec, config_, tcp_.get());
   return coordinator.run();
 }
 

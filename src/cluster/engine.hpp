@@ -2,8 +2,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <optional>
 
 #include "cluster/straggler.hpp"
+#include "cluster/transport.hpp"
+#include "common/clock.hpp"
 #include "mr/job.hpp"
 
 namespace textmr::cluster {
@@ -11,10 +15,51 @@ namespace textmr::cluster {
 /// Cluster-execution knobs, orthogonal to the JobSpec (which describes
 /// the computation; this describes the machinery running it).
 struct ClusterConfig {
-  /// Worker processes to fork. Each models one shared-nothing node with
-  /// one task slot; map_parallelism/reduce_parallelism in the JobSpec are
+  /// Worker processes. Each models one shared-nothing node with one
+  /// task slot; map_parallelism/reduce_parallelism in the JobSpec are
   /// ignored by this engine (parallelism = workers).
   std::uint32_t num_workers = 2;
+
+  /// How coordinator and workers talk (DESIGN.md §14): kSocketpair is
+  /// the original fork+socketpair shape; kTcp runs checksummed frames
+  /// over real sockets and enables external workers + network shuffle.
+  TransportKind transport = TransportKind::kSocketpair;
+
+  /// TCP listener for worker channels (kTcp only). Port 0 = kernel
+  /// assigned; give a fixed port when external workers must find it.
+  Endpoint listen;
+
+  /// Of num_workers, how many join externally (`textmr_cli worker
+  /// --connect`) instead of being forked. kTcp only.
+  std::uint32_t external_workers = 0;
+
+  /// How long spawn waits for each external worker to dial in.
+  std::int32_t accept_timeout_ms = 30000;
+
+  /// Per-frame send/recv budget on coordinator↔worker channels;
+  /// -1 = no limit (the socketpair default — local peers either respond
+  /// or EOF promptly).
+  std::int32_t io_timeout_ms = -1;
+
+  /// Coordinator-side liveness: a worker silent longer than this (no
+  /// frames, heartbeats included) is declared dead. 0 disables — right
+  /// for socketpair (EOF detection is reliable) and required by the
+  /// heartbeat-stall failpoint tests; TCP multi-host setups should arm
+  /// it (a powered-off peer never EOFs).
+  std::uint32_t liveness_timeout_ms = 0;
+
+  /// Worker-side mirror of the same: exit when the coordinator sends
+  /// nothing for this long while the worker is idle. 0 = wait forever.
+  std::uint32_t worker_idle_timeout_ms = 0;
+
+  /// Pull map output from per-worker shuffle servers instead of reading
+  /// spill runs through the shared filesystem. Defaults to on for kTcp,
+  /// off for kSocketpair; set explicitly to override (tests exercise
+  /// both shapes on both transports).
+  std::optional<bool> network_shuffle;
+
+  /// Clock injected into the liveness tracker (ManualClock in tests).
+  const common::Clock* clock = nullptr;
 
   /// Launch speculative duplicate attempts for straggling tasks
   /// (paper §II-A backup tasks). First finished attempt wins; the
@@ -36,20 +81,24 @@ struct ClusterConfig {
   std::function<void(std::uint32_t worker_id)> worker_init;
 
   /// Test seam: observes spawned worker pids in the coordinator
-  /// (SIGKILL-based fault injection).
+  /// (SIGKILL-based fault injection). External workers report pid -1.
   std::function<void(std::uint32_t worker_id, int pid)> on_worker_spawn;
 };
 
-/// Multi-process shared-nothing MapReduce engine (DESIGN.md §10): forks
-/// `num_workers` clones of the current process, dispatches map/reduce
-/// tasks over per-worker socketpair control channels, shuffles through
-/// spill-run files on the shared filesystem, and recovers from worker
-/// death and stragglers (heartbeats + speculative execution). Produces
-/// byte-identical output to LocalEngine for deterministic applications —
-/// the cross-engine differential battery enforces exactly that.
+/// Multi-process shared-nothing MapReduce engine (DESIGN.md §10, §14):
+/// runs `num_workers` workers — forked clones of the current process
+/// and/or externally-started processes that dial in over TCP —
+/// dispatches map/reduce tasks over per-worker framed control channels,
+/// shuffles either through spill-run files on the shared filesystem or
+/// by pulling partitions from per-worker shuffle servers, and recovers
+/// from worker death and stragglers (heartbeats + speculative
+/// execution). Produces byte-identical output to LocalEngine for
+/// deterministic applications — the cross-engine differential battery
+/// enforces exactly that, across both transports.
 class ClusterEngine {
  public:
   explicit ClusterEngine(ClusterConfig config = {});
+  ~ClusterEngine();
 
   /// Validates `spec`, runs the job across worker processes, returns
   /// outputs + metrics (+ the merged multi-process trace when enabled).
@@ -57,8 +106,13 @@ class ClusterEngine {
   /// task exhausts max_task_attempts or every worker dies.
   mr::JobResult run(const mr::JobSpec& spec);
 
+  /// kTcp only: the resolved listener address external workers connect
+  /// to (valid as soon as the engine is constructed). Null otherwise.
+  const Endpoint* listen_endpoint() const;
+
  private:
   ClusterConfig config_;
+  std::unique_ptr<TcpTransport> tcp_;
 };
 
 }  // namespace textmr::cluster

@@ -3,11 +3,15 @@
 #include <poll.h>
 #include <sys/socket.h>
 
+#include <algorithm>
+#include <array>
 #include <cerrno>
 #include <cstring>
 #include <unordered_map>
 
 #include "common/error.hpp"
+#include "common/failpoint.hpp"
+#include "common/stopwatch.hpp"
 
 namespace textmr::cluster {
 
@@ -24,6 +28,11 @@ const char* msg_type_name(MsgType type) {
     case MsgType::kTaskFailed: return "task_failed";
     case MsgType::kClockSync: return "clock_sync";
     case MsgType::kTraceChunk: return "trace_chunk";
+    case MsgType::kWelcome: return "welcome";
+    case MsgType::kHello: return "hello";
+    case MsgType::kShuffleFetch: return "shuffle_fetch";
+    case MsgType::kShuffleData: return "shuffle_data";
+    case MsgType::kShuffleError: return "shuffle_error";
   }
   return "unknown";
 }
@@ -98,6 +107,12 @@ std::string WireReader::str() {
   return v;
 }
 
+std::string WireReader::rest() {
+  std::string v(in_);
+  in_.remove_prefix(in_.size());
+  return v;
+}
+
 void WireReader::expect_done() const {
   if (!in_.empty()) throw FormatError("cluster frame has trailing bytes");
 }
@@ -123,6 +138,7 @@ void put_metrics(WireWriter& w, const mr::TaskMetrics& m) {
   w.u64(m.merged_records);
   w.u64(m.merged_bytes);
   w.u64(m.shuffled_bytes);
+  w.u64(m.shuffled_wire_bytes);
   w.u64(m.reduce_input_records);
   w.u64(m.reduce_groups);
   w.u64(m.output_records);
@@ -150,6 +166,7 @@ mr::TaskMetrics get_metrics(WireReader& r) {
   m.merged_records = r.u64();
   m.merged_bytes = r.u64();
   m.shuffled_bytes = r.u64();
+  m.shuffled_wire_bytes = r.u64();
   m.reduce_input_records = r.u64();
   m.reduce_groups = r.u64();
   m.output_records = r.u64();
@@ -202,6 +219,23 @@ io::SpillRunInfo get_run_info(WireReader& r) {
     run.partitions.push_back(extent);
   }
   return run;
+}
+
+void put_endpoint(WireWriter& w, const Endpoint& ep) {
+  w.str(ep.host);
+  w.u32(ep.port);
+}
+
+Endpoint get_endpoint(WireReader& r) {
+  Endpoint ep;
+  ep.host = r.str();
+  const std::uint32_t port = r.u32();
+  if (port > 0xffff) {
+    throw FormatError("cluster endpoint port " + std::to_string(port) +
+                      " out of range");
+  }
+  ep.port = static_cast<std::uint16_t>(port);
+  return ep;
 }
 
 void put_worker_metrics(WireWriter& w, const WorkerMetrics& m) {
@@ -268,6 +302,8 @@ std::string encode_run_reduce(const RunReduceMsg& msg) {
   w.u32(msg.attempt);
   w.u32(static_cast<std::uint32_t>(msg.map_outputs.size()));
   for (const auto& run : msg.map_outputs) put_run_info(w, run);
+  w.u32(static_cast<std::uint32_t>(msg.sources.size()));
+  for (const auto& source : msg.sources) put_endpoint(w, source);
   return w.take();
 }
 
@@ -279,6 +315,16 @@ RunReduceMsg decode_run_reduce(WireReader& r) {
   msg.map_outputs.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {
     msg.map_outputs.push_back(get_run_info(r));
+  }
+  const std::uint32_t num_sources = r.u32();
+  if (num_sources != 0 && num_sources != n) {
+    throw FormatError("run_reduce sources count " +
+                      std::to_string(num_sources) + " != runs count " +
+                      std::to_string(n));
+  }
+  msg.sources.reserve(num_sources);
+  for (std::uint32_t i = 0; i < num_sources; ++i) {
+    msg.sources.push_back(get_endpoint(r));
   }
   r.expect_done();
   return msg;
@@ -459,6 +505,90 @@ ClockSyncMsg decode_clock_sync(WireReader& r) {
   return msg;
 }
 
+std::string encode_welcome(const WelcomeMsg& msg) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kWelcome));
+  w.u32(msg.worker_id);
+  w.u32(msg.heartbeat_interval_ms);
+  return w.take();
+}
+
+WelcomeMsg decode_welcome(WireReader& r) {
+  WelcomeMsg msg;
+  msg.worker_id = r.u32();
+  msg.heartbeat_interval_ms = r.u32();
+  r.expect_done();
+  return msg;
+}
+
+std::string encode_hello(const HelloMsg& msg) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kHello));
+  w.u32(msg.worker_id);
+  put_endpoint(w, msg.shuffle);
+  return w.take();
+}
+
+HelloMsg decode_hello(WireReader& r) {
+  HelloMsg msg;
+  msg.worker_id = r.u32();
+  msg.shuffle = get_endpoint(r);
+  r.expect_done();
+  return msg;
+}
+
+std::string encode_shuffle_fetch(const ShuffleFetchMsg& msg) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kShuffleFetch));
+  w.str(msg.run_path);
+  w.u32(msg.partition);
+  return w.take();
+}
+
+ShuffleFetchMsg decode_shuffle_fetch(WireReader& r) {
+  ShuffleFetchMsg msg;
+  msg.run_path = r.str();
+  msg.partition = r.u32();
+  r.expect_done();
+  return msg;
+}
+
+std::string encode_shuffle_data(const ShuffleDataMsg& msg) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kShuffleData));
+  w.u64(msg.records);
+  // The partition bytes ride as the frame's tail, unframed: they are
+  // already length-delimited by the frame itself, and skipping the
+  // u32-length str() form keeps a single partition fetchable right up
+  // to the kMaxFramePayload cap.
+  std::string payload = w.take();
+  payload += msg.bytes;
+  return payload;
+}
+
+ShuffleDataMsg decode_shuffle_data(WireReader& r) {
+  ShuffleDataMsg msg;
+  msg.records = r.u64();
+  msg.bytes = r.rest();
+  return msg;
+}
+
+std::string encode_shuffle_error(const ShuffleErrorMsg& msg) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kShuffleError));
+  w.u8(msg.retryable ? 1 : 0);
+  w.str(msg.message);
+  return w.take();
+}
+
+ShuffleErrorMsg decode_shuffle_error(WireReader& r) {
+  ShuffleErrorMsg msg;
+  msg.retryable = r.u8() != 0;
+  msg.message = r.str();
+  r.expect_done();
+  return msg;
+}
+
 namespace {
 
 constexpr std::uint8_t kChunkFlagFinal = 1;
@@ -611,31 +741,118 @@ TraceChunkMsg decode_trace_chunk(WireReader& r) {
 
 // ---- framed socket I/O ----------------------------------------------------
 
+std::uint32_t crc32(std::string_view data) {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const char ch : data) {
+    crc = table[(crc ^ static_cast<std::uint8_t>(ch)) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
 namespace {
 
-/// Waits until `fd` is ready for `events`; throws IoError on poll failure.
-void wait_ready(int fd, short events) {
-  pollfd pfd{fd, events, 0};
+constexpr std::size_t kFrameHeaderBytes = 4;  // u32 length prefix
+
+std::size_t frame_preamble_bytes(FrameFormat format) {
+  return format == FrameFormat::kChecksummed ? kFrameHeaderBytes + 4
+                                             : kFrameHeaderBytes;
+}
+
+void put_u32_le(char* dest, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    dest[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+}
+
+std::uint32_t get_u32_le(const char* src) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(src[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+void check_frame_length(std::uint32_t len) {
+  if (len > kMaxFramePayload) {
+    throw IoError("cluster frame length " + std::to_string(len) +
+                  " exceeds cap " + std::to_string(kMaxFramePayload) +
+                  " (desynchronized or corrupted stream)");
+  }
+}
+
+void check_frame_crc(std::uint32_t expected, std::string_view payload) {
+  const std::uint32_t actual = crc32(payload);
+  if (actual != expected) {
+    throw IoError("cluster frame checksum mismatch (got " +
+                  std::to_string(actual) + ", frame claims " +
+                  std::to_string(expected) + ")");
+  }
+}
+
+/// Milliseconds remaining until `deadline_ns`; -1 when there is no
+/// deadline. Throws IoError once the deadline has passed.
+int remaining_ms(std::uint64_t deadline_ns, const char* what) {
+  if (deadline_ns == 0) return -1;
+  const std::uint64_t now = monotonic_ns();
+  if (now >= deadline_ns) {
+    throw IoError(std::string("cluster ") + what +
+                  " timed out (dead or stalled peer)");
+  }
+  const std::uint64_t ms = (deadline_ns - now) / 1000000ull;
+  return static_cast<int>(std::min<std::uint64_t>(ms + 1, 60000));
+}
+
+std::uint64_t deadline_from(std::int32_t timeout_ms) {
+  return timeout_ms < 0
+             ? 0
+             : monotonic_ns() +
+                   static_cast<std::uint64_t>(timeout_ms) * 1000000ull;
+}
+
+/// Waits until `fd` is ready for `events`; throws IoError on poll
+/// failure or when `deadline_ns` (0 = none) passes first.
+void wait_ready(int fd, short events, std::uint64_t deadline_ns,
+                const char* what) {
   while (true) {
-    const int rc = ::poll(&pfd, 1, -1);
+    pollfd pfd{fd, events, 0};
+    const int rc = ::poll(&pfd, 1, remaining_ms(deadline_ns, what));
     if (rc > 0) return;
     if (rc < 0 && errno != EINTR) {
       throw IoError("cluster poll failed: " + std::string(strerror(errno)));
     }
+    // rc == 0: poll timed out; loop so remaining_ms re-checks the
+    // deadline and throws once it has truly passed.
   }
 }
 
-/// Writes all of `data`; false if the peer is gone.
-bool send_all(int fd, const char* data, std::size_t n) {
+/// Writes all of `data`; false if the peer is gone. MSG_DONTWAIT even
+/// on blocking fds: a full socket buffer must route through wait_ready
+/// (which honors the deadline), not block inside the kernel's send —
+/// a peer that stops draining would otherwise hang us forever.
+bool send_all(int fd, const char* data, std::size_t n,
+              std::uint64_t deadline_ns) {
   std::size_t off = 0;
   while (off < n) {
-    const ssize_t w = ::send(fd, data + off, n - off, MSG_NOSIGNAL);
+    const ssize_t w =
+        ::send(fd, data + off, n - off, MSG_NOSIGNAL | MSG_DONTWAIT);
     if (w > 0) {
       off += static_cast<std::size_t>(w);
       continue;
     }
     if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      wait_ready(fd, POLLOUT);
+      wait_ready(fd, POLLOUT, deadline_ns, "send");
       continue;
     }
     if (w < 0 && errno == EINTR) continue;
@@ -645,82 +862,119 @@ bool send_all(int fd, const char* data, std::size_t n) {
   return true;
 }
 
-}  // namespace
-
-bool send_frame(int fd, std::string_view payload) {
-  char header[4];
-  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
-  for (int i = 0; i < 4; ++i) {
-    header[i] = static_cast<char>((len >> (8 * i)) & 0xff);
-  }
-  if (!send_all(fd, header, 4)) return false;
-  return send_all(fd, payload.data(), payload.size());
-}
-
-std::optional<std::string> recv_frame(int fd) {
-  char header[4];
+/// Reads exactly `n` bytes into `dest`. Returns false on EOF before the
+/// first byte when `eof_ok`; throws on mid-read EOF, errors, timeout.
+bool recv_exact(int fd, char* dest, std::size_t n, std::uint64_t deadline_ns,
+                bool eof_ok) {
   std::size_t got = 0;
-  while (got < 4) {
-    const ssize_t n = ::recv(fd, header + got, 4 - got, 0);
-    if (n > 0) {
-      got += static_cast<std::size_t>(n);
+  while (got < n) {
+    // Poll first: worker-side fds are blocking, and a recv() on a
+    // blocking socket would ignore the deadline entirely.
+    wait_ready(fd, POLLIN, deadline_ns, "recv");
+    const ssize_t r = ::recv(fd, dest + got, n - got, 0);
+    if (r > 0) {
+      got += static_cast<std::size_t>(r);
       continue;
     }
-    if (n == 0) {
-      if (got == 0) return std::nullopt;  // clean EOF between frames
+    if (r == 0) {
+      if (got == 0 && eof_ok) return false;  // clean EOF between frames
       throw IoError("cluster channel closed mid-frame");
     }
-    if (errno == EINTR) continue;
-    if (errno == EAGAIN || errno == EWOULDBLOCK) {
-      wait_ready(fd, POLLIN);
-      continue;
-    }
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
     throw IoError("cluster recv failed: " + std::string(strerror(errno)));
   }
-  std::uint32_t len = 0;
-  for (int i = 0; i < 4; ++i) {
-    len |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(header[i]))
-           << (8 * i);
+  return true;
+}
+
+/// kCorrupt flips one payload byte (the checksummed format detects it on
+/// the receiving side); kShortWrite tears the frame after the preamble
+/// plus half the payload and reports the peer gone. Both model a
+/// desynchronizing network fault, so callers must treat the channel as
+/// dead afterwards — exactly what returning false makes them do.
+bool apply_send_fault(const failpoint::Action& action, int fd,
+                      std::string& wire, std::size_t preamble,
+                      std::uint64_t deadline_ns) {
+  switch (action.kind) {
+    case failpoint::ActionKind::kThrow:
+      throw failpoint::InjectedFault("net.send");
+    case failpoint::ActionKind::kDelay:
+      failpoint::maybe_delay(action);
+      return true;
+    case failpoint::ActionKind::kCorrupt:
+      if (wire.size() > preamble) {
+        wire[preamble + (wire.size() - preamble) / 2] ^= 0x20;
+      }
+      return true;
+    case failpoint::ActionKind::kShortWrite: {
+      const std::size_t torn = preamble + (wire.size() - preamble) / 2;
+      send_all(fd, wire.data(), torn, deadline_ns);
+      return false;
+    }
   }
-  if (len > kMaxFramePayload) {
-    throw IoError("cluster frame length " + std::to_string(len) +
-                  " exceeds cap " + std::to_string(kMaxFramePayload) +
-                  " (desynchronized or corrupted stream)");
+  return true;
+}
+
+}  // namespace
+
+bool send_frame(int fd, std::string_view payload, FrameFormat format,
+                std::int32_t timeout_ms) {
+  const std::uint64_t deadline_ns = deadline_from(timeout_ms);
+  const std::size_t preamble = frame_preamble_bytes(format);
+  std::string wire;
+  wire.resize(preamble);
+  put_u32_le(wire.data(), static_cast<std::uint32_t>(payload.size()));
+  if (format == FrameFormat::kChecksummed) {
+    put_u32_le(wire.data() + kFrameHeaderBytes, crc32(payload));
   }
+  wire.append(payload);
+  if (failpoint::enabled()) {
+    if (const auto action = failpoint::consume("net.send")) {
+      if (!apply_send_fault(*action, fd, wire, preamble, deadline_ns)) {
+        return false;
+      }
+    }
+  }
+  return send_all(fd, wire.data(), wire.size(), deadline_ns);
+}
+
+std::optional<std::string> recv_frame(int fd, FrameFormat format,
+                                      std::int32_t timeout_ms) {
+  if (failpoint::enabled()) {
+    if (const auto action = failpoint::consume("net.recv")) {
+      if (action->kind == failpoint::ActionKind::kDelay) {
+        failpoint::maybe_delay(*action);
+      } else {
+        throw failpoint::InjectedFault("net.recv");
+      }
+    }
+  }
+  const std::uint64_t deadline_ns = deadline_from(timeout_ms);
+  const std::size_t preamble = frame_preamble_bytes(format);
+  char header[kFrameHeaderBytes + 4];
+  if (!recv_exact(fd, header, preamble, deadline_ns, /*eof_ok=*/true)) {
+    return std::nullopt;
+  }
+  const std::uint32_t len = get_u32_le(header);
+  check_frame_length(len);
   std::string payload(len, '\0');
-  std::size_t off = 0;
-  while (off < len) {
-    const ssize_t n = ::recv(fd, payload.data() + off, len - off, 0);
-    if (n > 0) {
-      off += static_cast<std::size_t>(n);
-      continue;
-    }
-    if (n == 0) throw IoError("cluster channel closed mid-frame");
-    if (errno == EINTR) continue;
-    if (errno == EAGAIN || errno == EWOULDBLOCK) {
-      wait_ready(fd, POLLIN);
-      continue;
-    }
-    throw IoError("cluster recv failed: " + std::string(strerror(errno)));
+  recv_exact(fd, payload.data(), len, deadline_ns, /*eof_ok=*/false);
+  if (format == FrameFormat::kChecksummed) {
+    check_frame_crc(get_u32_le(header + kFrameHeaderBytes), payload);
   }
   return payload;
 }
 
 std::optional<std::string> FrameDecoder::next() {
-  if (buf_.size() < 4) return std::nullopt;
-  std::uint32_t len = 0;
-  for (int i = 0; i < 4; ++i) {
-    len |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(buf_[i]))
-           << (8 * i);
+  const std::size_t preamble = frame_preamble_bytes(format_);
+  if (buf_.size() < preamble) return std::nullopt;
+  const std::uint32_t len = get_u32_le(buf_.data());
+  check_frame_length(len);
+  if (buf_.size() < preamble + len) return std::nullopt;
+  std::string frame = buf_.substr(preamble, len);
+  if (format_ == FrameFormat::kChecksummed) {
+    check_frame_crc(get_u32_le(buf_.data() + kFrameHeaderBytes), frame);
   }
-  if (len > kMaxFramePayload) {
-    throw IoError("cluster frame length " + std::to_string(len) +
-                  " exceeds cap " + std::to_string(kMaxFramePayload) +
-                  " (desynchronized or corrupted stream)");
-  }
-  if (buf_.size() < 4u + len) return std::nullopt;
-  std::string frame = buf_.substr(4, len);
-  buf_.erase(0, 4u + len);
+  buf_.erase(0, preamble + len);
   return frame;
 }
 

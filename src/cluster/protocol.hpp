@@ -15,13 +15,17 @@
 namespace textmr::cluster {
 
 /// Control protocol between the cluster coordinator and its worker
-/// processes (DESIGN.md §10). Transport: one AF_UNIX stream socketpair
-/// per worker carrying little-endian u32 length-prefixed frames; the
-/// first payload byte is the message type. Bulk data (input splits,
-/// spill runs, final part files) never crosses the channel — it moves
-/// through the shared filesystem, exactly like a DFS-backed deployment —
-/// so frames stay small: telemetry ships as bounded trace chunks at task
-/// boundaries instead of one monolithic upload.
+/// processes (DESIGN.md §10, §14). Transport: one stream channel per
+/// worker — an AF_UNIX socketpair or a TCP connection, behind the
+/// Transport/Connection interface in transport.hpp — carrying
+/// little-endian u32 length-prefixed frames; the first payload byte is
+/// the message type. TCP frames additionally carry a CRC32 of the
+/// payload (FrameFormat::kChecksummed). Input splits and final part
+/// files still move through the shared filesystem, but map-output
+/// partitions are pulled over the network from per-worker shuffle
+/// servers (kShuffleFetch/kShuffleData) when the TCP transport is in
+/// force, so control frames stay small: telemetry ships as bounded
+/// trace chunks at task boundaries instead of one monolithic upload.
 
 enum class MsgType : std::uint8_t {
   // coordinator -> worker
@@ -30,6 +34,7 @@ enum class MsgType : std::uint8_t {
   kShutdown = 3,    // no payload; worker ships final telemetry and exits
   kClockProbe = 4,  // u64 coordinator monotonic_ns at send (clock handshake)
   kSkewPlan = 5,    // heavy-key routing plan broadcast before the map phase
+  kWelcome = 6,     // assigns an externally joining worker its id
   // worker -> coordinator
   kHeartbeat = 10,   // worker liveness + progress + live counter snapshot
   kMapDone = 11,     // u32 task, u32 attempt, MapTaskResult
@@ -37,6 +42,11 @@ enum class MsgType : std::uint8_t {
   kTaskFailed = 13,  // one attempt failed (the worker itself is healthy)
   kClockSync = 14,   // probe echo + worker monotonic_ns (clock handshake)
   kTraceChunk = 15,  // one bounded slice of the worker's trace + stats
+  kHello = 16,       // worker's shuffle-server endpoint advertisement
+  // reducer -> shuffle server (separate per-fetch TCP connections)
+  kShuffleFetch = 20,  // str run_path, u32 partition
+  kShuffleData = 21,   // u64 records + the partition's raw frame bytes
+  kShuffleError = 22,  // u8 retryable, str message
 };
 
 /// Wire name for logs and the analyzer; lint checks exhaustiveness.
@@ -50,13 +60,69 @@ struct RunTaskMsg {
   std::uint32_t attempt = 0;
 };
 
+/// A network address: a worker's shuffle server or the coordinator's
+/// TCP listener. port 0 means "none" (e.g. a socketpair worker that
+/// serves no shuffle partitions).
+struct Endpoint {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+
+  bool valid() const { return port != 0 && !host.empty(); }
+  std::string to_string() const {
+    return host + ":" + std::to_string(port);
+  }
+};
+
 /// Reduce dispatch also names the map-output runs to shuffle from,
 /// ordered by map task id — the ordering every engine must use for
-/// byte-identical merges.
+/// byte-identical merges. `sources` (empty or exactly parallel to
+/// `map_outputs`) names the shuffle server holding each run; an invalid
+/// endpoint — or no sources at all — means the reducer reads that run
+/// from the shared filesystem instead (socketpair mode).
 struct RunReduceMsg {
   std::uint32_t partition = 0;
   std::uint32_t attempt = 0;
   std::vector<io::SpillRunInfo> map_outputs;
+  std::vector<Endpoint> sources;
+};
+
+/// Coordinator -> worker, first frame on an externally joined (TCP
+/// --connect) channel: assigns the worker its node id and the heartbeat
+/// cadence the coordinator expects.
+struct WelcomeMsg {
+  std::uint32_t worker_id = 0;
+  std::uint32_t heartbeat_interval_ms = 25;
+};
+
+/// Worker -> coordinator, sent once at startup when the worker runs a
+/// shuffle server: advertises the endpoint reducers should pull this
+/// worker's map-output partitions from.
+struct HelloMsg {
+  std::uint32_t worker_id = 0;
+  Endpoint shuffle;
+};
+
+/// Reducer -> shuffle server: one partition of one map-output run. The
+/// run is named by the path the kMapDone frame reported; the server
+/// only serves paths under its scratch root.
+struct ShuffleFetchMsg {
+  std::string run_path;
+  std::uint32_t partition = 0;
+};
+
+/// Shuffle server -> reducer: the partition's raw record-stream frames
+/// (exactly the bytes SpillRunReader::read_partition returns).
+struct ShuffleDataMsg {
+  std::uint64_t records = 0;
+  std::string bytes;
+};
+
+/// Shuffle server -> reducer on failure. Retryable errors (I/O, a
+/// stalled disk) are worth another fetch attempt; non-retryable ones
+/// (bad request, path outside the scratch root) are not.
+struct ShuffleErrorMsg {
+  bool retryable = true;
+  std::string message;
 };
 
 /// Live counter snapshot a worker piggybacks on every heartbeat and
@@ -172,6 +238,9 @@ class WireReader {
   std::uint64_t u64();
   double f64();
   std::string str();
+  /// Consumes and returns every remaining byte (unframed tail payloads,
+  /// e.g. the partition bytes of a kShuffleData frame).
+  std::string rest();
 
   bool done() const { return in_.empty(); }
   void expect_done() const;
@@ -217,6 +286,21 @@ mr::SkewPlan decode_skew_plan(WireReader& r);
 std::string encode_clock_sync(const ClockSyncMsg& msg);
 ClockSyncMsg decode_clock_sync(WireReader& r);
 
+std::string encode_welcome(const WelcomeMsg& msg);
+WelcomeMsg decode_welcome(WireReader& r);
+
+std::string encode_hello(const HelloMsg& msg);
+HelloMsg decode_hello(WireReader& r);
+
+std::string encode_shuffle_fetch(const ShuffleFetchMsg& msg);
+ShuffleFetchMsg decode_shuffle_fetch(WireReader& r);
+
+std::string encode_shuffle_data(const ShuffleDataMsg& msg);
+ShuffleDataMsg decode_shuffle_data(WireReader& r);
+
+std::string encode_shuffle_error(const ShuffleErrorMsg& msg);
+ShuffleErrorMsg decode_shuffle_error(WireReader& r);
+
 /// Splits `msg` into one or more kTraceChunk frame payloads, each at
 /// most ~max_payload bytes. Every frame is independently decodable and
 /// carries the stats snapshot; trace metadata (names, drop deltas) rides
@@ -236,24 +320,55 @@ TraceChunkMsg decode_trace_chunk(WireReader& r);
 /// Oversized frames raise IoError instead.
 constexpr std::uint32_t kMaxFramePayload = 256u * 1024 * 1024;
 
+/// On-the-wire frame layout (DESIGN.md §14). kLegacy is the original
+/// socketpair format: [u32 len][payload]. kChecksummed — the TCP
+/// transport and the shuffle protocol — adds a CRC32 of the payload
+/// between the length and the bytes: [u32 len][u32 crc][payload]. A
+/// mismatch on receive raises IoError; the peer is treated as gone
+/// (control channel) or the fetch is retried (shuffle client).
+enum class FrameFormat : std::uint8_t { kLegacy, kChecksummed };
+
+/// CRC-32 (IEEE 802.3, poly 0xEDB88320) over `data`.
+std::uint32_t crc32(std::string_view data);
+
 /// Sends one length-prefixed frame, blocking until fully written (polls
 /// on EAGAIN so it also works on non-blocking fds). Returns false if the
-/// peer is gone (EPIPE/ECONNRESET); throws IoError on other errors.
-bool send_frame(int fd, std::string_view payload);
+/// peer is gone (EPIPE/ECONNRESET); throws IoError on other errors, and
+/// on missing the deadline when `timeout_ms` >= 0 (a dead TCP peer that
+/// stops draining its socket must surface as an error, not a coordinator
+/// thread blocked in poll forever). The `net.send` failpoint acts here.
+bool send_frame(int fd, std::string_view payload, FrameFormat format,
+                std::int32_t timeout_ms);
+inline bool send_frame(int fd, std::string_view payload) {
+  return send_frame(fd, payload, FrameFormat::kLegacy, -1);
+}
 
 /// Blocking receive of one full frame; nullopt on clean EOF. Throws
-/// IoError on errors or a torn frame. Worker-side only (the coordinator
-/// reads through FrameDecoder so one slow worker cannot stall it).
-std::optional<std::string> recv_frame(int fd);
+/// IoError on errors, a torn frame, a checksum mismatch, or — with
+/// `timeout_ms` >= 0 — when no full frame arrives before the deadline.
+/// Worker-side and shuffle-client only (the coordinator reads through
+/// FrameDecoder so one slow worker cannot stall it). The `net.recv`
+/// failpoint acts here.
+std::optional<std::string> recv_frame(int fd, FrameFormat format,
+                                      std::int32_t timeout_ms);
+inline std::optional<std::string> recv_frame(int fd) {
+  return recv_frame(fd, FrameFormat::kLegacy, -1);
+}
 
 /// Incremental frame reassembly over a non-blocking fd: feed() raw bytes
-/// as poll() reports them readable, next() yields completed frames.
+/// as poll() reports them readable, next() yields completed frames
+/// (verifying checksums in kChecksummed format — a mismatch throws
+/// IoError).
 class FrameDecoder {
  public:
+  FrameDecoder() = default;
+  explicit FrameDecoder(FrameFormat format) : format_(format) {}
+
   void feed(const char* data, std::size_t n) { buf_.append(data, n); }
   std::optional<std::string> next();
 
  private:
+  FrameFormat format_ = FrameFormat::kLegacy;
   std::string buf_;
 };
 

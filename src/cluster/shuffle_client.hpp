@@ -1,0 +1,51 @@
+#pragma once
+
+/// Reducer-side shuffle fetcher (DESIGN.md §14).
+///
+/// fetch() dials the owning worker's ShuffleServer, asks for one
+/// (run, partition) and returns the partition's raw frame bytes —
+/// exactly what SpillRunReader::read_partition would have produced
+/// locally, so the reduce path indexes them identically.
+///
+/// Failure handling: every network problem (refused connect, timeout,
+/// dropped connection, checksum mismatch, retryable server error) burns
+/// one attempt; attempts are separated by exponential backoff. After
+/// the last attempt fetch() returns nullopt and the caller falls back
+/// to the shared-filesystem read (DESIGN.md §14 explains why the
+/// fallback must exist: speculation SIGKILLs workers that own committed
+/// map output). Non-retryable server errors (bad path, bad partition)
+/// fail fast — retrying a malformed request cannot help.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "cluster/transport.hpp"
+#include "io/spill_file.hpp"
+
+namespace textmr::cluster {
+
+class ShuffleClient {
+ public:
+  struct Options {
+    std::uint32_t attempts = 3;
+    std::uint32_t backoff_ms = 10;      // doubled per retry
+    std::int32_t timeout_ms = 5000;     // per-attempt connect + I/O budget
+  };
+
+  ShuffleClient() = default;
+  explicit ShuffleClient(Options options) : options_(options) {}
+
+  /// Fetches one partition of `run` from `source`. Returns the raw
+  /// frame bytes, or nullopt when every attempt failed (caller falls
+  /// back to the local read). Validates the byte count against the
+  /// run's footer so a truncated reply never reaches the reducer.
+  std::optional<std::string> fetch(const Endpoint& source,
+                                   const io::SpillRunInfo& run,
+                                   std::uint32_t partition) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace textmr::cluster

@@ -1,12 +1,19 @@
 #include "cluster/worker.hpp"
 
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <memory>
 #include <optional>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "cluster/protocol.hpp"
+#include "cluster/shuffle_client.hpp"
+#include "cluster/shuffle_server.hpp"
+#include "cluster/transport.hpp"
 #include "common/failpoint.hpp"
 #include "common/logging.hpp"
 #include "common/mutex.hpp"
@@ -20,9 +27,12 @@ namespace {
 /// One mutex serializes both the channel writes (frames from two threads
 /// must not interleave) and the current-task fields the beats report.
 struct Channel {
-  explicit Channel(int fd) : fd(fd) {}
+  Channel(int fd, FrameFormat format, std::int32_t io_timeout_ms)
+      : fd(fd), format(format), io_timeout_ms(io_timeout_ms) {}
 
   const int fd;
+  const FrameFormat format;
+  const std::int32_t io_timeout_ms;
   textmr::Mutex mu{textmr::LockRank::kCluster, "cluster.worker_channel"};
   textmr::CondVar wake;
   bool stop TEXTMR_GUARDED_BY(mu) = false;
@@ -44,7 +54,15 @@ struct Channel {
 
   bool send_locked(std::string_view payload) TEXTMR_REQUIRES(mu) {
     if (broken) return false;
-    if (!send_frame(fd, payload)) {
+    bool ok = false;
+    try {
+      ok = send_frame(fd, payload, format, io_timeout_ms);
+    } catch (const IoError&) {
+      // Timeout or injected net.send fault: the coordinator is as good
+      // as gone from this worker's perspective.
+      ok = false;
+    }
+    if (!ok) {
       broken = true;
       return false;
     }
@@ -135,7 +153,24 @@ void heartbeat_loop(Channel& channel, std::uint32_t worker_id,
 
 int worker_main(const WorkerContext& ctx, const mr::JobSpec& spec) {
   try {
-    Channel channel(ctx.fd);
+    Channel channel(ctx.fd, ctx.frame_format, ctx.io_timeout_ms);
+
+    // Network shuffle: serve this worker's committed map runs and tell
+    // the coordinator where (kHello). Reducers on other workers pull
+    // their partitions from here instead of the shared filesystem.
+    std::unique_ptr<ShuffleServer> shuffle;
+    if (ctx.shuffle_enabled) {
+      ShuffleServer::Options opts;
+      opts.listen.host = ctx.shuffle_host;  // port 0: kernel-assigned
+      opts.root = spec.scratch_dir.string();
+      opts.spill_format = spec.spill_format;
+      if (ctx.io_timeout_ms > 0) opts.io_timeout_ms = ctx.io_timeout_ms;
+      shuffle = std::make_unique<ShuffleServer>(std::move(opts));
+      HelloMsg hello;
+      hello.worker_id = ctx.worker_id;
+      hello.shuffle = shuffle->endpoint();
+      if (!channel.send(encode_hello(hello))) return 1;
+    }
 
     // Worker-local trace collector; drained and shipped to the
     // coordinator as bounded chunks at every task completion and at
@@ -188,12 +223,21 @@ int worker_main(const WorkerContext& ctx, const mr::JobSpec& spec) {
       }
     } heartbeat_joiner{channel, heartbeats};
 
+    const std::int32_t idle_timeout_ms =
+        ctx.idle_timeout_ms == 0
+            ? std::int32_t{-1}
+            : static_cast<std::int32_t>(ctx.idle_timeout_ms);
     while (true) {
       std::optional<std::string> frame;
       try {
-        frame = recv_frame(ctx.fd);
-      } catch (const IoError&) {
-        break;  // coordinator died mid-frame
+        frame = recv_frame(ctx.fd, ctx.frame_format, idle_timeout_ms);
+      } catch (const IoError& e) {
+        // Coordinator died mid-frame, stream corrupt, or (with an idle
+        // timeout armed) a dead TCP peer went silent too long. Either
+        // way this worker has no coordinator — exit.
+        TEXTMR_LOG(kWarn) << "worker " << ctx.worker_id
+                          << ": control channel lost: " << e.what();
+        break;
       }
       if (!frame.has_value()) break;  // clean EOF: coordinator closed
       WireReader r(*frame);
@@ -305,9 +349,44 @@ int worker_main(const WorkerContext& ctx, const mr::JobSpec& spec) {
             if (failpoint::enabled()) {
               failpoint::check("cluster.dispatch");
             }
+            // Network-first shuffle when the coordinator told us who
+            // owns each run: pull from the owning worker's shuffle
+            // server; fall back to the shared-filesystem read when the
+            // owner is gone (speculation SIGKILLs winners' losers, and
+            // a loser may own committed map output — DESIGN.md §14).
+            mr::ShuffleFetcher fetcher;
+            if (!msg.sources.empty()) {
+              std::vector<Endpoint> sources = std::move(msg.sources);
+              const io::SpillFormat format = spec.spill_format;
+              ShuffleClient client;
+              fetcher = [client = std::move(client),
+                         sources = std::move(sources), format](
+                            std::uint32_t run_index,
+                            const io::SpillRunInfo& run,
+                            std::uint32_t partition) {
+                mr::ShuffleFetchResult out;
+                if (run_index < sources.size() &&
+                    sources[run_index].valid()) {
+                  if (auto bytes =
+                          client.fetch(sources[run_index], run, partition)) {
+                    out.bytes = std::move(*bytes);
+                    out.over_wire = true;
+                    return out;
+                  }
+                  TEXTMR_LOG(kWarn)
+                      << "shuffle fetch of " << run.path << "#" << partition
+                      << " from " << sources[run_index].to_string()
+                      << " exhausted retries; falling back to local read";
+                }
+                out.bytes = io::SpillRunReader(run.path, format)
+                                .read_partition(partition);
+                return out;
+              };
+            }
             const mr::ReduceTaskConfig config = mr::make_reduce_task_config(
                 spec, msg.partition, msg.attempt, std::move(msg.map_outputs),
-                collector.get(), skew_plan.has_value() ? &*skew_plan : nullptr);
+                collector.get(), skew_plan.has_value() ? &*skew_plan : nullptr,
+                std::move(fetcher));
             result = mr::run_reduce_task(config);
             ok = true;
           } catch (...) {
@@ -362,6 +441,40 @@ int worker_main(const WorkerContext& ctx, const mr::JobSpec& spec) {
   } catch (...) {
     return 1;
   }
+}
+
+int run_remote_worker(const Endpoint& coordinator, const mr::JobSpec& spec,
+                      const RemoteWorkerOptions& options) {
+  const int fd = tcp_connect(coordinator, options.connect_timeout_ms);
+  WorkerContext ctx;
+  try {
+    const auto frame =
+        recv_frame(fd, FrameFormat::kChecksummed, options.connect_timeout_ms);
+    if (!frame.has_value()) {
+      throw IoError("coordinator closed before sending welcome");
+    }
+    WireReader r(*frame);
+    const MsgType type = static_cast<MsgType>(r.u8());
+    if (type != MsgType::kWelcome) {
+      throw FormatError("expected welcome from coordinator, got " +
+                        std::string(msg_type_name(type)));
+    }
+    const WelcomeMsg welcome = decode_welcome(r);
+    ctx.fd = fd;
+    ctx.worker_id = welcome.worker_id;
+    ctx.heartbeat_interval_ms = welcome.heartbeat_interval_ms;
+    ctx.frame_format = FrameFormat::kChecksummed;
+    ctx.shuffle_enabled = true;
+    ctx.shuffle_host = options.shuffle_host;
+    ctx.io_timeout_ms = options.io_timeout_ms;
+    ctx.idle_timeout_ms = options.idle_timeout_ms;
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  const int code = worker_main(ctx, spec);
+  ::close(fd);
+  return code;
 }
 
 }  // namespace textmr::cluster

@@ -41,6 +41,7 @@ TaskMetrics& TaskMetrics::operator+=(const TaskMetrics& other) {
   merged_records += other.merged_records;
   merged_bytes += other.merged_bytes;
   shuffled_bytes += other.shuffled_bytes;
+  shuffled_wire_bytes += other.shuffled_wire_bytes;
   reduce_input_records += other.reduce_input_records;
   reduce_groups += other.reduce_groups;
   output_records += other.output_records;

@@ -63,6 +63,7 @@ struct TaskMetrics {
   std::uint64_t merged_records = 0;       // records in the final map output
   std::uint64_t merged_bytes = 0;
   std::uint64_t shuffled_bytes = 0;       // bytes fetched by reduce tasks
+  std::uint64_t shuffled_wire_bytes = 0;  // subset served over the network
   std::uint64_t reduce_input_records = 0;
   std::uint64_t reduce_groups = 0;
   std::uint64_t output_records = 0;

@@ -210,15 +210,29 @@ ReduceTaskResult run_reduce_task(const ReduceTaskConfig& config) {
   {
     obs::SpanTimer shuffle_span(trace, "task", "shuffle");
     ScopedTimer shuffle_timer(metrics, Op::kShuffle);
+    std::uint32_t run_index = 0;
     for (const auto& run : config.map_outputs) {
-      io::SpillRunReader reader(run.path, config.spill_format);
       fetched.emplace_back();
       FetchedRun& fetch = fetched.back();
-      fetch.bytes = reader.read_partition(config.partition);
+      if (config.fetch) {
+        obs::SpanTimer fetch_span(trace, "task", "shuffle_fetch");
+        ShuffleFetchResult pulled =
+            config.fetch(run_index, run, config.partition);
+        fetch.bytes = std::move(pulled.bytes);
+        if (pulled.over_wire) {
+          metrics.shuffled_wire_bytes += fetch.bytes.size();
+        }
+        fetch_span.arg("bytes", static_cast<double>(fetch.bytes.size()));
+        fetch_span.arg("over_wire", pulled.over_wire ? 1.0 : 0.0);
+      } else {
+        io::SpillRunReader reader(run.path, config.spill_format);
+        fetch.bytes = reader.read_partition(config.partition);
+      }
       fetch.refs =
           index_frames(fetch.bytes, config.partition, config.spill_format);
       metrics.shuffled_bytes += fetch.bytes.size();
       metrics.reduce_input_records += fetch.refs.size();
+      ++run_index;
     }
     shuffle_span.arg("bytes", static_cast<double>(metrics.shuffled_bytes));
     shuffle_span.arg("records",

@@ -2,6 +2,8 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <functional>
+#include <string>
 #include <vector>
 
 #include "io/spill_file.hpp"
@@ -30,6 +32,21 @@ enum class ReduceOutputKind : std::uint8_t {
   kSegmentPartial,
 };
 
+/// One (run, partition) worth of shuffle input from a pluggable source.
+struct ShuffleFetchResult {
+  std::string bytes;      // raw frames, same layout as read_partition()
+  bool over_wire = false; // true when a remote shuffle server served it
+};
+
+/// Pluggable shuffle source: (run index, run, partition) → the
+/// partition's raw frame bytes. Cluster workers inject a network
+/// fetcher (pull from the owning worker's shuffle server, with a
+/// shared-filesystem fallback); when unset the task reads the run file
+/// locally — byte-identical input either way.
+using ShuffleFetcher = std::function<ShuffleFetchResult(
+    std::uint32_t run_index, const io::SpillRunInfo& run,
+    std::uint32_t partition)>;
+
 struct ReduceTaskConfig {
   std::uint32_t partition = 0;
   /// Execution attempt (0-based). The task writes to an attempt-suffixed
@@ -37,6 +54,8 @@ struct ReduceTaskConfig {
   /// failed attempt never leaves a partial part file behind.
   std::uint32_t attempt = 0;
   std::vector<io::SpillRunInfo> map_outputs;  // one per map task
+  /// Optional shuffle source override (see ShuffleFetcher above).
+  ShuffleFetcher fetch;
   ReducerFactory reducer;
   Grouping grouping = Grouping::kSorted;
   io::SpillFormat spill_format = io::SpillFormat::kCompactVarint;

@@ -191,6 +191,7 @@ void write_task_metrics(obs::JsonWriter& w, const TaskMetrics& m) {
   w.field("merged_records", m.merged_records);
   w.field("merged_bytes", m.merged_bytes);
   w.field("shuffled_bytes", m.shuffled_bytes);
+  w.field("shuffled_wire_bytes", m.shuffled_wire_bytes);
   w.field("reduce_input_records", m.reduce_input_records);
   w.field("reduce_groups", m.reduce_groups);
   w.field("output_records", m.output_records);

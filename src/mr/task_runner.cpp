@@ -131,12 +131,13 @@ MapTaskConfig make_map_task_config(const JobSpec& spec, const MemorySplit& mem,
 ReduceTaskConfig make_reduce_task_config(
     const JobSpec& spec, std::uint32_t partition, std::uint32_t attempt,
     std::vector<io::SpillRunInfo> map_outputs, obs::TraceCollector* trace,
-    const SkewPlan* skew_plan) {
+    const SkewPlan* skew_plan, ShuffleFetcher fetch) {
   if (skew_plan != nullptr && skew_plan->empty()) skew_plan = nullptr;
   ReduceTaskConfig config;
   config.partition = partition;
   config.attempt = attempt;
   config.map_outputs = std::move(map_outputs);
+  config.fetch = std::move(fetch);
   config.reducer = spec.reducer;
   config.grouping = spec.grouping;
   config.spill_format = spec.spill_format;

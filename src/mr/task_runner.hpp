@@ -65,7 +65,7 @@ MapTaskConfig make_map_task_config(const JobSpec& spec, const MemorySplit& mem,
 ReduceTaskConfig make_reduce_task_config(
     const JobSpec& spec, std::uint32_t partition, std::uint32_t attempt,
     std::vector<io::SpillRunInfo> map_outputs, obs::TraceCollector* trace,
-    const SkewPlan* skew_plan = nullptr);
+    const SkewPlan* skew_plan = nullptr, ShuffleFetcher fetch = {});
 
 /// Removes the scratch files of one dead map attempt (best-effort).
 void cleanup_map_attempt(const JobSpec& spec, std::uint32_t task,

@@ -40,6 +40,7 @@ const char* const kKnownEventNames[] = {
     "reduce_phase",
     "reduce_task",
     "shuffle",
+    "shuffle_fetch",
     "skew_finalize",
     "skew_plan",
     "speculative_attempt",

@@ -16,7 +16,9 @@
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <fstream>
 #include <mutex>
+#include <sstream>
 #include <thread>
 
 #include "common/failpoint.hpp"
@@ -185,6 +187,133 @@ TEST(ClusterSpeculation, HeartbeatStarvationTriggersSpeculation) {
   EXPECT_GE(result.counters.value("cluster.speculative_attempts"), 1u);
   EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(wall),
             std::chrono::milliseconds(2400));
+}
+
+// ---- TCP transport, forked workers (DESIGN.md §14) ------------------------
+
+cluster::ClusterConfig tcp_config(std::uint32_t workers) {
+  cluster::ClusterConfig config;
+  config.num_workers = workers;
+  config.transport = cluster::TransportKind::kTcp;
+  config.io_timeout_ms = 10000;
+  return config;
+}
+
+/// Reads a part file's exact bytes (byte-identity, not equivalence).
+std::string slurp(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return std::move(buf).str();
+}
+
+TEST(ClusterTcp, ForkedWorkersOverLoopbackMatchReference) {
+  ClusterCorpus corpus;
+  cluster::ClusterEngine engine(tcp_config(3));
+  const auto result = engine.run(corpus.job("tcp"));
+  corpus.check(result);
+  // Shuffle data really crossed sockets, not the shared filesystem.
+  EXPECT_GT(result.metrics.work.shuffled_wire_bytes, 0u);
+}
+
+TEST(ClusterTcp, OutputBytesIdenticalToSocketpairRun) {
+  ClusterCorpus corpus(8000);
+  cluster::ClusterConfig sp_config;
+  sp_config.num_workers = 2;
+  cluster::ClusterEngine sp_engine(sp_config);
+  const auto sp = sp_engine.run(corpus.job("sp"));
+
+  cluster::ClusterEngine tcp_engine(tcp_config(2));
+  const auto tcp = tcp_engine.run(corpus.job("tcp-vs-sp"));
+
+  ASSERT_EQ(tcp.outputs.size(), sp.outputs.size());
+  for (std::size_t i = 0; i < tcp.outputs.size(); ++i) {
+    EXPECT_EQ(slurp(tcp.outputs[i]), slurp(sp.outputs[i]));
+  }
+  EXPECT_EQ(sp.metrics.work.shuffled_wire_bytes, 0u);
+  EXPECT_GT(tcp.metrics.work.shuffled_wire_bytes, 0u);
+}
+
+TEST(ClusterTcp, NetworkShuffleCanBeDisabledPerConfig) {
+  ClusterCorpus corpus(6000);
+  auto config = tcp_config(2);
+  config.network_shuffle = false;  // TCP control plane, filesystem shuffle
+  cluster::ClusterEngine engine(config);
+  const auto result = engine.run(corpus.job("tcp-fs"));
+  corpus.check(result);
+  EXPECT_EQ(result.metrics.work.shuffled_wire_bytes, 0u);
+  EXPECT_GT(result.metrics.work.shuffled_bytes, 0u);
+}
+
+TEST(ClusterTcp, ChaosNetAndShuffleFaultsStillProduceCorrectBytes) {
+  // Every worker's first shuffle fetch is injected to fail (burning a
+  // client attempt), worker 0 additionally drops the first connection
+  // its shuffle *server* receives mid-serve, and worker 1's first
+  // control-channel send is delayed. The job must complete with correct
+  // output through retries and the filesystem fallback.
+  ClusterCorpus corpus;
+  auto config = tcp_config(3);
+  config.worker_init = [](std::uint32_t worker_id) {
+    std::string spec = "shuffle.fetch:nth=1";
+    if (worker_id == 0) spec += ",shuffle.serve:nth=1";
+    if (worker_id == 1) spec += ",net.send:nth=1:action=delay:delay_ms=50";
+    failpoint::arm_from_spec(spec);
+  };
+  cluster::ClusterEngine engine(config);
+  const auto result = engine.run(corpus.job("tcp-chaos"));
+  corpus.check(result);
+}
+
+TEST(ClusterTcp, SigkilledWorkerOverTcpIsRecoveredAndShuffleFallsBack) {
+  // SIGKILL a worker mid-job on the TCP transport: its in-flight tasks
+  // are reassigned, and reducers needing map output the dead worker's
+  // shuffle server owned fall back to the shared-filesystem read
+  // (DESIGN.md §14 documents why the fallback must exist).
+  ClusterCorpus corpus;
+  std::atomic<int> victim_pid{0};
+  auto config = tcp_config(3);
+  config.on_worker_spawn = [&victim_pid](std::uint32_t worker_id, int pid) {
+    if (worker_id == 1) victim_pid.store(pid);
+  };
+  config.worker_init = [](std::uint32_t) {
+    failpoint::arm_from_spec("cluster.dispatch:always:action=delay:delay_ms=30");
+  };
+  cluster::ClusterEngine engine(config);
+  std::thread killer([&victim_pid] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    const int pid = victim_pid.load();
+    ASSERT_GT(pid, 0);
+    ASSERT_EQ(::kill(pid, SIGKILL), 0);
+  });
+  const auto result = engine.run(corpus.job("tcp-kill"));
+  killer.join();
+  corpus.check(result);
+}
+
+TEST(ClusterTcp, LivenessTimeoutKillsSilentWorker) {
+  // Worker 0 stalls: heartbeats stop (10s delay each) and its task sits
+  // in a 10s dispatch delay. With speculation off, only the liveness
+  // tracker can save the job — silence past the deadline must be treated
+  // as worker death, the task reassigned, and the job finish promptly.
+  ClusterCorpus corpus(6000, 16 * 1024);
+  auto config = tcp_config(2);
+  config.speculation = false;
+  config.heartbeat_interval_ms = 10;
+  config.liveness_timeout_ms = 300;
+  config.worker_init = [](std::uint32_t worker_id) {
+    if (worker_id != 0) return;
+    failpoint::arm_from_spec(
+        "worker.heartbeat:always:action=delay:delay_ms=10000,"
+        "cluster.dispatch:always:action=delay:delay_ms=10000");
+  };
+  cluster::ClusterEngine engine(config);
+  const auto start = std::chrono::steady_clock::now();
+  const auto result = engine.run(corpus.job("tcp-liveness"));
+  const auto wall = std::chrono::steady_clock::now() - start;
+  corpus.check(result);
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(wall),
+            std::chrono::milliseconds(8000))
+      << "liveness tracker failed to declare the silent worker dead";
 }
 
 // ---- worker-death recovery ------------------------------------------------
@@ -559,6 +688,12 @@ TEST(ClusterSoak, RandomWorkerKillsNeverCorruptOutput) {
     std::vector<int> pids(kWorkers, 0);
     cluster::ClusterConfig config;
     config.num_workers = kWorkers;
+    // Every third iteration soaks the TCP transport + network shuffle, so
+    // SIGKILLs also land while shuffle fetches are in flight over sockets.
+    if (iteration % 3 == 2) {
+      config.transport = cluster::TransportKind::kTcp;
+      config.io_timeout_ms = 10000;
+    }
     config.on_worker_spawn = [&](std::uint32_t worker_id, int pid) {
       std::lock_guard<std::mutex> lock(pid_mu);
       pids[worker_id] = pid;

@@ -8,6 +8,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "cluster/liveness.hpp"
 #include "textmr.hpp"
 
 namespace textmr::cluster {
@@ -302,9 +303,13 @@ TEST(ProtocolCodec, TraceChunkRoundTripOwnsStrings) {
   trace.ring_drops.push_back({200001, 0, 2});
   trace.process_names.emplace_back(200001, "worker-1");
   trace.thread_names.push_back({200001, 0, "task-loop"});
+  std::vector<std::string> frames;
   {
     // Build events whose strings die before decoding reads them — the
     // decoder must intern copies, not rely on the encoder's storage.
+    // Encoding happens inside this scope (the encoder is allowed to
+    // read the event's borrowed pointers); the events are then dropped
+    // so decode cannot lean on their storage even by accident.
     const std::string name = "map_dispatch";
     const std::string category = "cluster";
     obs::TraceEvent e;
@@ -319,8 +324,9 @@ TEST(ProtocolCodec, TraceChunkRoundTripOwnsStrings) {
     e.ts_ns = 600;
     e.args[0] = 4.0;
     trace.events.push_back(e);
+    frames = encode_trace_chunks(msg);
+    trace.events.clear();
   }
-  const std::vector<std::string> frames = encode_trace_chunks(msg);
   ASSERT_EQ(frames.size(), 1u);
 
   auto r = reader_skipping_type(frames[0], MsgType::kTraceChunk);
@@ -467,6 +473,388 @@ TEST(FrameIo, SendRecvOverSocketpair) {
   ::close(sv[0]);
   EXPECT_FALSE(recv_frame(sv[1]).has_value());  // clean EOF
   ::close(sv[1]);
+}
+
+// ---- transport/shuffle wire surface (DESIGN.md §14) -----------------------
+
+TEST(ProtocolCodec, RunReduceRoundTripCarriesShuffleSources) {
+  RunReduceMsg msg;
+  msg.partition = 1;
+  for (int i = 0; i < 2; ++i) {
+    io::SpillRunInfo run;
+    run.path = "/scratch/map" + std::to_string(i) + "_final";
+    run.bytes = 64;
+    io::PartitionExtent extent;
+    extent.bytes = 64;
+    extent.records = 4;
+    run.partitions.push_back(extent);
+    msg.map_outputs.push_back(run);
+    Endpoint source;
+    source.host = "10.0.0." + std::to_string(i + 1);
+    source.port = static_cast<std::uint16_t>(9000 + i);
+    msg.sources.push_back(source);
+  }
+  const std::string frame = encode_run_reduce(msg);
+  auto r = reader_skipping_type(frame, MsgType::kRunReduce);
+  const RunReduceMsg out = decode_run_reduce(r);
+  ASSERT_EQ(out.sources.size(), 2u);
+  EXPECT_EQ(out.sources[0].host, "10.0.0.1");
+  EXPECT_EQ(out.sources[0].port, 9000);
+  EXPECT_EQ(out.sources[1].host, "10.0.0.2");
+  EXPECT_EQ(out.sources[1].port, 9001);
+
+  // No sources at all (socketpair shuffle-through-filesystem) is legal.
+  msg.sources.clear();
+  auto r2_frame = encode_run_reduce(msg);
+  auto r2 = reader_skipping_type(r2_frame, MsgType::kRunReduce);
+  EXPECT_TRUE(decode_run_reduce(r2).sources.empty());
+
+  // A sources count that disagrees with the runs count is a protocol
+  // violation, not a silently misaligned shuffle.
+  msg.sources.push_back(Endpoint{});
+  auto r3_frame = encode_run_reduce(msg);
+  auto r3 = reader_skipping_type(r3_frame, MsgType::kRunReduce);
+  EXPECT_THROW(decode_run_reduce(r3), FormatError);
+}
+
+TEST(ProtocolCodec, WelcomeAndHelloRoundTrip) {
+  const std::string welcome = encode_welcome(WelcomeMsg{7, 40});
+  auto wr = reader_skipping_type(welcome, MsgType::kWelcome);
+  const WelcomeMsg wout = decode_welcome(wr);
+  EXPECT_EQ(wout.worker_id, 7u);
+  EXPECT_EQ(wout.heartbeat_interval_ms, 40u);
+
+  HelloMsg hello;
+  hello.worker_id = 3;
+  hello.shuffle.host = "192.168.1.42";
+  hello.shuffle.port = 31337;
+  const std::string frame = encode_hello(hello);
+  auto hr = reader_skipping_type(frame, MsgType::kHello);
+  const HelloMsg hout = decode_hello(hr);
+  EXPECT_EQ(hout.worker_id, 3u);
+  EXPECT_EQ(hout.shuffle.host, "192.168.1.42");
+  EXPECT_EQ(hout.shuffle.port, 31337);
+}
+
+TEST(ProtocolCodec, ShuffleFetchRoundTrip) {
+  ShuffleFetchMsg msg;
+  msg.run_path = "/scratch/job/map3_a1_final";
+  msg.partition = 5;
+  const std::string frame = encode_shuffle_fetch(msg);
+  auto r = reader_skipping_type(frame, MsgType::kShuffleFetch);
+  const ShuffleFetchMsg out = decode_shuffle_fetch(r);
+  EXPECT_EQ(out.run_path, msg.run_path);
+  EXPECT_EQ(out.partition, 5u);
+}
+
+TEST(ProtocolCodec, ShuffleDataRoundTripUnframedTail) {
+  // The partition bytes ride as the frame's unframed tail (no inner
+  // length prefix), so they may contain anything — including bytes that
+  // look like length prefixes or NULs.
+  ShuffleDataMsg msg;
+  msg.records = 3;
+  msg.bytes = std::string("\x00\x01\xff length-lookalike \x40\x00\x00\x00", 25);
+  const std::string frame = encode_shuffle_data(msg);
+  auto r = reader_skipping_type(frame, MsgType::kShuffleData);
+  const ShuffleDataMsg out = decode_shuffle_data(r);
+  EXPECT_EQ(out.records, 3u);
+  EXPECT_EQ(out.bytes, msg.bytes);
+
+  // Empty partitions are common (a map task may emit nothing for a
+  // reducer) and must round-trip as genuinely empty.
+  ShuffleDataMsg empty;
+  auto e_frame = encode_shuffle_data(empty);
+  auto er = reader_skipping_type(e_frame, MsgType::kShuffleData);
+  EXPECT_TRUE(decode_shuffle_data(er).bytes.empty());
+
+  // Large payloads survive (1 MiB of pseudo-random bytes).
+  ShuffleDataMsg big;
+  big.records = 1u << 16;
+  big.bytes.reserve(1u << 20);
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  for (std::size_t i = 0; i < (1u << 20); ++i) {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    big.bytes.push_back(static_cast<char>(state & 0xff));
+  }
+  auto b_frame = encode_shuffle_data(big);
+  auto br = reader_skipping_type(b_frame, MsgType::kShuffleData);
+  EXPECT_EQ(decode_shuffle_data(br).bytes, big.bytes);
+}
+
+TEST(ProtocolCodec, ShuffleErrorRoundTrip) {
+  ShuffleErrorMsg msg;
+  msg.retryable = false;
+  msg.message = "partition 9 out of range";
+  const std::string frame = encode_shuffle_error(msg);
+  auto r = reader_skipping_type(frame, MsgType::kShuffleError);
+  const ShuffleErrorMsg out = decode_shuffle_error(r);
+  EXPECT_FALSE(out.retryable);
+  EXPECT_EQ(out.message, "partition 9 out of range");
+}
+
+TEST(ProtocolCodec, NewMsgTypeNamesAreKnown) {
+  for (MsgType type :
+       {MsgType::kWelcome, MsgType::kHello, MsgType::kShuffleFetch,
+        MsgType::kShuffleData, MsgType::kShuffleError}) {
+    EXPECT_STRNE(msg_type_name(type), "unknown") << static_cast<int>(type);
+  }
+}
+
+TEST(ChecksummedFrames, Crc32KnownVectors) {
+  // The standard IEEE 802.3 check value for "123456789".
+  EXPECT_EQ(crc32("123456789"), 0xcbf43926u);
+  EXPECT_EQ(crc32(""), 0u);
+  // Incremental property sanity: different inputs, different sums.
+  EXPECT_NE(crc32("a"), crc32("b"));
+}
+
+// Builds the wire bytes of one checksummed frame:
+// [u32 len][u32 crc32(payload)][payload], little-endian.
+std::string checksummed_wire(const std::string& payload) {
+  std::string wire;
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  const std::uint32_t crc = crc32(payload);
+  for (int i = 0; i < 4; ++i) {
+    wire.push_back(static_cast<char>((len >> (8 * i)) & 0xff));
+  }
+  for (int i = 0; i < 4; ++i) {
+    wire.push_back(static_cast<char>((crc >> (8 * i)) & 0xff));
+  }
+  return wire + payload;
+}
+
+TEST(ChecksummedFrames, SendRecvRoundTrip) {
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  const std::string payload = encode_heartbeat(HeartbeatMsg{});
+  ASSERT_TRUE(send_frame(sv[0], payload, FrameFormat::kChecksummed, -1));
+  const auto got = recv_frame(sv[1], FrameFormat::kChecksummed, -1);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, payload);
+  ::close(sv[0]);
+  EXPECT_FALSE(recv_frame(sv[1], FrameFormat::kChecksummed, -1).has_value());
+  ::close(sv[1]);
+}
+
+TEST(ChecksummedFrames, RecvTruncatedAtEveryOffsetNeverSucceeds) {
+  const std::string wire = checksummed_wire(
+      encode_shuffle_fetch(ShuffleFetchMsg{"/scratch/run", 2}));
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    int sv[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    if (cut > 0) {
+      ASSERT_EQ(::send(sv[0], wire.data(), cut, 0),
+                static_cast<ssize_t>(cut));
+    }
+    ::close(sv[0]);  // peer dies mid-frame
+    if (cut == 0) {
+      // Nothing sent at all: a clean EOF, not an error.
+      EXPECT_FALSE(recv_frame(sv[1], FrameFormat::kChecksummed, -1)
+                       .has_value());
+    } else {
+      // A torn frame is always an error — never a short "success".
+      EXPECT_THROW(recv_frame(sv[1], FrameFormat::kChecksummed, -1), IoError)
+          << "cut at byte " << cut;
+    }
+    ::close(sv[1]);
+  }
+}
+
+TEST(ChecksummedFrames, RecvCorruptedAtEveryByteNeverYieldsWrongBytes) {
+  const std::string payload =
+      encode_shuffle_fetch(ShuffleFetchMsg{"/scratch/run", 2});
+  const std::string wire = checksummed_wire(payload);
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    std::string bad = wire;
+    bad[i] = static_cast<char>(bad[i] ^ 0x20);
+    int sv[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    ASSERT_EQ(::send(sv[0], bad.data(), bad.size(), 0),
+              static_cast<ssize_t>(bad.size()));
+    ::close(sv[0]);
+    // Three legal outcomes: IoError (bad length/crc mismatch/torn frame)
+    // — never the corrupted payload delivered as-if-valid. (A flip in
+    // the length prefix may also leave the reader waiting for bytes that
+    // never come; the closed peer turns that into a torn-frame IoError.)
+    try {
+      const auto got = recv_frame(sv[1], FrameFormat::kChecksummed, -1);
+      ADD_FAILURE() << "corrupt byte " << i << " slipped through: "
+                    << (got.has_value() ? "frame delivered" : "EOF");
+    } catch (const IoError&) {
+      // expected
+    }
+    ::close(sv[1]);
+  }
+}
+
+TEST(ChecksummedFrames, RecvOversizedLengthPrefixThrows) {
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  const char header[8] = {'\xff', '\xff', '\xff', '\xff', 0, 0, 0, 0};
+  ASSERT_EQ(::send(sv[0], header, 8, 0), 8);
+  EXPECT_THROW(recv_frame(sv[1], FrameFormat::kChecksummed, -1), IoError);
+  ::close(sv[0]);
+  ::close(sv[1]);
+}
+
+TEST(ChecksummedFrames, RecvTimesOutOnSilentPeer) {
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  // No bytes at all: the deadline must fire instead of blocking forever.
+  EXPECT_THROW(recv_frame(sv[1], FrameFormat::kChecksummed, 50), IoError);
+  // A partial preamble then silence must also time out (torn frame that
+  // never completes, peer still alive).
+  const char partial[3] = {9, 0, 0};
+  ASSERT_EQ(::send(sv[0], partial, 3, 0), 3);
+  EXPECT_THROW(recv_frame(sv[1], FrameFormat::kChecksummed, 50), IoError);
+  ::close(sv[0]);
+  ::close(sv[1]);
+}
+
+TEST(ChecksummedFrames, SendTimesOutWhenPeerStopsDraining) {
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  // Shrink both socket buffers so a large frame cannot be absorbed.
+  const int small = 4096;
+  ::setsockopt(sv[0], SOL_SOCKET, SO_SNDBUF, &small, sizeof(small));
+  ::setsockopt(sv[1], SOL_SOCKET, SO_RCVBUF, &small, sizeof(small));
+  const std::string big(4u << 20, 'x');
+  // The peer never reads: send must hit the deadline, not block forever.
+  EXPECT_THROW(send_frame(sv[0], big, FrameFormat::kChecksummed, 50), IoError);
+  ::close(sv[0]);
+  ::close(sv[1]);
+}
+
+TEST(ChecksummedFrames, DecoderReassemblesAtEveryBoundaryOffset) {
+  const std::string a = encode_shuffle_fetch(ShuffleFetchMsg{"/r", 0});
+  const std::string b = encode_shuffle_error(ShuffleErrorMsg{true, "busy"});
+  const std::string stream = checksummed_wire(a) + checksummed_wire(b);
+  // Split the stream at every offset; both frames must always come out
+  // whole, in order, bit-exact.
+  for (std::size_t split = 0; split <= stream.size(); ++split) {
+    FrameDecoder decoder(FrameFormat::kChecksummed);
+    decoder.feed(stream.data(), split);
+    std::vector<std::string> frames;
+    while (auto f = decoder.next()) frames.push_back(*f);
+    decoder.feed(stream.data() + split, stream.size() - split);
+    while (auto f = decoder.next()) frames.push_back(*f);
+    ASSERT_EQ(frames.size(), 2u) << "split at " << split;
+    EXPECT_EQ(frames[0], a);
+    EXPECT_EQ(frames[1], b);
+  }
+}
+
+TEST(ChecksummedFrames, DecoderRejectsCorruptedPayload) {
+  const std::string payload = encode_shuffle_fetch(ShuffleFetchMsg{"/r", 0});
+  std::string wire = checksummed_wire(payload);
+  wire[wire.size() - 1] = static_cast<char>(wire.back() ^ 0x01);
+  FrameDecoder decoder(FrameFormat::kChecksummed);
+  decoder.feed(wire.data(), wire.size());
+  EXPECT_THROW(decoder.next(), IoError);
+}
+
+// Seeded structural fuzz of the shuffle codecs: random mutations of
+// valid frames must decode cleanly or throw FormatError — never crash,
+// hang, or return garbage silently. (ASan/TSan tiers run this too.)
+TEST(ShuffleCodecFuzz, MutatedFramesNeverCrash) {
+  std::uint64_t state = 0x243f6a8885a308d3ull;  // fixed seed: reproducible
+  const auto rng = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  std::vector<std::string> seeds = {
+      encode_shuffle_fetch(ShuffleFetchMsg{"/scratch/jobX/map0_a0_final", 3}),
+      encode_shuffle_data(ShuffleDataMsg{12, std::string(100, 'z')}),
+      encode_shuffle_error(ShuffleErrorMsg{true, "transient"}),
+      encode_welcome(WelcomeMsg{1, 25}),
+      encode_hello(HelloMsg{2, Endpoint{"127.0.0.1", 4242}}),
+  };
+  int decoded = 0;
+  int rejected = 0;
+  for (int iter = 0; iter < 4000; ++iter) {
+    std::string frame = seeds[rng() % seeds.size()];
+    switch (rng() % 3) {
+      case 0:  // truncate
+        frame.resize(rng() % (frame.size() + 1));
+        break;
+      case 1:  // flip 1-4 bytes
+        for (std::uint64_t flips = 1 + rng() % 4; flips > 0 && !frame.empty();
+             --flips) {
+          frame[rng() % frame.size()] ^= static_cast<char>(1 + rng() % 255);
+        }
+        break;
+      case 2:  // append junk
+        for (std::uint64_t extra = 1 + rng() % 16; extra > 0; --extra) {
+          frame.push_back(static_cast<char>(rng() & 0xff));
+        }
+        break;
+    }
+    try {
+      WireReader r(frame);
+      const MsgType type = static_cast<MsgType>(r.u8());
+      switch (type) {
+        case MsgType::kShuffleFetch: decode_shuffle_fetch(r); break;
+        case MsgType::kShuffleData: decode_shuffle_data(r); break;
+        case MsgType::kShuffleError: decode_shuffle_error(r); break;
+        case MsgType::kWelcome: decode_welcome(r); break;
+        case MsgType::kHello: decode_hello(r); break;
+        default: ++rejected; continue;  // type byte mutated away
+      }
+      ++decoded;
+    } catch (const FormatError&) {
+      ++rejected;
+    }
+  }
+  // Both outcomes must actually occur or the fuzz is not exercising
+  // anything (e.g. every mutation dodged the parser).
+  EXPECT_GT(decoded, 0);
+  EXPECT_GT(rejected, 0);
+}
+
+// ---- LivenessTracker under a ManualClock ----------------------------------
+
+TEST(LivenessTrackerTest, SilenceBeyondTimeoutExpiresWorker) {
+  common::ManualClock clock(1000 * 1000000ull);
+  LivenessTracker tracker(100, &clock);
+  ASSERT_TRUE(tracker.enabled());
+
+  tracker.note_activity(0);
+  clock.advance_ms(99);
+  EXPECT_FALSE(tracker.expired(0));
+  clock.advance_ms(2);
+  EXPECT_TRUE(tracker.expired(0));
+
+  // Activity resets the deadline.
+  tracker.note_activity(0);
+  EXPECT_FALSE(tracker.expired(0));
+  clock.advance_ms(101);
+  EXPECT_TRUE(tracker.expired(0));
+}
+
+TEST(LivenessTrackerTest, NeverSeenAndForgottenWorkersAreNotExpired) {
+  common::ManualClock clock;
+  LivenessTracker tracker(100, &clock);
+  clock.advance_ms(10000);
+  EXPECT_FALSE(tracker.expired(7));  // never seen: spawn/beat order races
+
+  tracker.note_activity(7);
+  clock.advance_ms(10000);
+  EXPECT_TRUE(tracker.expired(7));
+  tracker.forget(7);
+  EXPECT_FALSE(tracker.expired(7));
+}
+
+TEST(LivenessTrackerTest, ZeroTimeoutDisablesTracking) {
+  common::ManualClock clock;
+  LivenessTracker tracker(0, &clock);
+  EXPECT_FALSE(tracker.enabled());
+  tracker.note_activity(1);
+  clock.advance_ms(1u << 30);
+  EXPECT_FALSE(tracker.expired(1));
 }
 
 // ---- StragglerDetector under a ManualClock --------------------------------

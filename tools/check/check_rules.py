@@ -359,8 +359,9 @@ _ENUM_SNAPSHOT: dict[str, list[str]] = {
     ],
     "MsgType": [
         "kRunMap", "kRunReduce", "kShutdown", "kClockProbe", "kSkewPlan",
-        "kHeartbeat", "kMapDone", "kReduceDone", "kTaskFailed",
-        "kClockSync", "kTraceChunk",
+        "kWelcome", "kHeartbeat", "kMapDone", "kReduceDone", "kTaskFailed",
+        "kClockSync", "kTraceChunk", "kHello", "kShuffleFetch",
+        "kShuffleData", "kShuffleError",
     ],
     "ActionKind": ["kThrow", "kShortWrite", "kCorrupt", "kDelay"],
 }
