@@ -24,11 +24,16 @@ struct MapSideRun {
   std::uint64_t wall_ns = 0;       // framework + user map + read
 };
 
-/// One full map task (map thread + support thread) on the corpus; the
-/// framework component is the record path proper — everything except user
-/// map() code, input read and idle time.
+/// One full map task on the corpus; the framework component is the record
+/// path proper — everything except user map() code, input read and idle
+/// time. In kSort mode the task runs map thread + support thread (sort /
+/// combine / write land on the support metrics); in kHash mode the
+/// sharded hash-combine runs everything on the map thread (flush time
+/// lands in its kSort/kSpillWrite buckets) — summing the op buckets over
+/// both structs measures the two modes with one formula.
 MapSideRun run_map_side(const std::filesystem::path& corpus,
-                        const TempDir& scratch, int round) {
+                        const TempDir& scratch, mr::CombineMode mode,
+                        int round) {
   auto splits = io::make_splits(corpus.string(), 64u << 20);
   mr::MapTaskConfig config;
   config.split = splits.front();
@@ -36,18 +41,21 @@ MapSideRun run_map_side(const std::filesystem::path& corpus,
   config.mapper = [] { return std::make_unique<apps::WordCountMapper>(); };
   config.combiner = [] { return std::make_unique<apps::WordCountCombiner>(); };
   config.spill_buffer_bytes = 1u << 20;  // many spills + a deep final merge
-  config.scratch_dir = scratch.file("map-" + std::to_string(round));
+  config.combine_mode = mode;
+  config.scratch_dir =
+      scratch.file((mode == mr::CombineMode::kHash ? "hmap-" : "map-") +
+                   std::to_string(round));
 
   const auto result = mr::run_map_task(config);
-  const mr::TaskMetrics& map = result.map_thread;
-  const mr::TaskMetrics& support = result.support_thread;
+  const auto framework = [](const mr::TaskMetrics& m) {
+    return m.op_ns(mr::Op::kEmit) + m.op_ns(mr::Op::kSort) +
+           m.op_ns(mr::Op::kCombine) + m.op_ns(mr::Op::kSpillWrite) +
+           m.op_ns(mr::Op::kMerge) + m.op_ns(mr::Op::kMergeCombine);
+  };
   MapSideRun run;
-  run.records = map.map_output_records;
-  run.framework_ns = map.op_ns(mr::Op::kEmit) + support.op_ns(mr::Op::kSort) +
-                     support.op_ns(mr::Op::kCombine) +
-                     support.op_ns(mr::Op::kSpillWrite) +
-                     map.op_ns(mr::Op::kMerge) +
-                     map.op_ns(mr::Op::kMergeCombine);
+  run.records = result.map_thread.map_output_records;
+  run.framework_ns =
+      framework(result.map_thread) + framework(result.support_thread);
   run.wall_ns = result.wall_ns;
   return run;
 }
@@ -70,23 +78,38 @@ int main() {
   const auto corpus = dir.file("corpus.txt");
   textgen::generate_corpus(corpus_spec, corpus.string());
 
-  // ---- map-side pipeline, best of 3 (min filters scheduler noise) ------
-  MapSideRun best;
-  for (int round = 0; round < 3; ++round) {
-    const MapSideRun run = run_map_side(corpus, dir, round);
-    if (round == 0 || run.framework_ns < best.framework_ns) best = run;
-  }
+  // ---- map-side pipeline: sort-spill baseline vs hash-combine ----------
+  // Steady-state: 1 warmup run, min of 3 measured (see run_until_steady).
+  const auto cost = [](const MapSideRun& r) { return r.framework_ns; };
+  const auto measure = [&](mr::CombineMode mode) {
+    int round = 0;
+    return bench::run_until_steady(
+        [&] { return run_map_side(corpus, dir, mode, round++); }, cost);
+  };
+  const MapSideRun best = measure(mr::CombineMode::kSort);
   const double fw_ns = ns_per(best.framework_ns, best.records);
   const double wall_ns = ns_per(best.wall_ns, best.records);
   std::printf("map-side record path: %llu records\n",
               static_cast<unsigned long long>(best.records));
-  std::printf("  framework %8.1f ns/record (emit+sort+combine+write+merge)\n",
+  std::printf("  sort  framework %8.1f ns/record "
+              "(emit+sort+combine+write+merge)\n",
               fw_ns);
-  std::printf("  wall      %8.1f ns/record (incl. user map + read)\n",
+  std::printf("  sort  wall      %8.1f ns/record (incl. user map + read)\n",
               wall_ns);
   report.add_note("map_side_records", static_cast<double>(best.records));
   report.add_note("map_side_ns_per_record", fw_ns);
   report.add_note("map_side_wall_ns_per_record", wall_ns);
+
+  const MapSideRun hash = measure(mr::CombineMode::kHash);
+  const double hash_fw_ns = ns_per(hash.framework_ns, hash.records);
+  const double hash_wall_ns = ns_per(hash.wall_ns, hash.records);
+  std::printf("  hash  framework %8.1f ns/record "
+              "(emit+combine-on-insert+flush)\n",
+              hash_fw_ns);
+  std::printf("  hash  wall      %8.1f ns/record (incl. user map + read)\n",
+              hash_wall_ns);
+  report.add_note("hash_map_side_ns_per_record", hash_fw_ns);
+  report.add_note("hash_map_side_wall_ns_per_record", hash_wall_ns);
 
   // ---- packed-record primitives in isolation ---------------------------
   {

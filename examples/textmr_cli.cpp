@@ -9,6 +9,8 @@
 //   textmr_cli gen graph OUT.txt [--pages N]
 //   textmr_cli run APP INPUT... --out DIR [--reducers R] [--freq] [--matcher]
 //              [--topk K] [--sample S] [--buffer MB] [--report]
+//              [--hash-combine] [--hash-shards N]
+//              [--simd-tokenize scalar|swar|simd|auto]
 //              [--skew-partitioner] [--skew-split-threshold X]
 //              [--trace FILE] [--trace-jsonl FILE] [--metrics-json FILE]
 //              [--failpoints SPEC] [--max-task-attempts N]
@@ -92,6 +94,8 @@ int usage() {
                "  textmr_cli gen graph OUT [--pages N]\n"
                "  textmr_cli run APP INPUT... --out DIR [--reducers R]\n"
                "             [--freq] [--matcher] [--topk K] [--sample S]\n"
+               "             [--hash-combine] [--hash-shards N]\n"
+               "             [--simd-tokenize scalar|swar|simd|auto]\n"
                "             [--buffer MB] [--report]\n"
                "             [--skew-partitioner] [--skew-split-threshold X]\n"
                "             [--trace FILE] [--trace-jsonl FILE]\n"
@@ -206,6 +210,22 @@ std::optional<mr::JobSpec> build_job_spec(const Args& args) {
   spec.spill_buffer_bytes =
       static_cast<std::size_t>(args.u64("buffer", 16)) << 20;
   spec.use_spill_matcher = args.flag("matcher");
+  // --hash-combine swaps the map-side sort pipeline for the sharded
+  // hash-combine path (DESIGN.md §15); output is byte-identical.
+  if (args.flag("hash-combine")) {
+    spec.combine_mode = mr::CombineMode::kHash;
+    spec.hash_combine_shards = static_cast<std::uint32_t>(
+        args.u64("hash-shards", spec.hash_combine_shards));
+  }
+  // --simd-tokenize selects the word-tokenizer kernel (scalar|swar|simd|
+  // auto). Process-global; every kernel is oracle-equivalent, so a worker
+  // need not agree with its coordinator.
+  if (const auto tok = args.options.find("simd-tokenize");
+      tok != args.options.end()) {
+    text::TokenizeMode mode;
+    if (!text::parse_tokenize_mode(tok->second, mode)) return std::nullopt;
+    text::set_tokenize_mode(mode);
+  }
   if (args.flag("freq")) {
     spec.freqbuf.enabled = true;
     spec.freqbuf.top_k = args.u64("topk", bundle->freq_top_k);

@@ -3,28 +3,20 @@
 #include <string>
 #include <string_view>
 
+#include "text/tokenize.hpp"
+
 namespace textmr::apps {
 
 /// Streaming word tokenizer used by the text-centric applications:
 /// splits on any non-alphanumeric byte and lowercases ASCII letters.
 /// `fn` receives each normalized token as a view into `scratch`, valid
-/// only during the call.
+/// only during the call. Backed by the runtime-dispatched SWAR/SIMD
+/// kernels in src/text/tokenize.hpp; every kernel is fuzz-proven
+/// equivalent to the scalar oracle, so the selected mode never changes
+/// job output.
 template <typename Fn>
 void for_each_token(std::string_view line, std::string& scratch, Fn&& fn) {
-  scratch.clear();
-  for (std::size_t i = 0; i <= line.size(); ++i) {
-    const char c = (i < line.size()) ? line[i] : ' ';
-    if ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')) {
-      scratch.push_back(c);
-    } else if (c >= 'A' && c <= 'Z') {
-      scratch.push_back(static_cast<char>(c - 'A' + 'a'));
-    } else {
-      if (!scratch.empty()) {
-        fn(std::string_view(scratch));
-        scratch.clear();
-      }
-    }
-  }
+  text::for_each_token(line, scratch, fn);
 }
 
 /// Splits `line` on `sep`, invoking `fn(index, field)` per field.

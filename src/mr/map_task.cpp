@@ -8,6 +8,7 @@
 #include "common/failpoint.hpp"
 #include "common/mutex.hpp"
 #include "common/stopwatch.hpp"
+#include "mr/hash_combine.hpp"
 #include "mr/merger.hpp"
 #include "mr/skew_partitioner.hpp"
 #include "mr/spill_buffer.hpp"
@@ -40,12 +41,38 @@ class DirectSpillSink final : public EmitSink {
   TaskMetrics& metrics_;
 };
 
+/// Sink that combines records on insert into the per-task shard hash
+/// tables — the hash-combine analogue of DirectSpillSink. All work
+/// happens on the map thread; flush time is self-accounted by the table
+/// and subtracted from kEmit afterwards.
+class DirectHashSink final : public EmitSink {
+ public:
+  DirectHashSink(HashCombineShards& table, SkewAwarePartitioner& partitioner,
+                 TaskMetrics& metrics)
+      : table_(table), partitioner_(partitioner), metrics_(metrics) {}
+
+  void emit(std::string_view key, std::string_view value) override {
+    ScopedTimer timer(metrics_, Op::kEmit);
+    metrics_.spill_input_records += 1;
+    metrics_.spill_input_bytes += key.size() + value.size();
+    // The partitioner is consulted here, per record, exactly like the
+    // sort path's sink — a skew plan's split-key round-robin cursor must
+    // advance identically in both modes for byte-identical output.
+    table_.insert(partitioner_(key), key, value);
+  }
+
+ private:
+  HashCombineShards& table_;
+  SkewAwarePartitioner& partitioner_;
+  TaskMetrics& metrics_;
+};
+
 /// The sink handed to user map() code: counts output volume, routes
 /// through frequency-buffering when active, and otherwise forwards to the
-/// spill buffer.
+/// spill path (ring or hash table).
 class EmitRouter final : public EmitSink {
  public:
-  EmitRouter(DirectSpillSink& spill_sink, freqbuf::FreqBufferController* freq,
+  EmitRouter(EmitSink& spill_sink, freqbuf::FreqBufferController* freq,
              TaskMetrics& metrics)
       : spill_sink_(spill_sink), freq_(freq), metrics_(metrics) {}
 
@@ -64,11 +91,166 @@ class EmitRouter final : public EmitSink {
   std::uint64_t inside_emit_ns() const { return inside_emit_ns_; }
 
  private:
-  DirectSpillSink& spill_sink_;
+  EmitSink& spill_sink_;
   freqbuf::FreqBufferController* freq_;
   TaskMetrics& metrics_;
   std::uint64_t inside_emit_ns_ = 0;
 };
+
+/// Adopts (single run) or merges (several) the task's sorted runs into
+/// its final output. Shared by both combine modes — a hash-combine run
+/// and a sort-spill run are byte-compatible by construction.
+void finish_map_output(const MapTaskConfig& config,
+                       std::vector<io::SpillRunInfo>& runs, Reducer* combiner,
+                       obs::TraceBuffer* map_trace, MapTaskResult& result) {
+  const std::string out_path =
+      (config.scratch_dir /
+       (map_attempt_prefix(config.task_id, config.attempt) + "output.run"))
+          .string();
+  if (runs.empty()) {
+    // No output at all: write an empty run so downstream cursors work.
+    io::SpillRunWriter writer(out_path, config.num_partitions,
+                              config.spill_format);
+    result.output = writer.finish();
+  } else if (runs.size() == 1) {
+    // Single run: it is already sorted and combined; adopt it (Hadoop
+    // does the same rename). The hash path's no-pressure case lands here
+    // every time — its finish() emits one globally sorted run.
+    std::filesystem::rename(runs.front().path, out_path);
+    result.output = runs.front();
+    result.output.path = out_path;
+    result.map_thread.merged_records += result.output.records;
+    result.map_thread.merged_bytes += result.output.bytes;
+  } else {
+    obs::SpanTimer merge_span(map_trace, "task", "map_merge");
+    merge_span.arg("runs", static_cast<double>(runs.size()));
+    result.output =
+        merge_runs(runs, combiner, out_path, config.num_partitions,
+                   config.spill_format, result.map_thread);
+    merge_span.arg("records", static_cast<double>(result.output.records));
+    if (!config.keep_spill_runs) {
+      for (const auto& run : runs) {
+        std::error_code ec;
+        std::filesystem::remove(run.path, ec);
+      }
+    }
+  }
+}
+
+/// The hash-combine variant of run_map_task (DESIGN.md §15): no ring, no
+/// support threads — the map thread drives the mapper and combines every
+/// emitted record straight into the shard tables. Sorting happens at
+/// flush time (radix over the key prefix), so the task's serialized work
+/// drops the per-record comparison sort entirely.
+MapTaskResult run_map_task_hash(const MapTaskConfig& config) {
+  MapTaskResult result;
+  const std::uint64_t task_start = monotonic_ns();
+
+  const std::uint32_t trace_pid = obs::map_task_pid(config.task_id);
+  obs::TraceBuffer* map_trace = nullptr;
+  if (config.trace != nullptr) {
+    const std::string process = "map_task_" + std::to_string(config.task_id);
+    map_trace = config.trace->make_buffer(trace_pid, obs::kMapThreadTid,
+                                          "map", process);
+  }
+  obs::SpanTimer task_span(map_trace, "task", "map_task");
+  task_span.arg("split_bytes", static_cast<double>(config.split.length));
+  task_span.arg("hash_combine", 1.0);
+
+  SkewAwarePartitioner partitioner(
+      config.skew_plan != nullptr ? config.skew_plan->num_canonical
+                                  : config.num_partitions,
+      config.skew_plan, config.task_id);
+  TEXTMR_CHECK(partitioner.num_partitions() == config.num_partitions,
+               "map task num_partitions disagrees with the skew plan");
+
+  Counters map_counters;
+  std::unique_ptr<Reducer> map_combiner =
+      config.combiner ? config.combiner() : nullptr;
+  if (map_combiner != nullptr) {
+    map_combiner->begin_task(TaskInfo{config.task_id, &map_counters});
+  }
+
+  HashCombineConfig hash_config;
+  hash_config.num_shards = config.hash_combine_shards;
+  hash_config.watermark_bytes = config.hash_combine_watermark_bytes;
+  hash_config.demote_after_flushes = config.hash_combine_demote_flushes;
+  hash_config.memory_budget_bytes = config.spill_buffer_bytes;
+  hash_config.num_partitions = config.num_partitions;
+  hash_config.format = config.spill_format;
+  HashCombineShards table(
+      hash_config, map_combiner.get(),
+      [&config](std::uint64_t sequence) {
+        return (config.scratch_dir /
+                (map_attempt_prefix(config.task_id, config.attempt) +
+                 "hspill" + std::to_string(sequence) + ".run"))
+            .string();
+      },
+      result.map_thread, map_trace);
+
+  DirectHashSink hash_sink(table, partitioner, result.map_thread);
+  std::unique_ptr<freqbuf::FreqBufferController> freq;
+  if (config.freqbuf.enabled) {
+    freq = std::make_unique<freqbuf::FreqBufferController>(
+        config.freqbuf, config.freq_table_budget_bytes, map_combiner.get(),
+        hash_sink, result.map_thread, config.node_cache, map_trace);
+  }
+  EmitRouter router(hash_sink, freq.get(), result.map_thread);
+
+  std::unique_ptr<Mapper> mapper = config.mapper();
+  mapper->begin_task(TaskInfo{config.task_id, &map_counters});
+  io::LineReader reader(config.split);
+  std::uint64_t offset = 0;
+  while (true) {
+    std::optional<std::string_view> line;
+    {
+      ScopedTimer read_timer(result.map_thread, Op::kMapRead);
+      line = reader.next_line();
+    }
+    if (!line.has_value()) break;
+    result.map_thread.input_records += 1;
+    result.map_thread.input_bytes += line->size() + 1;
+    if (freq != nullptr) {
+      freq->set_progress(reader.fraction_consumed());
+    }
+    if (config.progress != nullptr) {
+      config.progress->store(reader.fraction_consumed(),
+                             std::memory_order_relaxed);
+    }
+    TEXTMR_FAILPOINT("map.user_code");
+    {
+      ScopedTimer map_timer(result.map_thread, Op::kMapUser);
+      mapper->map(offset, *line, router);
+    }
+    ++offset;
+  }
+  if (freq != nullptr) {
+    freq->finish();
+    result.freq_stage_at_end = freq->stage();
+    result.freq_sampling_fraction = freq->effective_sampling_fraction();
+  }
+  // map() wall time included everything emit() did; those ops
+  // self-accounted, so subtract to leave pure user code in kMapUser.
+  std::uint64_t& map_user_ns = result.map_thread.op_ns(Op::kMapUser);
+  map_user_ns -= std::min(map_user_ns, router.inside_emit_ns());
+
+  // Watermark flushes ran inside insert(), i.e. inside the kEmit scope;
+  // their time self-accounted to kSort/kSpillWrite, so subtract it from
+  // kEmit (the finish() flush below runs outside any emit interval).
+  const std::uint64_t flush_in_emit = table.flush_ns();
+  std::vector<io::SpillRunInfo> runs = table.finish();
+  std::uint64_t& emit_ns = result.map_thread.op_ns(Op::kEmit);
+  emit_ns -= std::min(emit_ns, flush_in_emit);
+
+  result.spills = runs.size();
+  result.pipeline_wall_ns = monotonic_ns() - task_start;
+
+  finish_map_output(config, runs, map_combiner.get(), map_trace, result);
+
+  result.counters += map_counters;
+  result.wall_ns = monotonic_ns() - task_start;
+  return result;
+}
 
 }  // namespace
 
@@ -81,6 +263,9 @@ MapTaskResult run_map_task(const MapTaskConfig& config) {
   TEXTMR_CHECK(static_cast<bool>(config.mapper), "map task needs a mapper");
   TEXTMR_CHECK(config.num_partitions >= 1, "map task needs >= 1 partition");
   std::filesystem::create_directories(config.scratch_dir);
+  if (config.combine_mode == CombineMode::kHash) {
+    return run_map_task_hash(config);
+  }
 
   MapTaskResult result;
   const std::uint64_t task_start = monotonic_ns();
@@ -298,37 +483,7 @@ MapTaskResult run_map_task(const MapTaskConfig& config) {
   result.final_spill_threshold = buffer.threshold();
 
   // ---- final merge --------------------------------------------------------
-  const std::string out_path =
-      (config.scratch_dir /
-       (map_attempt_prefix(config.task_id, config.attempt) + "output.run"))
-          .string();
-  if (runs.empty()) {
-    // No output at all: write an empty run so downstream cursors work.
-    io::SpillRunWriter writer(out_path, config.num_partitions,
-                              config.spill_format);
-    result.output = writer.finish();
-  } else if (runs.size() == 1) {
-    // Single spill: it is already sorted and combined; adopt it (Hadoop
-    // does the same rename).
-    std::filesystem::rename(runs.front().path, out_path);
-    result.output = runs.front();
-    result.output.path = out_path;
-    result.map_thread.merged_records += result.output.records;
-    result.map_thread.merged_bytes += result.output.bytes;
-  } else {
-    obs::SpanTimer merge_span(map_trace, "task", "map_merge");
-    merge_span.arg("runs", static_cast<double>(runs.size()));
-    result.output =
-        merge_runs(runs, map_combiner.get(), out_path, config.num_partitions,
-                   config.spill_format, result.map_thread);
-    merge_span.arg("records", static_cast<double>(result.output.records));
-    if (!config.keep_spill_runs) {
-      for (const auto& run : runs) {
-        std::error_code ec;
-        std::filesystem::remove(run.path, ec);
-      }
-    }
-  }
+  finish_map_output(config, runs, map_combiner.get(), map_trace, result);
 
   result.counters += map_counters;
   result.wall_ns = monotonic_ns() - task_start;

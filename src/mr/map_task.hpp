@@ -40,6 +40,19 @@ struct MapTaskConfig {
 
   std::size_t spill_buffer_bytes = 16u << 20;
   io::SpillFormat spill_format = io::SpillFormat::kCompactVarint;
+
+  /// Map-side combine strategy (DESIGN.md §15). kSort runs the classic
+  /// ring/sort/spill pipeline below; kHash combines on insert into
+  /// per-task shard hash tables on the map thread itself (no support
+  /// threads, no ring) and radix-sorts at flush time. The two modes
+  /// produce byte-identical task output.
+  CombineMode combine_mode = CombineMode::kSort;
+  std::uint32_t hash_combine_shards = 8;
+  /// Per-shard resident-byte watermark; 0 derives it from the memory
+  /// budget (spill_buffer_bytes, which the hash tables inherit).
+  std::size_t hash_combine_watermark_bytes = 0;
+  /// Watermark breaches before a shard is demoted to the sort-spill path.
+  std::uint32_t hash_combine_demote_flushes = 4;
   /// Number of support (sort/combine/spill) threads — the paper's
   /// "one or more support threads" (§IV-A). 1 reproduces Hadoop's
   /// 1-map/1-support pipeline that the spill-matcher analysis assumes.

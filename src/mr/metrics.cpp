@@ -33,6 +33,9 @@ TaskMetrics& TaskMetrics::operator+=(const TaskMetrics& other) {
   map_output_bytes += other.map_output_bytes;
   freq_hits += other.freq_hits;
   freq_flushes += other.freq_flushes;
+  hash_combine_hits += other.hash_combine_hits;
+  hash_combine_flushes += other.hash_combine_flushes;
+  hash_combine_demotions += other.hash_combine_demotions;
   spill_input_records += other.spill_input_records;
   spill_input_bytes += other.spill_input_bytes;
   spilled_records += other.spilled_records;

@@ -108,6 +108,12 @@ std::string format_job_report(const JobResult& result,
             static_cast<unsigned long long>(work.freq_hits),
             static_cast<unsigned long long>(work.freq_flushes));
   }
+  if (work.hash_combine_hits > 0 || work.hash_combine_flushes > 0) {
+    appendf(out, "  hash-combine hits %9llu records (%llu flushes, %llu demotions)\n",
+            static_cast<unsigned long long>(work.hash_combine_hits),
+            static_cast<unsigned long long>(work.hash_combine_flushes),
+            static_cast<unsigned long long>(work.hash_combine_demotions));
+  }
   appendf(out, "  spilled          %10llu records %12.1f KB in %llu spills\n",
           static_cast<unsigned long long>(work.spilled_records),
           static_cast<double>(work.spilled_bytes) / 1024.0,
@@ -183,6 +189,9 @@ void write_task_metrics(obs::JsonWriter& w, const TaskMetrics& m) {
   w.field("map_output_bytes", m.map_output_bytes);
   w.field("freq_hits", m.freq_hits);
   w.field("freq_flushes", m.freq_flushes);
+  w.field("hash_combine_hits", m.hash_combine_hits);
+  w.field("hash_combine_flushes", m.hash_combine_flushes);
+  w.field("hash_combine_demotions", m.hash_combine_demotions);
   w.field("spill_input_records", m.spill_input_records);
   w.field("spill_input_bytes", m.spill_input_bytes);
   w.field("spilled_records", m.spilled_records);

@@ -46,6 +46,8 @@
 
 #include "spillmatch/spill_matcher.hpp"
 
+#include "text/tokenize.hpp"
+
 #include "freqbuf/controller.hpp"
 #include "freqbuf/frequent_key_table.hpp"
 
@@ -55,6 +57,7 @@
 #include "cluster/worker.hpp"
 
 #include "mr/engine.hpp"
+#include "mr/hash_combine.hpp"
 #include "mr/job.hpp"
 #include "mr/map_task.hpp"
 #include "mr/merger.hpp"

@@ -1,0 +1,321 @@
+#include <gtest/gtest.h>
+
+// Unit battery for the map-side sharded hash-combine path (ISSUE 10):
+// combine-equivalence against an exact oracle, adversarial prefix-
+// collision keys (equal 8-byte prefixes, short keys that prefix longer
+// ones, embedded NULs), watermark flushes and mid-stream demotion — all
+// checked for exact record_ref_less run order and byte-identical map-task
+// output against the sort-spill baseline.
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/tempdir.hpp"
+#include "io/spill_file.hpp"
+#include "mr/hash_combine.hpp"
+#include "mr/map_task.hpp"
+#include "mr/record_arena.hpp"
+#include "mr/types.hpp"
+
+namespace textmr::mr {
+namespace {
+
+/// Counting combiner: sums decimal values per key (WordCount's shape).
+std::unique_ptr<Reducer> make_summing_combiner() {
+  return std::make_unique<LambdaReducer>(
+      [](std::string_view key, ValueStream& values, EmitSink& out) {
+        std::uint64_t total = 0;
+        while (auto v = values.next()) {
+          total += std::strtoull(std::string(*v).c_str(), nullptr, 10);
+        }
+        out.emit(key, std::to_string(total));
+      });
+}
+
+struct FlatRecord {
+  std::uint32_t partition;
+  std::string key;
+  std::string value;
+
+  friend bool operator==(const FlatRecord&, const FlatRecord&) = default;
+};
+
+/// Reads every record of a run, partition by partition, in file order.
+std::vector<FlatRecord> read_run(const io::SpillRunInfo& info,
+                                 io::SpillFormat format) {
+  std::vector<FlatRecord> records;
+  io::SpillRunReader reader(info.path, format);
+  for (std::uint32_t p = 0; p < reader.num_partitions(); ++p) {
+    io::RunCursor cursor = reader.open(p);
+    while (auto record = cursor.next()) {
+      records.push_back(
+          FlatRecord{p, std::string(record->key), std::string(record->value)});
+    }
+  }
+  return records;
+}
+
+/// Asserts the run respects spill order: within each partition keys are
+/// nondecreasing (record_ref_less order projected onto files).
+void expect_run_sorted(const std::vector<FlatRecord>& records) {
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    if (records[i].partition == records[i - 1].partition) {
+      EXPECT_LE(records[i - 1].key, records[i].key)
+          << "run order violated at record " << i;
+    } else {
+      EXPECT_LT(records[i - 1].partition, records[i].partition);
+    }
+  }
+}
+
+struct TableHarness {
+  TempDir dir;
+  TaskMetrics metrics;
+  std::unique_ptr<Reducer> combiner;
+  std::unique_ptr<HashCombineShards> table;
+  io::SpillFormat format = io::SpillFormat::kCompactVarint;
+
+  explicit TableHarness(HashCombineConfig config, bool with_combiner = true) {
+    config.format = format;
+    if (with_combiner) combiner = make_summing_combiner();
+    table = std::make_unique<HashCombineShards>(
+        config, combiner.get(),
+        [this](std::uint64_t sequence) {
+          return (dir.path() / ("run" + std::to_string(sequence) + ".run"))
+              .string();
+        },
+        metrics, nullptr);
+  }
+};
+
+TEST(HashCombine, CombineEquivalenceVsExactOracle) {
+  // A zipf-ish word stream: the table must produce exactly the oracle's
+  // per-key totals, in one globally sorted run (no watermark pressure).
+  HashCombineConfig config;
+  config.num_shards = 4;
+  config.num_partitions = 3;
+  TableHarness h(config);
+
+  std::map<std::pair<std::uint32_t, std::string>, std::uint64_t> oracle;
+  Xoshiro256 rng(0x68617368ULL);  // "hash"
+  for (std::size_t i = 0; i < 20000; ++i) {
+    const std::string word = "w" + std::to_string(rng.next_below(700));
+    const std::uint32_t partition =
+        static_cast<std::uint32_t>(rng.next_below(3));
+    const std::uint64_t weight = 1 + rng.next_below(3);
+    h.table->insert(partition, word, std::to_string(weight));
+    oracle[{partition, word}] += weight;
+  }
+
+  const auto runs = h.table->finish();
+  ASSERT_EQ(runs.size(), 1u) << "no-pressure case must emit exactly one run";
+  const auto records = read_run(runs[0], h.format);
+  expect_run_sorted(records);
+  ASSERT_EQ(records.size(), oracle.size());
+  std::size_t i = 0;
+  for (const auto& [pk, total] : oracle) {
+    EXPECT_EQ(records[i].partition, pk.first);
+    EXPECT_EQ(records[i].key, pk.second);
+    EXPECT_EQ(records[i].value, std::to_string(total));
+    ++i;
+  }
+  EXPECT_GT(h.table->stats().hits, 0u);
+  EXPECT_EQ(h.table->stats().records, 20000u);
+  EXPECT_EQ(h.table->stats().demotions, 0u);
+  EXPECT_EQ(h.metrics.hash_combine_hits, h.table->stats().hits);
+  EXPECT_EQ(h.metrics.spilled_records, records.size());
+}
+
+TEST(HashCombine, PrefixCollisionAdversarialKeys) {
+  // Keys engineered to tie on the 8-byte big-endian prefix: identical
+  // first 8 bytes with divergent tails (including NULs), short keys that
+  // are prefixes of longer ones, and empty keys. Equality must confirm on
+  // the full key; the radix fallback must order the tails correctly.
+  HashCombineConfig config;
+  config.num_shards = 2;
+  config.num_partitions = 1;
+  TableHarness h(config);
+
+  std::vector<std::string> keys = {
+      "",
+      std::string(1, '\0'),
+      std::string("prefix00", 8),
+      std::string("prefix00a", 9),
+      std::string("prefix00b", 9),
+      std::string("prefix00\0x", 10),
+      std::string("prefix00\0y", 10),
+      "prefix00aaaaaaaaaaaaaaaa",
+      "pre",
+      "prefix",
+      "prefix0",
+  };
+  std::map<std::string, std::uint64_t> oracle;
+  for (std::size_t round = 0; round < 7; ++round) {
+    for (const auto& key : keys) {
+      h.table->insert(0, key, "1");
+      oracle[key] += 1;
+    }
+  }
+  const auto runs = h.table->finish();
+  ASSERT_EQ(runs.size(), 1u);
+  const auto records = read_run(runs[0], h.format);
+  ASSERT_EQ(records.size(), oracle.size())
+      << "prefix-colliding keys must not merge";
+  std::size_t i = 0;
+  for (const auto& [key, total] : oracle) {
+    EXPECT_EQ(records[i].key, key) << "at " << i;
+    EXPECT_EQ(records[i].value, std::to_string(total));
+    ++i;
+  }
+}
+
+TEST(HashCombine, NoCombinerChainsAllValues) {
+  // Without a combiner the table degrades to grouping: every value
+  // survives, chained per key in insertion order.
+  HashCombineConfig config;
+  config.num_shards = 2;
+  config.num_partitions = 1;
+  TableHarness h(config, /*with_combiner=*/false);
+  for (int i = 0; i < 5; ++i) {
+    h.table->insert(0, "alpha", "a" + std::to_string(i));
+    h.table->insert(0, "beta", "b" + std::to_string(i));
+  }
+  const auto runs = h.table->finish();
+  ASSERT_EQ(runs.size(), 1u);
+  const auto records = read_run(runs[0], h.format);
+  ASSERT_EQ(records.size(), 10u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(records[static_cast<std::size_t>(i)].key, "alpha");
+    EXPECT_EQ(records[static_cast<std::size_t>(i)].value,
+              "a" + std::to_string(i));
+    EXPECT_EQ(records[static_cast<std::size_t>(5 + i)].key, "beta");
+    EXPECT_EQ(records[static_cast<std::size_t>(5 + i)].value,
+              "b" + std::to_string(i));
+  }
+}
+
+TEST(HashCombine, WatermarkFlushesAndDemotes) {
+  // A tiny watermark forces mid-stream flushes; demote_after_flushes=1
+  // demotes every pressured shard to the sort-spill path. The records
+  // must all survive across hash runs + demoted runs, with correct
+  // per-key totals after re-aggregation.
+  HashCombineConfig config;
+  config.num_shards = 2;
+  config.num_partitions = 2;
+  config.watermark_bytes = 4096;
+  config.demote_after_flushes = 1;
+  TableHarness h(config);
+
+  std::map<std::pair<std::uint32_t, std::string>, std::uint64_t> oracle;
+  Xoshiro256 rng(0x64656d6fULL);  // "demo"
+  for (std::size_t i = 0; i < 30000; ++i) {
+    const std::string word = "key" + std::to_string(rng.next_below(4000));
+    const std::uint32_t partition =
+        static_cast<std::uint32_t>(rng.next_below(2));
+    h.table->insert(partition, word, "1");
+    oracle[{partition, word}] += 1;
+  }
+  const auto runs = h.table->finish();
+  ASSERT_GT(runs.size(), 1u) << "pressure must produce several runs";
+  EXPECT_GT(h.table->stats().flushes, 0u);
+  EXPECT_GT(h.table->stats().demotions, 0u);
+  EXPECT_EQ(h.metrics.hash_combine_demotions, h.table->stats().demotions);
+
+  std::map<std::pair<std::uint32_t, std::string>, std::uint64_t> totals;
+  for (const auto& run : runs) {
+    const auto records = read_run(run, h.format);
+    expect_run_sorted(records);
+    for (const auto& r : records) {
+      totals[{r.partition, r.key}] +=
+          std::strtoull(r.value.c_str(), nullptr, 10);
+    }
+  }
+  EXPECT_EQ(totals, oracle);
+}
+
+TEST(HashCombine, FinishedTwiceThrows) {
+  HashCombineConfig config;
+  TableHarness h(config);
+  h.table->insert(0, "k", "1");
+  (void)h.table->finish();
+  EXPECT_THROW((void)h.table->finish(), InternalError);
+}
+
+// ---- whole-map-task byte-identity ----------------------------------------
+
+/// Runs one map task over `input` in the given combine mode and returns
+/// the raw bytes of its output run file.
+std::string map_output_bytes(const std::filesystem::path& input,
+                             const std::filesystem::path& scratch,
+                             CombineMode mode, std::size_t watermark_bytes,
+                             std::uint32_t demote_flushes) {
+  MapTaskConfig config;
+  config.task_id = 0;
+  config.split = io::InputSplit{input.string(), 0,
+                                std::filesystem::file_size(input)};
+  config.num_partitions = 4;
+  config.mapper = [] {
+    return std::make_unique<LambdaMapper>(
+        [](std::uint64_t, std::string_view line, EmitSink& out) {
+          // Whitespace word splitter with per-word unit counts.
+          std::size_t start = 0;
+          while (start < line.size()) {
+            const std::size_t end = line.find(' ', start);
+            const std::string_view word = line.substr(
+                start, end == std::string_view::npos ? std::string_view::npos
+                                                     : end - start);
+            if (!word.empty()) out.emit(word, "1");
+            if (end == std::string_view::npos) break;
+            start = end + 1;
+          }
+        });
+  };
+  config.combiner = [] { return make_summing_combiner(); };
+  config.spill_buffer_bytes = 64u << 10;  // small: forces sort-path spills
+  config.scratch_dir = scratch;
+  config.combine_mode = mode;
+  config.hash_combine_shards = 4;
+  config.hash_combine_watermark_bytes = watermark_bytes;
+  config.hash_combine_demote_flushes = demote_flushes;
+  const MapTaskResult result = run_map_task(config);
+  std::ifstream in(result.output.path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+TEST(HashCombine, MapTaskByteIdenticalAcrossModes) {
+  TempDir dir;
+  const std::filesystem::path input = dir.path() / "input.txt";
+  {
+    std::ofstream out(input);
+    Xoshiro256 rng(0x62797465ULL);  // "byte"
+    for (int line = 0; line < 4000; ++line) {
+      for (int w = 0; w < 8; ++w) {
+        out << "word" << rng.next_below(900) << (w == 7 ? '\n' : ' ');
+      }
+    }
+  }
+  const std::string sorted = map_output_bytes(
+      input, dir.path() / "s", CombineMode::kSort, 0, 4);
+  const std::string hashed = map_output_bytes(
+      input, dir.path() / "h", CombineMode::kHash, 0, 4);
+  // Forced pressure: a 2 KiB watermark + demote-after-one-flush pushes
+  // every shard through flush AND demotion mid-stream.
+  const std::string demoted = map_output_bytes(
+      input, dir.path() / "d", CombineMode::kHash, 2048, 1);
+  ASSERT_FALSE(sorted.empty());
+  EXPECT_EQ(sorted, hashed) << "hash-combine output differs from sort path";
+  EXPECT_EQ(sorted, demoted)
+      << "watermark/demotion path output differs from sort path";
+}
+
+}  // namespace
+}  // namespace textmr::mr

@@ -231,7 +231,28 @@ struct DiffParams {
   std::size_t spill_buffer_kb;
   std::string fail_spec;  // empty = no fault injection
   bool skew = false;      // skew-aware partitioner on the optimized run
+  // Map-side combine axis (DESIGN.md §15): 0 = sort-spill baseline,
+  // 1 = sharded hash-combine, 2 = hash-combine with a tiny forced
+  // watermark + demote-after-one-flush (every shard flushes AND demotes
+  // mid-stream). All three must be byte-identical.
+  int combine = 0;
 };
+
+const char* combine_name(int combine) {
+  return combine == 0 ? "sort" : combine == 1 ? "hash" : "hash-forced";
+}
+
+/// Applies the combine axis to a spec (shared by the local and cluster
+/// differential grids).
+void apply_combine_mode(mr::JobSpec& spec, int combine) {
+  if (combine == 0) return;
+  spec.combine_mode = mr::CombineMode::kHash;
+  spec.hash_combine_shards = 4;
+  if (combine == 2) {
+    spec.hash_combine_watermark_bytes = 2048;
+    spec.hash_combine_demote_flushes = 1;
+  }
+}
 
 void PrintTo(const DiffParams& p, std::ostream* os) {
   *os << p.app << " seed=" << p.seed << " alpha=" << p.alpha
@@ -239,7 +260,7 @@ void PrintTo(const DiffParams& p, std::ostream* os) {
       << (p.format == io::SpillFormat::kCompactVarint ? "varint" : "fixed32")
       << " buf=" << p.spill_buffer_kb
       << "KiB fail=" << (p.fail_spec.empty() ? "none" : p.fail_spec)
-      << " skew=" << p.skew;
+      << " skew=" << p.skew << " combine=" << combine_name(p.combine);
 }
 
 /// "TfIdfPipeline" resolves to job 1's bundle for dataset selection; the
@@ -351,6 +372,7 @@ TEST_P(DifferentialOracleTest, OptimizedFaultedRunMatchesCleanBaseline) {
       spec.freqbuf.sampling_fraction = 0.05;
     }
     if (p.skew) enable_skew(spec);
+    apply_combine_mode(spec, p.combine);
   };
 
   // Runs the app (or, for TfIdfPipeline, job 1 feeding job 2) and
@@ -468,7 +490,10 @@ std::vector<DiffParams> differential_matrix() {
               seed % 2 == 0 ? io::SpillFormat::kCompactVarint
                             : io::SpillFormat::kFixed32,
               static_cast<std::size_t>(seed % 3 == 0 ? 24 : 64),
-              std::move(fail), skew});
+              std::move(fail), skew,
+              // Combine axis cycles so every app sees sort, hash and the
+              // forced-watermark hash across its four cells.
+              static_cast<int>(params.size() % 3)});
         }
       }
     }
@@ -500,12 +525,16 @@ struct ClusterDiffParams {
   // Fault axis: armed for the cluster run only (inherited by every
   // forked worker); recovery must be byte-invisible too.
   std::string fail_spec;
+  // Combine axis: applied to BOTH engines, so byte-identity proves the
+  // hash-combine path is engine- and transport-invariant too.
+  int combine = 0;
 };
 
 void PrintTo(const ClusterDiffParams& p, std::ostream* os) {
   *os << p.app << " workers=" << p.workers << " freq=" << p.freqbuf
       << " matcher=" << p.matcher << " skew=" << p.skew << " transport="
-      << cluster::transport_kind_name(p.transport);
+      << cluster::transport_kind_name(p.transport)
+      << " combine=" << combine_name(p.combine);
   if (!p.fail_spec.empty()) *os << " fail=" << p.fail_spec;
 }
 
@@ -538,6 +567,7 @@ TEST_P(ClusterDifferentialTest, ClusterRunReproducesLocalEngineBytes) {
       spec.freqbuf.sampling_fraction = 0.05;
     }
     if (p.skew) enable_skew(spec);
+    apply_combine_mode(spec, p.combine);
     spec.retry_backoff_base_ms = 0;
   };
   const auto run_app = [&](auto& engine, const std::string& tag) {
@@ -608,7 +638,10 @@ std::vector<ClusterDiffParams> cluster_differential_matrix() {
         // modes across the grid without squaring its size.
         params.push_back(ClusterDiffParams{
             app, workers, i % 2 == 0, i % 3 == 0, skew,
-            cluster::TransportKind::kSocketpair, ""});
+            cluster::TransportKind::kSocketpair, "",
+            // Combine cycles across the grid so each app runs hash and
+            // forced-watermark hash cells under the cluster engine too.
+            static_cast<int>(i % 3)});
         ++i;
       }
     }
@@ -619,12 +652,13 @@ std::vector<ClusterDiffParams> cluster_differential_matrix() {
     for (const bool skew : {false, true}) {
       params.push_back(ClusterDiffParams{app, 2, i % 2 == 0, i % 3 == 0,
                                          skew, cluster::TransportKind::kTcp,
-                                         ""});
+                                         "", static_cast<int>(i % 3)});
       ++i;
     }
     params.push_back(ClusterDiffParams{
         app, 2, i % 2 == 0, i % 3 == 0, false, cluster::TransportKind::kTcp,
-        i % 2 == 0 ? "spill.write:nth=1" : "shuffle.fetch:nth=1"});
+        i % 2 == 0 ? "spill.write:nth=1" : "shuffle.fetch:nth=1",
+        static_cast<int>(i % 3)});
     ++i;
   }
   return params;

@@ -22,7 +22,7 @@ EXHAUSTIVE_ENUMS: dict[str, set[str]] = {
     "ActionKind": set(),
 }
 
-_DECODER_FN_RE = re.compile(r"^(decode|parse)_")
+_DECODER_FN_RE = re.compile(r"^(decode|parse|load)_")
 
 # Token-sequence helpers -------------------------------------------------------
 
@@ -155,6 +155,7 @@ def _view_escape_fn(fm: FileModel, fn: FunctionModel,
                     "view-escape", fm.path, t.line,
                     f"view '{body[i + 1].text}' bound to a temporary "
                     "std::string that dies at the end of the statement"))
+    out.extend(_refs_across_arena_growth(fm, fn))
     # return-dangle: function returns a view built from owned locals.
     if "string_view" in fn.return_type:
         for i, t in enumerate(body):
@@ -173,6 +174,68 @@ def _view_escape_fn(fm: FileModel, fn: FunctionModel,
                     f"returning a string_view into local std::string "
                     f"'{body[i + 1].text}', destroyed when the function "
                     "returns"))
+    return out
+
+
+def _refs_across_arena_growth(fm: FileModel,
+                              fn: FunctionModel) -> list[Finding]:
+    """RecordRef references held across arena growth (DESIGN.md §15).
+
+    `RecordArena::append()` returns a `const RecordRef&` into the
+    arena's ref table — a vector that a *later* append() may
+    reallocate. Binding that result by reference and touching it after
+    another append() on the same arena dangles; the hash-combine shard
+    table copies RecordRefs BY VALUE into its entries for exactly this
+    reason. By-value copies (`RecordRef r = arena.append(...)`) are
+    clean; only `&` bindings are tracked."""
+    body = fn.body
+    texts = [t.text for t in body]
+    n = len(body)
+    out: list[Finding] = []
+    i = 0
+    while i < n:
+        t = body[i]
+        if not (t.text == "=" and i >= 2 and body[i - 1].kind == IDENT
+                and body[i - 2].text == "&"):
+            i += 1
+            continue
+        # rhs must be `<owner tokens> . append (` — the owner expression
+        # is everything up to the call paren (no-paren exprs only).
+        paren = i + 1
+        while paren < n and body[paren].text not in ("(", ";"):
+            paren += 1
+        if (paren >= n or body[paren].text != "(" or paren < i + 3
+                or texts[paren - 1] != "append" or texts[paren - 2] != "."
+                or body[i + 1].kind != IDENT):
+            i += 1
+            continue
+        name = body[i - 1].text
+        owner = texts[i + 1:paren - 2]
+        growth = owner + [".", "append", "("]
+        # The next textual append() on the same arena invalidates the
+        # reference; any later use of it is a dangle.
+        grown_at = -1
+        for k in range(paren + 1, n - len(growth) + 1):
+            if texts[k:k + len(growth)] == growth:
+                grown_at = k
+                break
+        if grown_at < 0:
+            i += 1
+            continue
+        for k in range(grown_at + len(growth), n):
+            u = body[k]
+            if (u.kind == IDENT and u.text == name
+                    and not (k + 1 < n and texts[k + 1] == "=")
+                    and not (k >= 1 and texts[k - 1] in (".", "->"))):
+                out.append(Finding(
+                    "view-escape", fm.path, u.line,
+                    f"reference '{name}' bound to "
+                    f"{' '.join(owner)}.append() is used after the arena "
+                    f"grew again on line {body[grown_at].line}; append() "
+                    "may reallocate the ref table — copy the RecordRef "
+                    "by value instead"))
+                break
+        i += 1
     return out
 
 
@@ -371,7 +434,7 @@ _ENUM_SNAPSHOT: dict[str, list[str]] = {
 
 _GUARD_METHODS = {"size", "length", "empty", "remaining"}
 _GUARD_CALLS = {"ensure", "expect_done", "require", "check_size",
-                "bounds_check"}
+                "bounds_check", "TEXTMR_CHECK"}
 
 
 def check_decoder_bounds(files: list[FileModel]) -> list[Finding]:
@@ -389,7 +452,13 @@ def _decoder_bounds_fn(fm: FileModel, fn: FunctionModel) -> list[Finding]:
         p.name for p in fn.params
         if p.name and ("string_view" in p.type_text
                        or "span" in p.type_text
-                       or ("char" in p.type_text and "*" in p.type_text))
+                       or ("char" in p.type_text and "*" in p.type_text)
+                       # Offset-addressed byte heaps (the hash-combine
+                       # shard table's value chains, DESIGN.md §15):
+                       # load_* readers over a vector<char> heap must
+                       # guard the offset like any other decoder.
+                       or ("vector" in p.type_text
+                           and "char" in p.type_text))
     }
     if not span_params:
         return []
@@ -440,7 +509,8 @@ RULES = {
         check_view_escape,
         "a view (string_view / RecordRef / RecordView) bound to "
         "short-lived bytes must not be stored somewhere that outlives "
-        "them (member, member container, out-param, return)",
+        "them (member, member container, out-param, return), and a "
+        "RecordRef reference must not be held across arena growth",
     ),
     "arena-lifetime": (
         check_arena_lifetime,
@@ -461,8 +531,9 @@ RULES = {
     ),
     "decoder-bounds": (
         check_decoder_bounds,
-        "decode_*/parse_* functions over string_view / byte spans "
-        "bounds-check before indexed or memcpy reads",
+        "decode_*/parse_*/load_* functions over string_view / byte "
+        "spans / vector<char> heaps bounds-check before indexed or "
+        "memcpy reads",
     ),
 }
 
